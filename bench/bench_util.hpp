@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/burstiness_study.hpp"
+
+namespace lossburst::bench {
+
+inline void print_header(const std::string& id, const std::string& what,
+                         const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_pdf_analysis(const analysis::LossIntervalAnalysis& a,
+                               const std::string& title) {
+  std::cout << core::summarize_burstiness(a) << "\n\n";
+  std::cout << core::render_loss_pdf_chart(a, title) << "\n";
+}
+
+/// CSV block for external plotting: bin_center, measured_pmf, poisson_pmf.
+inline void print_pdf_csv(const analysis::LossIntervalAnalysis& a) {
+  std::printf("csv: bin_center_rtt,measured_pmf,poisson_pmf\n");
+  for (std::size_t i = 0; i < a.pdf.bins(); ++i) {
+    const double poisson = i < a.poisson_pdf.size() ? a.poisson_pdf[i] : 0.0;
+    if (a.pdf.pmf(i) == 0.0 && poisson < 1e-12) continue;
+    std::printf("csv: %.3f,%.6g,%.6g\n", a.pdf.bin_center(i), a.pdf.pmf(i), poisson);
+  }
+}
+
+/// Returns true when the caller passed --full (longer paper-scale runs).
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") return true;
+  }
+  return false;
+}
+
+}  // namespace lossburst::bench

@@ -1,0 +1,55 @@
+// Equations (1)-(2): how many flows detect a bursty loss event.
+//
+//   L_rate = min(M, N)     for rate-based (evenly spaced) senders
+//   L_win  = max(M/K, 1)   for window-based (clustered) senders
+//
+// The experiment runs the same dumbbell twice — all flows paced, then all
+// flows window-based — groups the router drop trace into loss events, and
+// counts the distinct flows losing packets per event.
+//
+// Expected shape: the rate-based run has a much larger fraction of flows
+// hit per event than the window-based run (L_rate >> L_win).
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lossburst;
+  const bool full = bench::full_mode(argc, argv);
+
+  bench::print_header("EQ1-2", "loss-event visibility: rate-based vs window-based",
+                      "L_rate = min(M,N) >> L_win = max(M/K, 1)");
+
+  const std::vector<std::size_t> flow_counts =
+      full ? std::vector<std::size_t>{8, 16, 32} : std::vector<std::size_t>{8, 16};
+
+  std::printf("%6s %8s %10s %12s %12s %12s %14s %12s\n", "N", "mode", "events", "mean_M",
+              "mean_hit", "frac_hit", "hit/M (M<=N)", "model");
+  for (std::size_t flows : flow_counts) {
+    for (const bool paced : {false, true}) {
+      core::LossVisibilityConfig cfg;
+      cfg.seed = 90 + flows;
+      cfg.flows = flows;
+      cfg.emission = paced ? tcp::EmissionMode::kPaced : tcp::EmissionMode::kWindowBurst;
+      cfg.duration = util::Duration::seconds(full ? 60 : 25);
+      cfg.warmup = util::Duration::seconds(5);
+      const auto r = core::run_loss_visibility(cfg);
+      const double model = paced ? r.model_rate_based : r.model_window_based;
+      std::printf("%6zu %8s %10zu %12.1f %12.2f %11.1f%% %14.2f %12.2f\n", flows,
+                  paced ? "rate" : "window", r.events.size(), r.mean_drops_per_event,
+                  r.mean_flows_hit, r.mean_fraction_hit * 100.0,
+                  r.small_event_hit_ratio, model);
+      std::printf("csv: %zu,%s,%zu,%.2f,%.2f,%.4f,%.3f,%.2f,%.2f\n", flows,
+                  paced ? "rate" : "window", r.events.size(), r.mean_drops_per_event,
+                  r.mean_flows_hit, r.mean_fraction_hit, r.small_event_hit_ratio,
+                  r.k_packets_per_rtt, model);
+    }
+  }
+
+  std::printf("\nreading: 'hit/M (M<=N)' is the per-drop visibility in the regime where\n"
+              "Eqs. (1)-(2) diverge. Eq (1) predicts ~1 for rate-based emission (every\n"
+              "drop lands on a distinct flow); Eq (2) predicts ~1/K for window-based.\n"
+              "The 'rate' rows should sit well above the 'window' rows — the mechanism\n"
+              "behind Figure 7's unfairness.\n");
+  return 0;
+}

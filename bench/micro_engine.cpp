@@ -1,0 +1,139 @@
+// Micro-benchmarks of the simulation engine (google-benchmark): event queue
+// throughput, RNG, queue disciplines, histogram ingestion, and a full
+// end-to-end simulation step rate. These bound how much simulated traffic
+// the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lossburst;
+using util::Duration;
+using util::TimePoint;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Half the scheduled events are cancelled: exercises lazy deletion.
+  const std::size_t n = 16384;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) handles[i].cancel();
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Rng rng(3);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.next();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_ExponentialDraw(benchmark::State& state) {
+  util::Rng rng(4);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExponentialDraw);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q(1024);
+  net::Packet pkt;
+  pkt.size_bytes = 1000;
+  for (auto _ : state) {
+    net::Packet p = pkt;
+    if (!q.enqueue(std::move(p))) {
+      while (!q.empty()) (void)q.dequeue();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  net::RedQueue::Params params;
+  params.capacity_pkts = 1024;
+  params.min_th = 256;
+  params.max_th = 768;
+  net::RedQueue q(params, util::Rng(5));
+  net::Packet pkt;
+  pkt.size_bytes = 1000;
+  for (auto _ : state) {
+    net::Packet p = pkt;
+    if (!q.enqueue(std::move(p))) {
+      while (!q.empty()) (void)q.dequeue();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  util::Histogram h(0.0, 2.0, 100);
+  util::Rng rng(6);
+  for (auto _ : state) h.add(rng.uniform(0.0, 2.5));
+  benchmark::DoNotOptimize(h.total());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_FullTcpSimulationSecond(benchmark::State& state) {
+  // End-to-end cost: one simulated second of 8 NewReno flows on a 100 Mbps
+  // dumbbell. Reported items are simulator events.
+  for (auto _ : state) {
+    sim::Simulator sim(7);
+    net::Network network(sim);
+    net::DumbbellConfig cfg;
+    cfg.flow_count = 8;
+    cfg.access_delays.assign(8, Duration::millis(10));
+    net::Dumbbell bell = net::build_dumbbell(network, cfg);
+    std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+    for (std::size_t i = 0; i < 8; ++i) {
+      flows.push_back(std::make_unique<tcp::TcpFlow>(
+          sim, static_cast<net::FlowId>(i + 1), bell.fwd_routes[i], bell.rev_routes[i]));
+      flows.back()->sender().start(TimePoint::zero());
+    }
+    sim.run_until(TimePoint::zero() + Duration::seconds(1));
+    state.counters["events"] = static_cast<double>(sim.events_executed());
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_FullTcpSimulationSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Command-line front end: run any of the library's experiments with
+// parameters from flags. The artifact a downstream user scripts against.
+//
+//   lossburst_cli dumbbell --flows 16 --seed 7 --duration 30 --queue red
+//   lossburst_cli competition --paced 16 --window 16 --rtt-ms 50
+//   lossburst_cli transfer --flows 8 --rtt-ms 200 --mb 64 [--paced] [--sack]
+//   lossburst_cli visibility --flows 16 [--paced]
+//   lossburst_cli shuffle --nodes 8 --chunk-kb 1024 [--sack]
+//   lossburst_cli campaign --paths 8 --duration 30
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/burstiness_study.hpp"
+#include "core/shuffle_experiment.hpp"
+
+using namespace lossburst;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return flags.contains(key);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.kv[token] = argv[++i];
+    } else {
+      args.flags[token] = true;
+    }
+  }
+  return args;
+}
+
+net::QueueKind parse_queue(const std::string& name) {
+  if (name == "red") return net::QueueKind::kRed;
+  if (name == "red-ecn") return net::QueueKind::kRedEcn;
+  if (name == "pecn") return net::QueueKind::kPersistentEcn;
+  return net::QueueKind::kDropTail;
+}
+
+int cmd_dumbbell(const Args& a) {
+  core::DumbbellExperimentConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  cfg.tcp_flows = static_cast<std::size_t>(a.num("flows", 16));
+  cfg.duration = util::Duration::from_seconds(a.num("duration", 30));
+  cfg.buffer_bdp_fraction = a.num("buffer", 1.0);
+  cfg.queue = parse_queue(a.str("queue", "droptail"));
+  if (a.flag("paced")) cfg.emission = tcp::EmissionMode::kPaced;
+  if (a.flag("dummynet")) {
+    cfg.emulate_dummynet = true;
+    cfg.rtt_distribution = core::RttDistribution::kDummynetClasses;
+  }
+  const auto r = core::run_dumbbell_experiment(cfg);
+  std::printf("drops=%llu utilization=%.1f%% goodput=%.1fMbps mean_rtt=%.1fms\n",
+              static_cast<unsigned long long>(r.total_drops),
+              r.bottleneck_utilization * 100.0, r.aggregate_goodput_mbps,
+              r.mean_rtt_s * 1e3);
+  std::cout << core::summarize_burstiness(r.loss) << '\n'
+            << core::render_loss_pdf_chart(r.loss, "inter-loss PDF");
+  return 0;
+}
+
+int cmd_competition(const Args& a) {
+  core::CompetitionConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 7));
+  cfg.paced_flows = static_cast<std::size_t>(a.num("paced", 16));
+  cfg.window_flows = static_cast<std::size_t>(a.num("window", 16));
+  cfg.rtt = util::Duration::from_seconds(a.num("rtt-ms", 50) / 1e3);
+  cfg.duration = util::Duration::from_seconds(a.num("duration", 40));
+  cfg.queue = parse_queue(a.str("queue", "droptail"));
+  cfg.ecn = a.flag("ecn");
+  cfg.sack = a.flag("sack");
+  const auto r = core::run_competition(cfg);
+  std::printf("paced=%.1fMbps window=%.1fMbps deficit=%.1f%%\n", r.paced_mean_mbps,
+              r.window_mean_mbps, r.paced_deficit * 100.0);
+  return 0;
+}
+
+int cmd_transfer(const Args& a) {
+  core::ParallelTransferConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 8));
+  cfg.flows = static_cast<std::size_t>(a.num("flows", 4));
+  cfg.rtt = util::Duration::from_seconds(a.num("rtt-ms", 50) / 1e3);
+  cfg.total_bytes = static_cast<std::uint64_t>(a.num("mb", 64)) << 20;
+  if (a.flag("paced")) cfg.emission = tcp::EmissionMode::kPaced;
+  cfg.sack = a.flag("sack");
+  const auto r = core::run_parallel_transfer(cfg);
+  std::printf("latency=%.2fs bound=%.2fs normalized=%.2f flows_with_loss=%zu%s\n",
+              r.latency_s, r.lower_bound_s, r.normalized_latency, r.flows_with_loss,
+              r.all_completed ? "" : " (INCOMPLETE)");
+  return 0;
+}
+
+int cmd_visibility(const Args& a) {
+  core::LossVisibilityConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 9));
+  cfg.flows = static_cast<std::size_t>(a.num("flows", 16));
+  cfg.emission =
+      a.flag("paced") ? tcp::EmissionMode::kPaced : tcp::EmissionMode::kWindowBurst;
+  const auto r = core::run_loss_visibility(cfg);
+  std::printf("events=%zu mean_drops=%.1f mean_flows_hit=%.2f fraction=%.1f%%\n",
+              r.events.size(), r.mean_drops_per_event, r.mean_flows_hit,
+              r.mean_fraction_hit * 100.0);
+  std::printf("models: eq1(rate)=%.2f eq2(window)=%.2f K=%.1f\n", r.model_rate_based,
+              r.model_window_based, r.k_packets_per_rtt);
+  return 0;
+}
+
+int cmd_shuffle(const Args& a) {
+  core::ShuffleConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 12));
+  cfg.nodes = static_cast<std::size_t>(a.num("nodes", 8));
+  cfg.bytes_per_flow = static_cast<std::uint64_t>(a.num("chunk-kb", 1024)) << 10;
+  cfg.sack = a.flag("sack");
+  if (a.flag("paced")) cfg.emission = tcp::EmissionMode::kPaced;
+  const auto r = core::run_shuffle(cfg);
+  std::printf("completion=%.2fs bound=%.2fs normalized=%.2f drops=%llu%s\n",
+              r.completion_s, r.lower_bound_s, r.normalized,
+              static_cast<unsigned long long>(r.downlink_drops),
+              r.all_completed ? "" : " (INCOMPLETE)");
+  return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  inet::CampaignConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 2006));
+  cfg.num_paths = static_cast<std::size_t>(a.num("paths", 8));
+  cfg.probe_duration = util::Duration::from_seconds(a.num("duration", 30));
+  const auto r = inet::run_campaign(cfg);
+  std::printf("paths=%zu validated=%zu pooled_losses=%zu\n", r.paths.size(),
+              r.validated_paths, r.pooled.loss_count);
+  std::cout << core::summarize_burstiness(r.pooled) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "dumbbell") return cmd_dumbbell(args);
+  if (args.command == "competition") return cmd_competition(args);
+  if (args.command == "transfer") return cmd_transfer(args);
+  if (args.command == "visibility") return cmd_visibility(args);
+  if (args.command == "shuffle") return cmd_shuffle(args);
+  if (args.command == "campaign") return cmd_campaign(args);
+  std::puts("usage: lossburst_cli <dumbbell|competition|transfer|visibility|shuffle|campaign>"
+            " [--key value ...] [--paced] [--sack] [--ecn] [--dummynet]");
+  std::puts("examples:");
+  std::puts("  lossburst_cli dumbbell --flows 16 --duration 30 --queue red");
+  std::puts("  lossburst_cli competition --paced 16 --window 16 --rtt-ms 50");
+  std::puts("  lossburst_cli transfer --flows 8 --rtt-ms 200 --mb 64 --sack");
+  std::puts("  lossburst_cli shuffle --nodes 8 --chunk-kb 1024");
+  return args.command.empty() ? 0 : 1;
+}

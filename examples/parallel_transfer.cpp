@@ -1,0 +1,53 @@
+// Example: GridFTP/GFS-style parallel data transfer (§4.2).
+//
+// Splits a 64 MB payload across N TCP flows and reports the completion
+// latency against the wire-rate lower bound, showing how loss burstiness in
+// slow start makes latency unpredictable — and how choosing a paced sender
+// tightens the spread.
+#include <cstdio>
+
+#include "core/burstiness_study.hpp"
+#include "util/stats.hpp"
+
+using namespace lossburst;
+
+namespace {
+
+void run_mode(const char* label, tcp::EmissionMode emission) {
+  std::printf("%s\n", label);
+  std::printf("%8s %8s %14s %14s %12s\n", "flows", "rtt_ms", "latency_s", "normalized",
+              "flows w/loss");
+  for (int rtt_ms : {10, 200}) {
+    for (std::size_t flows : {4u, 16u}) {
+      core::ParallelTransferConfig cfg;
+      cfg.seed = 2024;
+      cfg.flows = flows;
+      cfg.rtt = util::Duration::millis(rtt_ms);
+      cfg.emission = emission;
+      const auto r = core::run_parallel_transfer(cfg);
+      std::printf("%8zu %8d %14.2f %14.2f %9zu/%zu%s\n", flows, rtt_ms, r.latency_s,
+                  r.normalized_latency, r.flows_with_loss, flows,
+                  r.all_completed ? "" : "  (timed out!)");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Parallel transfer of 64 MB over a 100 Mbps bottleneck.\n");
+  const std::uint64_t segments = ((64ULL << 20) + net::kMssBytes - 1) / net::kMssBytes;
+  const double bound_s =
+      static_cast<double>(segments) * net::kDataPacketBytes * 8.0 / 100e6;
+  std::printf("Wire-rate lower bound: %.2f s (payload-only: 5.37 s; paper quotes 5.39 s)\n\n",
+              bound_s);
+
+  run_mode("Window-based NewReno (standard TCP):", tcp::EmissionMode::kWindowBurst);
+  run_mode("Paced senders (rate-based):", tcp::EmissionMode::kPaced);
+
+  std::puts("Lesson (paper §4.2): at large RTT, whichever flows lose packets during");
+  std::puts("slow start fall to half rate and gate the whole transfer; with many");
+  std::puts("flows and bursty losses, completion time is hard to predict.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/dispersion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace lossburst::analysis {
+
+double index_of_dispersion(const std::vector<double>& times_s, double window_s) {
+  if (times_s.size() < 2 || window_s <= 0.0) return 0.0;
+  const auto [min_it, max_it] = std::minmax_element(times_s.begin(), times_s.end());
+  const double t0 = *min_it;
+  const double span = *max_it - t0;
+  const auto windows = static_cast<std::size_t>(span / window_s);
+  if (windows < 2) return 0.0;
+
+  std::vector<double> counts(windows, 0.0);
+  for (double t : times_s) {
+    const auto idx = static_cast<std::size_t>((t - t0) / window_s);
+    if (idx < windows) counts[idx] += 1.0;  // events beyond the last full window drop
+  }
+  util::OnlineStats stats;
+  for (double c : counts) stats.add(c);
+  if (stats.mean() <= 0.0) return 0.0;
+  // Population variance (n denominator) is conventional for IDC.
+  const double var = stats.variance() * static_cast<double>(stats.count() - 1) /
+                     static_cast<double>(stats.count());
+  return var / stats.mean();
+}
+
+DispersionCurve dispersion_curve(const std::vector<double>& times_s, double min_window_s,
+                                 double max_window_s, std::size_t points) {
+  DispersionCurve curve;
+  if (points < 2 || min_window_s <= 0.0 || max_window_s <= min_window_s) return curve;
+  const double log_lo = std::log(min_window_s);
+  const double log_hi = std::log(max_window_s);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double w = std::exp(log_lo + f * (log_hi - log_lo));
+    curve.window_s.push_back(w);
+    curve.idc.push_back(index_of_dispersion(times_s, w));
+  }
+  return curve;
+}
+
+}  // namespace lossburst::analysis

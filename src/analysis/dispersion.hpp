@@ -1,0 +1,29 @@
+// Index of Dispersion for Counts (IDC) across timescales — the "more
+// rigorous analysis" the paper's future work calls for beyond PDFs.
+//
+// For a point process, IDC(T) = Var(N_T) / E[N_T], where N_T counts events
+// in windows of length T. A Poisson process has IDC(T) = 1 at every T; a
+// process that is bursty at timescale T has IDC(T) >> 1 there. Plotting
+// IDC against T (from sub-RTT to many RTTs) shows *where* the burstiness
+// lives, which a single PDF cannot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lossburst::analysis {
+
+/// IDC at a single window size. Windows tile [t0, t_last]; requires at
+/// least two full windows, else returns 0.
+double index_of_dispersion(const std::vector<double>& times_s, double window_s);
+
+struct DispersionCurve {
+  std::vector<double> window_s;  ///< window sizes (seconds)
+  std::vector<double> idc;       ///< IDC at each window
+};
+
+/// IDC over log-spaced windows from `min_window_s` to `max_window_s`.
+DispersionCurve dispersion_curve(const std::vector<double>& times_s, double min_window_s,
+                                 double max_window_s, std::size_t points = 12);
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,63 @@
+#include "analysis/episodes.hpp"
+
+#include <algorithm>
+
+namespace lossburst::analysis {
+
+std::vector<LossEpisode> group_episodes(std::vector<double> times_s, double gap_s) {
+  std::vector<LossEpisode> out;
+  if (times_s.empty()) return out;
+  std::sort(times_s.begin(), times_s.end());
+
+  LossEpisode cur{times_s[0], times_s[0], 1};
+  for (std::size_t i = 1; i < times_s.size(); ++i) {
+    if (times_s[i] - times_s[i - 1] > gap_s) {
+      out.push_back(cur);
+      cur = LossEpisode{times_s[i], times_s[i], 1};
+    } else {
+      cur.end_s = times_s[i];
+      ++cur.drops;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+EpisodeStats summarize_episodes(const std::vector<LossEpisode>& episodes) {
+  EpisodeStats s;
+  s.episode_count = episodes.size();
+  if (episodes.empty()) return s;
+
+  double drops_sum = 0.0;
+  double duration_sum = 0.0;
+  std::size_t bursty_drops = 0;
+  for (const auto& e : episodes) {
+    drops_sum += static_cast<double>(e.drops);
+    s.total_drops += e.drops;
+    s.max_drops = std::max(s.max_drops, e.drops);
+    duration_sum += e.duration_s();
+    s.max_duration_s = std::max(s.max_duration_s, e.duration_s());
+    if (e.drops >= 2) bursty_drops += e.drops;
+  }
+  const auto n = static_cast<double>(episodes.size());
+  s.mean_drops = drops_sum / n;
+  s.mean_duration_s = duration_sum / n;
+  s.fraction_in_bursts =
+      s.total_drops ? static_cast<double>(bursty_drops) / static_cast<double>(s.total_drops)
+                    : 0.0;
+
+  if (episodes.size() >= 2) {
+    double spacing_sum = 0.0;
+    for (std::size_t i = 1; i < episodes.size(); ++i) {
+      spacing_sum += episodes[i].start_s - episodes[i - 1].start_s;
+    }
+    s.mean_spacing_s = spacing_sum / static_cast<double>(episodes.size() - 1);
+  }
+  return s;
+}
+
+EpisodeStats episode_stats(std::vector<double> times_s, double gap_s) {
+  return summarize_episodes(group_episodes(std::move(times_s), gap_s));
+}
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,46 @@
+// Loss-episode analysis: group a drop trace into congestion episodes
+// (maximal runs of drops separated by less than a gap threshold) and
+// summarize their structure. This is the natural unit behind the paper's
+// observations — DropTail routers drop "until the loss-based congestion
+// control algorithms detect the loss of packets and reduce the data rate,
+// usually half an RTT later", so drops arrive in episodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lossburst::analysis {
+
+struct LossEpisode {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t drops = 0;
+
+  [[nodiscard]] double duration_s() const { return end_s - start_s; }
+};
+
+/// Group ascending drop timestamps into episodes: a gap larger than `gap_s`
+/// starts a new episode. Unsorted input is sorted first.
+std::vector<LossEpisode> group_episodes(std::vector<double> times_s, double gap_s);
+
+struct EpisodeStats {
+  std::size_t episode_count = 0;
+  std::size_t total_drops = 0;
+  double mean_drops = 0.0;
+  std::size_t max_drops = 0;
+  double mean_duration_s = 0.0;
+  double max_duration_s = 0.0;
+  /// Mean time from one episode's start to the next's (the inter-episode
+  /// process the Poisson reference actually resembles).
+  double mean_spacing_s = 0.0;
+  /// Fraction of all drops belonging to episodes with >= 2 drops — how much
+  /// of the loss volume is bursty rather than isolated.
+  double fraction_in_bursts = 0.0;
+};
+
+EpisodeStats summarize_episodes(const std::vector<LossEpisode>& episodes);
+
+/// Convenience: group with `gap_s` and summarize in one call.
+EpisodeStats episode_stats(std::vector<double> times_s, double gap_s);
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,58 @@
+#include "analysis/gilbert.hpp"
+
+namespace lossburst::analysis {
+
+double GilbertFit::stationary_bad() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+}
+
+double GilbertFit::mean_burst_length() const {
+  return p_bad_to_good > 0.0 ? 1.0 / p_bad_to_good : 0.0;
+}
+
+double GilbertFit::burstiness_vs_bernoulli() const {
+  if (loss_rate <= 0.0 || loss_rate >= 1.0) return 0.0;
+  const double bernoulli_burst = 1.0 / (1.0 - loss_rate);
+  const double fitted = mean_burst_length();
+  return bernoulli_burst > 0.0 && fitted > 0.0 ? fitted / bernoulli_burst : 0.0;
+}
+
+GilbertFit fit_gilbert(const std::vector<bool>& lost) {
+  GilbertFit out;
+  if (lost.size() < 2) return out;
+
+  std::size_t losses = 0;
+  std::size_t gb = 0, gg = 0, bg = 0, bb = 0;
+  for (std::size_t i = 0; i + 1 < lost.size(); ++i) {
+    const bool a = lost[i];
+    const bool b = lost[i + 1];
+    if (!a && b) ++gb;
+    else if (!a && !b) ++gg;
+    else if (a && !b) ++bg;
+    else ++bb;
+  }
+  for (bool l : lost) losses += l ? 1 : 0;
+
+  out.loss_rate = static_cast<double>(losses) / static_cast<double>(lost.size());
+  if (gb + gg > 0) out.p_good_to_bad = static_cast<double>(gb) / static_cast<double>(gb + gg);
+  if (bg + bb > 0) out.p_bad_to_good = static_cast<double>(bg) / static_cast<double>(bg + bb);
+  return out;
+}
+
+std::vector<std::size_t> loss_run_lengths(const std::vector<bool>& lost) {
+  std::vector<std::size_t> runs;
+  std::size_t current = 0;
+  for (bool l : lost) {
+    if (l) {
+      ++current;
+    } else if (current > 0) {
+      runs.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) runs.push_back(current);
+  return runs;
+}
+
+}  // namespace lossburst::analysis

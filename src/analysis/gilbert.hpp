@@ -1,0 +1,38 @@
+// Gilbert-Elliott two-state loss model fitting — the "more rigorous model"
+// the paper's future-work section calls for. A packet stream is reduced to a
+// boolean loss sequence; we estimate the Good->Bad and Bad->Good transition
+// probabilities by maximum likelihood (transition counting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lossburst::analysis {
+
+struct GilbertFit {
+  double p_good_to_bad = 0.0;  ///< P(loss_{i+1} | delivered_i)
+  double p_bad_to_good = 0.0;  ///< P(delivered_{i+1} | loss_i)
+  double loss_rate = 0.0;      ///< overall fraction lost
+
+  /// Stationary probability of the Bad state: p_gb / (p_gb + p_bg).
+  [[nodiscard]] double stationary_bad() const;
+
+  /// Mean loss burst length: 1 / p_bg.
+  [[nodiscard]] double mean_burst_length() const;
+
+  /// Burstiness index: mean burst length of the fit divided by the mean
+  /// burst length an independent (Bernoulli) loss process of the same rate
+  /// would produce, 1/(1-r). Equals 1 for independent losses, > 1 when
+  /// losses cluster.
+  [[nodiscard]] double burstiness_vs_bernoulli() const;
+};
+
+/// Fit from a per-packet loss indicator sequence (true = lost), in send
+/// order. Requires at least 2 packets; degenerate sequences (no losses or
+/// all losses) produce zero transition probabilities on the missing side.
+GilbertFit fit_gilbert(const std::vector<bool>& lost);
+
+/// Loss-run statistics: lengths of maximal runs of consecutive losses.
+std::vector<std::size_t> loss_run_lengths(const std::vector<bool>& lost);
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,75 @@
+#include "analysis/loss_intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace lossburst::analysis {
+
+std::vector<double> inter_loss_intervals(const std::vector<double>& times_s) {
+  std::vector<double> out;
+  if (times_s.size() < 2) return out;
+  out.reserve(times_s.size() - 1);
+  for (std::size_t i = 1; i < times_s.size(); ++i) {
+    out.push_back(times_s[i] - times_s[i - 1]);
+  }
+  return out;
+}
+
+double LossIntervalAnalysis::first_bin_excess() const {
+  if (poisson_pdf.empty()) return 0.0;
+  const double ref = poisson_pdf[0];
+  if (ref <= 0.0) return 0.0;
+  return pdf.pmf(0) / ref;
+}
+
+LossIntervalAnalysis analyze_normalized_intervals(const std::vector<double>& intervals_rtt,
+                                                  PdfOptions opts) {
+  LossIntervalAnalysis out;
+  out.rtt_s = 1.0;
+  out.loss_count = intervals_rtt.empty() ? 0 : intervals_rtt.size() + 1;
+  const std::size_t bins =
+      std::max<std::size_t>(1, static_cast<std::size_t>(opts.range_rtts / opts.bin_rtts + 0.5));
+  out.pdf = util::Histogram(0.0, opts.range_rtts, bins);
+  if (intervals_rtt.empty()) return out;
+
+  util::OnlineStats stats;
+  for (double r : intervals_rtt) {
+    stats.add(r);
+    out.pdf.add(r);
+  }
+  out.mean_interval_rtts = stats.mean();
+  out.cov = stats.mean() > 0.0 ? stats.stddev() / stats.mean() : 0.0;
+  out.lag1_autocorr = util::autocorrelation(intervals_rtt, 1);
+
+  util::Summary summary(intervals_rtt);
+  out.frac_below_001_rtt = summary.fraction_below(0.01);
+  out.frac_below_025_rtt = summary.fraction_below(0.25);
+  out.frac_below_1_rtt = summary.fraction_below(1.0);
+
+  out.poisson_pdf = util::poisson_reference_pmf(out.pdf, out.mean_interval_rtts);
+  return out;
+}
+
+LossIntervalAnalysis analyze_loss_intervals(std::vector<double> times_s, double rtt_s,
+                                            PdfOptions opts) {
+  if (times_s.size() < 2 || rtt_s <= 0.0) {
+    LossIntervalAnalysis out = analyze_normalized_intervals({}, opts);
+    out.rtt_s = rtt_s;
+    out.loss_count = times_s.size();
+    return out;
+  }
+  std::sort(times_s.begin(), times_s.end());
+  const std::vector<double> intervals_s = inter_loss_intervals(times_s);
+  std::vector<double> intervals_rtt;
+  intervals_rtt.reserve(intervals_s.size());
+  for (double s : intervals_s) intervals_rtt.push_back(s / rtt_s);
+
+  LossIntervalAnalysis out = analyze_normalized_intervals(intervals_rtt, opts);
+  out.rtt_s = rtt_s;
+  out.loss_count = times_s.size();
+  return out;
+}
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,59 @@
+// The paper's core analysis: the distribution of time intervals between
+// consecutive lost packets, normalized by RTT, compared against a Poisson
+// process of the same mean rate (Figures 2-4, §3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::analysis {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Intervals (seconds) between consecutive loss timestamps (seconds,
+/// ascending). n timestamps yield n-1 intervals.
+std::vector<double> inter_loss_intervals(const std::vector<double>& times_s);
+
+struct PdfOptions {
+  double range_rtts = 2.0;     ///< histogram covers [0, range] in RTT units
+  double bin_rtts = 0.02;      ///< paper: bin size 0.02 RTT
+};
+
+/// Everything the paper reports about one loss trace.
+struct LossIntervalAnalysis {
+  std::size_t loss_count = 0;
+  double rtt_s = 0.0;               ///< normalization unit
+  double mean_interval_rtts = 0.0;  ///< empirical mean inter-loss time
+  double cov = 0.0;                 ///< coefficient of variation (1 = Poisson)
+  double lag1_autocorr = 0.0;
+
+  // The §3.2 cluster fractions.
+  double frac_below_001_rtt = 0.0;  ///< "packet losses cluster within 0.01 RTT"
+  double frac_below_025_rtt = 0.0;  ///< sub-RTT range the paper highlights
+  double frac_below_1_rtt = 0.0;
+
+  util::Histogram pdf{0.0, 2.0, 100};    ///< measured PDF (per-bin mass)
+  std::vector<double> poisson_pdf;       ///< same-rate Poisson reference
+
+  /// Ratio of measured to Poisson mass in the first bin — a single-number
+  /// burstiness index (1 = Poisson-like; the paper's traces are >> 1).
+  [[nodiscard]] double first_bin_excess() const;
+};
+
+/// Analyze a loss trace. `times_s` are loss timestamps in seconds (ascending
+/// or not — they are sorted); `rtt_s` is the RTT used as the normalization
+/// unit (per-path RTT for internet traces, mean base RTT for the dumbbell).
+LossIntervalAnalysis analyze_loss_intervals(std::vector<double> times_s, double rtt_s,
+                                            PdfOptions opts = {});
+
+/// Analyze intervals that are already normalized to RTT units. Used when
+/// pooling across paths with different RTTs (the PlanetLab campaign first
+/// normalizes each path's intervals by that path's RTT, then merges).
+LossIntervalAnalysis analyze_normalized_intervals(const std::vector<double>& intervals_rtt,
+                                                  PdfOptions opts = {});
+
+}  // namespace lossburst::analysis

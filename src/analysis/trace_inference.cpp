@@ -1,0 +1,52 @@
+#include "analysis/trace_inference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/loss_intervals.hpp"
+
+namespace lossburst::analysis {
+
+InferredLosses infer_losses_from_tx_trace(const std::vector<double>& times_s,
+                                          const std::vector<std::uint64_t>& seqs) {
+  InferredLosses out;
+  const std::size_t n = std::min(times_s.size(), seqs.size());
+
+  // First transmission time per sequence; a repeat marks the original lost.
+  std::unordered_map<std::uint64_t, double> first_tx;
+  std::unordered_map<std::uint64_t, bool> counted;
+  first_tx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = first_tx.try_emplace(seqs[i], times_s[i]);
+    if (inserted) continue;
+    ++out.retransmissions;
+    if (!counted[seqs[i]]) {
+      counted[seqs[i]] = true;
+      ++out.inferred_count;
+      out.loss_times_s.push_back(it->second);
+    }
+  }
+  std::sort(out.loss_times_s.begin(), out.loss_times_s.end());
+  return out;
+}
+
+InferenceBias compare_inference(const std::vector<double>& true_loss_times_s,
+                                const std::vector<double>& inferred_loss_times_s,
+                                double rtt_s) {
+  InferenceBias bias;
+  bias.true_losses = true_loss_times_s.size();
+  bias.inferred_losses = inferred_loss_times_s.size();
+  bias.count_ratio = bias.true_losses
+                         ? static_cast<double>(bias.inferred_losses) /
+                               static_cast<double>(bias.true_losses)
+                         : 0.0;
+  const auto truth = analyze_loss_intervals(true_loss_times_s, rtt_s);
+  const auto inferred = analyze_loss_intervals(inferred_loss_times_s, rtt_s);
+  bias.true_frac_below_001 = truth.frac_below_001_rtt;
+  bias.inferred_frac_below_001 = inferred.frac_below_001_rtt;
+  bias.true_frac_below_1 = truth.frac_below_1_rtt;
+  bias.inferred_frac_below_1 = inferred.frac_below_1_rtt;
+  return bias;
+}
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,59 @@
+// TCP-trace loss inference — the measurement methodology the paper contrasts
+// its CBR probing against (§2, citing Paxson): "His study uses TCP traces to
+// reproduce loss events ... the measurement results from TCP traces are not
+// able to differentiate the burstiness of TCP packets from the burstiness of
+// packet loss in sub-RTT timescale."
+//
+// The classic inference: a sequence number transmitted more than once was
+// (presumed) lost; the loss time is estimated as the original transmission
+// time. Two systematic biases follow, both quantified by this module against
+// the router's ground-truth drop trace:
+//  - spurious inferred losses: go-back-N after a timeout retransmits
+//    segments that were delivered, inflating the inferred loss count;
+//  - timing structure: inferred loss times inherit the sender's own sub-RTT
+//    emission pattern, so the inferred interval PDF mixes TCP burstiness
+//    with loss burstiness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::analysis {
+
+/// One transmission record: (time, sequence, ...) — layering-neutral inputs
+/// so this module stays independent of the transport implementation.
+struct InferredLosses {
+  /// Estimated loss timestamps (original transmission times of segments
+  /// that were later retransmitted), ascending.
+  std::vector<double> loss_times_s;
+  /// Number of distinct segments inferred lost.
+  std::size_t inferred_count = 0;
+  /// Total retransmissions observed (>= inferred_count; go-back-N repeats).
+  std::size_t retransmissions = 0;
+};
+
+/// Infer losses from a transmission trace given as parallel arrays of
+/// timestamps (seconds) and sequence numbers, in transmission order.
+InferredLosses infer_losses_from_tx_trace(const std::vector<double>& times_s,
+                                          const std::vector<std::uint64_t>& seqs);
+
+/// Comparison of an inferred loss record against the router ground truth.
+struct InferenceBias {
+  std::size_t true_losses = 0;
+  std::size_t inferred_losses = 0;
+  /// inferred / true: > 1 means over-counting (go-back-N), < 1 means
+  /// missed losses (e.g. tail losses never retransmitted in the window).
+  double count_ratio = 0.0;
+  /// Cluster fractions (< x RTT) of the two interval distributions.
+  double true_frac_below_001 = 0.0;
+  double inferred_frac_below_001 = 0.0;
+  double true_frac_below_1 = 0.0;
+  double inferred_frac_below_1 = 0.0;
+};
+
+InferenceBias compare_inference(const std::vector<double>& true_loss_times_s,
+                                const std::vector<double>& inferred_loss_times_s,
+                                double rtt_s);
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,69 @@
+#include "analysis/trace_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace lossburst::analysis {
+
+void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>& drops) {
+  // Nanosecond timestamps need more than the default 6 significant digits.
+  out << std::setprecision(15);
+  out << "time_s,flow,seq,size_bytes,queue_len\n";
+  for (const auto& d : drops) {
+    out << d.time.seconds() << ',' << d.flow << ',' << d.seq << ',' << d.size_bytes << ','
+        << d.queue_len << '\n';
+  }
+}
+
+bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops) {
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    net::DropRecord rec{};
+    double time_s = 0.0;
+    try {
+      if (!std::getline(row, field, ',')) return false;
+      time_s = std::stod(field);
+      if (!std::getline(row, field, ',')) return false;
+      rec.flow = static_cast<net::FlowId>(std::stoul(field));
+      if (!std::getline(row, field, ',')) return false;
+      rec.seq = std::stoull(field);
+      if (!std::getline(row, field, ',')) return false;
+      rec.size_bytes = static_cast<std::uint32_t>(std::stoul(field));
+      if (!std::getline(row, field, ',')) return false;
+      rec.queue_len = std::stoul(field);
+    } catch (const std::exception&) {
+      return false;
+    }
+    rec.time = util::TimePoint(static_cast<std::int64_t>(time_s * 1e9 + 0.5));
+    drops.push_back(rec);
+  }
+  return true;
+}
+
+void write_loss_times_csv(std::ostream& out, const std::vector<double>& times_s) {
+  out << std::setprecision(15);
+  out << "time_s\n";
+  for (double t : times_s) out << t << '\n';
+}
+
+bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s) {
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      times_s.push_back(std::stod(line));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,26 @@
+// Trace persistence: write loss traces and probe records as CSV, and read
+// loss traces back for offline analysis. Keeps the measurement and the
+// analysis decoupled, as the paper's own workflow (collect on PlanetLab,
+// analyze later) requires.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace lossburst::analysis {
+
+/// CSV columns: time_s,flow,seq,size_bytes,queue_len.
+void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>& drops);
+
+/// Read a drop trace written by `write_drop_trace_csv`. Returns false on
+/// malformed input (partial rows already parsed are kept).
+bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops);
+
+/// Convenience: drop timestamps only, one per row (header `time_s`).
+void write_loss_times_csv(std::ostream& out, const std::vector<double>& times_s);
+bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s);
+
+}  // namespace lossburst::analysis

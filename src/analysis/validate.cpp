@@ -1,0 +1,31 @@
+#include "analysis/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossburst::analysis {
+
+ValidationResult validate_probe_pair(const ProbeTraceSummary& small_pkts,
+                                     const ProbeTraceSummary& large_pkts,
+                                     const ValidationPolicy& policy) {
+  if (small_pkts.lost < policy.min_losses || large_pkts.lost < policy.min_losses) {
+    return {false, "too few losses to judge"};
+  }
+  const double r1 = small_pkts.loss_rate();
+  const double r2 = large_pkts.loss_rate();
+  if (r1 <= 0.0 || r2 <= 0.0) return {false, "zero loss rate"};
+  const double ratio = std::max(r1, r2) / std::min(r1, r2);
+  if (ratio > policy.max_rate_ratio) return {false, "loss rates disagree"};
+
+  if (std::abs(small_pkts.frac_below_001_rtt - large_pkts.frac_below_001_rtt) >
+      policy.max_fraction_gap) {
+    return {false, "sub-0.01RTT cluster fractions disagree"};
+  }
+  if (std::abs(small_pkts.frac_below_1_rtt - large_pkts.frac_below_1_rtt) >
+      policy.max_fraction_gap) {
+    return {false, "sub-RTT cluster fractions disagree"};
+  }
+  return {true, "ok"};
+}
+
+}  // namespace lossburst::analysis

@@ -1,0 +1,41 @@
+// Cross-probe validation, following the paper's PlanetLab methodology:
+// each path is measured twice (48 B and 400 B probes) and the measurement is
+// accepted only when both traces exhibit similar loss patterns — evidence
+// that the probes themselves did not perturb the path.
+#pragma once
+
+#include <vector>
+
+namespace lossburst::analysis {
+
+struct ProbeTraceSummary {
+  std::size_t sent = 0;
+  std::size_t lost = 0;
+  double frac_below_001_rtt = 0.0;
+  double frac_below_1_rtt = 0.0;
+
+  [[nodiscard]] double loss_rate() const {
+    return sent > 0 ? static_cast<double>(lost) / static_cast<double>(sent) : 0.0;
+  }
+};
+
+struct ValidationPolicy {
+  /// Relative loss-rate disagreement allowed between the two runs.
+  double max_rate_ratio = 3.0;
+  /// Absolute disagreement allowed in cluster fractions.
+  double max_fraction_gap = 0.35;
+  /// Paths with fewer losses than this in either run cannot be judged.
+  std::size_t min_losses = 10;
+};
+
+struct ValidationResult {
+  bool validated = false;
+  const char* reason = "";
+};
+
+/// Accept or reject a path measurement from its two probe-size runs.
+ValidationResult validate_probe_pair(const ProbeTraceSummary& small_pkts,
+                                     const ProbeTraceSummary& large_pkts,
+                                     const ValidationPolicy& policy = {});
+
+}  // namespace lossburst::analysis

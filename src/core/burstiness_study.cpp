@@ -1,0 +1,45 @@
+#include "core/burstiness_study.hpp"
+
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+
+namespace lossburst::core {
+
+std::string render_loss_pdf_chart(const analysis::LossIntervalAnalysis& a,
+                                  const std::string& title) {
+  util::ChartSeries measured;
+  measured.name = "measured";
+  measured.glyph = '*';
+  util::ChartSeries poisson;
+  poisson.name = "poisson (same rate)";
+  poisson.glyph = '.';
+  for (std::size_t i = 0; i < a.pdf.bins(); ++i) {
+    const double x = a.pdf.bin_center(i);
+    measured.x.push_back(x);
+    measured.y.push_back(a.pdf.pmf(i));
+    poisson.x.push_back(x);
+    if (i < a.poisson_pdf.size()) poisson.y.push_back(a.poisson_pdf[i]);
+  }
+  util::ChartOptions opts;
+  opts.title = title;
+  opts.log_y = true;
+  opts.log_floor = 1e-6;
+  opts.x_label = "loss interval (RTT)";
+  return util::render_chart({measured, poisson}, opts);
+}
+
+std::string summarize_burstiness(const analysis::LossIntervalAnalysis& a) {
+  std::ostringstream out;
+  out << "losses=" << a.loss_count
+      << "  mean interval=" << a.mean_interval_rtts << " RTT"
+      << "  CoV=" << a.cov
+      << "  lag1 autocorr=" << a.lag1_autocorr << '\n'
+      << "cluster fractions: <0.01 RTT: " << a.frac_below_001_rtt * 100.0 << "%"
+      << "   <0.25 RTT: " << a.frac_below_025_rtt * 100.0 << "%"
+      << "   <1 RTT: " << a.frac_below_1_rtt * 100.0 << "%" << '\n'
+      << "first-bin mass vs Poisson: " << a.first_bin_excess() << "x";
+  return out.str();
+}
+
+}  // namespace lossburst::core

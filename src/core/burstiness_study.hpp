@@ -1,0 +1,32 @@
+// Public facade of the lossburst library: one include that exposes every
+// experiment from the paper plus the underlying analysis types.
+//
+//   #include "core/burstiness_study.hpp"
+//
+//   auto fig2 = lossburst::core::run_dumbbell_experiment({});       // Figure 2
+//   auto fig7 = lossburst::core::run_competition({});               // Figure 7
+//   auto fig8 = lossburst::core::run_parallel_transfer({});         // Figure 8
+//   auto eq12 = lossburst::core::run_loss_visibility({});           // Eqs 1-2
+//   auto fig4 = lossburst::inet::run_campaign({});                  // Figure 4
+#pragma once
+
+#include "analysis/gilbert.hpp"
+#include "analysis/loss_intervals.hpp"
+#include "analysis/validate.hpp"
+#include "core/competition_experiment.hpp"
+#include "core/dumbbell_experiment.hpp"
+#include "core/loss_visibility.hpp"
+#include "core/parallel_transfer.hpp"
+#include "inet/campaign.hpp"
+
+namespace lossburst::core {
+
+/// Render the measured-vs-Poisson PDF overlay of Figures 2-4 as a text
+/// chart (log-scale Y, like the paper).
+std::string render_loss_pdf_chart(const analysis::LossIntervalAnalysis& a,
+                                  const std::string& title);
+
+/// One-paragraph text summary of the §3.2 burstiness observations.
+std::string summarize_burstiness(const analysis::LossIntervalAnalysis& a);
+
+}  // namespace lossburst::core

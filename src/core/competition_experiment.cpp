@@ -1,0 +1,101 @@
+#include "core/competition_experiment.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "core/noise.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::core {
+
+using util::TimePoint;
+
+CompetitionResult run_competition(const CompetitionConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Network network(sim);
+  util::Rng rng = sim.rng().split(0xc0);
+
+  net::DumbbellConfig dc;
+  dc.bottleneck_bps = cfg.bottleneck_bps;
+  dc.buffer_bdp_fraction = cfg.buffer_bdp_fraction;
+  dc.queue = cfg.queue;
+  dc.flow_count = cfg.paced_flows + cfg.window_flows;
+  dc.ecn_mark_window = cfg.rtt;  // persistent-ECN window = one RTT, per [22]
+  // Same base RTT for every flow: one-way access = rtt/2 - bottleneck delay.
+  const util::Duration access =
+      util::Duration(cfg.rtt.ns() / 2) - dc.bottleneck_delay;
+  dc.access_delays.assign(dc.flow_count, access);
+  net::Dumbbell bell = net::build_dumbbell(network, dc);
+
+  net::ThroughputMeter paced_meter(sim, cfg.meter_interval);
+  net::ThroughputMeter window_meter(sim, cfg.meter_interval);
+  paced_meter.start();
+  window_meter.start();
+
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  flows.reserve(dc.flow_count);
+  for (std::size_t i = 0; i < dc.flow_count; ++i) {
+    const bool paced = i < cfg.paced_flows;
+    tcp::TcpSender::Params sp;
+    sp.variant = cfg.variant;
+    sp.emission = paced ? tcp::EmissionMode::kPaced : tcp::EmissionMode::kWindowBurst;
+    sp.ecn_enabled = cfg.ecn;
+    sp.pacing_rtt_hint = cfg.rtt;
+    sp.sack_enabled = cfg.sack;
+    tcp::TcpReceiver::Params rp;
+    rp.sack_enabled = cfg.sack;
+    auto flow = std::make_unique<tcp::TcpFlow>(sim, static_cast<net::FlowId>(i + 1),
+                                               bell.fwd_routes[i], bell.rev_routes[i], sp, rp);
+    net::ThroughputMeter& meter = paced ? paced_meter : window_meter;
+    flow->receiver().set_on_data([&meter](std::uint64_t bytes) { meter.on_bytes(bytes); });
+    flow->sender().start(TimePoint::zero() +
+                         rng.uniform_duration(util::Duration::zero(), util::Duration::millis(500)));
+    flows.push_back(std::move(flow));
+  }
+
+  NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
+                                   cfg.bottleneck_bps, rng.split(0x0f0));
+
+  sim.run_until(TimePoint::zero() + cfg.duration);
+
+  CompetitionResult result;
+  result.paced_mbps = paced_meter.series_mbps();
+  result.window_mbps = window_meter.series_mbps();
+
+  auto mean_tail = [](const std::vector<double>& v) {
+    // Skip the first quarter (start-up transient) when averaging.
+    if (v.empty()) return 0.0;
+    const std::size_t from = v.size() / 4;
+    const double sum = std::accumulate(v.begin() + static_cast<std::ptrdiff_t>(from), v.end(), 0.0);
+    return sum / static_cast<double>(v.size() - from);
+  };
+  result.paced_mean_mbps = mean_tail(result.paced_mbps);
+  result.window_mean_mbps = mean_tail(result.window_mbps);
+  if (result.window_mean_mbps > 0.0) {
+    result.paced_deficit =
+        (result.window_mean_mbps - result.paced_mean_mbps) / result.window_mean_mbps;
+  }
+
+  std::uint64_t paced_events = 0, window_events = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& st = flows[i]->sender().stats();
+    if (i < cfg.paced_flows) {
+      paced_events += st.congestion_events;
+    } else {
+      window_events += st.congestion_events;
+    }
+  }
+  if (cfg.paced_flows > 0) {
+    result.paced_cong_events_per_flow =
+        static_cast<double>(paced_events) / static_cast<double>(cfg.paced_flows);
+  }
+  if (cfg.window_flows > 0) {
+    result.window_cong_events_per_flow =
+        static_cast<double>(window_events) / static_cast<double>(cfg.window_flows);
+  }
+  return result;
+}
+
+}  // namespace lossburst::core

@@ -1,0 +1,52 @@
+// Figure 7: 16 TCP Pacing flows vs 16 TCP NewReno flows sharing one
+// bottleneck (100 Mbps, 50 ms RTT). Pacing uses identical congestion control
+// and differs only in emission spacing; the paper reports it loses ~17% of
+// aggregate throughput because evenly spaced packets sample the bursty loss
+// process more often.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tcp/sender.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::core {
+
+using util::Duration;
+
+struct CompetitionConfig {
+  std::uint64_t seed = 7;
+  std::size_t paced_flows = 16;
+  std::size_t window_flows = 16;
+  std::uint64_t bottleneck_bps = 100'000'000;
+  Duration rtt = Duration::millis(50);   ///< same base RTT for every flow
+  double buffer_bdp_fraction = 1.0;
+  net::QueueKind queue = net::QueueKind::kDropTail;
+  bool ecn = false;                      ///< give both classes ECN (ablation)
+  Duration duration = Duration::seconds(40);
+  Duration meter_interval = Duration::seconds(1);
+  tcp::CcVariant variant = tcp::CcVariant::kNewReno;
+  /// Figure-1 background noise (on by default, as in the paper's setup).
+  std::size_t noise_flows = 50;
+  double noise_load = 0.10;
+  /// Give every flow SACK loss recovery (extension; the paper used NewReno).
+  bool sack = false;
+};
+
+struct CompetitionResult {
+  std::vector<double> paced_mbps;    ///< aggregate paced throughput per second
+  std::vector<double> window_mbps;   ///< aggregate window-based throughput
+  double paced_mean_mbps = 0.0;
+  double window_mean_mbps = 0.0;
+  /// (window - paced) / window: the paper's ~17% disadvantage.
+  double paced_deficit = 0.0;
+  /// Mean congestion (loss/ECN) events seen per flow in each class.
+  double paced_cong_events_per_flow = 0.0;
+  double window_cong_events_per_flow = 0.0;
+};
+
+CompetitionResult run_competition(const CompetitionConfig& cfg);
+
+}  // namespace lossburst::core

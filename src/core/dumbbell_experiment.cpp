@@ -1,0 +1,94 @@
+#include "core/dumbbell_experiment.hpp"
+
+#include <memory>
+
+#include "core/noise.hpp"
+#include "emu/dummynet.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::core {
+
+using net::Route;
+using util::TimePoint;
+
+DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Network network(sim);
+  util::Rng rng = sim.rng().split(0xd0b);
+
+  net::DumbbellConfig dc;
+  dc.bottleneck_bps = cfg.bottleneck_bps;
+  dc.buffer_bdp_fraction = cfg.buffer_bdp_fraction;
+  dc.queue = cfg.queue;
+  dc.red = cfg.red;
+  dc.flow_count = cfg.tcp_flows;
+  if (cfg.rtt_distribution == RttDistribution::kDummynetClasses) {
+    // Emulation testbed: only four latency classes (one-way access).
+    for (util::Duration d : emu::dummynet_rtt_classes()) {
+      dc.access_delays.push_back(util::Duration(d.ns() / 2));
+    }
+  }
+  net::Dumbbell bell = net::build_dumbbell(network, dc);
+
+  if (cfg.emulate_dummynet) {
+    emu::attach_pipe_noise(*bell.bottleneck_fwd, emu::PipeNoise{}, rng.split(0xe0));
+  }
+
+  net::LossTrace trace;
+  bell.bottleneck_fwd->queue().set_tracer(&trace);
+
+  // ---- TCP flows.
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  flows.reserve(cfg.tcp_flows);
+  for (std::size_t i = 0; i < cfg.tcp_flows; ++i) {
+    tcp::TcpSender::Params sp;
+    sp.variant = cfg.variant;
+    sp.emission = cfg.emission;
+    auto flow = std::make_unique<tcp::TcpFlow>(sim, static_cast<net::FlowId>(i + 1),
+                                               bell.fwd_routes[i], bell.rev_routes[i], sp);
+    // Staggered starts within the first second avoid artificial phase lock.
+    flow->sender().start(TimePoint::zero() +
+                         rng.uniform_duration(util::Duration::zero(), util::Duration::seconds(1)));
+    flows.push_back(std::move(flow));
+  }
+
+  // ---- Noise: 50 two-way on-off flows at 10% aggregate load.
+  NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
+                                   cfg.bottleneck_bps, rng.split(0x0f0));
+
+  const TimePoint end_time = TimePoint::zero() + cfg.warmup + cfg.duration;
+  sim.run_until(end_time);
+
+  // ---- Analysis: drops after warmup, normalized by the mean base RTT.
+  DumbbellExperimentResult result;
+  result.mean_rtt_s = bell.mean_rtt().seconds();
+
+  std::vector<double> drop_times;
+  drop_times.reserve(trace.drops().size());
+  const double warmup_s = cfg.warmup.seconds();
+  for (const auto& d : trace.drops()) {
+    const double t = d.time.seconds();
+    if (t >= warmup_s) drop_times.push_back(t);
+  }
+  if (cfg.emulate_dummynet) {
+    drop_times = emu::quantize_trace(drop_times, cfg.emu_clock);
+  }
+  result.total_drops = drop_times.size();
+  result.drop_times_s = drop_times;
+  result.loss = analysis::analyze_loss_intervals(std::move(drop_times), result.mean_rtt_s);
+
+  result.bottleneck_packets = bell.bottleneck_fwd->packets_sent();
+  const double horizon_s = (cfg.warmup + cfg.duration).seconds();
+  result.bottleneck_utilization =
+      static_cast<double>(bell.bottleneck_fwd->bytes_sent()) * 8.0 /
+      (static_cast<double>(cfg.bottleneck_bps) * horizon_s);
+  std::uint64_t goodput_bytes = 0;
+  for (const auto& f : flows) goodput_bytes += f->receiver().bytes_received();
+  result.aggregate_goodput_mbps =
+      static_cast<double>(goodput_bytes) * 8.0 / horizon_s / 1e6;
+  return result;
+}
+
+}  // namespace lossburst::core

@@ -1,0 +1,122 @@
+#include "core/loss_visibility.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/noise.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::core {
+
+using util::TimePoint;
+
+double eq1_rate_based_visibility(std::size_t drops, std::size_t flows) {
+  return static_cast<double>(std::min(drops, flows));
+}
+
+double eq2_window_based_visibility(std::size_t drops, double k) {
+  if (k <= 0.0) return 1.0;
+  return std::max(static_cast<double>(drops) / k, 1.0);
+}
+
+LossVisibilityResult run_loss_visibility(const LossVisibilityConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Network network(sim);
+  util::Rng rng = sim.rng().split(0x11);
+
+  net::DumbbellConfig dc;
+  dc.bottleneck_bps = cfg.bottleneck_bps;
+  dc.buffer_bdp_fraction = cfg.buffer_bdp_fraction;
+  dc.flow_count = cfg.flows;
+  // Spread base RTTs so flows do not phase-lock into window-wide episodes.
+  const util::Duration access = util::Duration(cfg.rtt.ns() / 2) - dc.bottleneck_delay;
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    const double factor = 1.0 + cfg.rtt_spread * (rng.uniform() * 2.0 - 1.0);
+    dc.access_delays.push_back(util::scale(access, factor));
+  }
+  net::Dumbbell bell = net::build_dumbbell(network, dc);
+
+  net::LossTrace trace;
+  bell.bottleneck_fwd->queue().set_tracer(&trace);
+
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    tcp::TcpSender::Params sp;
+    sp.emission = cfg.emission;
+    sp.pacing_rtt_hint = cfg.rtt;
+    auto flow = std::make_unique<tcp::TcpFlow>(sim, static_cast<net::FlowId>(i + 1),
+                                               bell.fwd_routes[i], bell.rev_routes[i], sp);
+    flow->sender().start(TimePoint::zero() +
+                         rng.uniform_duration(util::Duration::zero(), util::Duration::millis(500)));
+    flows.push_back(std::move(flow));
+  }
+
+  NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
+                                   cfg.bottleneck_bps, rng.split(0x0f0));
+
+  sim.run_until(TimePoint::zero() + cfg.warmup + cfg.duration);
+
+  // Group drops into loss events by time gaps.
+  LossVisibilityResult result;
+  const double rtt_s = cfg.rtt.seconds();
+  const double gap_s = cfg.event_gap_rtts * rtt_s;
+  const double warmup_s = cfg.warmup.seconds();
+
+  LossEvent current;
+  std::set<net::FlowId> flows_in_event;
+  double last_t = -1.0;
+  auto flush = [&] {
+    if (current.drops > 0) {
+      current.flows_hit = flows_in_event.size();
+      result.events.push_back(current);
+    }
+    current = LossEvent{};
+    flows_in_event.clear();
+  };
+  for (const auto& d : trace.drops()) {
+    // Only the measured TCP flows count; background noise drops are not
+    // "flows detecting congestion" (they do not react to loss at all).
+    if (d.flow == 0 || d.flow > cfg.flows) continue;
+    const double t = d.time.seconds();
+    if (t < warmup_s) continue;
+    if (last_t >= 0.0 && t - last_t > gap_s) flush();
+    if (current.drops == 0) current.time_s = t;
+    ++current.drops;
+    flows_in_event.insert(d.flow);
+    last_t = t;
+  }
+  flush();
+
+  if (!result.events.empty()) {
+    double sum_m = 0.0, sum_l = 0.0;
+    double small_ratio_sum = 0.0;
+    for (const auto& e : result.events) {
+      sum_m += static_cast<double>(e.drops);
+      sum_l += static_cast<double>(e.flows_hit);
+      if (e.drops >= 2 && e.drops <= cfg.flows) {
+        small_ratio_sum += static_cast<double>(e.flows_hit) / static_cast<double>(e.drops);
+        ++result.small_event_count;
+      }
+    }
+    result.mean_drops_per_event = sum_m / static_cast<double>(result.events.size());
+    result.mean_flows_hit = sum_l / static_cast<double>(result.events.size());
+    result.mean_fraction_hit = result.mean_flows_hit / static_cast<double>(cfg.flows);
+    if (result.small_event_count > 0) {
+      result.small_event_hit_ratio =
+          small_ratio_sum / static_cast<double>(result.small_event_count);
+    }
+  }
+
+  // Fair-share K: the packets one flow sends per RTT at full utilization.
+  result.k_packets_per_rtt = static_cast<double>(cfg.bottleneck_bps) / 8.0 * rtt_s /
+                             net::kDataPacketBytes / static_cast<double>(cfg.flows);
+  const auto mean_m = static_cast<std::size_t>(result.mean_drops_per_event + 0.5);
+  result.model_rate_based = eq1_rate_based_visibility(mean_m, cfg.flows);
+  result.model_window_based = eq2_window_based_visibility(mean_m, result.k_packets_per_rtt);
+  return result;
+}
+
+}  // namespace lossburst::core

@@ -1,0 +1,50 @@
+// The Figure-1 "noise" traffic: 50 two-way exponential on-off UDP flows at
+// 10% of the bottleneck capacity, attached to a dumbbell. Shared by every
+// experiment that uses the paper's simulation setup.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/onoff.hpp"
+
+namespace lossburst::core {
+
+struct NoiseBundle {
+  std::vector<std::unique_ptr<tcp::ExpOnOffSource>> sources;
+  std::vector<std::unique_ptr<tcp::NullSink>> sinks;
+};
+
+/// Attach `flows` on-off sources with aggregate average rate
+/// `load_fraction * bottleneck_bps`, alternating between the forward and
+/// reverse directions ("two way ... on-off traffic"). Sources start at a
+/// random time within the first second.
+inline NoiseBundle attach_noise(sim::Simulator& sim, const net::Dumbbell& bell,
+                                std::size_t flows, double load_fraction,
+                                std::uint64_t bottleneck_bps, util::Rng rng) {
+  NoiseBundle bundle;
+  if (flows == 0) return bundle;
+  const double per_flow_avg_bps =
+      load_fraction * static_cast<double>(bottleneck_bps) / static_cast<double>(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    tcp::ExpOnOffSource::Params op;
+    op.mean_on = util::Duration::millis(100);
+    op.mean_off = util::Duration::millis(400);
+    op.peak_bps = per_flow_avg_bps * 5.0;  // 20% duty cycle
+    const std::size_t lane = i % bell.fwd_routes.size();
+    const net::Route* route = (i % 2 == 0) ? bell.fwd_routes[lane] : bell.rev_routes[lane];
+    auto sink = std::make_unique<tcp::NullSink>();
+    auto src = std::make_unique<tcp::ExpOnOffSource>(
+        sim, static_cast<net::FlowId>(100000 + i), op, rng.split(i + 1));
+    src->connect(route, sink.get());
+    src->start(util::TimePoint::zero() +
+               rng.uniform_duration(util::Duration::zero(), util::Duration::seconds(1)));
+    bundle.sources.push_back(std::move(src));
+    bundle.sinks.push_back(std::move(sink));
+  }
+  return bundle;
+}
+
+}  // namespace lossburst::core

@@ -1,0 +1,65 @@
+// Figure 8: parallel flows (GridFTP / GFS style) transfer 64 MB split into
+// equal chunks, one chunk per flow, over a shared 100 Mbps bottleneck. The
+// completion latency — normalized by the theoretic lower bound — is highly
+// variable because only some flows lose packets during slow start and drop
+// into congestion avoidance early.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tcp/sender.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::core {
+
+using util::Duration;
+
+struct ParallelTransferConfig {
+  std::uint64_t seed = 8;
+  std::size_t flows = 4;                     ///< paper sweeps 2, 4, 8, 16, 32
+  std::uint64_t total_bytes = 64ULL << 20;   ///< 64 MB payload
+  std::uint64_t bottleneck_bps = 100'000'000;
+  Duration rtt = Duration::millis(50);       ///< paper sweeps 2/10/50/200 ms
+  double buffer_bdp_fraction = 1.0;
+  net::QueueKind queue = net::QueueKind::kDropTail;
+  tcp::EmissionMode emission = tcp::EmissionMode::kWindowBurst;
+  tcp::CcVariant variant = tcp::CcVariant::kNewReno;
+  Duration timeout = Duration::seconds(300); ///< give up horizon
+
+  /// Figure-1 background noise; this (plus start jitter) is what makes
+  /// different seeds see different loss patterns, as the live network did.
+  std::size_t noise_flows = 50;
+  double noise_load = 0.10;
+  /// Application start jitter: chunks are handed to flows within this
+  /// window (process scheduling on real hosts).
+  Duration start_jitter = Duration::millis(10);
+  /// Per-flow window cap, as a multiple of the fair share (BDP / flows).
+  /// GridFTP-style applications tune socket buffers to about the per-flow
+  /// share; 0 disables the cap. This bounds (but does not remove) the
+  /// slow-start overshoot that drives the paper's latency variance.
+  double max_cwnd_share_factor = 2.0;
+  /// SACK loss recovery on every flow (extension; the paper used NewReno).
+  bool sack = false;
+};
+
+struct ParallelTransferResult {
+  double latency_s = 0.0;          ///< completion of the *last* flow
+  double lower_bound_s = 0.0;      ///< payload / capacity (paper: 5.39 s)
+  double normalized_latency = 0.0; ///< latency / lower bound
+  bool all_completed = false;
+  std::vector<double> per_flow_latency_s;
+  /// Flows that suffered at least one congestion event during slow start
+  /// (entered congestion avoidance "prematurely", §4.2).
+  std::size_t flows_with_loss = 0;
+};
+
+ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg);
+
+/// Repeat the experiment with seeds seed..seed+repeats-1; the spread of
+/// normalized latency is the paper's unpredictability evidence.
+std::vector<ParallelTransferResult> run_parallel_transfer_batch(
+    ParallelTransferConfig cfg, std::size_t repeats, std::size_t threads = 0);
+
+}  // namespace lossburst::core

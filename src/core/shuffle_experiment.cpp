@@ -1,0 +1,115 @@
+#include "core/shuffle_experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::core {
+
+using util::TimePoint;
+
+ShuffleResult run_shuffle(const ShuffleConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Network network(sim);
+  util::Rng rng = sim.rng().split(0x5f);
+
+  net::StarConfig sc;
+  sc.nodes = cfg.nodes;
+  sc.link_bps = cfg.link_bps;
+  sc.queue = cfg.queue;
+  net::Star star = net::build_star(network, sc);
+
+  const std::uint64_t segments_per_flow =
+      std::max<std::uint64_t>(1, (cfg.bytes_per_flow + net::kMssBytes - 1) / net::kMssBytes);
+
+  // Window cap at 1.5x the per-downlink fair share (at the mean RTT): each
+  // reducer port is shared by N-1 inbound flows, and untuned windows turn
+  // the shuffle into a pure incast collapse.
+  const double mean_rtt_s = [&] {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      for (std::size_t j = 0; j < cfg.nodes; ++j) {
+        if (i == j) continue;
+        sum += star.base_rtt(i, j).seconds();
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  }();
+  const double bdp = static_cast<double>(cfg.link_bps) / 8.0 * mean_rtt_s /
+                     net::kDataPacketBytes;
+  const double cwnd_cap =
+      std::max(8.0, 1.5 * bdp / static_cast<double>(cfg.nodes - 1));
+
+  struct FlowSlot {
+    std::unique_ptr<tcp::TcpFlow> flow;
+    std::size_t reducer;
+    double done_s = -1.0;
+  };
+  std::vector<FlowSlot> flows;
+  flows.reserve(cfg.nodes * (cfg.nodes - 1));
+
+  net::FlowId next_id = 1;
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    // Every mapper i starts its outgoing chunks when its map task ends.
+    const TimePoint map_done =
+        TimePoint::zero() + rng.uniform_duration(util::Duration::zero(), cfg.start_jitter);
+    for (std::size_t j = 0; j < cfg.nodes; ++j) {
+      if (i == j) continue;
+      tcp::TcpSender::Params sp;
+      sp.emission = cfg.emission;
+      sp.sack_enabled = cfg.sack;
+      sp.total_segments = segments_per_flow;
+      sp.max_cwnd = cwnd_cap;
+      sp.pacing_rtt_hint = star.base_rtt(i, j);
+      tcp::TcpReceiver::Params rp;
+      rp.sack_enabled = cfg.sack;
+      // Reverse path: ACKs ride the j->i routes.
+      auto flow = std::make_unique<tcp::TcpFlow>(sim, next_id++, star.routes[i][j],
+                                                 star.routes[j][i], sp, rp);
+      FlowSlot slot;
+      slot.reducer = j;
+      const std::size_t idx = flows.size();
+      flow->sender().set_on_complete([&flows, idx](TimePoint t) {
+        flows[idx].done_s = t.seconds();
+      });
+      flow->sender().start(map_done);
+      slot.flow = std::move(flow);
+      flows.push_back(std::move(slot));
+    }
+  }
+
+  sim.run_until(TimePoint::zero() + cfg.timeout);
+
+  ShuffleResult result;
+  result.total_flows = flows.size();
+  // Bound: each reducer ingests (N-1) chunks through one downlink.
+  const double inbound_bytes = static_cast<double>(segments_per_flow) *
+                               net::kDataPacketBytes *
+                               static_cast<double>(cfg.nodes - 1);
+  result.lower_bound_s = inbound_bytes * 8.0 / static_cast<double>(cfg.link_bps);
+
+  result.per_reducer_s.assign(cfg.nodes, 0.0);
+  result.all_completed = true;
+  for (const auto& slot : flows) {
+    if (slot.done_s < 0.0) {
+      result.all_completed = false;
+      continue;
+    }
+    result.per_reducer_s[slot.reducer] =
+        std::max(result.per_reducer_s[slot.reducer], slot.done_s);
+    result.completion_s = std::max(result.completion_s, slot.done_s);
+    if (slot.flow->sender().stats().congestion_events > 0) ++result.flows_with_loss;
+  }
+  if (!result.all_completed) result.completion_s = cfg.timeout.seconds();
+  result.normalized = result.completion_s / result.lower_bound_s;
+  for (net::Link* down : star.downlinks) {
+    result.downlink_drops += down->queue().counters().dropped;
+  }
+  return result;
+}
+
+}  // namespace lossburst::core

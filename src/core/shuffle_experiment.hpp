@@ -1,0 +1,48 @@
+// MapReduce-style shuffle over a complete graph — the paper's future work:
+// "We plan to simulate more complicate scenarios such as a complete graph
+// topology in MapReduce."
+//
+// N nodes each act as mapper and reducer: every node sends one chunk to
+// every other node over a star network. The receivers' downlinks are the
+// bottlenecks (incast), and loss burstiness there determines whether the
+// shuffle finishes near its bound or is gated by straggler flows that lost
+// packets during slow start.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tcp/sender.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::core {
+
+using util::Duration;
+
+struct ShuffleConfig {
+  std::uint64_t seed = 12;
+  std::size_t nodes = 8;                     ///< N mappers == N reducers
+  std::uint64_t bytes_per_flow = 1 << 20;    ///< chunk from mapper i to reducer j
+  std::uint64_t link_bps = 100'000'000;
+  net::QueueKind queue = net::QueueKind::kDropTail;
+  tcp::EmissionMode emission = tcp::EmissionMode::kWindowBurst;
+  bool sack = false;
+  Duration start_jitter = Duration::millis(50);  ///< mappers finish map phase unevenly
+  Duration timeout = Duration::seconds(300);
+};
+
+struct ShuffleResult {
+  bool all_completed = false;
+  double completion_s = 0.0;       ///< last flow done (the shuffle barrier)
+  double lower_bound_s = 0.0;      ///< per-downlink inbound volume at line rate
+  double normalized = 0.0;
+  std::vector<double> per_reducer_s;  ///< when each reducer has all its input
+  std::size_t flows_with_loss = 0;
+  std::size_t total_flows = 0;
+  std::uint64_t downlink_drops = 0;   ///< summed over all receiver ports
+};
+
+ShuffleResult run_shuffle(const ShuffleConfig& cfg);
+
+}  // namespace lossburst::core

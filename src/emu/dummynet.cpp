@@ -1,0 +1,35 @@
+#include "emu/dummynet.hpp"
+
+namespace lossburst::emu {
+
+std::vector<Duration> dummynet_rtt_classes() {
+  return {Duration::millis(2), Duration::millis(10), Duration::millis(50),
+          Duration::millis(200)};
+}
+
+TimePoint quantize(TimePoint t, Duration resolution) {
+  const std::int64_t res = resolution.ns();
+  return TimePoint(t.ns() / res * res);
+}
+
+std::vector<double> quantize_trace(const std::vector<double>& times_s, Duration resolution) {
+  std::vector<double> out;
+  out.reserve(times_s.size());
+  const double res_s = resolution.seconds();
+  for (double t : times_s) {
+    out.push_back(static_cast<double>(static_cast<std::int64_t>(t / res_s)) * res_s);
+  }
+  return out;
+}
+
+void attach_pipe_noise(net::Link& link, PipeNoise noise, util::Rng rng) {
+  link.set_processing_jitter([noise, rng]() mutable -> Duration {
+    Duration d = rng.exponential_duration(noise.mean_overhead);
+    if (rng.chance(noise.hiccup_prob)) {
+      d += rng.uniform_duration(Duration::zero(), noise.hiccup_max);
+    }
+    return d;
+  });
+}
+
+}  // namespace lossburst::emu

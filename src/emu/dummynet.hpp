@@ -1,0 +1,50 @@
+// Dummynet emulation model (§3.1): the same dumbbell experiment run through
+// a software router. Three properties distinguish the emulation from the
+// ideal simulator, and all three are modeled here:
+//
+//   1. Coarse clock — the FreeBSD machine records drop times at 1 ms
+//      resolution, so all Dummynet drop timestamps are quantized.
+//   2. Processing noise — a software pipe adds scheduling jitter to packet
+//      forwarding ("a single non-ideal bottleneck (with noise in packet
+//      processing time)").
+//   3. RTT classes — the testbed supports only 4 latencies:
+//      2 ms, 10 ms, 50 ms and 200 ms.
+#pragma once
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::emu {
+
+using util::Duration;
+using util::TimePoint;
+
+/// The testbed's four emulated access latencies (one-way).
+std::vector<Duration> dummynet_rtt_classes();
+
+/// Quantize a timestamp to the emulator clock (default 1 ms, FreeBSD HZ).
+TimePoint quantize(TimePoint t, Duration resolution = Duration::millis(1));
+
+/// Quantize a whole trace of loss times (seconds), preserving order.
+std::vector<double> quantize_trace(const std::vector<double>& times_s,
+                                   Duration resolution = Duration::millis(1));
+
+struct PipeNoise {
+  /// Mean of the exponential per-packet processing overhead. A few
+  /// microseconds models a mid-2000s PC forwarding at 100 Mbps.
+  Duration mean_overhead = Duration::micros(5);
+  /// Occasional scheduler hiccup: with probability `hiccup_prob`, an extra
+  /// delay uniform in [0, hiccup_max] is added (timer interrupt, softirq).
+  double hiccup_prob = 0.001;
+  Duration hiccup_max = Duration::millis(1);
+};
+
+/// Attach Dummynet-style processing noise to a link (typically the
+/// bottleneck). The returned values are sampled from `rng`, which the link
+/// captures by value.
+void attach_pipe_noise(net::Link& link, PipeNoise noise, util::Rng rng);
+
+}  // namespace lossburst::emu

@@ -1,0 +1,90 @@
+#include "inet/campaign.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lossburst::inet {
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  const auto& sites = planetlab_sites();
+  util::Rng rng(cfg.seed);
+
+  // Pre-sample the path list and per-path seeds so results do not depend on
+  // thread scheduling.
+  struct PlannedPath {
+    std::size_t a, b;
+    std::uint64_t seed;
+    Duration rtt;
+    int hops;
+  };
+  std::vector<PlannedPath> plan;
+  plan.reserve(cfg.num_paths);
+  for (std::size_t i = 0; i < cfg.num_paths; ++i) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+    std::size_t b = a;
+    while (b == a) {
+      b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+    }
+    PlannedPath p;
+    p.a = a;
+    p.b = b;
+    p.seed = rng.next();
+    p.rtt = estimate_rtt(sites[a], sites[b]);
+    // Longer paths cross more potential bottlenecks.
+    p.hops = p.rtt > Duration::millis(120) ? 3 : (p.rtt > Duration::millis(40) ? 2 : 1);
+    plan.push_back(p);
+  }
+
+  CampaignResult result;
+  result.paths.resize(plan.size());
+
+  util::ThreadPool pool(cfg.threads);
+  pool.parallel_for(plan.size(), [&](std::size_t i) {
+    const PlannedPath& p = plan[i];
+    PathConfig pc;
+    pc.rtt = p.rtt;
+    pc.seed = p.seed;
+    pc.hops = p.hops;
+    pc.probe_interval = std::clamp(util::scale(p.rtt, cfg.probe_interval_rtts),
+                                   cfg.probe_interval_floor, cfg.probe_interval_cap);
+    pc.probe_duration = cfg.probe_duration;
+    pc.warmup = cfg.warmup;
+
+    PathReport report;
+    report.site_a = p.a;
+    report.site_b = p.b;
+    report.rtt_ms = p.rtt.millis();
+
+    // Two runs at the paper's two probe sizes, same path (same seed => same
+    // background), as the validation methodology requires.
+    pc.probe_bytes = 48;
+    report.small_run = run_path_probe(pc);
+    pc.probe_bytes = 400;
+    report.large_run = run_path_probe(pc);
+
+    const auto verdict = analysis::validate_probe_pair(
+        report.small_run.summary(), report.large_run.summary(), cfg.validation);
+    report.validated = verdict.validated;
+    report.reject_reason = verdict.reason;
+    result.paths[i] = std::move(report);
+  });
+
+  // Pool normalized intervals over validated paths.
+  std::vector<double> pooled_intervals;
+  for (const auto& report : result.paths) {
+    if (!report.validated) continue;
+    ++result.validated_paths;
+    auto times = report.large_run.loss_times_s;
+    std::sort(times.begin(), times.end());
+    const auto intervals = analysis::inter_loss_intervals(times);
+    for (double s : intervals) pooled_intervals.push_back(s / report.large_run.rtt_s);
+  }
+  result.pooled = analysis::analyze_normalized_intervals(pooled_intervals, cfg.pdf);
+  return result;
+}
+
+}  // namespace lossburst::inet

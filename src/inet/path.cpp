@@ -1,0 +1,226 @@
+#include "inet/path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "analysis/loss_intervals.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/onoff.hpp"
+#include "util/stats.hpp"
+
+namespace lossburst::inet {
+
+using net::Duration;
+using net::FlowId;
+using net::Route;
+using util::TimePoint;
+
+namespace {
+
+constexpr std::uint64_t kAccessBps = 1'000'000'000;
+
+/// Bottleneck capacities seen on mid-2000s research paths (T3 45M, FE 100M,
+/// OC-3 155M). Slower tiers are excluded: the dense 400-byte probe stream
+/// needed to resolve sub-0.01-RTT loss gaps would itself overload them,
+/// which the paper's cross-size validation is designed to reject anyway.
+constexpr std::uint64_t kCapacities[] = {45'000'000, 100'000'000, 155'000'000};
+
+struct HopInstance {
+  net::Link* bottleneck = nullptr;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> long_flows;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> short_flows;
+  std::vector<std::unique_ptr<tcp::ExpOnOffSource>> onoff;
+  std::vector<std::unique_ptr<tcp::NullSink>> sinks;
+};
+
+}  // namespace
+
+analysis::ProbeTraceSummary PathResult::summary() const {
+  analysis::ProbeTraceSummary s;
+  s.sent = probes_sent;
+  s.lost = probes_lost;
+  const auto a = analysis::analyze_loss_intervals(loss_times_s, rtt_s);
+  s.frac_below_001_rtt = a.frac_below_001_rtt;
+  s.frac_below_1_rtt = a.frac_below_1_rtt;
+  return s;
+}
+
+std::vector<HopProfile> sample_hop_profiles(int hops, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4095e3d1ULL);
+  std::vector<HopProfile> out;
+  out.reserve(static_cast<std::size_t>(hops));
+  for (int h = 0; h < hops; ++h) {
+    HopProfile p;
+    p.capacity_bps = kCapacities[rng.uniform_int(0, 2)];
+    p.buffer_bdp_fraction = rng.uniform(0.25, 2.0);
+    p.long_tcp_flows = static_cast<int>(rng.uniform_int(4, 24));
+    p.short_flow_load = rng.uniform(0.05, 0.30);
+    p.onoff_flows = static_cast<int>(rng.uniform_int(2, 10));
+    p.onoff_load = rng.uniform(0.02, 0.08);
+    out.push_back(p);
+  }
+  return out;
+}
+
+PathResult run_path_probe(const PathConfig& cfg) {
+  assert(cfg.hops >= 1 && cfg.hops <= 8);
+  sim::Simulator sim(cfg.seed);
+  net::Network network(sim);
+  util::Rng rng = sim.rng().split(0x1e7);
+
+  std::vector<HopProfile> profiles = cfg.hop_profiles;
+  if (profiles.empty()) profiles = sample_hop_profiles(cfg.hops, cfg.seed);
+
+  const TimePoint probe_start = TimePoint::zero() + cfg.warmup;
+  const TimePoint end_time = probe_start + cfg.probe_duration + Duration::seconds(1);
+
+  // ---- Probe path: access in -> hop_1 -> ... -> hop_n -> access out.
+  // Bottleneck links carry 1 ms propagation each; the remaining path latency
+  // sits on the probe's access links so the total base RTT equals cfg.rtt.
+  const Duration bn_delay = Duration::millis(1);
+  Duration remaining_one_way = Duration(cfg.rtt.ns() / 2);
+  remaining_one_way -= bn_delay * static_cast<std::int64_t>(profiles.size());
+  if (remaining_one_way < Duration::zero()) remaining_one_way = Duration::zero();
+  const Duration probe_acc_delay = remaining_one_way / 2;
+
+  std::vector<HopInstance> hops(profiles.size());
+  Route probe_hops;
+  net::Link* probe_in = network.add_link("probe.in", kAccessBps, probe_acc_delay,
+                                         std::make_unique<net::DropTailQueue>(1 << 14));
+  probe_hops.push_back(probe_in);
+
+  FlowId next_flow = 1;
+  for (std::size_t h = 0; h < profiles.size(); ++h) {
+    const HopProfile& prof = profiles[h];
+    const double bdp = static_cast<double>(prof.capacity_bps) / 8.0 * cfg.rtt.seconds() /
+                       net::kDataPacketBytes;
+    const auto buffer_pkts = std::max<std::size_t>(
+        8, static_cast<std::size_t>(bdp * prof.buffer_bdp_fraction));
+    hops[h].bottleneck =
+        network.add_link("hop." + std::to_string(h), prof.capacity_bps, bn_delay,
+                         std::make_unique<net::DropTailQueue>(buffer_pkts));
+    probe_hops.push_back(hops[h].bottleneck);
+  }
+  net::Link* probe_out = network.add_link("probe.out", kAccessBps, probe_acc_delay,
+                                          std::make_unique<net::DropTailQueue>(1 << 14));
+  probe_hops.push_back(probe_out);
+  const Route* probe_route = network.add_route(std::move(probe_hops));
+
+  // ---- Background traffic per hop.
+  for (std::size_t h = 0; h < profiles.size(); ++h) {
+    const HopProfile& prof = profiles[h];
+    HopInstance& hop = hops[h];
+    util::Rng hop_rng = rng.split(h + 1);
+
+    auto make_pair_routes = [&](Duration one_way_access)
+        -> std::pair<const Route*, const Route*> {
+      const std::string tag = std::to_string(h) + "." + std::to_string(next_flow);
+      net::Link* in = network.add_link("bg.in." + tag, kAccessBps, one_way_access / 2,
+                                       std::make_unique<net::DropTailQueue>(1 << 14));
+      net::Link* out = network.add_link("bg.out." + tag, kAccessBps, one_way_access / 2,
+                                        std::make_unique<net::DropTailQueue>(1 << 14));
+      net::Link* rev = network.add_link("bg.rev." + tag, kAccessBps, one_way_access,
+                                        std::make_unique<net::DropTailQueue>(1 << 14));
+      const Route* fwd = network.add_route({in, hop.bottleneck, out});
+      const Route* back = network.add_route({rev});
+      return {fwd, back};
+    };
+
+    // Long-lived window-based TCP: the staple of the background mix.
+    for (int i = 0; i < prof.long_tcp_flows; ++i) {
+      const Duration access =
+          hop_rng.uniform_duration(Duration::millis(4), Duration::millis(150));
+      auto [fwd, back] = make_pair_routes(access);
+      tcp::TcpSender::Params sp;
+      sp.variant = tcp::CcVariant::kNewReno;
+      auto flow = std::make_unique<tcp::TcpFlow>(sim, next_flow++, fwd, back, sp);
+      flow->sender().start(TimePoint::zero() +
+                           hop_rng.uniform_duration(Duration::zero(), Duration::seconds(2)));
+      hop.long_flows.push_back(std::move(flow));
+    }
+
+    // Short flows: Poisson arrivals, Pareto sizes, slow-start dominated.
+    {
+      const double mean_segments = 40.0;  // Pareto(1.3, 12) segments, mean ~ 52
+      const double bits_per_flow = mean_segments * net::kDataPacketBytes * 8.0;
+      const double lambda = prof.short_flow_load * static_cast<double>(prof.capacity_bps) /
+                            bits_per_flow;  // flows per second
+      const double horizon_s = (end_time - TimePoint::zero()).seconds();
+      double t = 0.0;
+      // Shared access pools so thousands of short flows don't explode the
+      // link count; pools are uncongested (1 Gbps).
+      std::vector<std::pair<const Route*, const Route*>> pools;
+      for (int p = 0; p < 6; ++p) {
+        pools.push_back(make_pair_routes(
+            hop_rng.uniform_duration(Duration::millis(4), Duration::millis(150))));
+      }
+      while (true) {
+        t += hop_rng.exponential(1.0 / std::max(lambda, 1e-9));
+        if (t >= horizon_s) break;
+        const auto& [fwd, back] = pools[static_cast<std::size_t>(
+            hop_rng.uniform_int(0, static_cast<std::int64_t>(pools.size()) - 1))];
+        tcp::TcpSender::Params sp;
+        sp.variant = tcp::CcVariant::kNewReno;
+        sp.total_segments =
+            std::max<std::uint64_t>(2, static_cast<std::uint64_t>(hop_rng.pareto(1.3, 12.0)));
+        auto flow = std::make_unique<tcp::TcpFlow>(sim, next_flow++, fwd, back, sp);
+        flow->sender().start(TimePoint::zero() + Duration::from_seconds(t));
+        hop.short_flows.push_back(std::move(flow));
+      }
+    }
+
+    // On-off UDP noise.
+    for (int i = 0; i < prof.onoff_flows; ++i) {
+      const Duration access =
+          hop_rng.uniform_duration(Duration::millis(4), Duration::millis(150));
+      auto [fwd, back] = make_pair_routes(access);
+      (void)back;
+      tcp::ExpOnOffSource::Params op;
+      op.peak_bps = prof.onoff_load * static_cast<double>(prof.capacity_bps) /
+                    std::max(1, prof.onoff_flows) * 5.0;  // 20% duty cycle
+      op.mean_on = Duration::millis(100);
+      op.mean_off = Duration::millis(400);
+      auto sink = std::make_unique<tcp::NullSink>();
+      auto src = std::make_unique<tcp::ExpOnOffSource>(sim, next_flow++, op,
+                                                       hop_rng.split(100 + i));
+      src->connect(fwd, sink.get());
+      src->start(TimePoint::zero() +
+                 hop_rng.uniform_duration(Duration::zero(), Duration::seconds(1)));
+      hop.onoff.push_back(std::move(src));
+      hop.sinks.push_back(std::move(sink));
+    }
+  }
+
+  // ---- The probe itself.
+  tcp::CbrSource::Params probe_params;
+  probe_params.packet_bytes = cfg.probe_bytes;
+  probe_params.interval = cfg.probe_interval;
+  probe_params.duration = cfg.probe_duration;
+  tcp::CbrSource probe(sim, /*flow=*/0, probe_params);
+  tcp::ProbeSink sink;
+  sink.attach_clock(&sim);
+  probe.connect(probe_route, &sink);
+  probe.start(probe_start);
+
+  sim.run_until(end_time);
+
+  // ---- Reconstruct the loss record from sequence gaps.
+  PathResult result;
+  result.rtt_s = cfg.rtt.seconds();
+  result.probes_sent = probe.packets_sent();
+  const auto missing = sink.missing(probe.packets_sent());
+  result.probes_lost = missing.size();
+  result.loss_times_s.reserve(missing.size());
+  for (net::SeqNum s : missing) {
+    result.loss_times_s.push_back(probe.send_time_of(s).seconds());
+  }
+  result.loss_indicator.assign(result.probes_sent, false);
+  for (net::SeqNum s : missing) result.loss_indicator[s] = true;
+  return result;
+}
+
+}  // namespace lossburst::inet

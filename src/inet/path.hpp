@@ -1,0 +1,68 @@
+// One internet path measurement: a CBR probe crossing 1-3 synthetic
+// bottleneck hops, each loaded with heterogeneous background traffic
+// (long-lived window-based TCP, Poisson arrivals of short slow-starting
+// flows, and on-off UDP). This is the substitute for a live PlanetLab path;
+// the background mix reproduces the two loss-burst generators §3.3 names —
+// DropTail overflow under window-based senders, and slow start of short
+// flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/validate.hpp"
+#include "tcp/cbr.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::inet {
+
+using util::Duration;
+
+struct HopProfile {
+  std::uint64_t capacity_bps = 50'000'000;
+  double buffer_bdp_fraction = 0.5;
+  int long_tcp_flows = 12;
+  double short_flow_load = 0.15;  ///< fraction of capacity from short flows
+  int onoff_flows = 6;
+  double onoff_load = 0.05;       ///< fraction of capacity from UDP noise
+};
+
+struct PathConfig {
+  Duration rtt = Duration::millis(80);  ///< base two-way RTT of the path
+  std::uint64_t seed = 1;
+  int hops = 1;                         ///< 1-3 shared bottlenecks
+  std::vector<HopProfile> hop_profiles; ///< empty => sampled from seed
+  std::uint32_t probe_bytes = 400;
+  Duration probe_interval = Duration::millis(10);
+  Duration probe_duration = Duration::seconds(60);
+  Duration warmup = Duration::seconds(5);  ///< background ramp before probing
+};
+
+struct PathResult {
+  double rtt_s = 0.0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_lost = 0;
+  /// Send times (seconds) of the lost probes — the loss process sampled by
+  /// the probe stream, with probe-send-schedule timing as in the paper.
+  std::vector<double> loss_times_s;
+  /// Per-probe loss indicators in send order (for Gilbert-Elliott fitting).
+  std::vector<bool> loss_indicator;
+
+  [[nodiscard]] double loss_rate() const {
+    return probes_sent ? static_cast<double>(probes_lost) / static_cast<double>(probes_sent)
+                       : 0.0;
+  }
+
+  /// Summary for the 48B/400B cross-validation.
+  [[nodiscard]] analysis::ProbeTraceSummary summary() const;
+};
+
+/// Sample hop profiles deterministically from the config seed (capacity in
+/// {10, 45, 100, 155} Mbps, buffer 0.25-2 BDP, varying background load).
+std::vector<HopProfile> sample_hop_profiles(int hops, std::uint64_t seed);
+
+/// Run the probe measurement. Self-contained: builds its own simulator, so
+/// calls are safe to run concurrently from a thread pool.
+PathResult run_path_probe(const PathConfig& cfg);
+
+}  // namespace lossburst::inet

@@ -1,0 +1,72 @@
+#include "inet/sites.hpp"
+
+#include <cmath>
+
+namespace lossburst::inet {
+
+const std::vector<Site>& planetlab_sites() {
+  static const std::vector<Site> kSites = {
+      {"planetlab2.cs.ucla.edu", "Los Angeles, CA", 34.07, -118.44},
+      {"planetlab2.postel.org", "Marina Del Rey, CA", 33.98, -118.45},
+      {"planet2.cs.ucsb.edu", "Santa Barbara, CA", 34.41, -119.85},
+      {"planetlab11.millennium.berkeley.edu", "Berkeley, CA", 37.87, -122.26},
+      // The two internet2 nodes are listed in Table 1 as hosted at Marina
+      // del Rey, CA despite their NYC/KC hostnames; we keep the table's data.
+      {"planetlab1.nycm.internet2.planet-lab.org", "Marina del Rey, CA", 33.98, -118.45},
+      {"planetlab2.kscy.internet2.planet-lab.org", "Marina del Rey, CA", 33.98, -118.45},
+      {"planetlab3.cs.uoregon.edu", "Eugene, OR", 44.05, -123.07},
+      {"planetlab1.cs.ubc.ca", "Vancouver, Canada", 49.26, -123.25},
+      {"kupl1.ittc.ku.edu", "Lawrence, KS", 38.96, -95.25},
+      {"planetlab2.cs.uiuc.edu", "Urbana, IL", 40.11, -88.23},
+      {"planetlab2.tamu.edu", "College Station, TX", 30.62, -96.34},
+      {"planet.cc.gt.atl.ga.us", "Atlanta, GA", 33.77, -84.40},
+      {"planetlab2.uc.edu", "Cincinnati, Ohio", 39.13, -84.52},
+      {"planetlab-2.eecs.cwru.edu", "Cleveland, OH", 41.50, -81.61},
+      {"planetlab1.cs.duke.edu", "Durham, NC", 36.00, -78.94},
+      {"planetlab-10.cs.princeton.edu", "Princeton, NJ", 40.35, -74.65},
+      {"planetlab1.cs.cornell.edu", "Ithaca, NY", 42.45, -76.48},
+      {"planetlab2.isi.jhu.edu", "Baltimore, MD", 39.33, -76.62},
+      {"crt3.planetlab.umontreal.ca", "Montreal, Canada", 45.50, -73.57},
+      {"planet2.toronto.canet4.nodes.planet-lab.org", "Toronto, Canada", 43.66, -79.40},
+      {"planet1.cs.huji.ac.il", "Jerusalem, Israel", 31.78, 35.20},
+      {"thu1.6planetlab.edu.cn", "Beijing, China", 39.99, 116.31},
+      {"lzu1.6planetlab.edu.cn", "Lanzhou, China", 36.05, 103.86},
+      {"planetlab2.iis.sinica.edu.tw", "Taipei, China", 25.04, 121.61},
+      {"planetlab1.cesnet.cz", "Czech", 50.10, 14.39},
+      {"planetlab1.larc.usp.br", "Brazil", -23.56, -46.73},
+  };
+  return kSites;
+}
+
+double great_circle_km(const Site& a, const Site& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const double to_rad = M_PI / 180.0;
+  const double lat1 = a.lat_deg * to_rad;
+  const double lat2 = b.lat_deg * to_rad;
+  const double dlat = (b.lat_deg - a.lat_deg) * to_rad;
+  const double dlon = (b.lon_deg - a.lon_deg) * to_rad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Duration estimate_rtt(const Site& a, const Site& b, const RttModel& model) {
+  const double km = great_circle_km(a, b);
+  const double one_way_ms = km * model.route_inflation / model.fiber_km_per_ms;
+  const Duration rtt = Duration::from_seconds(2.0 * one_way_ms * 1e-3) + model.base_overhead;
+  return std::max(rtt, Duration::millis(2));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> all_directional_pairs() {
+  const std::size_t n = planetlab_sites().size();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace lossburst::inet

@@ -1,0 +1,50 @@
+// The 26 PlanetLab sites of Table 1, with geographic coordinates, and the
+// path-RTT model derived from them.
+//
+// The real measurement ran Oct-Dec 2006 over the live PlanetLab testbed; we
+// cannot reach those hosts, so the substitution (documented in DESIGN.md) is
+// a synthetic internet whose path RTTs come from great-circle distance at
+// fiber propagation speed with a route-inflation factor. This reproduces the
+// paper's stated RTT spread: "a range from 2ms to more than 200ms" with the
+// highest "more than 300ms".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lossburst::inet {
+
+using util::Duration;
+
+struct Site {
+  std::string hostname;
+  std::string location;
+  double lat_deg;
+  double lon_deg;
+};
+
+/// Table 1 verbatim (hostnames and locations), plus coordinates.
+const std::vector<Site>& planetlab_sites();
+
+/// Great-circle distance between two sites in kilometers (haversine).
+double great_circle_km(const Site& a, const Site& b);
+
+struct RttModel {
+  /// Speed of light in fiber ~ 2/3 c ~ 200 km/ms.
+  double fiber_km_per_ms = 200.0;
+  /// Routes are not geodesics: typical inflation 1.5-2x.
+  double route_inflation = 1.7;
+  /// Per-path fixed overhead (last-mile, routers), two-way.
+  Duration base_overhead = Duration::millis(2);
+};
+
+/// Two-way base RTT estimate for the path a -> b.
+Duration estimate_rtt(const Site& a, const Site& b, const RttModel& model = {});
+
+/// All 650 directional pairs (i, j), i != j, as index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> all_directional_pairs();
+
+}  // namespace lossburst::inet

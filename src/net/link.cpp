@@ -1,0 +1,75 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lossburst::net {
+
+Link::Link(sim::Simulator& sim, std::string name, std::uint64_t rate_bps, Duration delay,
+           std::unique_ptr<Queue> queue)
+    : sim_(sim), name_(std::move(name)), rate_bps_(rate_bps), delay_(delay),
+      queue_(std::move(queue)) {
+  assert(rate_bps_ > 0);
+  assert(queue_);
+  queue_->attach(&sim_);
+}
+
+Duration Link::tx_time(std::uint32_t bytes) const {
+  // ns = bytes * 8 * 1e9 / rate_bps; compute in 128-bit-safe order.
+  const auto bits = static_cast<std::uint64_t>(bytes) * 8ULL;
+  return Duration(static_cast<std::int64_t>(bits * 1'000'000'000ULL / rate_bps_));
+}
+
+double Link::bdp_packets(std::uint32_t pkt_bytes) const {
+  const double bytes_per_sec = static_cast<double>(rate_bps_) / 8.0;
+  return bytes_per_sec * delay_.seconds() / static_cast<double>(pkt_bytes);
+}
+
+void Link::enqueue(Packet&& pkt) {
+  if (!queue_->enqueue(std::move(pkt))) return;  // dropped
+  if (!busy_) start_tx();
+}
+
+void Link::start_tx() {
+  assert(!queue_->empty());
+  busy_ = true;
+  Packet pkt = queue_->dequeue();
+  Duration tx = tx_time(pkt.size_bytes);
+  if (processing_jitter_) tx += processing_jitter_();
+  bytes_sent_ += pkt.size_bytes;
+  ++packets_sent_;
+  sim_.in(tx, [this, pkt = std::move(pkt)]() mutable { finish_tx(std::move(pkt)); });
+}
+
+void Link::finish_tx(Packet pkt) {
+  // Propagation: the packet arrives at the far end after `delay_`.
+  sim_.in(delay_, [pkt = std::move(pkt)]() mutable { deliver(std::move(pkt)); });
+  if (!queue_->empty()) {
+    start_tx();
+  } else {
+    busy_ = false;
+  }
+}
+
+void Link::deliver(Packet pkt) {
+  if (pkt.route != nullptr && static_cast<std::size_t>(pkt.hop) + 1 < pkt.route->size()) {
+    ++pkt.hop;
+    Link* next = (*pkt.route)[pkt.hop];
+    next->enqueue(std::move(pkt));
+    return;
+  }
+  assert(pkt.sink != nullptr);
+  pkt.sink->receive(std::move(pkt));
+}
+
+void inject(Packet&& pkt) {
+  if (pkt.route != nullptr && !pkt.route->empty()) {
+    pkt.hop = 0;
+    (*pkt.route)[0]->enqueue(std::move(pkt));
+    return;
+  }
+  assert(pkt.sink != nullptr);
+  pkt.sink->receive(std::move(pkt));
+}
+
+}  // namespace lossburst::net

@@ -1,0 +1,73 @@
+// A unidirectional link: serialization at a fixed rate, then fixed
+// propagation delay, fed by a queue discipline. This is the ns-2 link model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+
+class Link {
+ public:
+  /// `rate_bps` is the line rate in bits/second; `delay` the one-way
+  /// propagation latency. The link takes ownership of its queue.
+  Link(sim::Simulator& sim, std::string name, std::uint64_t rate_bps, Duration delay,
+       std::unique_ptr<Queue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offer a packet for transmission. May drop (queue's decision).
+  void enqueue(Packet&& pkt);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t rate_bps() const { return rate_bps_; }
+  [[nodiscard]] Duration delay() const { return delay_; }
+  [[nodiscard]] Queue& queue() { return *queue_; }
+  [[nodiscard]] const Queue& queue() const { return *queue_; }
+
+  /// Serialization time for a packet of `bytes` at the line rate.
+  [[nodiscard]] Duration tx_time(std::uint32_t bytes) const;
+
+  /// Bandwidth-delay product of this link in data packets (for buffer
+  /// sizing): rate * delay / packet size.
+  [[nodiscard]] double bdp_packets(std::uint32_t pkt_bytes = kDataPacketBytes) const;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+
+  /// Optional per-packet processing-time overhead, sampled before
+  /// serialization. Used by the Dummynet emulation model to inject the
+  /// scheduling noise a software router adds; nullptr (default) = ideal
+  /// hardware router.
+  void set_processing_jitter(std::function<Duration()> fn) {
+    processing_jitter_ = std::move(fn);
+  }
+
+ private:
+  void start_tx();
+  void finish_tx(Packet pkt);
+  static void deliver(Packet pkt);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::uint64_t rate_bps_;
+  Duration delay_;
+  std::unique_ptr<Queue> queue_;
+  std::function<Duration()> processing_jitter_;
+  bool busy_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+/// Deliver a packet into the first hop of its route, or directly to its sink
+/// when the route is empty (loopback-style, used in unit tests).
+void inject(Packet&& pkt);
+
+}  // namespace lossburst::net

@@ -1,0 +1,149 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lossburst::net {
+
+std::unique_ptr<Queue> make_queue(QueueKind kind, std::size_t capacity_pkts, util::Rng rng,
+                                  Duration ecn_mark_window, RedTuning red) {
+  const auto red_params = [&](bool ecn) {
+    RedQueue::Params p;
+    p.capacity_pkts = capacity_pkts;
+    p.min_th = std::max(1.0, static_cast<double>(capacity_pkts) * red.min_th_frac);
+    p.max_th = std::max(2.0, static_cast<double>(capacity_pkts) * red.max_th_frac);
+    p.max_p = red.max_p;
+    p.weight = red.weight;
+    p.ecn_mark = ecn;
+    return p;
+  };
+  switch (kind) {
+    case QueueKind::kDropTail:
+      return std::make_unique<DropTailQueue>(capacity_pkts);
+    case QueueKind::kRed:
+      return std::make_unique<RedQueue>(red_params(false), rng);
+    case QueueKind::kRedEcn:
+      return std::make_unique<RedQueue>(red_params(true), rng);
+    case QueueKind::kPersistentEcn:
+      return std::make_unique<PersistentEcnQueue>(capacity_pkts, ecn_mark_window);
+  }
+  return nullptr;
+}
+
+Duration Dumbbell::mean_rtt() const {
+  if (base_rtts.empty()) return Duration::zero();
+  std::int64_t sum = 0;
+  for (Duration d : base_rtts) sum += d.ns();
+  return Duration(sum / static_cast<std::int64_t>(base_rtts.size()));
+}
+
+Star build_star(Network& net, StarConfig cfg) {
+  assert(cfg.nodes >= 2);
+  auto& sim = net.sim();
+  util::Rng rng = sim.rng().split(0x57a7);
+
+  Star out;
+  out.node_delays = cfg.node_delays;
+  if (out.node_delays.empty()) {
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      out.node_delays.push_back(
+          rng.uniform_duration(Duration::millis(1), Duration::millis(25)));
+    }
+  }
+  out.node_delays.resize(cfg.nodes, Duration::millis(5));
+
+  std::size_t buffer = cfg.buffer_pkts;
+  if (buffer == 0) {
+    Duration max_delay = Duration::zero();
+    for (Duration d : out.node_delays) max_delay = std::max(max_delay, d);
+    const double bdp = static_cast<double>(cfg.link_bps) / 8.0 *
+                       (2.0 * max_delay.seconds()) / kDataPacketBytes;
+    buffer = std::max<std::size_t>(8, static_cast<std::size_t>(bdp));
+  }
+
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    const std::string id = std::to_string(i);
+    // Uplinks rarely congest for shuffle patterns (each node spreads its
+    // output over many receivers), but get real buffers anyway.
+    out.uplinks.push_back(net.add_link("star.up." + id, cfg.link_bps, out.node_delays[i],
+                                       make_queue(cfg.queue, buffer, rng.split(2 * i))));
+    out.downlinks.push_back(net.add_link("star.down." + id, cfg.link_bps,
+                                         out.node_delays[i] + cfg.switch_delay,
+                                         make_queue(cfg.queue, buffer, rng.split(2 * i + 1))));
+  }
+  out.routes.assign(cfg.nodes, std::vector<const Route*>(cfg.nodes, nullptr));
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    for (std::size_t j = 0; j < cfg.nodes; ++j) {
+      if (i == j) continue;
+      out.routes[i][j] = net.add_route({out.uplinks[i], out.downlinks[j]});
+    }
+  }
+  return out;
+}
+
+Dumbbell build_dumbbell(Network& net, DumbbellConfig cfg) {
+  assert(cfg.flow_count > 0);
+  auto& sim = net.sim();
+  util::Rng topo_rng = sim.rng().split(0x70b0);
+
+  // Fill in access delays: paper setup draws them uniformly in [2, 200] ms.
+  if (cfg.access_delays.empty()) {
+    cfg.access_delays.reserve(cfg.flow_count);
+    for (std::size_t i = 0; i < cfg.flow_count; ++i) {
+      cfg.access_delays.push_back(
+          topo_rng.uniform_duration(Duration::millis(2), Duration::millis(200)));
+    }
+  }
+
+  Dumbbell out;
+  out.base_rtts.reserve(cfg.flow_count);
+  std::vector<Duration> access(cfg.flow_count);
+  for (std::size_t i = 0; i < cfg.flow_count; ++i) {
+    access[i] = cfg.access_delays[i % cfg.access_delays.size()];
+    // Access latency is split across the sender and receiver sides so the
+    // flow's one-way latency is access + bottleneck, as in Figure 1.
+    out.base_rtts.push_back((access[i] + cfg.bottleneck_delay) * 2);
+  }
+
+  // Buffer sizing: fraction of the BDP at the mean RTT unless given.
+  std::size_t buffer_pkts = cfg.buffer_pkts;
+  if (buffer_pkts == 0) {
+    std::int64_t sum = 0;
+    for (Duration d : out.base_rtts) sum += d.ns();
+    const Duration mean_rtt(sum / static_cast<std::int64_t>(out.base_rtts.size()));
+    const double bdp = static_cast<double>(cfg.bottleneck_bps) / 8.0 * mean_rtt.seconds() /
+                       static_cast<double>(kDataPacketBytes);
+    buffer_pkts = std::max<std::size_t>(4, static_cast<std::size_t>(bdp * cfg.buffer_bdp_fraction));
+  }
+
+  out.bottleneck_fwd =
+      net.add_link("bottleneck.fwd", cfg.bottleneck_bps, cfg.bottleneck_delay,
+                   make_queue(cfg.queue, buffer_pkts, topo_rng.split(1), cfg.ecn_mark_window,
+                              cfg.red));
+  // The reverse bottleneck carries only ACKs; same rate, generous buffer so
+  // it never congests (the paper studies forward-path loss).
+  out.bottleneck_rev =
+      net.add_link("bottleneck.rev", cfg.bottleneck_bps, cfg.bottleneck_delay,
+                   std::make_unique<DropTailQueue>(buffer_pkts * 16));
+
+  for (std::size_t i = 0; i < cfg.flow_count; ++i) {
+    const Duration half = access[i] / 2;
+    const std::string id = std::to_string(i);
+    // Access buffers are large: access links run at 10x the bottleneck rate
+    // and must not themselves drop (all loss happens at the bottleneck).
+    Link* s_acc = net.add_link("snd.acc." + id, cfg.access_bps, half,
+                               std::make_unique<DropTailQueue>(1 << 14));
+    Link* r_acc = net.add_link("rcv.acc." + id, cfg.access_bps, half,
+                               std::make_unique<DropTailQueue>(1 << 14));
+    Link* s_acc_rev = net.add_link("snd.acc.rev." + id, cfg.access_bps, half,
+                                   std::make_unique<DropTailQueue>(1 << 14));
+    Link* r_acc_rev = net.add_link("rcv.acc.rev." + id, cfg.access_bps, half,
+                                   std::make_unique<DropTailQueue>(1 << 14));
+    out.fwd_routes.push_back(net.add_route({s_acc, out.bottleneck_fwd, r_acc}));
+    out.rev_routes.push_back(net.add_route({r_acc_rev, out.bottleneck_rev, s_acc_rev}));
+  }
+  return out;
+}
+
+}  // namespace lossburst::net

@@ -1,0 +1,127 @@
+// Ownership container for links and routes, plus the dumbbell topology
+// builder matching the paper's Figure 1 setup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+
+/// Owns all links and routes of one simulated network. Components refer to
+/// links by raw pointer; the Network outlives every flow in an experiment.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(&sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Link* add_link(std::string name, std::uint64_t rate_bps, Duration delay,
+                 std::unique_ptr<Queue> queue) {
+    links_.push_back(
+        std::make_unique<Link>(*sim_, std::move(name), rate_bps, delay, std::move(queue)));
+    return links_.back().get();
+  }
+
+  /// Intern a route so packets can reference it for the network's lifetime.
+  const Route* add_route(Route hops) {
+    routes_.push_back(std::make_unique<Route>(std::move(hops)));
+    return routes_.back().get();
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Route>> routes_;
+};
+
+/// Queue discipline selection for topology builders.
+enum class QueueKind { kDropTail, kRed, kRedEcn, kPersistentEcn };
+
+/// RED tuning relative to the buffer size. The paper (§5) warns that "the
+/// parameter tunings of RED are difficult"; the RED-tuning bench sweeps
+/// these to show why.
+struct RedTuning {
+  double min_th_frac = 0.25;  ///< min_th = frac * capacity
+  double max_th_frac = 0.75;
+  double max_p = 0.1;
+  double weight = 0.002;
+};
+
+std::unique_ptr<Queue> make_queue(QueueKind kind, std::size_t capacity_pkts, util::Rng rng,
+                                  Duration ecn_mark_window = Duration::millis(50),
+                                  RedTuning red = {});
+
+/// The paper's Figure 1 dumbbell: N sender/receiver pairs joined by a single
+/// bottleneck, with per-flow access links setting heterogeneous RTTs.
+///
+///   sender_i --1G--> [bottleneck c, buffer B] --1G--> receiver_i
+///   (reverse direction symmetrical, uncongested)
+struct DumbbellConfig {
+  std::uint64_t bottleneck_bps = 100'000'000;  ///< c = 100 Mbps
+  std::uint64_t access_bps = 1'000'000'000;    ///< 1 Gbps access links
+  Duration bottleneck_delay = Duration::millis(1);
+  std::size_t buffer_pkts = 0;      ///< 0 => derived from buffer_bdp_fraction
+  double buffer_bdp_fraction = 1.0; ///< buffer = fraction * BDP(mean RTT)
+  QueueKind queue = QueueKind::kDropTail;
+  RedTuning red{};
+  Duration ecn_mark_window = Duration::millis(50);
+  std::size_t flow_count = 16;
+  /// Per-flow one-way access latencies; resized/cycled to flow_count. The
+  /// flow's two-way base RTT is 2*(access + bottleneck_delay + access).
+  std::vector<Duration> access_delays;
+};
+
+struct Dumbbell {
+  Link* bottleneck_fwd = nullptr;  ///< the measured, congested link
+  Link* bottleneck_rev = nullptr;
+  std::vector<const Route*> fwd_routes;  ///< sender i -> receiver i
+  std::vector<const Route*> rev_routes;  ///< receiver i -> sender i
+  std::vector<Duration> base_rtts;       ///< two-way zero-queue RTT per flow
+
+  /// Mean base RTT across flows; the normalization unit for loss intervals
+  /// when flows have heterogeneous RTTs.
+  [[nodiscard]] Duration mean_rtt() const;
+};
+
+/// Build the dumbbell inside `net`. Access delays default to U[2ms, 200ms]
+/// drawn from the simulator RNG when the config leaves them empty.
+Dumbbell build_dumbbell(Network& net, DumbbellConfig cfg);
+
+/// A star (single-switch) topology for all-to-all workloads: every node has
+/// one uplink into the switch and one downlink out of it. The downlinks are
+/// the natural hotspots for shuffle/incast traffic — many senders converge
+/// on one receiver's port.
+struct StarConfig {
+  std::size_t nodes = 8;
+  std::uint64_t link_bps = 100'000'000;  ///< both directions
+  Duration switch_delay = Duration::micros(50);
+  /// One-way node<->switch latencies; sampled U[1ms, 25ms] when empty.
+  std::vector<Duration> node_delays;
+  std::size_t buffer_pkts = 0;  ///< per downlink; 0 => one BDP at max delay
+  QueueKind queue = QueueKind::kDropTail;
+};
+
+struct Star {
+  std::vector<Link*> uplinks;    ///< node i -> switch
+  std::vector<Link*> downlinks;  ///< switch -> node j
+  std::vector<Duration> node_delays;
+  /// Route from node i to node j (i != j): uplink_i then downlink_j.
+  std::vector<std::vector<const Route*>> routes;  ///< [i][j]; nullptr when i == j
+
+  [[nodiscard]] Duration base_rtt(std::size_t i, std::size_t j) const {
+    return (node_delays[i] + node_delays[j]) * 2;
+  }
+};
+
+Star build_star(Network& net, StarConfig cfg);
+
+}  // namespace lossburst::net

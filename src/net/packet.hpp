@@ -1,0 +1,87 @@
+// Packet model and delivery interfaces.
+//
+// Routing is by source route: each packet carries a pointer to an immutable
+// hop list (built once per flow) plus a hop index, and a pointer to the
+// endpoint that should receive it at the end of the path. This sidesteps
+// routing tables entirely — appropriate for the fixed experiment topologies
+// the paper uses — and makes forwarding O(1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lossburst::net {
+
+using util::Duration;
+using util::TimePoint;
+
+class Link;
+class Endpoint;
+
+using FlowId = std::uint32_t;
+using SeqNum = std::uint64_t;
+
+/// An immutable hop list. Flows build one forward and one reverse route at
+/// setup; packets reference it, so per-packet cost is a pointer + index.
+using Route = std::vector<Link*>;
+
+struct Packet {
+  FlowId flow = 0;
+  SeqNum seq = 0;                ///< segment number (data) — not byte offset
+  std::uint32_t size_bytes = 0;  ///< wire size including headers
+  bool is_ack = false;
+  SeqNum ack_seq = 0;            ///< cumulative: next expected segment
+  TimePoint sent = TimePoint::zero();
+  /// Echoed send timestamp of the segment that triggered this ACK (TCP
+  /// timestamp option); lets the sender take unambiguous RTT samples.
+  TimePoint echo = TimePoint::zero();
+
+  /// SACK option (RFC 2018): up to three [begin, end) blocks of segments
+  /// held above the cumulative ACK point; the block containing the most
+  /// recently received segment comes first.
+  struct SackBlock {
+    SeqNum begin = 0;
+    SeqNum end = 0;  ///< exclusive
+  };
+  std::array<SackBlock, 3> sack{};
+  std::uint8_t sack_count = 0;
+
+  // Explicit Congestion Notification state.
+  bool ecn_capable = false;  ///< sender negotiated ECN
+  bool ecn_marked = false;   ///< CE mark set by a router
+  bool ecn_echo = false;     ///< receiver echoes CE back on ACKs
+
+  /// TFRC header extension (stacked headers, ns-2 style). Data packets carry
+  /// the sender's RTT estimate so the receiver can group loss events; the
+  /// once-per-RTT feedback packets carry the measured loss-event rate and
+  /// receive rate back to the sender (RFC 3448).
+  struct TfrcInfo {
+    double loss_event_rate = 0.0;  ///< feedback: p
+    double recv_rate_bps = 0.0;    ///< feedback: X_recv
+    double sender_rtt_s = 0.0;     ///< data: sender's current R estimate
+  };
+  TfrcInfo tfrc;
+
+  const Route* route = nullptr;
+  std::uint16_t hop = 0;
+  Endpoint* sink = nullptr;
+};
+
+/// Anything that terminates packets: TCP senders (for ACKs), receivers,
+/// traffic sinks, probe collectors.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void receive(Packet pkt) = 0;
+};
+
+/// Common wire constants (Ethernet-ish, as ns-2 defaults assume).
+inline constexpr std::uint32_t kHeaderBytes = 40;    ///< IP + TCP/UDP header
+inline constexpr std::uint32_t kMssBytes = 960;      ///< payload per segment
+inline constexpr std::uint32_t kDataPacketBytes = kMssBytes + kHeaderBytes;  // 1000B on the wire
+inline constexpr std::uint32_t kAckPacketBytes = kHeaderBytes;
+
+}  // namespace lossburst::net

@@ -1,0 +1,136 @@
+#include "net/queue.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lossburst::net {
+
+// ---------------------------------------------------------------- DropTail
+
+bool DropTailQueue::enqueue(Packet&& pkt) {
+  if (q_.size() >= capacity_) {
+    report_drop(pkt, q_.size());
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  q_.push_back(std::move(pkt));
+  report_enqueue(q_.back(), q_.size());
+  return true;
+}
+
+Packet DropTailQueue::dequeue() {
+  assert(!q_.empty());
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  count_dequeue();
+  return pkt;
+}
+
+// --------------------------------------------------------------------- RED
+
+double RedQueue::drop_probability() const {
+  const double min_th = params_.min_th;
+  const double max_th = params_.max_th;
+  if (avg_ < min_th) return 0.0;
+  if (avg_ < max_th) {
+    return params_.max_p * (avg_ - min_th) / (max_th - min_th);
+  }
+  if (params_.gentle && avg_ < 2.0 * max_th) {
+    return params_.max_p + (1.0 - params_.max_p) * (avg_ - max_th) / max_th;
+  }
+  return 1.0;
+}
+
+bool RedQueue::enqueue(Packet&& pkt) {
+  // Update the average queue estimate. After an idle period the average
+  // decays as if small packets had been draining (Floyd & Jacobson §4).
+  if (idle_) {
+    const Duration idle_time = now() - idle_since_;
+    // Treat the idle period as ~one queue-drain worth of departures.
+    const double m = static_cast<double>(idle_time.ns()) / 1e6;  // ms-scale decay steps
+    avg_ *= std::pow(1.0 - params_.weight, std::max(0.0, m));
+    idle_ = false;
+  }
+  avg_ = (1.0 - params_.weight) * avg_ + params_.weight * static_cast<double>(q_.size());
+
+  bool drop_or_mark = false;
+  if (q_.size() >= params_.capacity_pkts) {
+    // Physical overflow: forced drop regardless of RED state.
+    report_drop(pkt, q_.size());
+    count_since_last_ = 0;
+    return false;
+  }
+  const double pb = drop_probability();
+  if (pb >= 1.0) {
+    drop_or_mark = true;
+  } else if (pb > 0.0) {
+    // Inter-drop spreading: effective probability pb / (1 - count*pb).
+    ++count_since_last_;
+    const double denom = 1.0 - static_cast<double>(count_since_last_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+    drop_or_mark = rng_.chance(pa);
+  } else {
+    count_since_last_ = -1;
+  }
+
+  if (drop_or_mark) {
+    count_since_last_ = 0;
+    if (params_.ecn_mark && pkt.ecn_capable) {
+      pkt.ecn_marked = true;
+      report_mark(pkt);
+    } else {
+      report_drop(pkt, q_.size());
+      return false;
+    }
+  }
+
+  bytes_ += pkt.size_bytes;
+  q_.push_back(std::move(pkt));
+  report_enqueue(q_.back(), q_.size());
+  return true;
+}
+
+Packet RedQueue::dequeue() {
+  assert(!q_.empty());
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  count_dequeue();
+  if (q_.empty()) {
+    idle_ = true;
+    idle_since_ = now();
+  }
+  return pkt;
+}
+
+// ----------------------------------------------------------- PersistentEcn
+
+bool PersistentEcnQueue::enqueue(Packet&& pkt) {
+  if (q_.size() >= capacity_) {
+    report_drop(pkt, q_.size());
+    // Congestion onset: mark everything ECN-capable for the next window so
+    // the signal reaches (nearly) every flow, per [22].
+    mark_until_ = now() + mark_window_;
+    return false;
+  }
+  if (now() < mark_until_ && pkt.ecn_capable && !pkt.ecn_marked) {
+    pkt.ecn_marked = true;
+    report_mark(pkt);
+  }
+  bytes_ += pkt.size_bytes;
+  q_.push_back(std::move(pkt));
+  report_enqueue(q_.back(), q_.size());
+  return true;
+}
+
+Packet PersistentEcnQueue::dequeue() {
+  assert(!q_.empty());
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  count_dequeue();
+  return pkt;
+}
+
+}  // namespace lossburst::net

@@ -1,0 +1,162 @@
+// Router queue disciplines. The queue is where the paper's subject — the
+// packet loss process — is generated, so every queue reports each drop (and
+// ECN mark) through a tracer interface with the exact simulated timestamp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+
+/// Observes queue-level events. Implementations must not mutate the queue.
+class QueueTracer {
+ public:
+  virtual ~QueueTracer() = default;
+  virtual void on_drop(TimePoint t, const Packet& pkt, std::size_t queue_len_pkts) = 0;
+  virtual void on_mark(TimePoint /*t*/, const Packet& /*pkt*/) {}
+  virtual void on_enqueue(TimePoint /*t*/, const Packet& /*pkt*/, std::size_t /*queue_len_pkts*/) {}
+};
+
+struct QueueCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t marked = 0;
+  std::uint64_t dequeued = 0;
+};
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Offer a packet. Returns true if accepted (packet stored, possibly CE
+  /// marked); false if dropped. Drops are reported to the tracer before
+  /// returning.
+  virtual bool enqueue(Packet&& pkt) = 0;
+
+  /// Remove the head packet. Precondition: !empty().
+  virtual Packet dequeue() = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t len_packets() const = 0;
+  [[nodiscard]] virtual std::size_t len_bytes() const = 0;
+
+  [[nodiscard]] const QueueCounters& counters() const { return counters_; }
+
+  void set_tracer(QueueTracer* tracer) { tracer_ = tracer; }
+  /// The owning link wires the simulator in so drops get exact timestamps.
+  void attach(sim::Simulator* sim) { sim_ = sim; }
+
+ protected:
+  [[nodiscard]] TimePoint now() const {
+    return sim_ ? sim_->now() : TimePoint::zero();
+  }
+
+  void report_drop(const Packet& pkt, std::size_t qlen) {
+    ++counters_.dropped;
+    if (tracer_) tracer_->on_drop(now(), pkt, qlen);
+  }
+  void report_mark(const Packet& pkt) {
+    ++counters_.marked;
+    if (tracer_) tracer_->on_mark(now(), pkt);
+  }
+  void report_enqueue(const Packet& pkt, std::size_t qlen) {
+    ++counters_.enqueued;
+    if (tracer_) tracer_->on_enqueue(now(), pkt, qlen);
+  }
+  void count_dequeue() { ++counters_.dequeued; }
+
+  sim::Simulator* sim_ = nullptr;
+  QueueTracer* tracer_ = nullptr;
+  QueueCounters counters_;
+};
+
+/// FIFO tail-drop queue with a fixed capacity in packets — the discipline
+/// the paper identifies as the major source of loss burstiness.
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_pkts) : capacity_(capacity_pkts) {}
+
+  bool enqueue(Packet&& pkt) override;
+  Packet dequeue() override;
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
+  [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+};
+
+/// Random Early Detection (Floyd & Jacobson 1993), "gentle" variant.
+/// Between min_th and max_th the drop/mark probability ramps to max_p; between
+/// max_th and 2*max_th it ramps from max_p to 1. The inter-drop count rule
+/// spreads drops out, which is exactly the de-bursting effect §5 discusses.
+class RedQueue final : public Queue {
+ public:
+  struct Params {
+    std::size_t capacity_pkts = 100;
+    double min_th = 5;       ///< packets
+    double max_th = 15;      ///< packets
+    double max_p = 0.1;
+    double weight = 0.002;   ///< EWMA weight w_q
+    bool ecn_mark = false;   ///< mark ECN-capable packets instead of dropping
+    bool gentle = true;
+  };
+
+  RedQueue(Params params, util::Rng rng) : params_(params), rng_(rng) {}
+
+  bool enqueue(Packet&& pkt) override;
+  Packet dequeue() override;
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
+  [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
+
+  [[nodiscard]] double avg_queue() const { return avg_; }
+
+ private:
+  /// Probability of dropping/marking at the current average queue size.
+  [[nodiscard]] double drop_probability() const;
+
+  Params params_;
+  util::Rng rng_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+  double avg_ = 0.0;
+  std::int64_t count_since_last_ = -1;  ///< packets since last drop/mark
+  TimePoint idle_since_ = TimePoint::zero();
+  bool idle_ = true;
+};
+
+/// DropTail plus the "persistent ECN" signal of the authors' companion
+/// proposal [22]: after any drop (congestion onset), every ECN-capable packet
+/// is CE-marked for a configurable window (about one RTT), so *all* flows
+/// sharing the bottleneck receive the congestion signal, not just the ones
+/// whose packets happened to sit in the overflow burst.
+class PersistentEcnQueue final : public Queue {
+ public:
+  PersistentEcnQueue(std::size_t capacity_pkts, Duration mark_window)
+      : capacity_(capacity_pkts), mark_window_(mark_window) {}
+
+  bool enqueue(Packet&& pkt) override;
+  Packet dequeue() override;
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
+  [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
+
+  [[nodiscard]] TimePoint marking_until() const { return mark_until_; }
+
+ private:
+  std::size_t capacity_;
+  Duration mark_window_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+  TimePoint mark_until_ = TimePoint::zero();
+};
+
+}  // namespace lossburst::net

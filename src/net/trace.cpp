@@ -1,0 +1,25 @@
+#include "net/trace.hpp"
+
+namespace lossburst::net {
+
+std::vector<double> LossTrace::drop_times_seconds() const {
+  std::vector<double> out;
+  out.reserve(drops_.size());
+  for (const auto& d : drops_) out.push_back(d.time.seconds());
+  return out;
+}
+
+ThroughputMeter::ThroughputMeter(sim::Simulator& sim, Duration interval)
+    : interval_(interval), proc_(sim, interval, [this] { roll(); }) {}
+
+void ThroughputMeter::start() { proc_.start(interval_); }
+
+void ThroughputMeter::roll() {
+  const double mbps =
+      static_cast<double>(bytes_this_interval_) * 8.0 / interval_.seconds() / 1e6;
+  series_.push_back(mbps);
+  total_bytes_ += bytes_this_interval_;
+  bytes_this_interval_ = 0;
+}
+
+}  // namespace lossburst::net

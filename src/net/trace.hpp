@@ -1,0 +1,73 @@
+// Trace collection: router drop traces (the paper's primary measurement) and
+// endpoint throughput meters (Fig. 7's time series).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/process.hpp"
+
+namespace lossburst::net {
+
+/// One packet drop observed at a router queue.
+struct DropRecord {
+  TimePoint time;
+  FlowId flow;
+  SeqNum seq;
+  std::uint32_t size_bytes;
+  std::size_t queue_len;
+};
+
+/// Records every drop (and CE mark) at the queue it is attached to, exactly
+/// as the paper instruments the NS-2 and Dummynet routers.
+class LossTrace final : public QueueTracer {
+ public:
+  void on_drop(TimePoint t, const Packet& pkt, std::size_t qlen) override {
+    drops_.push_back(DropRecord{t, pkt.flow, pkt.seq, pkt.size_bytes, qlen});
+  }
+  void on_mark(TimePoint t, const Packet& pkt) override {
+    marks_.push_back(DropRecord{t, pkt.flow, pkt.seq, pkt.size_bytes, 0});
+  }
+
+  [[nodiscard]] const std::vector<DropRecord>& drops() const { return drops_; }
+  [[nodiscard]] const std::vector<DropRecord>& marks() const { return marks_; }
+  void clear() { drops_.clear(); marks_.clear(); }
+
+  /// Drop timestamps in seconds, in trace order (monotone by construction).
+  [[nodiscard]] std::vector<double> drop_times_seconds() const;
+
+ private:
+  std::vector<DropRecord> drops_;
+  std::vector<DropRecord> marks_;
+};
+
+/// Counts bytes delivered to a set of flows in fixed intervals; produces the
+/// aggregate-throughput-vs-time series of Fig. 7.
+class ThroughputMeter {
+ public:
+  ThroughputMeter(sim::Simulator& sim, Duration interval);
+
+  /// Call from a receiver when application payload arrives.
+  void on_bytes(std::uint64_t payload_bytes) { bytes_this_interval_ += payload_bytes; }
+
+  void start();
+  void stop() { proc_.stop(); }
+
+  /// Mbps per interval, oldest first.
+  [[nodiscard]] const std::vector<double>& series_mbps() const { return series_; }
+  [[nodiscard]] Duration interval() const { return interval_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  void roll();
+
+  Duration interval_;
+  std::uint64_t bytes_this_interval_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::vector<double> series_;
+  sim::PeriodicProcess proc_;
+};
+
+}  // namespace lossburst::net

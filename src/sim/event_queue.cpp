@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lossburst::sim {
+
+namespace {
+struct EntryGreater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const { return a > b; }
+};
+}  // namespace
+
+EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
+  auto token = std::make_shared<bool>(false);
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), token});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  return EventHandle(std::move(token));
+}
+
+void EventQueue::drop_dead_heads() const {
+  while (!heap_.empty() && *heap_.front().cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead_heads();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  drop_dead_heads();
+  return heap_.size();
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_dead_heads();
+  return heap_.empty() ? TimePoint::max() : heap_.front().at;
+}
+
+TimePoint EventQueue::pop_and_run() {
+  drop_dead_heads();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  *e.cancelled = true;  // mark fired so the handle reports not-pending
+  e.fn();
+  return e.at;
+}
+
+}  // namespace lossburst::sim

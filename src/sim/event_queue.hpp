@@ -1,0 +1,81 @@
+// The event queue at the heart of the simulator: a binary heap ordered by
+// (time, insertion sequence). The sequence number makes simultaneous events
+// fire in scheduling order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lossburst::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows O(1) lazy cancellation. Handles are
+/// cheap shared tokens — copying one does not copy the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  [[nodiscard]] bool pending() const { return token_ && !*token_; }
+
+  /// Cancel the event if still pending. Safe to call repeatedly.
+  void cancel() {
+    if (token_) *token_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> token) : token_(std::move(token)) {}
+  std::shared_ptr<bool> token_;  // true => cancelled or fired
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. Returns a cancellable handle.
+  EventHandle schedule(TimePoint at, EventFn fn);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Number of entries currently held (cancelled entries not yet at the heap
+  /// head are still counted — this is a diagnostic, not an exact live count).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest live event; TimePoint::max() when empty.
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Pop and run the earliest live event. Returns its time. Precondition:
+  /// !empty().
+  TimePoint pop_and_run();
+
+  /// Total events ever scheduled (for micro-benchmark accounting).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_dead_heads() const;
+
+  // `heap_` is mutable so const observers can shed cancelled heads.
+  mutable std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lossburst::sim

@@ -1,0 +1,55 @@
+// Helpers for recurring activity on the simulator.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace lossburst::sim {
+
+/// Fires a callback at a fixed period until stopped. The callback may stop
+/// the process from within itself.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, Duration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  ~PeriodicProcess() { stop(); }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Start (or restart) with the first tick after `initial_delay`.
+  void start(Duration initial_delay = Duration::zero()) {
+    stop();
+    running_ = true;
+    schedule_next(initial_delay);
+  }
+
+  void stop() {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  void set_period(Duration p) { period_ = p; }
+
+ private:
+  void schedule_next(Duration d) {
+    handle_ = sim_.in(d, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) schedule_next(period_);
+    });
+  }
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace lossburst::sim

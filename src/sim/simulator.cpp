@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lossburst::sim {
+
+EventHandle Simulator::at(TimePoint t, EventFn fn) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::at: scheduling into the past");
+  }
+  return queue_.schedule(t, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(TimePoint until) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t > until) break;
+    now_ = t;
+    queue_.pop_and_run();
+    ++ran;
+    ++executed_;
+    if (stop_requested_) break;
+  }
+  // Advance the clock to the horizon so subsequent scheduling (e.g. a second
+  // run_until phase) starts from a consistent time.
+  if (!stop_requested_ && until != TimePoint::max() && now_ < until) now_ = until;
+  return ran;
+}
+
+}  // namespace lossburst::sim

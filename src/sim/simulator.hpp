@@ -1,0 +1,52 @@
+// The simulator: a clock plus an event queue. Components hold a reference to
+// it and schedule callbacks; there is exactly one logical thread of execution
+// per simulator instance, so components need no synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::sim {
+
+class Simulator {
+ public:
+  /// `seed` feeds the root RNG from which all component streams derive.
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Schedule at an absolute time; must not be in the past.
+  EventHandle at(TimePoint t, EventFn fn);
+
+  /// Schedule after a relative delay (>= 0).
+  EventHandle in(Duration d, EventFn fn) { return at(now_ + d, std::move(fn)); }
+
+  /// Run until the queue drains or the clock passes `until`. Events at
+  /// exactly `until` still run. Returns the number of events executed.
+  std::uint64_t run_until(TimePoint until);
+
+  /// Run until the queue drains.
+  std::uint64_t run() { return run_until(TimePoint::max()); }
+
+  /// Request that the current run_until return after the in-flight event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::zero();
+  util::Rng rng_;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace lossburst::sim

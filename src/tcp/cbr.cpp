@@ -1,0 +1,51 @@
+#include "tcp/cbr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/link.hpp"
+
+namespace lossburst::tcp {
+
+CbrSource::CbrSource(sim::Simulator& sim, FlowId flow, Params params)
+    : sim_(sim), flow_(flow), params_(params) {}
+
+void CbrSource::start(TimePoint at) {
+  assert(route_ != nullptr && sink_ != nullptr);
+  sim_.at(at, [this, at] {
+    running_ = true;
+    start_time_ = at;
+    end_time_ = at + params_.duration;
+    tick();
+  });
+}
+
+void CbrSource::tick() {
+  if (!running_ || sim_.now() >= end_time_) {
+    running_ = false;
+    return;
+  }
+  Packet pkt;
+  pkt.flow = flow_;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = params_.packet_bytes;
+  pkt.sent = sim_.now();
+  pkt.route = route_;
+  pkt.sink = sink_;
+  net::inject(std::move(pkt));
+  timer_ = sim_.in(params_.interval, [this] { tick(); });
+}
+
+std::vector<SeqNum> ProbeSink::missing(SeqNum sent) const {
+  std::vector<bool> seen(sent, false);
+  for (const auto& a : arrivals_) {
+    if (a.seq < sent) seen[a.seq] = true;
+  }
+  std::vector<SeqNum> out;
+  for (SeqNum s = 0; s < sent; ++s) {
+    if (!seen[s]) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lossburst::tcp

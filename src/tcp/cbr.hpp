@@ -1,0 +1,101 @@
+// Constant-bit-rate probe traffic and its measurement sink.
+//
+// This is the paper's Internet methodology: CBR flows send packets on a
+// strict schedule, so — unlike TCP traces — any burstiness seen in the loss
+// pattern belongs to the *network's* loss process, not to the probe itself.
+// Lost probes are identified at the receiver by sequence gaps, and because
+// the send schedule is deterministic, the exact send time of every lost
+// packet is known.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::tcp {
+
+using net::FlowId;
+using net::Packet;
+using net::Route;
+using net::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+class CbrSource {
+ public:
+  struct Params {
+    std::uint32_t packet_bytes = 400;        ///< paper probes: 48 B and 400 B
+    Duration interval = Duration::millis(2); ///< inter-packet gap
+    Duration duration = Duration::seconds(300);  ///< paper: 5-minute runs
+  };
+
+  CbrSource(sim::Simulator& sim, FlowId flow) : CbrSource(sim, flow, Params{}) {}
+  CbrSource(sim::Simulator& sim, FlowId flow, Params params);
+
+  void connect(const Route* route, net::Endpoint* sink) {
+    route_ = route;
+    sink_ = sink;
+  }
+
+  void start(TimePoint at);
+  void stop() { running_ = false; timer_.cancel(); }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return next_seq_; }
+  [[nodiscard]] TimePoint start_time() const { return start_time_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Deterministic send time of probe `seq` — valid whether or not the
+  /// packet survived the path.
+  [[nodiscard]] TimePoint send_time_of(SeqNum seq) const {
+    return start_time_ + params_.interval * static_cast<std::int64_t>(seq);
+  }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  const Route* route_ = nullptr;
+  net::Endpoint* sink_ = nullptr;
+  SeqNum next_seq_ = 0;
+  TimePoint start_time_ = TimePoint::zero();
+  TimePoint end_time_ = TimePoint::zero();
+  bool running_ = false;
+  sim::EventHandle timer_;
+};
+
+/// Records which probe sequence numbers arrived (and when). Lost packets and
+/// their send times are reconstructed against the source's schedule.
+class ProbeSink final : public net::Endpoint {
+ public:
+  struct Arrival {
+    SeqNum seq;
+    TimePoint arrived;
+    TimePoint sent;
+  };
+
+  void receive(Packet pkt) override {
+    arrivals_.push_back(Arrival{pkt.seq, arrived_clock_ ? arrived_clock_->now() : pkt.sent,
+                                pkt.sent});
+  }
+
+  /// Wire a clock so arrivals are timestamped (optional; analysis of losses
+  /// only needs send times).
+  void attach_clock(sim::Simulator* sim) { arrived_clock_ = sim; }
+
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  [[nodiscard]] std::uint64_t count() const { return arrivals_.size(); }
+
+  /// Sequence numbers in [0, sent) that never arrived, ascending.
+  [[nodiscard]] std::vector<SeqNum> missing(SeqNum sent) const;
+
+ private:
+  std::vector<Arrival> arrivals_;
+  sim::Simulator* arrived_clock_ = nullptr;
+};
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,53 @@
+// Convenience wiring of one TCP connection (sender + receiver + routes).
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/tfrc.hpp"
+
+namespace lossburst::tcp {
+
+/// A fully wired TCP connection over a forward/reverse route pair.
+class TcpFlow {
+ public:
+  TcpFlow(sim::Simulator& sim, FlowId flow, const Route* fwd, const Route* rev,
+          TcpSender::Params sp = {}, TcpReceiver::Params rp = {})
+      : sender_(std::make_unique<TcpSender>(sim, flow, sp)),
+        receiver_(std::make_unique<TcpReceiver>(sim, flow, rp)) {
+    sender_->connect(fwd, receiver_.get());
+    receiver_->connect(rev, sender_.get());
+  }
+
+  [[nodiscard]] TcpSender& sender() { return *sender_; }
+  [[nodiscard]] const TcpSender& sender() const { return *sender_; }
+  [[nodiscard]] TcpReceiver& receiver() { return *receiver_; }
+  [[nodiscard]] const TcpReceiver& receiver() const { return *receiver_; }
+
+ private:
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+/// A fully wired TFRC session.
+class TfrcFlow {
+ public:
+  TfrcFlow(sim::Simulator& sim, FlowId flow, const Route* fwd, const Route* rev,
+           TfrcSender::Params sp = {}, TfrcReceiver::Params rp = {})
+      : sender_(std::make_unique<TfrcSender>(sim, flow, sp)),
+        receiver_(std::make_unique<TfrcReceiver>(sim, flow, rp)) {
+    sender_->connect(fwd, receiver_.get());
+    receiver_->connect(rev, sender_.get());
+  }
+
+  [[nodiscard]] TfrcSender& sender() { return *sender_; }
+  [[nodiscard]] TfrcReceiver& receiver() { return *receiver_; }
+
+ private:
+  std::unique_ptr<TfrcSender> sender_;
+  std::unique_ptr<TfrcReceiver> receiver_;
+};
+
+}  // namespace lossburst::tcp

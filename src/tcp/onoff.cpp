@@ -1,0 +1,67 @@
+#include "tcp/onoff.hpp"
+
+#include <cassert>
+
+#include "net/link.hpp"
+
+namespace lossburst::tcp {
+
+ExpOnOffSource::ExpOnOffSource(sim::Simulator& sim, FlowId flow, Params params, util::Rng rng)
+    : sim_(sim), flow_(flow), params_(params), rng_(rng) {}
+
+double ExpOnOffSource::average_rate_bps() const {
+  const double on = params_.mean_on.seconds();
+  const double off = params_.mean_off.seconds();
+  return params_.peak_bps * on / (on + off);
+}
+
+void ExpOnOffSource::start(TimePoint at) {
+  assert(route_ != nullptr && sink_ != nullptr);
+  sim_.at(at, [this] {
+    running_ = true;
+    // Start in a random phase so 50 noise flows don't synchronize.
+    if (rng_.chance(params_.mean_on.seconds() /
+                    (params_.mean_on.seconds() + params_.mean_off.seconds()))) {
+      enter_on();
+    } else {
+      enter_off();
+    }
+  });
+}
+
+void ExpOnOffSource::stop() {
+  running_ = false;
+  state_timer_.cancel();
+  send_timer_.cancel();
+}
+
+void ExpOnOffSource::enter_on() {
+  if (!running_) return;
+  on_ = true;
+  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_on), [this] { enter_off(); });
+  send_tick();
+}
+
+void ExpOnOffSource::enter_off() {
+  if (!running_) return;
+  on_ = false;
+  send_timer_.cancel();
+  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_off), [this] { enter_on(); });
+}
+
+void ExpOnOffSource::send_tick() {
+  if (!running_ || !on_) return;
+  Packet pkt;
+  pkt.flow = flow_;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = params_.packet_bytes;
+  pkt.sent = sim_.now();
+  pkt.route = route_;
+  pkt.sink = sink_;
+  ++packets_sent_;
+  net::inject(std::move(pkt));
+  const double interval_s = 8.0 * params_.packet_bytes / params_.peak_bps;
+  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); });
+}
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,76 @@
+// Two-state exponential on-off UDP source — the paper's "noise" traffic:
+// 50 flows with aggregate average rate 10% of the bottleneck, two-way.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::tcp {
+
+using net::FlowId;
+using net::Packet;
+using net::Route;
+using util::Duration;
+using util::TimePoint;
+
+class ExpOnOffSource {
+ public:
+  struct Params {
+    double peak_bps = 1'000'000;               ///< emission rate while ON
+    Duration mean_on = Duration::millis(100);  ///< exponential ON period
+    Duration mean_off = Duration::millis(400); ///< exponential OFF period
+    std::uint32_t packet_bytes = 500;
+  };
+
+  /// Average rate = peak * mean_on / (mean_on + mean_off).
+  ExpOnOffSource(sim::Simulator& sim, FlowId flow, Params params, util::Rng rng);
+
+  void connect(const Route* route, net::Endpoint* sink) {
+    route_ = route;
+    sink_ = sink;
+  }
+
+  void start(TimePoint at);
+  void stop();
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] double average_rate_bps() const;
+
+ private:
+  void enter_on();
+  void enter_off();
+  void send_tick();
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  util::Rng rng_;
+  const Route* route_ = nullptr;
+  net::Endpoint* sink_ = nullptr;
+  bool running_ = false;
+  bool on_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t next_seq_ = 0;
+  sim::EventHandle state_timer_;
+  sim::EventHandle send_timer_;
+};
+
+/// Endpoint that just counts; sinks background/noise traffic.
+class NullSink final : public net::Endpoint {
+ public:
+  void receive(Packet pkt) override {
+    ++packets_;
+    bytes_ += pkt.size_bytes;
+  }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,130 @@
+#include "tcp/receiver.hpp"
+
+#include <cassert>
+
+#include "net/link.hpp"
+
+namespace lossburst::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, FlowId flow, Params params)
+    : sim_(sim), flow_(flow), params_(params) {}
+
+void TcpReceiver::receive(Packet pkt) {
+  assert(!pkt.is_ack);
+  ++segments_received_;
+  last_arrived_ = pkt.seq;
+  if (pkt.ecn_marked) ce_pending_ = true;
+
+  const TimePoint echo_ts = pkt.sent;
+  const std::uint32_t payload = pkt.size_bytes > net::kHeaderBytes
+                                    ? pkt.size_bytes - net::kHeaderBytes
+                                    : 0;
+
+  if (pkt.seq == rcv_next_) {
+    // In-order: advance, then drain any buffered successors.
+    ++rcv_next_;
+    std::uint64_t delivered = payload;
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == rcv_next_) {
+      ++rcv_next_;
+      delivered += net::kMssBytes;  // buffered segments are full-size
+      it = out_of_order_.erase(it);
+    }
+    bytes_received_ += delivered;
+    if (on_data_) on_data_(delivered);
+
+    if (!out_of_order_.empty()) {
+      // Filling part of a hole: ACK immediately so recovery proceeds.
+      send_ack(echo_ts);
+      return;
+    }
+    if (params_.delayed_ack) {
+      ++unacked_segments_;
+      if (unacked_segments_ >= 2) {
+        send_ack(echo_ts);
+      } else {
+        arm_delack_timer(echo_ts);
+      }
+    } else {
+      send_ack(echo_ts);
+    }
+    return;
+  }
+
+  if (pkt.seq > rcv_next_) {
+    // Gap: buffer and emit an immediate duplicate ACK.
+    out_of_order_.insert(pkt.seq);
+  }
+  // Old or out-of-order segment: immediate (duplicate) ACK either way.
+  send_ack(echo_ts);
+}
+
+void TcpReceiver::send_ack(TimePoint echo_ts) {
+  delack_timer_.cancel();
+  unacked_segments_ = 0;
+  ++acks_sent_;
+  Packet ack;
+  ack.flow = flow_;
+  ack.is_ack = true;
+  ack.ack_seq = rcv_next_;
+  ack.size_bytes = params_.ack_bytes;
+  ack.sent = sim_.now();
+  ack.echo = echo_ts;
+  ack.ecn_echo = ce_pending_;
+  // One echo per CE mark burst: clear after echoing once. The simplified
+  // semantics (vs full RFC 3168 CWR handshake) still deliver at least one
+  // congestion signal per marked window, which is what the sender needs.
+  ce_pending_ = false;
+  if (params_.sack_enabled) fill_sack_blocks(ack);
+  ack.route = route_;
+  ack.sink = sender_;
+  net::inject(std::move(ack));
+}
+
+void TcpReceiver::fill_sack_blocks(Packet& ack) const {
+  if (out_of_order_.empty()) return;
+  // Decompose the out-of-order set into contiguous runs.
+  struct Run {
+    SeqNum begin;
+    SeqNum end;  // exclusive
+  };
+  std::vector<Run> runs;
+  auto it = out_of_order_.begin();
+  Run cur{*it, *it + 1};
+  for (++it; it != out_of_order_.end(); ++it) {
+    if (*it == cur.end) {
+      ++cur.end;
+    } else {
+      runs.push_back(cur);
+      cur = Run{*it, *it + 1};
+    }
+  }
+  runs.push_back(cur);
+
+  // RFC 2018: the block containing the most recently received segment goes
+  // first; fill the rest lowest-first.
+  std::size_t first_idx = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (last_arrived_ >= runs[i].begin && last_arrived_ < runs[i].end) {
+      first_idx = i;
+      break;
+    }
+  }
+  auto push = [&ack](const Run& r) {
+    if (ack.sack_count >= ack.sack.size()) return;
+    ack.sack[ack.sack_count++] = {r.begin, r.end};
+  };
+  if (first_idx < runs.size()) push(runs[first_idx]);
+  for (std::size_t i = 0; i < runs.size() && ack.sack_count < ack.sack.size(); ++i) {
+    if (i != first_idx) push(runs[i]);
+  }
+}
+
+void TcpReceiver::arm_delack_timer(TimePoint echo_ts) {
+  delack_timer_.cancel();
+  delack_timer_ = sim_.in(params_.delack_timeout, [this, echo_ts] {
+    if (unacked_segments_ > 0) send_ack(echo_ts);
+  });
+}
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,76 @@
+// TCP receiver: cumulative ACK generation with optional delayed ACKs,
+// out-of-order buffering, and ECN CE echo.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::tcp {
+
+using net::FlowId;
+using net::Packet;
+using net::Route;
+using net::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+class TcpReceiver final : public net::Endpoint {
+ public:
+  struct Params {
+    bool delayed_ack = false;            ///< ns-2 default sink ACKs every segment
+    Duration delack_timeout = Duration::millis(100);
+    std::uint32_t ack_bytes = net::kAckPacketBytes;
+    /// Attach RFC 2018 SACK blocks to ACKs (pair with a SACK sender).
+    bool sack_enabled = false;
+  };
+
+  TcpReceiver(sim::Simulator& sim, FlowId flow) : TcpReceiver(sim, flow, Params{}) {}
+  TcpReceiver(sim::Simulator& sim, FlowId flow, Params params);
+
+  /// Wire the reverse path: ACKs travel `route` and terminate at `sender`.
+  void connect(const Route* route, net::Endpoint* sender) {
+    route_ = route;
+    sender_ = sender;
+  }
+
+  /// Invoked with payload byte count each time in-order data advances.
+  void set_on_data(std::function<void(std::uint64_t)> fn) { on_data_ = std::move(fn); }
+
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] SeqNum rcv_next() const { return rcv_next_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] std::uint64_t segments_received() const { return segments_received_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  void send_ack(TimePoint echo_ts);
+  void arm_delack_timer(TimePoint echo_ts);
+  void fill_sack_blocks(Packet& ack) const;
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  const Route* route_ = nullptr;
+  net::Endpoint* sender_ = nullptr;
+
+  SeqNum rcv_next_ = 0;
+  std::set<SeqNum> out_of_order_;
+  SeqNum last_arrived_ = 0;  ///< most recent data segment (first SACK block)
+  bool ce_pending_ = false;  ///< CE seen; echo until sender would react
+  std::uint32_t unacked_segments_ = 0;
+  sim::EventHandle delack_timer_;
+
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t segments_received_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::function<void(std::uint64_t)> on_data_;
+};
+
+}  // namespace lossburst::tcp

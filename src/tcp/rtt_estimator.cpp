@@ -1,0 +1,39 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossburst::tcp {
+
+void RttEstimator::add_sample(Duration rtt) {
+  if (rtt < Duration::zero()) return;
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = Duration(rtt.ns() / 2);
+    has_sample_ = true;
+  } else {
+    const std::int64_t err = rtt.ns() - srtt_.ns();
+    rttvar_ = Duration(static_cast<std::int64_t>(
+        (1.0 - params_.beta) * static_cast<double>(rttvar_.ns()) +
+        params_.beta * static_cast<double>(std::llabs(err))));
+    srtt_ = Duration(static_cast<std::int64_t>(
+        (1.0 - params_.alpha) * static_cast<double>(srtt_.ns()) +
+        params_.alpha * static_cast<double>(rtt.ns())));
+  }
+  backoff_shift_ = 0;
+}
+
+Duration RttEstimator::rto() const {
+  Duration base = params_.initial_rto;
+  if (has_sample_) {
+    base = srtt_ + Duration(4 * rttvar_.ns());
+    base = std::max(base, params_.min_rto);
+  }
+  Duration backed(base.ns() << std::min(backoff_shift_, 6));
+  return std::min(backed, params_.max_rto);
+}
+
+void RttEstimator::backoff() { ++backoff_shift_; }
+
+}  // namespace lossburst::tcp

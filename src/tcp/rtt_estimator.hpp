@@ -1,0 +1,50 @@
+// Jacobson/Karels RTT estimation and RTO computation (RFC 6298 constants).
+// Timing uses echoed send timestamps (as TCP timestamps would), so samples
+// from retransmitted segments are still valid and Karn's ambiguity does not
+// arise.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace lossburst::tcp {
+
+using util::Duration;
+
+class RttEstimator {
+ public:
+  struct Params {
+    Duration min_rto = Duration::seconds(1);  // RFC 2988 SHOULD; paper-era stacks
+    Duration max_rto = Duration::seconds(60);
+    Duration initial_rto = Duration::seconds(1);
+    double alpha = 0.125;  ///< srtt gain
+    double beta = 0.25;    ///< rttvar gain
+  };
+
+  RttEstimator() : RttEstimator(Params{}) {}
+  explicit RttEstimator(Params params) : params_(params) {}
+
+  void add_sample(Duration rtt);
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] Duration srtt() const { return srtt_; }
+  [[nodiscard]] Duration rttvar() const { return rttvar_; }
+  [[nodiscard]] Duration min_rtt() const { return min_rtt_; }
+
+  /// Current retransmission timeout, including exponential backoff.
+  [[nodiscard]] Duration rto() const;
+
+  /// Double the timeout (RTO expiry). Undone by the next valid sample.
+  void backoff();
+
+  void reset_backoff() { backoff_shift_ = 0; }
+
+ private:
+  Params params_;
+  bool has_sample_ = false;
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  Duration min_rtt_ = Duration::max();
+  int backoff_shift_ = 0;
+};
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,78 @@
+#include "tcp/sack.hpp"
+
+#include <algorithm>
+
+namespace lossburst::tcp {
+
+void SackScoreboard::on_transmit(net::SeqNum seq, bool retransmit) {
+  ++pipe_;
+  if (retransmit) rtx_in_flight_.insert(seq);
+}
+
+std::size_t SackScoreboard::on_sack_block(net::SeqNum begin, net::SeqNum end) {
+  std::size_t newly = 0;
+  for (net::SeqNum s = begin; s < end; ++s) {
+    if (!sacked_.insert(s).second) continue;
+    ++newly;
+    if (declared_lost_.contains(s)) {
+      // The original was written off at declare-loss time; this SACK
+      // acknowledges the *retransmission*, which was in the pipe.
+      declared_lost_.erase(s);
+      if (rtx_in_flight_.erase(s) > 0) --pipe_;
+    } else {
+      // The original transmission left the network (delivered).
+      --pipe_;
+    }
+  }
+  if (pipe_ < 0) pipe_ = 0;
+  return newly;
+}
+
+void SackScoreboard::on_cumack(net::SeqNum old_una, net::SeqNum new_una) {
+  for (net::SeqNum s = old_una; s < new_una; ++s) {
+    const bool was_sacked = sacked_.erase(s) > 0;
+    const bool was_lost = declared_lost_.erase(s) > 0;
+    const bool rtx_flying = rtx_in_flight_.erase(s) > 0;
+    if (!was_sacked && !was_lost) --pipe_;  // original still counted
+    if (rtx_flying) --pipe_;                // its retransmission too
+  }
+  if (pipe_ < 0) pipe_ = 0;
+}
+
+std::optional<net::SeqNum> SackScoreboard::loss_threshold() const {
+  if (sacked_.size() < kDupThresh) return std::nullopt;
+  auto it = sacked_.rbegin();
+  std::advance(it, kDupThresh - 1);
+  return *it;
+}
+
+std::size_t SackScoreboard::declare_losses(net::SeqNum snd_una) {
+  const auto limit = loss_threshold();
+  if (!limit) return 0;
+  std::size_t newly = 0;
+  for (net::SeqNum s = snd_una; s < *limit; ++s) {
+    if (sacked_.contains(s) || declared_lost_.contains(s)) continue;
+    declared_lost_.insert(s);
+    --pipe_;  // the original is gone from the network
+    ++newly;
+  }
+  if (pipe_ < 0) pipe_ = 0;
+  return newly;
+}
+
+std::optional<net::SeqNum> SackScoreboard::next_hole(net::SeqNum snd_una) const {
+  for (net::SeqNum s : declared_lost_) {
+    if (s < snd_una) continue;
+    if (!rtx_in_flight_.contains(s)) return s;
+  }
+  return std::nullopt;
+}
+
+void SackScoreboard::reset() {
+  sacked_.clear();
+  declared_lost_.clear();
+  rtx_in_flight_.clear();
+  pipe_ = 0;
+}
+
+}  // namespace lossburst::tcp

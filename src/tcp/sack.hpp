@@ -1,0 +1,69 @@
+// SACK scoreboard (RFC 2018 blocks + RFC 3517-style pipe accounting).
+//
+// The scoreboard tracks, per outstanding segment, whether it has been
+// selectively acknowledged, declared lost, or retransmitted, and maintains
+// an incremental estimate of `pipe` — the number of segments actually in
+// flight. The sender uses `pipe < cwnd` as its transmission gate during
+// recovery, which is what lets SACK repair many holes per RTT where NewReno
+// repairs exactly one.
+//
+// Loss declaration uses the common approximation of RFC 3517's IsLost():
+// a segment is lost once at least kDupThresh SACKed segments lie above it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace lossburst::tcp {
+
+class SackScoreboard {
+ public:
+  static constexpr std::size_t kDupThresh = 3;
+
+  /// Record one transmission (new data or retransmission): one more packet
+  /// in flight.
+  void on_transmit(net::SeqNum seq, bool retransmit);
+
+  /// Merge a SACK block [begin, end). Returns the number of newly SACKed
+  /// segments. Call before `on_cumack` when processing an ACK.
+  std::size_t on_sack_block(net::SeqNum begin, net::SeqNum end);
+
+  /// Cumulative ACK advanced from `old_una` to `new_una`: retire every
+  /// segment below `new_una`.
+  void on_cumack(net::SeqNum old_una, net::SeqNum new_una);
+
+  /// Scan for segments newly below the loss threshold and mark them lost.
+  /// Returns the number of segments newly declared lost.
+  std::size_t declare_losses(net::SeqNum snd_una);
+
+  /// Lowest segment in [snd_una, limit) that is declared lost and not yet
+  /// retransmitted — the next retransmission candidate.
+  [[nodiscard]] std::optional<net::SeqNum> next_hole(net::SeqNum snd_una) const;
+
+  /// Packets estimated in flight.
+  [[nodiscard]] std::int64_t pipe() const { return pipe_; }
+
+  [[nodiscard]] bool has_losses() const { return !declared_lost_.empty(); }
+  [[nodiscard]] std::size_t sacked_count() const { return sacked_.size(); }
+  [[nodiscard]] std::size_t lost_count() const { return declared_lost_.size(); }
+  [[nodiscard]] bool is_sacked(net::SeqNum seq) const { return sacked_.contains(seq); }
+  [[nodiscard]] bool is_lost(net::SeqNum seq) const { return declared_lost_.contains(seq); }
+
+  /// Full reset (RTO: flight information is no longer trustworthy).
+  void reset();
+
+ private:
+  /// Threshold below which unsacked segments are considered lost: the
+  /// kDupThresh-th highest SACKed sequence.
+  [[nodiscard]] std::optional<net::SeqNum> loss_threshold() const;
+
+  std::set<net::SeqNum> sacked_;
+  std::set<net::SeqNum> declared_lost_;  ///< lost, pipe already decremented
+  std::set<net::SeqNum> rtx_in_flight_;  ///< retransmissions not yet acked
+  std::int64_t pipe_ = 0;
+};
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,186 @@
+// TCP sender: Reno / NewReno congestion control with two emission modes.
+//
+// - kWindowBurst: classic window-based TCP. Whenever the window opens
+//   (ACK arrival, window growth), every sendable segment goes out
+//   back-to-back — this produces the sub-RTT on-off pattern the paper
+//   identifies in window-based implementations.
+// - kPaced: TCP Pacing. *Identical* loss detection and congestion reaction;
+//   only the emission schedule differs: segments are released one per
+//   srtt/cwnd interval, so arrivals at the bottleneck are evenly spaced.
+//   This mirrors the paper's statement that "TCP Pacing uses exactly the
+//   same loss detection and congestion reaction algorithms as TCP NewReno."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/sack.hpp"
+
+namespace lossburst::tcp {
+
+using net::FlowId;
+using net::Packet;
+using net::Route;
+using net::SeqNum;
+
+/// kVegas is the delay-based alternative §5 points to (FAST TCP [23] is its
+/// high-speed descendant): congestion is inferred from queueing delay, so
+/// the bursty loss process stops being the (only) control signal.
+enum class CcVariant { kReno, kNewReno, kVegas };
+enum class EmissionMode { kWindowBurst, kPaced };
+
+struct SenderStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t congestion_events = 0;  ///< window reductions (loss or ECN)
+  std::uint64_t ecn_responses = 0;
+};
+
+/// One transmission, as a packet trace (tcpdump at the sender) would record
+/// it. Used by the trace-inference analysis that reproduces Paxson's
+/// TCP-trace loss-measurement methodology — the one §2 argues cannot
+/// separate TCP's own sub-RTT burstiness from the network's.
+struct TxRecord {
+  util::TimePoint time;
+  SeqNum seq;
+  bool retransmit;
+};
+
+class TcpSender final : public net::Endpoint {
+ public:
+  struct Params {
+    CcVariant variant = CcVariant::kNewReno;
+    EmissionMode emission = EmissionMode::kWindowBurst;
+    bool ecn_enabled = false;
+    double initial_cwnd = 2.0;      ///< segments; paper: "two packets every RTT"
+    double initial_ssthresh = 1e9;  ///< effectively unbounded slow start
+    double max_cwnd = 1e9;
+    std::uint64_t total_segments = 0;  ///< 0 = unlimited (FTP-style)
+    std::uint32_t segment_bytes = net::kDataPacketBytes;  ///< wire size
+    util::Duration pacing_rtt_hint = util::Duration::millis(100);
+    double vegas_alpha = 2.0;  ///< packets of queueing to maintain (lower bound)
+    double vegas_beta = 4.0;   ///< upper bound
+    /// RFC 6582 "Impatient": only the first partial ACK of a recovery
+    /// episode resets the retransmit timer, so a many-hole recovery (e.g.
+    /// after slow-start overshoot) falls back to RTO instead of limping one
+    /// hole per RTT.
+    bool impatient_rto = true;
+    /// SACK-based loss recovery (RFC 2018/3517): repairs many holes per RTT
+    /// instead of NewReno's one. Requires a SACK-enabled receiver. An
+    /// extension relative to the paper's NewReno senders; used by the SACK
+    /// ablation bench.
+    bool sack_enabled = false;
+    RttEstimator::Params rtt{};
+  };
+
+  TcpSender(sim::Simulator& sim, FlowId flow) : TcpSender(sim, flow, Params{}) {}
+  TcpSender(sim::Simulator& sim, FlowId flow, Params params);
+
+  /// Wire the forward path: data travels `route` and terminates at
+  /// `receiver`.
+  void connect(const Route* route, net::Endpoint* receiver) {
+    route_ = route;
+    receiver_ = receiver;
+  }
+
+  /// Begin transmitting at simulated time `at`.
+  void start(util::TimePoint at);
+
+  /// Called when the last segment of a bounded transfer is acknowledged.
+  void set_on_complete(std::function<void(util::TimePoint)> fn) { on_complete_ = std::move(fn); }
+
+  void receive(Packet pkt) override;  ///< ACK arrival
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] SeqNum snd_una() const { return snd_una_; }
+  [[nodiscard]] SeqNum snd_next() const { return snd_next_; }
+  [[nodiscard]] bool in_recovery() const { return in_recovery_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] util::TimePoint completion_time() const { return completion_time_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] FlowId flow() const { return flow_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Segments in flight (sent, not cumulatively acknowledged).
+  [[nodiscard]] std::uint64_t outstanding() const { return snd_next_ - snd_una_; }
+
+  /// Start recording every transmission (seq, time, retransmit flag).
+  void enable_tx_trace() { tx_trace_enabled_ = true; }
+  [[nodiscard]] const std::vector<TxRecord>& tx_trace() const { return tx_trace_; }
+
+ private:
+  void on_new_ack(const Packet& ack);
+  void on_dup_ack(const Packet& ack);
+  void vegas_adjust();
+  void sack_process(const Packet& ack);
+  void enter_sack_recovery();
+  void sack_try_send();
+  void enter_recovery();
+  void ecn_congestion_response();
+  void emit_segment(SeqNum seq, bool retransmit);
+  void try_send();
+  void pace_tick();
+  void arm_pacing();
+  [[nodiscard]] bool pacing_can_send() const;
+  [[nodiscard]] util::Duration pacing_interval() const;
+  [[nodiscard]] std::uint64_t effective_window() const;
+  [[nodiscard]] bool has_data_to_send() const;
+  void arm_rto();      ///< start the timer if it is not already running
+  void restart_rto();  ///< cancel and re-arm (new cumulative progress)
+  void on_rto();
+  void complete();
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  const Route* route_ = nullptr;
+  net::Endpoint* receiver_ = nullptr;
+
+  double cwnd_;
+  double ssthresh_;
+  SeqNum snd_una_ = 0;
+  SeqNum snd_next_ = 0;
+  std::uint32_t dup_acks_ = 0;
+  bool in_recovery_ = false;
+  bool partial_ack_seen_ = false;  ///< within the current recovery episode
+  SeqNum recover_ = 0;
+  /// Flight size when the current recovery episode began. During recovery
+  /// outstanding() is inflated by the dup-ACK rule, so window reductions
+  /// must be computed from this pre-inflation value.
+  std::uint64_t flight_at_recovery_ = 0;
+  bool started_ = false;
+  bool completed_ = false;
+  util::TimePoint completion_time_ = util::TimePoint::zero();
+  util::TimePoint last_reduction_ = util::TimePoint::zero();
+  bool reduced_once_ = false;
+
+  RttEstimator rtt_;
+  sim::EventHandle rto_timer_;
+  sim::EventHandle pace_timer_;
+  bool pacing_armed_ = false;
+  /// Last paced emission; keeps the pacer from losing credit when the
+  /// window closes and reopens (send immediately if an interval already
+  /// elapsed while stalled).
+  util::TimePoint last_paced_send_ = util::TimePoint(-1);
+
+  util::TimePoint last_vegas_adjust_ = util::TimePoint::zero();
+
+  bool tx_trace_enabled_ = false;
+  std::vector<TxRecord> tx_trace_;
+
+  SackScoreboard sack_;
+
+  SenderStats stats_;
+  std::function<void(util::TimePoint)> on_complete_;
+};
+
+}  // namespace lossburst::tcp

@@ -1,0 +1,190 @@
+#include "tcp/tfrc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/link.hpp"
+
+namespace lossburst::tcp {
+
+double tfrc_throughput_eq(double s_bytes, double rtt_s, double p) {
+  assert(rtt_s > 0.0);
+  if (p <= 0.0) return 1e18;  // equation is unbounded as p -> 0
+  const double t_rto = 4.0 * rtt_s;
+  const double denom = rtt_s * std::sqrt(2.0 * p / 3.0) +
+                       t_rto * (3.0 * std::sqrt(3.0 * p / 8.0)) * p * (1.0 + 32.0 * p * p);
+  return s_bytes / denom;
+}
+
+// ------------------------------------------------------------------ sender
+
+TfrcSender::TfrcSender(sim::Simulator& sim, FlowId flow, Params params)
+    : sim_(sim), flow_(flow), params_(params),
+      // Initial rate: one packet per initial RTT (RFC 3448 §4.2).
+      rate_bps_(8.0 * params.segment_bytes / params.initial_rtt.seconds()) {}
+
+void TfrcSender::start(TimePoint at) {
+  assert(route_ != nullptr && receiver_ != nullptr);
+  sim_.at(at, [this] {
+    started_ = true;
+    arm_no_feedback_timer();
+    send_tick();
+  });
+}
+
+void TfrcSender::send_tick() {
+  if (!started_) return;
+  Packet pkt;
+  pkt.flow = flow_;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = params_.segment_bytes;
+  pkt.sent = sim_.now();
+  pkt.tfrc.sender_rtt_s = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
+  pkt.route = route_;
+  pkt.sink = receiver_;
+  ++segments_sent_;
+  net::inject(std::move(pkt));
+  schedule_next_send();
+}
+
+void TfrcSender::schedule_next_send() {
+  const double interval_s = 8.0 * params_.segment_bytes / rate_bps_;
+  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); });
+}
+
+void TfrcSender::receive(Packet pkt) {
+  assert(pkt.is_ack);
+  // RTT sample from the echoed data timestamp.
+  if (pkt.echo != TimePoint::zero()) {
+    const double sample = (sim_.now() - pkt.echo).seconds();
+    rtt_s_ = rtt_s_ == 0.0 ? sample : 0.9 * rtt_s_ + 0.1 * sample;
+  }
+  const double r = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
+  const double p = pkt.tfrc.loss_event_rate;
+  const double x_recv = pkt.tfrc.recv_rate_bps;
+  last_p_ = p;
+
+  double x;
+  if (p > 0.0) {
+    loss_seen_ = true;
+    const double x_calc = 8.0 * tfrc_throughput_eq(params_.segment_bytes, r, p);
+    x = std::max(std::min(x_calc, 2.0 * x_recv), params_.min_rate_bps);
+  } else {
+    // Slow-start phase: double per feedback, bounded by twice the rate the
+    // receiver actually saw.
+    x = std::max(std::min(2.0 * rate_bps_, 2.0 * x_recv), 8.0 * params_.segment_bytes / r);
+  }
+  rate_bps_ = std::clamp(x, params_.min_rate_bps, params_.max_rate_bps);
+  arm_no_feedback_timer();
+}
+
+void TfrcSender::arm_no_feedback_timer() {
+  no_feedback_timer_.cancel();
+  const double r = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
+  no_feedback_timer_ = sim_.in(Duration::from_seconds(std::max(4.0 * r, 0.01)),
+                               [this] { on_no_feedback(); });
+}
+
+void TfrcSender::on_no_feedback() {
+  // RFC 3448 §4.4: halve the rate when feedback stops arriving.
+  rate_bps_ = std::max(rate_bps_ / 2.0, params_.min_rate_bps);
+  arm_no_feedback_timer();
+}
+
+// ---------------------------------------------------------------- receiver
+
+TfrcReceiver::TfrcReceiver(sim::Simulator& sim, FlowId flow, Params params)
+    : sim_(sim), flow_(flow), params_(params) {}
+
+void TfrcReceiver::receive(Packet pkt) {
+  assert(!pkt.is_ack);
+  if (sender_rtt_s_ == 0.0) period_start_ = sim_.now();
+  sender_rtt_s_ = pkt.tfrc.sender_rtt_s;
+  last_data_sent_ts_ = pkt.sent;
+  ++packets_received_;
+  bytes_received_ += pkt.size_bytes;
+  bytes_this_period_ += pkt.size_bytes;
+
+  if (pkt.seq > expected_) {
+    // The network preserves FIFO order per flow, so a gap means loss.
+    note_losses(expected_, pkt.seq);
+  }
+  if (pkt.seq >= expected_) expected_ = pkt.seq + 1;
+  current_interval_ += 1.0;
+
+  if (!timer_armed_) {
+    arm_feedback_timer();
+    timer_armed_ = true;
+  }
+}
+
+void TfrcReceiver::note_losses(SeqNum from, SeqNum to_exclusive) {
+  const std::uint64_t n = to_exclusive - from;
+  losses_detected_ += n;
+  // Loss-event grouping: losses within one RTT of the event start belong to
+  // the same event (RFC 3448 §5.2).
+  const double r = sender_rtt_s_ > 0.0 ? sender_rtt_s_ : params_.initial_rtt.seconds();
+  const TimePoint now = sim_.now();
+  if (last_loss_event_ < TimePoint::zero() ||
+      (now - last_loss_event_).seconds() > r) {
+    ++loss_events_;
+    last_loss_event_ = now;
+    intervals_.push_front(current_interval_);
+    if (intervals_.size() > params_.history_intervals) intervals_.pop_back();
+    current_interval_ = 0.0;
+  }
+}
+
+double TfrcReceiver::loss_event_rate() const {
+  if (intervals_.empty()) return 0.0;
+  // RFC 3448 §5.4 weights for n = 8.
+  static constexpr double kW[8] = {1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2};
+  const std::size_t n = std::min<std::size_t>(intervals_.size(), 8);
+
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += kW[i] * intervals_[i];
+    den += kW[i];
+  }
+  const double avg_closed = num / den;
+
+  // History discounting: also average with the open interval shifted in; use
+  // whichever yields the larger mean interval (smaller p).
+  double num2 = current_interval_ * kW[0];
+  double den2 = kW[0];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    num2 += kW[i + 1] * intervals_[i];
+    den2 += kW[i + 1];
+  }
+  const double avg_open = num2 / den2;
+
+  const double mean_interval = std::max(avg_closed, avg_open);
+  return mean_interval > 0.0 ? 1.0 / mean_interval : 0.0;
+}
+
+void TfrcReceiver::arm_feedback_timer() {
+  const double r = sender_rtt_s_ > 0.0 ? sender_rtt_s_ : params_.initial_rtt.seconds();
+  feedback_timer_ = sim_.in(Duration::from_seconds(r), [this] { send_feedback(); });
+}
+
+void TfrcReceiver::send_feedback() {
+  const double period_s = std::max((sim_.now() - period_start_).seconds(), 1e-9);
+  Packet fb;
+  fb.flow = flow_;
+  fb.is_ack = true;
+  fb.size_bytes = params_.feedback_bytes;
+  fb.sent = sim_.now();
+  fb.echo = last_data_sent_ts_;
+  fb.tfrc.loss_event_rate = loss_event_rate();
+  fb.tfrc.recv_rate_bps = static_cast<double>(bytes_this_period_) * 8.0 / period_s;
+  fb.route = route_;
+  fb.sink = sender_;
+  net::inject(std::move(fb));
+  bytes_this_period_ = 0;
+  period_start_ = sim_.now();
+  arm_feedback_timer();
+}
+
+}  // namespace lossburst::tcp

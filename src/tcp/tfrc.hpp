@@ -1,0 +1,137 @@
+// TFRC — TCP-Friendly Rate Control (RFC 3448), the rate-based transport the
+// paper names for unreliable transfers. The sender emits packets at a
+// smoothly controlled rate X; the receiver measures the loss *event* rate p
+// with the weighted loss-interval method and reports it once per RTT; the
+// sender sets X from the TCP throughput equation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::tcp {
+
+using net::FlowId;
+using net::Packet;
+using net::Route;
+using net::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+/// The TCP throughput equation of RFC 3448 §3.1:
+///   X = s / (R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1 + 32 p^2))
+/// in bytes/second, with t_RTO = 4R. Exposed for tests and analysis.
+double tfrc_throughput_eq(double s_bytes, double rtt_s, double p);
+
+class TfrcSender final : public net::Endpoint {
+ public:
+  struct Params {
+    std::uint32_t segment_bytes = net::kDataPacketBytes;
+    Duration initial_rtt = Duration::millis(100);
+    double min_rate_bps = 8.0 * net::kDataPacketBytes / 64.0;  ///< s/t_mbi, t_mbi = 64 s
+    double max_rate_bps = 10e9;
+  };
+
+  TfrcSender(sim::Simulator& sim, FlowId flow) : TfrcSender(sim, flow, Params{}) {}
+  TfrcSender(sim::Simulator& sim, FlowId flow, Params params);
+
+  void connect(const Route* route, net::Endpoint* receiver) {
+    route_ = route;
+    receiver_ = receiver;
+  }
+
+  void start(TimePoint at);
+
+  /// Feedback packet arrival.
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  [[nodiscard]] double rtt_seconds() const { return rtt_s_; }
+  [[nodiscard]] double loss_event_rate() const { return last_p_; }
+  [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
+  [[nodiscard]] FlowId flow() const { return flow_; }
+
+ private:
+  void send_tick();
+  void schedule_next_send();
+  void on_no_feedback();
+  void arm_no_feedback_timer();
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  const Route* route_ = nullptr;
+  net::Endpoint* receiver_ = nullptr;
+
+  double rate_bps_;
+  double rtt_s_ = 0.0;  ///< 0 until first feedback
+  double last_p_ = 0.0;
+  bool started_ = false;
+  bool loss_seen_ = false;
+  SeqNum next_seq_ = 0;
+  std::uint64_t segments_sent_ = 0;
+  sim::EventHandle send_timer_;
+  sim::EventHandle no_feedback_timer_;
+};
+
+class TfrcReceiver final : public net::Endpoint {
+ public:
+  struct Params {
+    std::size_t history_intervals = 8;  ///< RFC 3448 weighted history length
+    Duration initial_rtt = Duration::millis(100);
+    std::uint32_t feedback_bytes = net::kAckPacketBytes;
+  };
+
+  TfrcReceiver(sim::Simulator& sim, FlowId flow) : TfrcReceiver(sim, flow, Params{}) {}
+  TfrcReceiver(sim::Simulator& sim, FlowId flow, Params params);
+
+  void connect(const Route* route, net::Endpoint* sender) {
+    route_ = route;
+    sender_ = sender;
+  }
+
+  void receive(Packet pkt) override;  ///< data packet arrival
+
+  [[nodiscard]] double loss_event_rate() const;
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t losses_detected() const { return losses_detected_; }
+  [[nodiscard]] std::uint64_t loss_events() const { return loss_events_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void send_feedback();
+  void arm_feedback_timer();
+  void note_losses(SeqNum from, SeqNum to_exclusive);
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params params_;
+  const Route* route_ = nullptr;
+  net::Endpoint* sender_ = nullptr;
+
+  SeqNum expected_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t losses_detected_ = 0;
+  std::uint64_t loss_events_ = 0;
+  std::uint64_t bytes_received_ = 0;
+
+  double sender_rtt_s_ = 0.0;
+  TimePoint last_loss_event_ = TimePoint(-1);
+  /// Closed loss intervals (packet counts), most recent first.
+  std::deque<double> intervals_;
+  double current_interval_ = 0.0;  ///< packets since the last loss event
+
+  // Receive-rate measurement over the current feedback period.
+  std::uint64_t bytes_this_period_ = 0;
+  TimePoint period_start_ = TimePoint::zero();
+  TimePoint last_data_sent_ts_ = TimePoint::zero();  ///< echo for sender RTT
+
+  sim::EventHandle feedback_timer_;
+  bool timer_armed_ = false;
+};
+
+}  // namespace lossburst::tcp

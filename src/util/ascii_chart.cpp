@@ -1,0 +1,123 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace lossburst::util {
+
+namespace {
+
+double transform_y(double y, const ChartOptions& opts) {
+  if (!opts.log_y) return y;
+  return std::log10(std::max(y, opts.log_floor));
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (v == 0.0) return "0";
+  const double a = std::abs(v);
+  if (a >= 0.01 && a < 10000.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series, const ChartOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << "  " << opts.title << '\n';
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      any = true;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      const double ty = transform_y(s.y[i], opts);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  if (!any) return out.str() + "  (no data)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const int w = std::max(opts.width, 10);
+  const int h = std::max(opts.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (transform_y(s.y[i], opts) - ymin) / (ymax - ymin);
+      int cx = static_cast<int>(fx * (w - 1) + 0.5);
+      int cy = static_cast<int>(fy * (h - 1) + 0.5);
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  // y-axis labels on a few rows.
+  const std::string top_label = opts.log_y ? ("1e" + format_tick(ymax)) : format_tick(ymax);
+  const std::string bot_label = opts.log_y ? ("1e" + format_tick(ymin)) : format_tick(ymin);
+  for (int r = 0; r < h; ++r) {
+    std::string label(10, ' ');
+    if (r == 0) label = top_label;
+    else if (r == h - 1) label = bot_label;
+    else if (r == h / 2) {
+      const double midv = ymin + (ymax - ymin) * 0.5;
+      label = opts.log_y ? ("1e" + format_tick(midv)) : format_tick(midv);
+    }
+    label.resize(10, ' ');
+    out << label << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  std::string xaxis(10 + 1, ' ');
+  const std::string xl = format_tick(xmin);
+  const std::string xr = format_tick(xmax);
+  xaxis += xl;
+  const int pad = w - static_cast<int>(xl.size()) - static_cast<int>(xr.size());
+  if (pad > 0) xaxis += std::string(static_cast<std::size_t>(pad), ' ');
+  xaxis += xr;
+  out << xaxis << '\n';
+  if (!opts.x_label.empty()) out << std::string(12, ' ') << opts.x_label << '\n';
+
+  out << "  legend:";
+  for (const auto& s : series) out << "  '" << s.glyph << "' = " << s.name;
+  out << '\n';
+  return out.str();
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& items, int width,
+                        const std::string& title) {
+  std::ostringstream out;
+  if (!title.empty()) out << "  " << title << '\n';
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [name, v] : items) {
+    maxv = std::max(maxv, std::abs(v));
+    label_w = std::max(label_w, name.size());
+  }
+  if (maxv == 0.0) maxv = 1.0;
+  for (const auto& [name, v] : items) {
+    std::string label = name;
+    label.resize(label_w, ' ');
+    const int len = static_cast<int>(std::abs(v) / maxv * width + 0.5);
+    out << "  " << label << " |" << std::string(static_cast<std::size_t>(len), '#') << ' '
+        << format_tick(v) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lossburst::util

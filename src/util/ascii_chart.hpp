@@ -1,0 +1,36 @@
+// Terminal chart rendering so every bench binary can show the paper's
+// figures inline (log-scale PDF overlays, throughput time series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lossburst::util {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+struct ChartOptions {
+  int width = 72;        ///< plot area columns
+  int height = 20;       ///< plot area rows
+  bool log_y = false;    ///< log10 y axis (like the paper's PDF figures)
+  double log_floor = 1e-6;  ///< values below this clamp to the floor on log axes
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render one or more (x, y) series into a text chart. Non-positive values
+/// are clamped to `log_floor` on log axes, matching how the paper's
+/// log-scale PDFs simply omit empty bins.
+std::string render_chart(const std::vector<ChartSeries>& series, const ChartOptions& opts);
+
+/// Render a horizontal bar chart (label, value) — used for summary tables.
+std::string render_bars(const std::vector<std::pair<std::string, double>>& items,
+                        int width = 50, const std::string& title = "");
+
+}  // namespace lossburst::util

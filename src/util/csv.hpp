@@ -1,0 +1,72 @@
+// Minimal CSV writer for experiment output (fed to plotting scripts).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lossburst::util {
+
+/// Streams rows of comma-separated values to any std::ostream. Fields
+/// containing commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names) { row_strings(names.begin(), names.end()); }
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    bool first = true;
+    ((write_field(fields, first), first = false), ...);
+    *out_ << '\n';
+  }
+
+  void row_vector(const std::vector<double>& values);
+
+ private:
+  template <typename It>
+  void row_strings(It begin, It end) {
+    bool first = true;
+    for (It it = begin; it != end; ++it) {
+      write_field(*it, first);
+      first = false;
+    }
+    *out_ << '\n';
+  }
+
+  template <typename T>
+  void write_field(const T& value, bool first) {
+    if (!first) *out_ << ',';
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      write_escaped(std::string_view(value));
+    } else {
+      std::ostringstream ss;
+      ss << value;
+      write_escaped(ss.str());
+    }
+  }
+
+  void write_escaped(std::string_view s);
+
+  std::ostream* out_;
+};
+
+/// Opens a file, writes via CsvWriter, flushes on destruction.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path) : file_(path), writer_(file_) {}
+
+  [[nodiscard]] bool ok() const { return file_.good(); }
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream file_;
+  CsvWriter writer_;
+};
+
+}  // namespace lossburst::util

@@ -1,0 +1,84 @@
+#include "util/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lossburst::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) { add(x, 1.0); }
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // guard FP edge
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + width_ * (static_cast<double>(i) + 0.5);
+}
+
+double Histogram::pmf(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::density(std::size_t i) const { return pmf(i) / width_; }
+
+double Histogram::fraction_below(double x) const {
+  if (total_ <= 0.0) return 0.0;
+  double mass = underflow_;
+  if (x <= lo_) return mass / total_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double l = bin_left(i);
+    const double r = l + width_;
+    if (x >= r) {
+      mass += counts_[i];
+    } else if (x > l) {
+      mass += counts_[i] * (x - l) / width_;
+      break;
+    } else {
+      break;
+    }
+  }
+  return mass / total_;
+}
+
+std::vector<double> Histogram::pmf_series() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = pmf(i);
+  return out;
+}
+
+void Histogram::merge(const Histogram& o) {
+  assert(o.counts_.size() == counts_.size() && o.lo_ == lo_ && o.hi_ == hi_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
+  total_ += o.total_;
+}
+
+std::vector<double> poisson_reference_pmf(const Histogram& like, double mean_interval) {
+  std::vector<double> out(like.bins(), 0.0);
+  if (mean_interval <= 0.0) return out;
+  for (std::size_t i = 0; i < like.bins(); ++i) {
+    const double l = like.bin_left(i);
+    const double r = l + like.bin_width();
+    out[i] = std::exp(-l / mean_interval) - std::exp(-r / mean_interval);
+  }
+  return out;
+}
+
+}  // namespace lossburst::util

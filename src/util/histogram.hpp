@@ -1,0 +1,61 @@
+// Fixed-bin histogram with PDF normalization, used for the paper's
+// inter-loss-interval PDFs (bin size 0.02 RTT over [0, 2] RTT).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::util {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) uniformly; samples below lo go to the underflow
+  /// counter and samples at or above hi to the overflow counter.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(double x, double weight);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double bin_left(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Probability mass in bin i (counts normalized by total including
+  /// under/overflow). The paper's PDFs plot exactly this per-bin mass.
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+  /// Probability density in bin i (pmf divided by bin width).
+  [[nodiscard]] double density(std::size_t i) const;
+
+  /// Fraction of all samples below x (x must lie in [lo, hi]; interpolates
+  /// within the containing bin, includes underflow mass).
+  [[nodiscard]] double fraction_below(double x) const;
+
+  [[nodiscard]] std::vector<double> pmf_series() const;
+
+  void merge(const Histogram& o);
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Per-bin probability mass of an exponential (Poisson inter-arrival)
+/// distribution with the given mean, over the same binning as `like`. This is
+/// the reference curve drawn in Figures 2-4: P(bin) = e^{-l/m} - e^{-r/m}.
+std::vector<double> poisson_reference_pmf(const Histogram& like, double mean_interval);
+
+}  // namespace lossburst::util

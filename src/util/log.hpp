@@ -1,0 +1,47 @@
+// Lightweight leveled logging. Disabled levels cost one branch; there is no
+// global registry — loggers are plain values you construct where needed.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lossburst::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; defaults to Info. Tests lower it to Trace to
+/// exercise log paths; benches raise it to Off.
+LogLevel global_log_level();
+void set_global_log_level(LogLevel level);
+
+std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  explicit Logger(std::string component, std::ostream& out = std::cerr)
+      : component_(std::move(component)), out_(&out) {}
+
+  template <typename... Ts>
+  void log(LogLevel level, const Ts&... parts) const {
+    if (level < global_log_level()) return;
+    std::ostringstream ss;
+    ss << '[' << to_string(level) << "] " << component_ << ": ";
+    (ss << ... << parts);
+    ss << '\n';
+    *out_ << ss.str();
+  }
+
+  template <typename... Ts> void trace(const Ts&... p) const { log(LogLevel::kTrace, p...); }
+  template <typename... Ts> void debug(const Ts&... p) const { log(LogLevel::kDebug, p...); }
+  template <typename... Ts> void info(const Ts&... p) const { log(LogLevel::kInfo, p...); }
+  template <typename... Ts> void warn(const Ts&... p) const { log(LogLevel::kWarn, p...); }
+  template <typename... Ts> void error(const Ts&... p) const { log(LogLevel::kError, p...); }
+
+ private:
+  std::string component_;
+  std::ostream* out_;
+};
+
+}  // namespace lossburst::util

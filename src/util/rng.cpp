@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lossburst::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  assert(alpha > 0.0 && xm > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+  return Duration(uniform_int(lo.ns(), hi.ns()));
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+  const double ns = exponential(static_cast<double>(mean.ns()));
+  return Duration(static_cast<std::int64_t>(ns + 0.5));
+}
+
+}  // namespace lossburst::util

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lossburst::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(o.n_);
+  const double total = n + m;
+  m2_ += o.m2_ + delta * delta * n * m / total;
+  mean_ = (n * mean_ + m * o.mean_) / total;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+Summary::Summary(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  OnlineStats acc;
+  for (double x : sorted_) acc.add(x);
+  mean_ = acc.mean();
+  stddev_ = acc.stddev();
+}
+
+double Summary::min() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN() : sorted_.front();
+}
+
+double Summary::max() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN() : sorted_.back();
+}
+
+double Summary::percentile(double p) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Summary::fraction_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double coefficient_of_variation(const std::vector<double>& samples) {
+  OnlineStats acc;
+  for (double x : samples) acc.add(x);
+  if (acc.count() < 2 || acc.mean() == 0.0) return 0.0;
+  return acc.stddev() / acc.mean();
+}
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (lag >= n || n < 2) return 0.0;
+  OnlineStats acc;
+  for (double x : series) acc.add(x);
+  const double mean = acc.mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (series[i + lag] - mean);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace lossburst::util

@@ -1,0 +1,68 @@
+// Streaming and batch statistics used by the analysis layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::util {
+
+/// Welford online mean/variance accumulator. Numerically stable; O(1) space.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector: mean, stddev, min/max, and percentiles
+/// by linear interpolation. The input is copied and sorted once.
+class Summary {
+ public:
+  explicit Summary(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Percentile in [0, 100], linearly interpolated between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Fraction of samples strictly less than x.
+  [[nodiscard]] double fraction_below(double x) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+/// Coefficient of variation of inter-arrival times is a standard burstiness
+/// index: 1 for Poisson, >1 for bursty processes.
+double coefficient_of_variation(const std::vector<double>& samples);
+
+/// Lag-k autocorrelation of a series (biased estimator). Used to show that
+/// loss intervals are positively correlated, another burstiness signature.
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+}  // namespace lossburst::util

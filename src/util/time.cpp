@@ -1,0 +1,28 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lossburst::util {
+
+namespace {
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ns));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", static_cast<double>(ns) * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", static_cast<double>(ns) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6gs", static_cast<double>(ns) * 1e-9);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Duration d) { return format_ns(d.ns()); }
+std::string to_string(TimePoint t) { return format_ns(t.ns()); }
+
+}  // namespace lossburst::util

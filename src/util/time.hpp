@@ -1,0 +1,103 @@
+// Simulated-time types for the lossburst discrete-event simulator.
+//
+// Simulation time is an integer count of nanoseconds. Using a fixed-point
+// representation (rather than double seconds) keeps event ordering exact and
+// runs bit-reproducible across platforms: two events scheduled from the same
+// arithmetic always land in the same order.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace lossburst::util {
+
+/// A span of simulated time, in integer nanoseconds. May be negative in
+/// intermediate arithmetic (e.g. time differences), though the simulator
+/// never schedules into the past.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() { return Duration(std::numeric_limits<std::int64_t>::max()); }
+  static constexpr Duration nanos(std::int64_t v) { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration millis(std::int64_t v) { return Duration(v * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000'000); }
+
+  /// Nearest-nanosecond conversion from floating-point seconds. Used at
+  /// configuration boundaries only; internal arithmetic stays integral.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// Scale a duration by a floating-point factor, rounding to the nearest
+/// nanosecond. Convenient for jitter and rate computations.
+constexpr Duration scale(Duration d, double f) {
+  return Duration(static_cast<std::int64_t>(static_cast<double>(d.ns()) * f + 0.5));
+}
+
+/// An absolute point on the simulated clock, in nanoseconds since the start
+/// of the run.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint max() { return TimePoint(std::numeric_limits<std::int64_t>::max()); }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering such as "12.5ms" or "3.2s"; for logs and charts.
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanos(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::micros(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::millis(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace lossburst::util

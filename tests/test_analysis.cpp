@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/loss_intervals.hpp"
+#include "analysis/validate.hpp"
+#include "util/rng.hpp"
+
+namespace lossburst::analysis {
+namespace {
+
+TEST(InterLossIntervalsTest, Differences) {
+  const auto iv = inter_loss_intervals({1.0, 1.5, 3.0});
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_DOUBLE_EQ(iv[0], 0.5);
+  EXPECT_DOUBLE_EQ(iv[1], 1.5);
+}
+
+TEST(InterLossIntervalsTest, Degenerate) {
+  EXPECT_TRUE(inter_loss_intervals({}).empty());
+  EXPECT_TRUE(inter_loss_intervals({1.0}).empty());
+}
+
+TEST(AnalyzeTest, PaperBinning) {
+  const auto a = analyze_loss_intervals({0.0, 0.1}, 1.0);
+  EXPECT_EQ(a.pdf.bins(), 100u);
+  EXPECT_DOUBLE_EQ(a.pdf.bin_width(), 0.02);
+  EXPECT_DOUBLE_EQ(a.pdf.hi(), 2.0);
+}
+
+TEST(AnalyzeTest, NormalizesByRtt) {
+  // Intervals of 50 ms with RTT 100 ms => 0.5 RTT each.
+  std::vector<double> times;
+  for (int i = 0; i < 100; ++i) times.push_back(i * 0.05);
+  const auto a = analyze_loss_intervals(times, 0.1);
+  EXPECT_NEAR(a.mean_interval_rtts, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(a.frac_below_1_rtt, 1.0);
+  EXPECT_DOUBLE_EQ(a.frac_below_001_rtt, 0.0);
+}
+
+TEST(AnalyzeTest, SortsUnorderedInput) {
+  const auto a = analyze_loss_intervals({3.0, 1.0, 2.0}, 1.0);
+  EXPECT_NEAR(a.mean_interval_rtts, 1.0, 1e-9);
+}
+
+TEST(AnalyzeTest, BurstyTraceClusterFractions) {
+  // 10 bursts of 10 drops 1 ms apart, bursts 1 s apart; RTT = 1 s.
+  std::vector<double> times;
+  for (int b = 0; b < 10; ++b) {
+    for (int k = 0; k < 10; ++k) times.push_back(b * 1.0 + k * 0.001);
+  }
+  const auto a = analyze_loss_intervals(times, 1.0);
+  // 90 intra-burst intervals of 0.001 RTT, 9 inter-burst of ~0.99 RTT.
+  EXPECT_NEAR(a.frac_below_001_rtt, 90.0 / 99.0, 0.01);
+  EXPECT_NEAR(a.frac_below_1_rtt, 1.0, 0.02);
+  EXPECT_GT(a.cov, 1.5);
+  EXPECT_GT(a.first_bin_excess(), 2.0);
+}
+
+TEST(AnalyzeTest, PoissonTraceLooksPoisson) {
+  util::Rng rng(1);
+  std::vector<double> times;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exponential(0.5);
+    times.push_back(t);
+  }
+  const auto a = analyze_loss_intervals(times, 1.0);  // mean interval 0.5 RTT
+  EXPECT_NEAR(a.cov, 1.0, 0.05);
+  EXPECT_NEAR(a.first_bin_excess(), 1.0, 0.1);
+  EXPECT_NEAR(a.lag1_autocorr, 0.0, 0.05);
+  // Measured PDF tracks the Poisson reference bin-by-bin early on.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(a.pdf.pmf(i), a.poisson_pdf[i], a.poisson_pdf[i] * 0.3);
+  }
+}
+
+TEST(AnalyzeTest, EmptyAndSingletonTraces) {
+  const auto a = analyze_loss_intervals({}, 1.0);
+  EXPECT_EQ(a.loss_count, 0u);
+  EXPECT_DOUBLE_EQ(a.mean_interval_rtts, 0.0);
+  const auto b = analyze_loss_intervals({5.0}, 1.0);
+  EXPECT_EQ(b.loss_count, 1u);
+}
+
+TEST(AnalyzeTest, ZeroRttGuard) {
+  const auto a = analyze_loss_intervals({1.0, 2.0}, 0.0);
+  EXPECT_EQ(a.loss_count, 2u);
+  EXPECT_DOUBLE_EQ(a.mean_interval_rtts, 0.0);
+}
+
+TEST(AnalyzeNormalizedTest, MatchesTimesPath) {
+  std::vector<double> times;
+  for (int i = 0; i < 50; ++i) times.push_back(i * 0.02);
+  const auto via_times = analyze_loss_intervals(times, 0.1);
+  std::vector<double> intervals(49, 0.2);
+  const auto via_intervals = analyze_normalized_intervals(intervals);
+  EXPECT_NEAR(via_times.mean_interval_rtts, via_intervals.mean_interval_rtts, 1e-9);
+  EXPECT_NEAR(via_times.frac_below_1_rtt, via_intervals.frac_below_1_rtt, 1e-9);
+}
+
+TEST(ValidateTest, AcceptsSimilarTraces) {
+  ProbeTraceSummary a{10000, 100, 0.5, 0.9};
+  ProbeTraceSummary b{10000, 120, 0.45, 0.85};
+  const auto v = validate_probe_pair(a, b);
+  EXPECT_TRUE(v.validated);
+}
+
+TEST(ValidateTest, RejectsFewLosses) {
+  ProbeTraceSummary a{10000, 3, 0.5, 0.9};
+  ProbeTraceSummary b{10000, 120, 0.5, 0.9};
+  const auto v = validate_probe_pair(a, b);
+  EXPECT_FALSE(v.validated);
+  EXPECT_STREQ(v.reason, "too few losses to judge");
+}
+
+TEST(ValidateTest, RejectsDivergentLossRates) {
+  ProbeTraceSummary a{10000, 20, 0.5, 0.9};
+  ProbeTraceSummary b{10000, 400, 0.5, 0.9};
+  EXPECT_FALSE(validate_probe_pair(a, b).validated);
+}
+
+TEST(ValidateTest, RejectsDivergentClusterFractions) {
+  ProbeTraceSummary a{10000, 100, 0.9, 0.95};
+  ProbeTraceSummary b{10000, 100, 0.1, 0.95};
+  EXPECT_FALSE(validate_probe_pair(a, b).validated);
+}
+
+TEST(ValidateTest, PolicyIsTunable) {
+  ProbeTraceSummary a{10000, 20, 0.5, 0.9};
+  ProbeTraceSummary b{10000, 50, 0.5, 0.9};
+  ValidationPolicy strict;
+  strict.max_rate_ratio = 1.5;
+  EXPECT_FALSE(validate_probe_pair(a, b, strict).validated);
+  ValidationPolicy loose;
+  loose.max_rate_ratio = 5.0;
+  EXPECT_TRUE(validate_probe_pair(a, b, loose).validated);
+}
+
+}  // namespace
+}  // namespace lossburst::analysis

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cbr.hpp"
+#include "tcp/onoff.hpp"
+
+namespace lossburst::tcp {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+TEST(CbrTest, SendsOnExactSchedule) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  CbrSource::Params p;
+  p.interval = 10_ms;
+  p.duration = 1_s;
+  CbrSource src(sim, 1, p);
+  ProbeSink sink;
+  sink.attach_clock(&sim);
+  src.connect(direct, &sink);
+  src.start(TimePoint::zero() + 5_ms);
+  sim.run();
+  EXPECT_EQ(src.packets_sent(), 100u);
+  ASSERT_EQ(sink.count(), 100u);
+  for (std::size_t i = 0; i < sink.arrivals().size(); ++i) {
+    EXPECT_EQ(sink.arrivals()[i].seq, i);
+    EXPECT_EQ(sink.arrivals()[i].sent,
+              TimePoint::zero() + 5_ms + 10_ms * static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(CbrTest, SendTimeOfMatchesActualSchedule) {
+  sim::Simulator sim(2);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  CbrSource::Params p;
+  p.interval = 7_ms;
+  p.duration = 100_ms;
+  CbrSource src(sim, 1, p);
+  ProbeSink sink;
+  src.connect(direct, &sink);
+  src.start(TimePoint::zero());
+  sim.run();
+  for (const auto& a : sink.arrivals()) {
+    EXPECT_EQ(src.send_time_of(a.seq), a.sent);
+  }
+}
+
+TEST(CbrTest, StopsAtDuration) {
+  sim::Simulator sim(3);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  CbrSource::Params p;
+  p.interval = 1_ms;
+  p.duration = 50_ms;
+  CbrSource src(sim, 1, p);
+  ProbeSink sink;
+  src.connect(direct, &sink);
+  src.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 10_s);
+  EXPECT_EQ(src.packets_sent(), 50u);
+}
+
+TEST(ProbeSinkTest, MissingIdentifiesGaps) {
+  ProbeSink sink;
+  for (net::SeqNum s : {0u, 1u, 3u, 6u}) {
+    net::Packet p;
+    p.seq = s;
+    sink.receive(std::move(p));
+  }
+  const auto missing = sink.missing(8);
+  EXPECT_EQ(missing, (std::vector<net::SeqNum>{2, 4, 5, 7}));
+}
+
+TEST(ProbeSinkTest, NoLossesNoMissing) {
+  ProbeSink sink;
+  for (net::SeqNum s = 0; s < 5; ++s) {
+    net::Packet p;
+    p.seq = s;
+    sink.receive(std::move(p));
+  }
+  EXPECT_TRUE(sink.missing(5).empty());
+}
+
+TEST(CbrTest, ProbesObserveBottleneckLoss) {
+  // CBR through a tiny bottleneck at an overload rate must lose packets,
+  // and the sink's reconstruction must account for every one.
+  sim::Simulator sim(4);
+  net::Network net(sim);
+  net::Link* slow =
+      net.add_link("slow", 1'000'000, 1_ms, std::make_unique<net::DropTailQueue>(4));
+  const net::Route* route = net.add_route({slow});
+  CbrSource::Params p;
+  p.packet_bytes = 1000;   // 8 ms serialization at 1 Mbps
+  p.interval = 4_ms;       // 2x overload
+  p.duration = 2_s;
+  CbrSource src(sim, 1, p);
+  ProbeSink sink;
+  src.connect(route, &sink);
+  src.start(TimePoint::zero());
+  sim.run();
+  const auto missing = sink.missing(src.packets_sent());
+  EXPECT_GT(missing.size(), 0u);
+  EXPECT_EQ(missing.size() + sink.count(), src.packets_sent());
+  EXPECT_EQ(slow->queue().counters().dropped, missing.size());
+}
+
+TEST(OnOffTest, AverageRateMatchesDutyCycle) {
+  ExpOnOffSource::Params p;
+  p.peak_bps = 1'000'000;
+  p.mean_on = 100_ms;
+  p.mean_off = 400_ms;
+  sim::Simulator sim(5);
+  ExpOnOffSource src(sim, 1, p, util::Rng(1));
+  EXPECT_NEAR(src.average_rate_bps(), 200'000.0, 1.0);
+}
+
+TEST(OnOffTest, LongRunThroughputNearAverage) {
+  sim::Simulator sim(6);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  ExpOnOffSource::Params p;
+  p.peak_bps = 1'000'000;
+  p.mean_on = 100_ms;
+  p.mean_off = 400_ms;
+  p.packet_bytes = 500;
+  ExpOnOffSource src(sim, 1, p, util::Rng(7));
+  NullSink sink;
+  src.connect(direct, &sink);
+  src.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 100_s);
+  src.stop();
+  const double rate = static_cast<double>(sink.bytes()) * 8.0 / 100.0;
+  EXPECT_NEAR(rate, 200'000.0, 60'000.0);
+}
+
+TEST(OnOffTest, StopCeasesEmission) {
+  sim::Simulator sim(7);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  ExpOnOffSource::Params p;
+  p.mean_off = 1_ms;  // mostly on
+  p.mean_on = 100_ms;
+  ExpOnOffSource src(sim, 1, p, util::Rng(8));
+  NullSink sink;
+  src.connect(direct, &sink);
+  src.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 1_s);
+  src.stop();
+  const auto frozen = sink.packets();
+  sim.run_until(TimePoint::zero() + 2_s);
+  EXPECT_EQ(sink.packets(), frozen);
+}
+
+TEST(OnOffTest, EmissionIsBurstyNotConstant) {
+  // Over fine bins, an on-off source has idle bins and busy bins.
+  sim::Simulator sim(8);
+  net::Network net(sim);
+  const net::Route* direct = net.add_route({});
+  ExpOnOffSource::Params p;
+  p.peak_bps = 4'000'000;
+  p.mean_on = 50_ms;
+  p.mean_off = 200_ms;
+  ExpOnOffSource src(sim, 1, p, util::Rng(9));
+
+  class BinCounter final : public net::Endpoint {
+   public:
+    explicit BinCounter(sim::Simulator& s) : sim_(s) {}
+    void receive(net::Packet) override {
+      const auto bin = static_cast<std::size_t>(sim_.now().millis() / 20.0);
+      if (bin >= bins.size()) bins.resize(bin + 1, 0);
+      bins[bin]++;
+    }
+    std::vector<int> bins;
+
+   private:
+    sim::Simulator& sim_;
+  } counter(sim);
+
+  src.connect(direct, &counter);
+  src.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 10_s);
+  src.stop();
+  int idle = 0, busy = 0;
+  for (int c : counter.bins) (c == 0 ? idle : busy)++;
+  EXPECT_GT(idle, 10);
+  EXPECT_GT(busy, 10);
+}
+
+}  // namespace
+}  // namespace lossburst::tcp

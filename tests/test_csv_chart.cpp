@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+namespace lossburst::util {
+namespace {
+
+TEST(CsvWriterTest, SimpleRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row("a", 1, 2.5);
+  EXPECT_EQ(out.str(), "a,1,2.5\n");
+}
+
+TEST(CsvWriterTest, Header) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"x", "y"});
+  EXPECT_EQ(out.str(), "x,y\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row("a,b", "say \"hi\"", "line\nbreak");
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, RowVector) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row_vector({1.0, 2.5, -3.0});
+  EXPECT_EQ(out.str(), "1,2.5,-3\n");
+}
+
+TEST(CsvWriterTest, MixedTypes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row(std::string("s"), 42u, true);
+  EXPECT_EQ(out.str(), "s,42,1\n");
+}
+
+TEST(AsciiChartTest, RendersAllSeriesGlyphs) {
+  ChartSeries a{"up", {0, 1, 2}, {0, 1, 2}, '*'};
+  ChartSeries b{"down", {0, 1, 2}, {2, 1, 0}, 'o'};
+  ChartOptions opts;
+  opts.title = "demo";
+  const std::string chart = render_chart({a, b}, opts);
+  EXPECT_NE(chart.find("demo"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeries) {
+  const std::string chart = render_chart({}, ChartOptions{});
+  EXPECT_NE(chart.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogScaleClampsNonPositive) {
+  ChartSeries s{"s", {0, 1, 2}, {0.0, 1e-3, 1.0}, '*'};
+  ChartOptions opts;
+  opts.log_y = true;
+  // Must not crash or produce inf; zero clamps to the floor.
+  const std::string chart = render_chart({s}, opts);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  ChartSeries s{"flat", {0, 1, 2, 3}, {5, 5, 5, 5}, '*'};
+  const std::string chart = render_chart({s}, ChartOptions{});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiBarsTest, RendersLabelsAndValues) {
+  const std::string bars =
+      render_bars({{"alpha", 10.0}, {"beta", 5.0}}, 20, "my bars");
+  EXPECT_NE(bars.find("my bars"), std::string::npos);
+  EXPECT_NE(bars.find("alpha"), std::string::npos);
+  EXPECT_NE(bars.find("beta"), std::string::npos);
+  EXPECT_NE(bars.find('#'), std::string::npos);
+}
+
+TEST(AsciiBarsTest, AllZeroValues) {
+  const std::string bars = render_bars({{"z", 0.0}}, 20);
+  EXPECT_NE(bars.find('z'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lossburst::util

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/dispersion.hpp"
+#include "analysis/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace lossburst::analysis {
+namespace {
+
+TEST(DispersionTest, PoissonIsNearOneAcrossScales) {
+  util::Rng rng(1);
+  std::vector<double> times;
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += rng.exponential(0.01);
+    times.push_back(t);
+  }
+  for (double w : {0.05, 0.5, 5.0}) {
+    EXPECT_NEAR(index_of_dispersion(times, w), 1.0, 0.25) << "window " << w;
+  }
+}
+
+TEST(DispersionTest, PeriodicIsBelowOne) {
+  std::vector<double> times;
+  for (int i = 0; i < 10000; ++i) times.push_back(i * 0.01);
+  // Perfectly regular arrivals: variance of window counts ~ 0.
+  EXPECT_LT(index_of_dispersion(times, 1.0), 0.1);
+}
+
+TEST(DispersionTest, BurstyIsLarge) {
+  // 100 bursts of 50 events in 1 ms, bursts 1 s apart.
+  std::vector<double> times;
+  for (int b = 0; b < 100; ++b) {
+    for (int k = 0; k < 50; ++k) times.push_back(b * 1.0 + k * 0.00002);
+  }
+  EXPECT_GT(index_of_dispersion(times, 0.1), 10.0);
+}
+
+TEST(DispersionTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(index_of_dispersion({}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(index_of_dispersion({1.0}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(index_of_dispersion({1.0, 2.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(index_of_dispersion({1.0, 1.5}, 10.0), 0.0);  // < 2 windows
+}
+
+TEST(DispersionCurveTest, LogSpacedWindows) {
+  util::Rng rng(2);
+  std::vector<double> times;
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.exponential(0.01);
+    times.push_back(t);
+  }
+  const auto curve = dispersion_curve(times, 0.01, 10.0, 8);
+  ASSERT_EQ(curve.window_s.size(), 8u);
+  ASSERT_EQ(curve.idc.size(), 8u);
+  EXPECT_NEAR(curve.window_s.front(), 0.01, 1e-9);
+  EXPECT_NEAR(curve.window_s.back(), 10.0, 1e-9);
+  for (std::size_t i = 1; i < curve.window_s.size(); ++i) {
+    EXPECT_GT(curve.window_s[i], curve.window_s[i - 1]);
+  }
+}
+
+TEST(DispersionCurveTest, BadArgsReturnEmpty) {
+  EXPECT_TRUE(dispersion_curve({1.0, 2.0}, 1.0, 0.5).window_s.empty());
+  EXPECT_TRUE(dispersion_curve({1.0, 2.0}, 0.0, 1.0).window_s.empty());
+  EXPECT_TRUE(dispersion_curve({1.0, 2.0}, 0.1, 1.0, 1).window_s.empty());
+}
+
+TEST(TraceIoTest, DropTraceRoundTrips) {
+  std::vector<net::DropRecord> drops;
+  for (int i = 0; i < 10; ++i) {
+    net::DropRecord d;
+    d.time = util::TimePoint(i * 1'000'000LL + 123);
+    d.flow = static_cast<net::FlowId>(i % 3);
+    d.seq = static_cast<net::SeqNum>(i * 7);
+    d.size_bytes = 1000;
+    d.queue_len = static_cast<std::size_t>(i);
+    drops.push_back(d);
+  }
+  std::stringstream ss;
+  write_drop_trace_csv(ss, drops);
+
+  std::vector<net::DropRecord> back;
+  ASSERT_TRUE(read_drop_trace_csv(ss, back));
+  ASSERT_EQ(back.size(), drops.size());
+  for (std::size_t i = 0; i < drops.size(); ++i) {
+    EXPECT_NEAR(back[i].time.seconds(), drops[i].time.seconds(), 1e-9);
+    EXPECT_EQ(back[i].flow, drops[i].flow);
+    EXPECT_EQ(back[i].seq, drops[i].seq);
+    EXPECT_EQ(back[i].size_bytes, drops[i].size_bytes);
+    EXPECT_EQ(back[i].queue_len, drops[i].queue_len);
+  }
+}
+
+TEST(TraceIoTest, LossTimesRoundTrip) {
+  const std::vector<double> times = {0.001, 0.5, 2.25, 100.125};
+  std::stringstream ss;
+  write_loss_times_csv(ss, times);
+  std::vector<double> back;
+  ASSERT_TRUE(read_loss_times_csv(ss, back));
+  ASSERT_EQ(back.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) EXPECT_NEAR(back[i], times[i], 1e-9);
+}
+
+TEST(TraceIoTest, MalformedInputRejected) {
+  std::stringstream ss("time_s,flow,seq,size_bytes,queue_len\nnot,a,valid,row,x\n");
+  std::vector<net::DropRecord> drops;
+  EXPECT_FALSE(read_drop_trace_csv(ss, drops));
+
+  std::stringstream ss2("time_s\nabc\n");
+  std::vector<double> times;
+  EXPECT_FALSE(read_loss_times_csv(ss2, times));
+}
+
+TEST(TraceIoTest, EmptyStream) {
+  std::stringstream ss;
+  std::vector<double> times;
+  EXPECT_FALSE(read_loss_times_csv(ss, times));
+}
+
+}  // namespace
+}  // namespace lossburst::analysis

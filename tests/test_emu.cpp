@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "emu/dummynet.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::emu {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+TEST(DummynetTest, RttClassesMatchPaper) {
+  const auto classes = dummynet_rtt_classes();
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], 2_ms);
+  EXPECT_EQ(classes[1], 10_ms);
+  EXPECT_EQ(classes[2], 50_ms);
+  EXPECT_EQ(classes[3], 200_ms);
+}
+
+TEST(QuantizeTest, FloorsToResolution) {
+  EXPECT_EQ(quantize(TimePoint(1'999'999), 1_ms), TimePoint(1'000'000));
+  EXPECT_EQ(quantize(TimePoint(2'000'000), 1_ms), TimePoint(2'000'000));
+  EXPECT_EQ(quantize(TimePoint(0), 1_ms), TimePoint(0));
+}
+
+TEST(QuantizeTest, CustomResolution) {
+  EXPECT_EQ(quantize(TimePoint(123'456'789), 10_ms), TimePoint(120'000'000));
+}
+
+TEST(QuantizeTraceTest, PreservesOrderAndCollapsesSubResolutionGaps) {
+  const std::vector<double> times = {0.0101, 0.0105, 0.0109, 0.0121};
+  const auto q = quantize_trace(times, 1_ms);
+  ASSERT_EQ(q.size(), 4u);
+  // First three collapse to the same 1 ms tick.
+  EXPECT_DOUBLE_EQ(q[0], 0.010);
+  EXPECT_DOUBLE_EQ(q[1], 0.010);
+  EXPECT_DOUBLE_EQ(q[2], 0.010);
+  EXPECT_DOUBLE_EQ(q[3], 0.012);
+  for (std::size_t i = 1; i < q.size(); ++i) EXPECT_LE(q[i - 1], q[i]);
+}
+
+TEST(QuantizeTraceTest, EmptyTrace) {
+  EXPECT_TRUE(quantize_trace({}, 1_ms).empty());
+}
+
+TEST(PipeNoiseTest, AddsPositiveDelay) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  net::Link* link =
+      net.add_link("l", 8'000'000, 0_ms, std::make_unique<net::DropTailQueue>(1000));
+  PipeNoise noise;
+  noise.mean_overhead = Duration::micros(100);
+  noise.hiccup_prob = 0.0;
+  attach_pipe_noise(*link, noise, util::Rng(1));
+
+  class Collector final : public net::Endpoint {
+   public:
+    explicit Collector(sim::Simulator& s) : sim_(s) {}
+    void receive(net::Packet) override { times.push_back(sim_.now()); }
+    std::vector<TimePoint> times;
+
+   private:
+    sim::Simulator& sim_;
+  } sink(sim);
+
+  const net::Route* route = net.add_route({link});
+  sim.in(Duration::zero(), [&] {
+    for (int i = 0; i < 200; ++i) {
+      net::Packet p;
+      p.seq = static_cast<net::SeqNum>(i);
+      p.size_bytes = 1000;
+      p.route = route;
+      p.sink = &sink;
+      net::inject(std::move(p));
+    }
+  });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 200u);
+  // Ideal serialization is 1 ms per packet; jitter adds ~0.1 ms on average,
+  // so the 200-packet train takes noticeably longer than 200 ms.
+  const double total_ms = (sink.times.back() - TimePoint::zero()).millis();
+  EXPECT_GT(total_ms, 205.0);
+  EXPECT_LT(total_ms, 260.0);
+}
+
+TEST(PipeNoiseTest, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(1);
+    net::Network net(sim);
+    net::Link* link =
+        net.add_link("l", 8'000'000, 0_ms, std::make_unique<net::DropTailQueue>(1000));
+    attach_pipe_noise(*link, PipeNoise{}, util::Rng(seed));
+    class Last final : public net::Endpoint {
+     public:
+      explicit Last(sim::Simulator& s) : sim_(s) {}
+      void receive(net::Packet) override { last = sim_.now(); }
+      TimePoint last;
+
+     private:
+      sim::Simulator& sim_;
+    } sink(sim);
+    const net::Route* route = net.add_route({link});
+    sim.in(Duration::zero(), [&] {
+      for (int i = 0; i < 50; ++i) {
+        net::Packet p;
+        p.size_bytes = 1000;
+        p.route = route;
+        p.sink = &sink;
+        net::inject(std::move(p));
+      }
+    });
+    sim.run();
+    return sink.last;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace lossburst::emu

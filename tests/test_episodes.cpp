@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "analysis/episodes.hpp"
+
+namespace lossburst::analysis {
+namespace {
+
+TEST(EpisodesTest, EmptyTrace) {
+  EXPECT_TRUE(group_episodes({}, 0.1).empty());
+  const auto s = episode_stats({}, 0.1);
+  EXPECT_EQ(s.episode_count, 0u);
+}
+
+TEST(EpisodesTest, SingleDropSingleEpisode) {
+  const auto eps = group_episodes({1.0}, 0.1);
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].drops, 1u);
+  EXPECT_DOUBLE_EQ(eps[0].duration_s(), 0.0);
+}
+
+TEST(EpisodesTest, GapSplitsEpisodes) {
+  // Two bursts of 3 drops, 1 s apart.
+  const std::vector<double> t = {0.0, 0.01, 0.02, 1.0, 1.01, 1.02};
+  const auto eps = group_episodes(t, 0.1);
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].drops, 3u);
+  EXPECT_EQ(eps[1].drops, 3u);
+  EXPECT_DOUBLE_EQ(eps[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(eps[0].end_s, 0.02);
+  EXPECT_DOUBLE_EQ(eps[1].start_s, 1.0);
+}
+
+TEST(EpisodesTest, GapExactlyAtThresholdStaysTogether) {
+  const auto eps = group_episodes({0.0, 0.1}, 0.1);
+  EXPECT_EQ(eps.size(), 1u);  // strictly-greater splits
+}
+
+TEST(EpisodesTest, UnsortedInputHandled) {
+  const auto eps = group_episodes({1.0, 0.0, 1.01}, 0.1);
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].drops, 1u);
+  EXPECT_EQ(eps[1].drops, 2u);
+}
+
+TEST(EpisodesTest, StatsSummary) {
+  const std::vector<double> t = {0.0, 0.01, /*gap*/ 2.0, /*gap*/ 5.0, 5.02, 5.04};
+  const auto s = episode_stats(t, 0.5);
+  EXPECT_EQ(s.episode_count, 3u);
+  EXPECT_EQ(s.total_drops, 6u);
+  EXPECT_DOUBLE_EQ(s.mean_drops, 2.0);
+  EXPECT_EQ(s.max_drops, 3u);
+  EXPECT_NEAR(s.max_duration_s, 0.04, 1e-12);
+  // Spacing: (2.0 - 0.0) and (5.0 - 2.0) -> mean 2.5.
+  EXPECT_DOUBLE_EQ(s.mean_spacing_s, 2.5);
+  // 5 of 6 drops sit in multi-drop episodes.
+  EXPECT_NEAR(s.fraction_in_bursts, 5.0 / 6.0, 1e-12);
+}
+
+TEST(EpisodesTest, AllIsolatedDrops) {
+  const auto s = episode_stats({0.0, 1.0, 2.0, 3.0}, 0.1);
+  EXPECT_EQ(s.episode_count, 4u);
+  EXPECT_DOUBLE_EQ(s.fraction_in_bursts, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_spacing_s, 1.0);
+}
+
+}  // namespace
+}  // namespace lossburst::analysis

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace lossburst::sim {
+namespace {
+
+using util::TimePoint;
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(30), [&] { order.push_back(3); });
+  q.schedule(TimePoint(10), [&] { order.push_back(1); });
+  q.schedule(TimePoint(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(TimePoint(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PopReturnsEventTime) {
+  EventQueue q;
+  q.schedule(TimePoint(77), [] {});
+  EXPECT_EQ(q.pop_and_run(), TimePoint(77));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(TimePoint(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledHeadSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle h = q.schedule(TimePoint(1), [&] { order.push_back(1); });
+  q.schedule(TimePoint(2), [&] { order.push_back(2); });
+  h.cancel();
+  EXPECT_EQ(q.next_time(), TimePoint(2));
+  q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancelNonHeadLazily) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(1), [&] { order.push_back(1); });
+  EventHandle h = q.schedule(TimePoint(2), [&] { order.push_back(2); });
+  q.schedule(TimePoint(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint(1), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(EventQueueTest, ScheduleFromWithinEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(1), [&] {
+    order.push_back(1);
+    q.schedule(TimePoint(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  // Insert in a scrambled deterministic order.
+  for (std::int64_t i = 0; i < 5000; ++i) {
+    const std::int64_t t = (i * 7919) % 5000;
+    q.schedule(TimePoint(t), [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(times.size(), 5000u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LE(times[i - 1], times[i]);
+}
+
+TEST(EventQueueTest, ScheduledCountTracksAll) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(TimePoint(i), [] {});
+  EXPECT_EQ(q.scheduled_count(), 5u);
+}
+
+}  // namespace
+}  // namespace lossburst::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "analysis/gilbert.hpp"
+#include "util/rng.hpp"
+
+namespace lossburst::analysis {
+namespace {
+
+TEST(GilbertFitTest, BernoulliLossesFitIndependence) {
+  util::Rng rng(1);
+  std::vector<bool> lost;
+  for (int i = 0; i < 200000; ++i) lost.push_back(rng.chance(0.05));
+  const auto fit = fit_gilbert(lost);
+  EXPECT_NEAR(fit.loss_rate, 0.05, 0.005);
+  // Independent: P(loss | prev delivered) == P(loss | prev lost) == rate.
+  EXPECT_NEAR(fit.p_good_to_bad, 0.05, 0.01);
+  EXPECT_NEAR(fit.p_bad_to_good, 0.95, 0.02);
+  EXPECT_NEAR(fit.burstiness_vs_bernoulli(), 1.0, 0.05);
+}
+
+TEST(GilbertFitTest, BurstyLossesDetected) {
+  // Synthetic Gilbert process: long good runs, bursts of 10 losses.
+  std::vector<bool> lost;
+  for (int b = 0; b < 1000; ++b) {
+    for (int g = 0; g < 190; ++g) lost.push_back(false);
+    for (int l = 0; l < 10; ++l) lost.push_back(true);
+  }
+  const auto fit = fit_gilbert(lost);
+  EXPECT_NEAR(fit.loss_rate, 0.05, 0.01);
+  EXPECT_NEAR(fit.mean_burst_length(), 10.0, 0.5);
+  EXPECT_GT(fit.burstiness_vs_bernoulli(), 5.0);
+  EXPECT_NEAR(fit.stationary_bad(), 0.05, 0.01);
+}
+
+TEST(GilbertFitTest, NoLosses) {
+  const auto fit = fit_gilbert(std::vector<bool>(100, false));
+  EXPECT_DOUBLE_EQ(fit.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(fit.p_good_to_bad, 0.0);
+  EXPECT_DOUBLE_EQ(fit.burstiness_vs_bernoulli(), 0.0);
+}
+
+TEST(GilbertFitTest, AllLosses) {
+  const auto fit = fit_gilbert(std::vector<bool>(100, true));
+  EXPECT_DOUBLE_EQ(fit.loss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(fit.p_bad_to_good, 0.0);
+}
+
+TEST(GilbertFitTest, TooShort) {
+  const auto fit = fit_gilbert({true});
+  EXPECT_DOUBLE_EQ(fit.loss_rate, 0.0);
+}
+
+TEST(RunLengthTest, ExtractsMaximalRuns) {
+  const std::vector<bool> lost = {false, true, true, false, true, false, true, true, true};
+  const auto runs = loss_run_lengths(lost);
+  EXPECT_EQ(runs, (std::vector<std::size_t>{2, 1, 3}));
+}
+
+TEST(RunLengthTest, NoRuns) {
+  EXPECT_TRUE(loss_run_lengths({false, false}).empty());
+  EXPECT_TRUE(loss_run_lengths({}).empty());
+}
+
+TEST(RunLengthTest, RunAtEnd) {
+  const auto runs = loss_run_lengths({false, true, true});
+  EXPECT_EQ(runs, (std::vector<std::size_t>{2}));
+}
+
+TEST(GilbertFitTest, MeanBurstEqualsRunAverage) {
+  // Cross-check: fitted mean burst length approximates the empirical mean
+  // of the loss runs.
+  std::vector<bool> lost;
+  util::Rng rng(2);
+  // Two-state chain: p(enter bad)=0.02, p(leave bad)=0.25 -> mean burst 4.
+  bool bad = false;
+  for (int i = 0; i < 300000; ++i) {
+    bad = bad ? !rng.chance(0.25) : rng.chance(0.02);
+    lost.push_back(bad);
+  }
+  const auto fit = fit_gilbert(lost);
+  const auto runs = loss_run_lengths(lost);
+  double mean_run = 0.0;
+  for (auto r : runs) mean_run += static_cast<double>(r);
+  mean_run /= static_cast<double>(runs.size());
+  EXPECT_NEAR(fit.mean_burst_length(), 4.0, 0.3);
+  EXPECT_NEAR(fit.mean_burst_length(), mean_run, 0.2);
+}
+
+}  // namespace
+}  // namespace lossburst::analysis

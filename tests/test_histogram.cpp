@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/histogram.hpp"
+
+namespace lossburst::util {
+namespace {
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(0.0, 2.0, 100);
+  EXPECT_EQ(h.bins(), 100u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.02);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.01);
+  EXPECT_DOUBLE_EQ(h.bin_left(99), 1.98);
+}
+
+TEST(HistogramTest, AddRoutesToCorrectBin) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.15);   // bin 1
+  h.add(0.999);  // bin 9
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, BoundaryValues) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.0);   // left edge -> bin 0
+  h.add(0.1);   // exact bin boundary -> bin 1
+  h.add(1.0);   // right edge -> overflow
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(1.5);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, PmfNormalizesOverTotalIncludingOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(5.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.pmf(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.0);
+}
+
+TEST(HistogramTest, DensityDividesByWidth) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);
+  EXPECT_DOUBLE_EQ(h.density(0), 10.0);  // pmf 1.0 / width 0.1
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 3.0);
+  h.add(0.7, 1.0);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.25);
+}
+
+TEST(HistogramTest, FractionBelowInterpolates) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i / 10.0 + 0.05);  // one per bin
+  EXPECT_NEAR(h.fraction_below(0.5), 0.5, 0.051);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+  EXPECT_NEAR(h.fraction_below(1.0), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionBelowCountsUnderflow) {
+  Histogram h(1.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.75);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1.0), 0.5);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.1);
+  b.add(0.9);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(a.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(a.total(), 4.0);
+}
+
+TEST(HistogramTest, PmfSeriesSumsToCoveredMass) {
+  Histogram h(0.0, 1.0, 5);
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9, 3.0}) h.add(x);
+  const auto pmf = h.pmf_series();
+  const double sum = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(sum, 5.0 / 6.0, 1e-12);
+}
+
+TEST(PoissonReferenceTest, MassMatchesExponentialCdf) {
+  Histogram like(0.0, 2.0, 100);
+  const double mean = 0.5;
+  const auto ref = poisson_reference_pmf(like, mean);
+  ASSERT_EQ(ref.size(), 100u);
+  // Bin 0 mass = 1 - e^{-0.02/0.5}.
+  EXPECT_NEAR(ref[0], 1.0 - std::exp(-0.02 / 0.5), 1e-12);
+  // Monotone decreasing (exponential density).
+  for (std::size_t i = 1; i < ref.size(); ++i) EXPECT_LT(ref[i], ref[i - 1]);
+  // Total mass below 2 RTT = 1 - e^{-4}.
+  const double sum = std::accumulate(ref.begin(), ref.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0 - std::exp(-2.0 / mean), 1e-9);
+}
+
+TEST(PoissonReferenceTest, StraightLineInLogSpace) {
+  // The paper notes the Poisson PDF is a straight line on the log-Y plot.
+  Histogram like(0.0, 2.0, 100);
+  const auto ref = poisson_reference_pmf(like, 0.3);
+  const double slope01 = std::log(ref[1]) - std::log(ref[0]);
+  const double slope50 = std::log(ref[51]) - std::log(ref[50]);
+  EXPECT_NEAR(slope01, slope50, 1e-9);
+}
+
+TEST(PoissonReferenceTest, DegenerateMean) {
+  Histogram like(0.0, 1.0, 10);
+  const auto ref = poisson_reference_pmf(like, 0.0);
+  for (double v : ref) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace lossburst::util

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+/// Records every delivered packet with its arrival time.
+class Collector final : public Endpoint {
+ public:
+  explicit Collector(sim::Simulator& sim) : sim_(sim) {}
+  void receive(Packet pkt) override {
+    seqs.push_back(pkt.seq);
+    times.push_back(sim_.now());
+    last = pkt;
+  }
+  std::vector<SeqNum> seqs;
+  std::vector<TimePoint> times;
+  Packet last;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+Packet make_packet(SeqNum seq, std::uint32_t bytes, const Route* route, Endpoint* sink) {
+  Packet p;
+  p.flow = 1;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  p.route = route;
+  p.sink = sink;
+  return p;
+}
+
+TEST(LinkTest, TxTimeMatchesRate) {
+  sim::Simulator sim;
+  Link link(sim, "l", 8'000'000 /* 1 MB/s */, 0_ms, std::make_unique<DropTailQueue>(10));
+  EXPECT_EQ(link.tx_time(1000).ns(), 1'000'000);  // 1000 B at 1 MB/s = 1 ms
+  EXPECT_EQ(link.tx_time(1).ns(), 1'000);
+}
+
+TEST(LinkTest, BdpPackets) {
+  sim::Simulator sim;
+  Link link(sim, "l", 100'000'000, 50_ms, std::make_unique<DropTailQueue>(10));
+  // 100 Mbps * 50 ms = 625000 bytes = 625 x 1000B packets.
+  EXPECT_NEAR(link.bdp_packets(1000), 625.0, 1e-9);
+}
+
+TEST(LinkTest, DeliveryLatencyIsTxPlusPropagation) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* link = net.add_link("l", 8'000'000, 10_ms, std::make_unique<DropTailQueue>(10));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] { inject(make_packet(0, 1000, route, &sink)); });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  // 1 ms serialization + 10 ms propagation.
+  EXPECT_EQ(sink.times[0], TimePoint::zero() + 11_ms);
+}
+
+TEST(LinkTest, BackToBackPacketsSerializeSequentially) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* link = net.add_link("l", 8'000'000, 0_ms, std::make_unique<DropTailQueue>(10));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    for (SeqNum s = 0; s < 3; ++s) inject(make_packet(s, 1000, route, &sink));
+  });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 3u);
+  EXPECT_EQ(sink.times[0], TimePoint::zero() + 1_ms);
+  EXPECT_EQ(sink.times[1], TimePoint::zero() + 2_ms);
+  EXPECT_EQ(sink.times[2], TimePoint::zero() + 3_ms);
+}
+
+TEST(LinkTest, MultiHopRouteTraversesAllLinks) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* a = net.add_link("a", 8'000'000, 5_ms, std::make_unique<DropTailQueue>(10));
+  Link* b = net.add_link("b", 8'000'000, 7_ms, std::make_unique<DropTailQueue>(10));
+  const Route* route = net.add_route({a, b});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] { inject(make_packet(0, 1000, route, &sink)); });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  // 1ms tx + 5ms + 1ms tx + 7ms.
+  EXPECT_EQ(sink.times[0], TimePoint::zero() + 14_ms);
+  EXPECT_EQ(a->packets_sent(), 1u);
+  EXPECT_EQ(b->packets_sent(), 1u);
+}
+
+TEST(LinkTest, EmptyRouteDeliversDirectly) {
+  sim::Simulator sim;
+  Network net(sim);
+  const Route* route = net.add_route({});
+  Collector sink(sim);
+  inject(make_packet(9, 100, route, &sink));
+  EXPECT_EQ(sink.seqs, (std::vector<SeqNum>{9}));
+}
+
+TEST(LinkTest, OverflowDropsAtBottleneck) {
+  sim::Simulator sim;
+  Network net(sim);
+  // Slow link with a 2-packet buffer; blast 10 packets at once.
+  Link* link = net.add_link("slow", 8'000'000, 0_ms, std::make_unique<DropTailQueue>(2));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    for (SeqNum s = 0; s < 10; ++s) inject(make_packet(s, 1000, route, &sink));
+  });
+  sim.run();
+  // One in flight + 2 queued survive.
+  EXPECT_EQ(sink.seqs.size(), 3u);
+  EXPECT_EQ(link->queue().counters().dropped, 7u);
+}
+
+TEST(LinkTest, FifoOrderPreservedPerFlow) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* link = net.add_link("l", 80'000'000, 1_ms, std::make_unique<DropTailQueue>(100));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    for (SeqNum s = 0; s < 50; ++s) inject(make_packet(s, 1000, route, &sink));
+  });
+  sim.run();
+  ASSERT_EQ(sink.seqs.size(), 50u);
+  for (SeqNum s = 0; s < 50; ++s) EXPECT_EQ(sink.seqs[s], s);
+}
+
+TEST(LinkTest, ProcessingJitterDelaysDelivery) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* link = net.add_link("l", 8'000'000, 0_ms, std::make_unique<DropTailQueue>(10));
+  link->set_processing_jitter([] { return Duration::millis(3); });
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] { inject(make_packet(0, 1000, route, &sink)); });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_EQ(sink.times[0], TimePoint::zero() + 4_ms);  // 1 tx + 3 jitter
+}
+
+TEST(LinkTest, CountsBytesAndPackets) {
+  sim::Simulator sim;
+  Network net(sim);
+  Link* link = net.add_link("l", 8'000'000, 0_ms, std::make_unique<DropTailQueue>(10));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    inject(make_packet(0, 1000, route, &sink));
+    inject(make_packet(1, 500, route, &sink));
+  });
+  sim.run();
+  EXPECT_EQ(link->packets_sent(), 2u);
+  EXPECT_EQ(link->bytes_sent(), 1500u);
+}
+
+}  // namespace
+}  // namespace lossburst::net

@@ -1,0 +1,86 @@
+// Coverage for small utilities not exercised elsewhere: the logger, CSV
+// file wrapper, and trace helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/trace.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace lossburst {
+namespace {
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(util::to_string(util::LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(util::to_string(util::LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(util::to_string(util::LogLevel::kInfo), "INFO");
+  EXPECT_EQ(util::to_string(util::LogLevel::kWarn), "WARN");
+  EXPECT_EQ(util::to_string(util::LogLevel::kError), "ERROR");
+}
+
+TEST(LogTest, RespectsGlobalLevel) {
+  const util::LogLevel saved = util::global_log_level();
+  std::ostringstream out;
+  util::Logger log("test", out);
+
+  util::set_global_log_level(util::LogLevel::kWarn);
+  log.info("hidden");
+  EXPECT_TRUE(out.str().empty());
+  log.warn("shown ", 42);
+  EXPECT_NE(out.str().find("[WARN] test: shown 42"), std::string::npos);
+
+  util::set_global_log_level(util::LogLevel::kTrace);
+  log.trace("fine-grained");
+  EXPECT_NE(out.str().find("fine-grained"), std::string::npos);
+
+  util::set_global_log_level(saved);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  const util::LogLevel saved = util::global_log_level();
+  std::ostringstream out;
+  util::Logger log("quiet", out);
+  util::set_global_log_level(util::LogLevel::kOff);
+  log.error("even errors");
+  EXPECT_TRUE(out.str().empty());
+  util::set_global_log_level(saved);
+}
+
+TEST(CsvFileTest, WritesToDisk) {
+  const std::string path = "/tmp/lossburst_csv_test.csv";
+  {
+    util::CsvFile file(path);
+    ASSERT_TRUE(file.ok());
+    file.writer().header({"a", "b"});
+    file.writer().row(1, 2.5);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(LossTraceTest, DropTimesSecondsInOrder) {
+  net::LossTrace trace;
+  net::Packet p;
+  p.flow = 1;
+  p.size_bytes = 1000;
+  trace.on_drop(util::TimePoint(1'000'000), p, 3);
+  trace.on_drop(util::TimePoint(2'500'000), p, 4);
+  const auto times = trace.drop_times_seconds();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.001);
+  EXPECT_DOUBLE_EQ(times[1], 0.0025);
+  trace.clear();
+  EXPECT_TRUE(trace.drops().empty());
+  EXPECT_TRUE(trace.drop_times_seconds().empty());
+}
+
+}  // namespace
+}  // namespace lossburst

@@ -1,0 +1,137 @@
+// Synthetic internet path tests. These run small versions of the PlanetLab
+// probe measurement (short durations to keep the suite fast).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inet/campaign.hpp"
+#include "inet/path.hpp"
+
+namespace lossburst::inet {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+
+PathConfig small_config(std::uint64_t seed, int hops = 1) {
+  PathConfig cfg;
+  cfg.rtt = 60_ms;
+  cfg.seed = seed;
+  cfg.hops = hops;
+  cfg.probe_interval = 10_ms;
+  cfg.probe_duration = 12_s;
+  cfg.warmup = 2_s;
+  return cfg;
+}
+
+TEST(HopProfileTest, SampledWithinDocumentedRanges) {
+  const auto profiles = sample_hop_profiles(3, 42);
+  ASSERT_EQ(profiles.size(), 3u);
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.capacity_bps, 45'000'000u);
+    EXPECT_LE(p.capacity_bps, 155'000'000u);
+    EXPECT_GE(p.buffer_bdp_fraction, 0.25);
+    EXPECT_LE(p.buffer_bdp_fraction, 2.0);
+    EXPECT_GE(p.long_tcp_flows, 4);
+    EXPECT_LE(p.long_tcp_flows, 24);
+    EXPECT_GE(p.short_flow_load, 0.05);
+    EXPECT_LE(p.short_flow_load, 0.30);
+  }
+}
+
+TEST(HopProfileTest, DeterministicInSeed) {
+  const auto a = sample_hop_profiles(2, 7);
+  const auto b = sample_hop_profiles(2, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].capacity_bps, b[i].capacity_bps);
+    EXPECT_DOUBLE_EQ(a[i].buffer_bdp_fraction, b[i].buffer_bdp_fraction);
+  }
+}
+
+TEST(PathProbeTest, ProbeCountMatchesSchedule) {
+  const auto result = run_path_probe(small_config(1));
+  // 12 s at 10 ms = 1200 probes.
+  EXPECT_EQ(result.probes_sent, 1200u);
+  EXPECT_EQ(result.loss_indicator.size(), 1200u);
+}
+
+TEST(PathProbeTest, AccountingConsistent) {
+  const auto result = run_path_probe(small_config(2));
+  std::size_t flagged = 0;
+  for (bool b : result.loss_indicator) flagged += b ? 1 : 0;
+  EXPECT_EQ(flagged, result.probes_lost);
+  EXPECT_EQ(result.loss_times_s.size(), result.probes_lost);
+  EXPECT_LE(result.probes_lost, result.probes_sent);
+  EXPECT_NEAR(result.rtt_s, 0.060, 1e-9);
+}
+
+TEST(PathProbeTest, BackgroundTrafficCausesLoss) {
+  // A loaded 1-hop path should show a nonzero probe loss rate.
+  const auto result = run_path_probe(small_config(3));
+  EXPECT_GT(result.probes_lost, 0u);
+  EXPECT_LT(result.loss_rate(), 0.5);  // but the path is not a black hole
+}
+
+TEST(PathProbeTest, LossTimesFollowProbeSchedule) {
+  const auto cfg = small_config(4);
+  const auto result = run_path_probe(cfg);
+  const double t0 = cfg.warmup.seconds();
+  const double interval = cfg.probe_interval.seconds();
+  for (double t : result.loss_times_s) {
+    // Each loss time is warmup + k * interval for integer k.
+    const double k = (t - t0) / interval;
+    EXPECT_NEAR(k, std::round(k), 1e-6);
+  }
+}
+
+TEST(PathProbeTest, DeterministicInSeed) {
+  const auto a = run_path_probe(small_config(5));
+  const auto b = run_path_probe(small_config(5));
+  EXPECT_EQ(a.probes_lost, b.probes_lost);
+  EXPECT_EQ(a.loss_times_s, b.loss_times_s);
+}
+
+TEST(PathProbeTest, MultiHopPathsWork) {
+  const auto result = run_path_probe(small_config(6, /*hops=*/2));
+  EXPECT_EQ(result.probes_sent, 1200u);
+}
+
+TEST(CampaignTest, SmallCampaignRunsAndPools) {
+  CampaignConfig cfg;
+  cfg.seed = 11;
+  cfg.num_paths = 3;
+  cfg.probe_duration = 10_s;
+  cfg.warmup = 2_s;
+  cfg.threads = 2;
+  const auto result = run_campaign(cfg);
+  EXPECT_EQ(result.paths.size(), 3u);
+  for (const auto& p : result.paths) {
+    EXPECT_NE(p.site_a, p.site_b);
+    EXPECT_GT(p.rtt_ms, 0.0);
+    EXPECT_EQ(p.small_run.probes_sent, p.large_run.probes_sent);
+  }
+  EXPECT_LE(result.validated_paths, 3u);
+}
+
+TEST(CampaignTest, DeterministicAcrossThreadCounts) {
+  // Per-path seeds are fixed up front, so the thread count must not change
+  // any measured value.
+  CampaignConfig cfg;
+  cfg.seed = 12;
+  cfg.num_paths = 2;
+  cfg.probe_duration = 6_s;
+  cfg.warmup = 1_s;
+  cfg.threads = 1;
+  const auto a = run_campaign(cfg);
+  cfg.threads = 4;
+  const auto b = run_campaign(cfg);
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    EXPECT_EQ(a.paths[i].site_a, b.paths[i].site_a);
+    EXPECT_EQ(a.paths[i].large_run.probes_lost, b.paths[i].large_run.probes_lost);
+    EXPECT_EQ(a.paths[i].validated, b.paths[i].validated);
+  }
+}
+
+}  // namespace
+}  // namespace lossburst::inet

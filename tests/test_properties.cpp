@@ -1,0 +1,271 @@
+// Property-based tests: invariants that must hold across randomized
+// parameter sweeps. Parameterized gtest drives each property over a grid of
+// seeds and configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/burstiness_study.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/sack.hpp"
+
+namespace lossburst {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+// ---------------------------------------------------------------------------
+// Property: conservation — every injected packet is delivered exactly once
+// or dropped exactly once, never duplicated, never lost silently.
+// ---------------------------------------------------------------------------
+
+class ConservationProperty : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ConservationProperty, PacketsConservedThroughBottleneck) {
+  const auto [seed, buffer] = GetParam();
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  net::Link* link = net.add_link("l", 10'000'000, 5_ms,
+                                 std::make_unique<net::DropTailQueue>(
+                                     static_cast<std::size_t>(buffer)));
+  const net::Route* route = net.add_route({link});
+
+  class Counter final : public net::Endpoint {
+   public:
+    void receive(net::Packet pkt) override {
+      ++delivered;
+      seen_twice |= !seqs.insert(pkt.seq).second;
+    }
+    std::uint64_t delivered = 0;
+    bool seen_twice = false;
+    std::set<net::SeqNum> seqs;
+  } sink;
+
+  util::Rng rng(seed);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    sim.in(rng.uniform_duration(Duration::zero(), 400_ms), [&, i] {
+      net::Packet p;
+      p.seq = static_cast<net::SeqNum>(i);
+      p.size_bytes = 1000;
+      p.route = route;
+      p.sink = &sink;
+      net::inject(std::move(p));
+    });
+  }
+  sim.run();
+  EXPECT_FALSE(sink.seen_twice);
+  EXPECT_EQ(sink.delivered + link->queue().counters().dropped, static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConservationProperty,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                                            ::testing::Values(2, 8, 64)));
+
+// ---------------------------------------------------------------------------
+// Property: TCP reliability — for any seed/RTT/buffer, a bounded transfer
+// completes and the receiver sees exactly the payload, in order.
+// ---------------------------------------------------------------------------
+
+class TcpReliabilityProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, double>> {};
+
+TEST_P(TcpReliabilityProperty, BoundedTransferAlwaysCompletes) {
+  const auto [seed, rtt_ms, buffer_frac] = GetParam();
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  net::DumbbellConfig cfg;
+  cfg.flow_count = 2;
+  cfg.access_delays.assign(2, Duration::millis(rtt_ms / 2 - 1));
+  cfg.buffer_bdp_fraction = buffer_frac;
+  net::Dumbbell bell = net::build_dumbbell(net, cfg);
+
+  tcp::TcpSender::Params sp;
+  sp.total_segments = 2000;
+  tcp::TcpFlow f1(sim, 1, bell.fwd_routes[0], bell.rev_routes[0], sp);
+  tcp::TcpFlow f2(sim, 2, bell.fwd_routes[1], bell.rev_routes[1], sp);
+  f1.sender().start(TimePoint::zero());
+  f2.sender().start(TimePoint::zero() + 37_ms);
+  sim.run_until(TimePoint::zero() + 300_s);
+
+  for (const tcp::TcpFlow* f : {&f1, &f2}) {
+    EXPECT_TRUE(f->sender().completed());
+    EXPECT_EQ(f->receiver().rcv_next(), 2000u);
+    EXPECT_EQ(f->receiver().bytes_received(), 2000u * net::kMssBytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TcpReliabilityProperty,
+                         ::testing::Combine(::testing::Values(11u, 12u, 13u),
+                                            ::testing::Values(10, 50, 200),
+                                            ::testing::Values(0.125, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Property: drop traces are monotone in time and every interval is
+// non-negative, for any queue discipline.
+// ---------------------------------------------------------------------------
+
+class TraceMonotoneProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, net::QueueKind>> {};
+
+TEST_P(TraceMonotoneProperty, DropTimesMonotone) {
+  const auto [seed, kind] = GetParam();
+  core::DumbbellExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.tcp_flows = 6;
+  cfg.duration = 10_s;
+  cfg.warmup = 1_s;
+  cfg.queue = kind;
+  cfg.buffer_bdp_fraction = 0.25;
+  const auto r = core::run_dumbbell_experiment(cfg);
+  for (std::size_t i = 1; i < r.drop_times_s.size(); ++i) {
+    EXPECT_LE(r.drop_times_s[i - 1], r.drop_times_s[i]);
+  }
+  // Histogram mass accounting: every interval landed somewhere.
+  if (r.total_drops >= 2) {
+    EXPECT_NEAR(r.loss.pdf.total(), static_cast<double>(r.total_drops - 1), 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceMonotoneProperty,
+    ::testing::Combine(::testing::Values(21u, 22u),
+                       ::testing::Values(net::QueueKind::kDropTail, net::QueueKind::kRed)));
+
+// ---------------------------------------------------------------------------
+// Property: determinism — identical configs yield bit-identical results
+// across every experiment entry point.
+// ---------------------------------------------------------------------------
+
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, CompetitionIsReproducible) {
+  core::CompetitionConfig cfg;
+  cfg.seed = GetParam();
+  cfg.paced_flows = 3;
+  cfg.window_flows = 3;
+  cfg.duration = 8_s;
+  const auto a = core::run_competition(cfg);
+  const auto b = core::run_competition(cfg);
+  EXPECT_EQ(a.paced_mbps, b.paced_mbps);
+  EXPECT_EQ(a.window_mbps, b.window_mbps);
+}
+
+TEST_P(DeterminismProperty, ParallelTransferIsReproducible) {
+  core::ParallelTransferConfig cfg;
+  cfg.seed = GetParam();
+  cfg.flows = 3;
+  cfg.total_bytes = 4ULL << 20;
+  cfg.rtt = 20_ms;
+  const auto a = core::run_parallel_transfer(cfg);
+  const auto b = core::run_parallel_transfer(cfg);
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.per_flow_latency_s, b.per_flow_latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty, ::testing::Values(31u, 32u, 33u));
+
+// ---------------------------------------------------------------------------
+// Property: analysis internal consistency over random traces.
+// ---------------------------------------------------------------------------
+
+class AnalysisConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisConsistencyProperty, FractionsMonotoneAndBounded) {
+  util::Rng rng(GetParam());
+  std::vector<double> times;
+  double t = 0.0;
+  const int n = static_cast<int>(rng.uniform_int(10, 2000));
+  for (int i = 0; i < n; ++i) {
+    t += rng.chance(0.7) ? rng.exponential(0.0005) : rng.exponential(0.05);
+    times.push_back(t);
+  }
+  const auto a = analysis::analyze_loss_intervals(times, 0.05);
+  EXPECT_LE(a.frac_below_001_rtt, a.frac_below_025_rtt);
+  EXPECT_LE(a.frac_below_025_rtt, a.frac_below_1_rtt);
+  EXPECT_GE(a.frac_below_001_rtt, 0.0);
+  EXPECT_LE(a.frac_below_1_rtt, 1.0);
+  EXPECT_GE(a.mean_interval_rtts, 0.0);
+  EXPECT_EQ(a.loss_count, static_cast<std::size_t>(n));
+}
+
+TEST_P(AnalysisConsistencyProperty, GilbertFitProbabilitiesBounded) {
+  util::Rng rng(GetParam() + 100);
+  std::vector<bool> lost;
+  for (int i = 0; i < 5000; ++i) lost.push_back(rng.chance(rng.uniform(0.01, 0.3)));
+  const auto fit = analysis::fit_gilbert(lost);
+  EXPECT_GE(fit.p_good_to_bad, 0.0);
+  EXPECT_LE(fit.p_good_to_bad, 1.0);
+  EXPECT_GE(fit.p_bad_to_good, 0.0);
+  EXPECT_LE(fit.p_bad_to_good, 1.0);
+  EXPECT_GE(fit.stationary_bad(), 0.0);
+  EXPECT_LE(fit.stationary_bad(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisConsistencyProperty,
+                         ::testing::Values(41u, 42u, 43u, 44u, 45u));
+
+// ---------------------------------------------------------------------------
+// Property: the SACK scoreboard never goes inconsistent under random but
+// protocol-plausible event sequences.
+// ---------------------------------------------------------------------------
+
+class SackScoreboardProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SackScoreboardProperty, PipeBoundedUnderRandomOperations) {
+  util::Rng rng(GetParam());
+  tcp::SackScoreboard sb;
+  net::SeqNum una = 0;
+  net::SeqNum next = 0;
+  std::uint64_t emitted = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      // Transmit new data.
+      sb.on_transmit(next++, false);
+      ++emitted;
+    } else if (dice < 0.65 && next > una) {
+      // SACK a random in-window block.
+      const net::SeqNum lo =
+          una + static_cast<net::SeqNum>(rng.uniform_int(0, static_cast<std::int64_t>(next - una) - 1));
+      const net::SeqNum hi =
+          std::min<net::SeqNum>(next, lo + static_cast<net::SeqNum>(rng.uniform_int(1, 5)));
+      sb.on_sack_block(lo, hi);
+    } else if (dice < 0.80 && next > una) {
+      // Cumulative progress.
+      const net::SeqNum new_una =
+          una + static_cast<net::SeqNum>(rng.uniform_int(1, static_cast<std::int64_t>(next - una)));
+      sb.on_cumack(una, new_una);
+      una = new_una;
+    } else if (dice < 0.92) {
+      sb.declare_losses(una);
+      if (const auto hole = sb.next_hole(una)) {
+        sb.on_transmit(*hole, true);
+        ++emitted;
+      }
+    } else if (dice < 0.95) {
+      sb.reset();
+    }
+
+    // Invariants.
+    ASSERT_GE(sb.pipe(), 0) << "step " << step;
+    ASSERT_LE(sb.pipe(), static_cast<std::int64_t>(emitted)) << "step " << step;
+    if (const auto hole = sb.next_hole(una)) {
+      ASSERT_GE(*hole, una);
+      ASSERT_TRUE(sb.is_lost(*hole));
+      ASSERT_FALSE(sb.is_sacked(*hole));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SackScoreboardProperty,
+                         ::testing::Values(51u, 52u, 53u, 54u, 55u));
+
+}  // namespace
+}  // namespace lossburst

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/queue.hpp"
+#include "net/trace.hpp"
+
+namespace lossburst::net {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+Packet make_packet(FlowId flow, SeqNum seq, std::uint32_t bytes = kDataPacketBytes,
+                   bool ecn = false) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  p.ecn_capable = ecn;
+  return p;
+}
+
+TEST(DropTailQueueTest, AcceptsUpToCapacity) {
+  DropTailQueue q(3);
+  EXPECT_TRUE(q.enqueue(make_packet(1, 0)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 1)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 2)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 3)));  // full -> tail drop
+  EXPECT_EQ(q.len_packets(), 3u);
+  EXPECT_EQ(q.counters().dropped, 1u);
+  EXPECT_EQ(q.counters().enqueued, 3u);
+}
+
+TEST(DropTailQueueTest, FifoOrder) {
+  DropTailQueue q(10);
+  for (SeqNum s = 0; s < 5; ++s) ASSERT_TRUE(q.enqueue(make_packet(1, s)));
+  for (SeqNum s = 0; s < 5; ++s) EXPECT_EQ(q.dequeue().seq, s);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueueTest, ByteAccounting) {
+  DropTailQueue q(10);
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0, 100)));
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1, 200)));
+  EXPECT_EQ(q.len_bytes(), 300u);
+  (void)q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 200u);
+}
+
+TEST(DropTailQueueTest, TracerSeesDropsWithTimestamp) {
+  sim::Simulator sim;
+  DropTailQueue q(1);
+  q.attach(&sim);
+  LossTrace trace;
+  q.set_tracer(&trace);
+  sim.in(Duration::millis(7), [&] {
+    ASSERT_TRUE(q.enqueue(make_packet(3, 10)));
+    EXPECT_FALSE(q.enqueue(make_packet(4, 11)));
+  });
+  sim.run();
+  ASSERT_EQ(trace.drops().size(), 1u);
+  EXPECT_EQ(trace.drops()[0].flow, 4u);
+  EXPECT_EQ(trace.drops()[0].seq, 11u);
+  EXPECT_DOUBLE_EQ(trace.drops()[0].time.millis(), 7.0);
+}
+
+TEST(DropTailQueueTest, DropsComeInBurstsWhenFull) {
+  // The mechanism behind the paper's claim: while a DropTail buffer stays
+  // full, every arrival in that episode is dropped back-to-back.
+  DropTailQueue q(5);
+  LossTrace trace;
+  q.set_tracer(&trace);
+  for (SeqNum s = 0; s < 20; ++s) (void)q.enqueue(make_packet(1, s));
+  EXPECT_EQ(trace.drops().size(), 15u);
+  for (std::size_t i = 0; i < trace.drops().size(); ++i) {
+    EXPECT_EQ(trace.drops()[i].seq, 5 + i);  // consecutive
+  }
+}
+
+TEST(RedQueueTest, NoDropsBelowMinThreshold) {
+  RedQueue::Params p;
+  p.capacity_pkts = 100;
+  p.min_th = 20;
+  p.max_th = 60;
+  RedQueue q(p, util::Rng(1));
+  for (SeqNum s = 0; s < 10; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s)));
+  EXPECT_EQ(q.counters().dropped, 0u);
+}
+
+TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
+  RedQueue::Params p;
+  p.capacity_pkts = 1000;
+  p.min_th = 5;
+  p.max_th = 15;
+  p.max_p = 0.5;
+  p.weight = 1.0;  // avg == instantaneous for test determinism
+  RedQueue q(p, util::Rng(2));
+  int dropped = 0;
+  for (SeqNum s = 0; s < 400; ++s) {
+    if (!q.enqueue(make_packet(1, s))) ++dropped;
+    if (q.len_packets() > 10) (void)q.dequeue();  // hold queue in RED band
+  }
+  EXPECT_GT(dropped, 10);    // dropping is active
+  EXPECT_LT(dropped, 390);   // but not total
+}
+
+TEST(RedQueueTest, ForcedDropAtPhysicalCapacity) {
+  RedQueue::Params p;
+  p.capacity_pkts = 4;
+  p.min_th = 100;  // RED logic dormant
+  p.max_th = 200;
+  RedQueue q(p, util::Rng(3));
+  for (SeqNum s = 0; s < 4; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 4)));
+}
+
+TEST(RedQueueTest, EcnMarksInsteadOfDropping) {
+  RedQueue::Params p;
+  p.capacity_pkts = 1000;
+  p.min_th = 1;
+  p.max_th = 2;
+  p.max_p = 1.0;
+  p.weight = 1.0;
+  p.ecn_mark = true;
+  p.gentle = false;
+  RedQueue q(p, util::Rng(4));
+  LossTrace trace;
+  q.set_tracer(&trace);
+  for (SeqNum s = 0; s < 50; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s, 1000, /*ecn=*/true)));
+  EXPECT_EQ(q.counters().dropped, 0u);
+  EXPECT_GT(q.counters().marked, 0u);
+  EXPECT_EQ(trace.marks().size(), q.counters().marked);
+  // Marked packets are still delivered.
+  EXPECT_EQ(q.len_packets(), 50u);
+}
+
+TEST(RedQueueTest, NonEcnPacketsDroppedEvenInMarkMode) {
+  RedQueue::Params p;
+  p.capacity_pkts = 1000;
+  p.min_th = 1;
+  p.max_th = 2;
+  p.max_p = 1.0;
+  p.weight = 1.0;
+  p.ecn_mark = true;
+  p.gentle = false;
+  RedQueue q(p, util::Rng(5));
+  int dropped = 0;
+  for (SeqNum s = 0; s < 50; ++s) {
+    if (!q.enqueue(make_packet(1, s, 1000, /*ecn=*/false))) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(RedQueueTest, AverageTracksOccupancy) {
+  RedQueue::Params p;
+  p.capacity_pkts = 100;
+  p.weight = 0.5;
+  RedQueue q(p, util::Rng(6));
+  for (SeqNum s = 0; s < 10; ++s) (void)q.enqueue(make_packet(1, s));
+  EXPECT_GT(q.avg_queue(), 0.0);
+  EXPECT_LT(q.avg_queue(), 10.0);
+}
+
+TEST(PersistentEcnQueueTest, MarksForWindowAfterDrop) {
+  sim::Simulator sim;
+  PersistentEcnQueue q(2, Duration::millis(50));
+  q.attach(&sim);
+  sim.in(Duration::millis(1), [&] {
+    ASSERT_TRUE(q.enqueue(make_packet(1, 0, 1000, true)));
+    ASSERT_TRUE(q.enqueue(make_packet(1, 1, 1000, true)));
+    EXPECT_FALSE(q.enqueue(make_packet(1, 2, 1000, true)));  // drop -> arm window
+    EXPECT_EQ(q.counters().marked, 0u);  // marking starts after the drop
+    (void)q.dequeue();
+  });
+  // Inside the 50 ms window: packets get CE marked.
+  sim.in(Duration::millis(20), [&] {
+    ASSERT_TRUE(q.enqueue(make_packet(2, 0, 1000, true)));
+    EXPECT_EQ(q.counters().marked, 1u);
+  });
+  // After the window: no marking.
+  sim.in(Duration::millis(80), [&] {
+    (void)q.dequeue();
+    ASSERT_TRUE(q.enqueue(make_packet(2, 1, 1000, true)));
+    EXPECT_EQ(q.counters().marked, 1u);
+  });
+  sim.run();
+}
+
+TEST(PersistentEcnQueueTest, NonEcnPacketsPassUnmarked) {
+  sim::Simulator sim;
+  PersistentEcnQueue q(1, Duration::millis(50));
+  q.attach(&sim);
+  sim.in(Duration::millis(1), [&] {
+    ASSERT_TRUE(q.enqueue(make_packet(1, 0, 1000, false)));
+    EXPECT_FALSE(q.enqueue(make_packet(1, 1, 1000, false)));  // drop
+    (void)q.dequeue();
+    ASSERT_TRUE(q.enqueue(make_packet(1, 2, 1000, false)));
+    EXPECT_EQ(q.counters().marked, 0u);
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace lossburst::net

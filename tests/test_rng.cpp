@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lossburst::util {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfSiblingCreation) {
+  // Derived streams must be reproducible given (parent seed, draw order).
+  Rng parent1(99);
+  Rng child1 = parent1.split(5);
+  Rng parent2(99);
+  Rng child2 = parent2.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(RngTest, SplitWithDifferentTagsDiffer) {
+  Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  // Not identical streams (first few outputs differ with overwhelming prob).
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(10);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndMean) {
+  Rng rng(11);
+  const double alpha = 2.5, xm = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(alpha, xm);
+    EXPECT_GE(x, xm);
+    sum += x;
+  }
+  // E[X] = alpha*xm/(alpha-1).
+  EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1.0), 0.15);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformDurationWithinBounds) {
+  Rng rng(14);
+  const Duration lo = Duration::millis(2), hi = Duration::millis(200);
+  for (int i = 0; i < 10000; ++i) {
+    const Duration d = rng.uniform_duration(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+TEST(RngTest, ExponentialDurationMean) {
+  Rng rng(15);
+  std::int64_t sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_duration(Duration::millis(10)).ns();
+  EXPECT_NEAR(static_cast<double>(sum) / n, 10e6, 0.2e6);
+}
+
+}  // namespace
+}  // namespace lossburst::util

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "tcp/rtt_estimator.hpp"
+
+namespace lossburst::tcp {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+
+TEST(RttEstimatorTest, InitialRtoBeforeSamples) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), 1_s);  // RFC 6298 initial value
+}
+
+TEST(RttEstimatorTest, FirstSampleInitializes) {
+  RttEstimator est;
+  est.add_sample(100_ms);
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), 100_ms);
+  EXPECT_EQ(est.rttvar(), 50_ms);
+  // srtt + 4*rttvar = 300ms, below the RFC 2988 1 s floor.
+  EXPECT_EQ(est.rto(), 1_s);
+}
+
+TEST(RttEstimatorTest, RtoAboveFloorTracksEstimate) {
+  RttEstimator est;
+  est.add_sample(400_ms);
+  // srtt + 4*rttvar = 400 + 800 = 1200ms, above the floor.
+  EXPECT_EQ(est.rto(), 1200_ms);
+}
+
+TEST(RttEstimatorTest, EwmaConvergesToConstantRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 200; ++i) est.add_sample(80_ms);
+  EXPECT_NEAR(est.srtt().millis(), 80.0, 0.1);
+  EXPECT_NEAR(est.rttvar().millis(), 0.0, 0.5);
+}
+
+TEST(RttEstimatorTest, MinRtoFloorApplies) {
+  RttEstimator est;
+  for (int i = 0; i < 200; ++i) est.add_sample(10_ms);
+  // srtt + 4*rttvar ~ 10ms, far below the RFC 2988 1 s floor.
+  EXPECT_EQ(est.rto(), 1_s);
+}
+
+TEST(RttEstimatorTest, CustomFloorRespected) {
+  RttEstimator::Params p;
+  p.min_rto = 200_ms;
+  RttEstimator est(p);
+  for (int i = 0; i < 200; ++i) est.add_sample(10_ms);
+  EXPECT_EQ(est.rto(), 200_ms);
+}
+
+TEST(RttEstimatorTest, VarianceGrowsWithJitter) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(i % 2 == 0 ? 50_ms : 150_ms);
+  EXPECT_GT(est.rttvar(), 20_ms);
+  EXPECT_GT(est.rto(), 200_ms);
+}
+
+TEST(RttEstimatorTest, BackoffDoubles) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.add_sample(100_ms);
+  const Duration base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto().ns(), base.ns() * 2);
+  est.backoff();
+  EXPECT_EQ(est.rto().ns(), base.ns() * 4);
+}
+
+TEST(RttEstimatorTest, SampleResetsBackoff) {
+  RttEstimator est;
+  est.add_sample(100_ms);
+  const Duration base = est.rto();
+  est.backoff();
+  est.backoff();
+  EXPECT_EQ(est.rto().ns(), base.ns() * 4);
+  // A fresh sample clears the backoff shift; the EWMA update also shrinks
+  // rttvar, so the new RTO is at most the pre-backoff value.
+  est.add_sample(100_ms);
+  EXPECT_LE(est.rto(), base);
+  EXPECT_GT(est.rto(), 100_ms);
+}
+
+TEST(RttEstimatorTest, MaxRtoCapsBackoff) {
+  RttEstimator::Params p;
+  p.max_rto = 2_s;
+  RttEstimator est(p);
+  est.add_sample(1_s);
+  for (int i = 0; i < 10; ++i) est.backoff();
+  EXPECT_LE(est.rto(), 2_s);
+}
+
+TEST(RttEstimatorTest, MinRttTracksSmallest) {
+  RttEstimator est;
+  est.add_sample(100_ms);
+  est.add_sample(40_ms);
+  est.add_sample(90_ms);
+  EXPECT_EQ(est.min_rtt(), 40_ms);
+}
+
+TEST(RttEstimatorTest, NegativeSampleIgnored) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(-5));
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimatorTest, JacobsonGains) {
+  // One divergent sample moves srtt by alpha * error.
+  RttEstimator est;
+  est.add_sample(100_ms);
+  est.add_sample(180_ms);
+  EXPECT_NEAR(est.srtt().millis(), 100.0 + 0.125 * 80.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lossburst::tcp

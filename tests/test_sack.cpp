@@ -1,0 +1,240 @@
+// SACK scoreboard unit tests plus end-to-end SACK recovery behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/sack.hpp"
+
+namespace lossburst::tcp {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+TEST(SackScoreboardTest, PipeCountsTransmissions) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 5; ++s) sb.on_transmit(s, false);
+  EXPECT_EQ(sb.pipe(), 5);
+}
+
+TEST(SackScoreboardTest, SackBlockDrainsPipe) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 10; ++s) sb.on_transmit(s, false);
+  EXPECT_EQ(sb.on_sack_block(4, 8), 4u);
+  EXPECT_EQ(sb.pipe(), 6);
+  EXPECT_TRUE(sb.is_sacked(5));
+  EXPECT_FALSE(sb.is_sacked(3));
+  // Re-reporting the same block changes nothing.
+  EXPECT_EQ(sb.on_sack_block(4, 8), 0u);
+  EXPECT_EQ(sb.pipe(), 6);
+}
+
+TEST(SackScoreboardTest, CumackRetiresSegments) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 10; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(5, 7);
+  sb.on_cumack(0, 7);
+  // 0..4 were in the pipe (5 packets); 5,6 already drained by SACK.
+  EXPECT_EQ(sb.pipe(), 3);
+  EXPECT_EQ(sb.sacked_count(), 0u);
+}
+
+TEST(SackScoreboardTest, DeclareLossesBelowThirdHighestSack) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 10; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(7, 10);  // 3 sacked above the holes
+  EXPECT_EQ(sb.declare_losses(0), 7u);  // 0..6 lost
+  EXPECT_TRUE(sb.is_lost(0));
+  EXPECT_TRUE(sb.is_lost(6));
+  EXPECT_FALSE(sb.is_lost(7));
+  // Pipe: 10 sent - 3 sacked - 7 lost = 0.
+  EXPECT_EQ(sb.pipe(), 0);
+}
+
+TEST(SackScoreboardTest, NoLossDeclaredWithFewSacks) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 5; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(3, 5);  // only 2 sacked
+  EXPECT_EQ(sb.declare_losses(0), 0u);
+  EXPECT_FALSE(sb.has_losses());
+}
+
+TEST(SackScoreboardTest, NextHoleSkipsRetransmitted) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 10; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(7, 10);
+  sb.declare_losses(0);
+  ASSERT_TRUE(sb.next_hole(0).has_value());
+  EXPECT_EQ(*sb.next_hole(0), 0u);
+  sb.on_transmit(0, true);  // retransmit hole 0
+  EXPECT_EQ(*sb.next_hole(0), 1u);
+  EXPECT_EQ(sb.pipe(), 1);  // the retransmission is in flight
+}
+
+TEST(SackScoreboardTest, SackOfRetransmissionDrainsPipe) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 10; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(7, 10);
+  sb.declare_losses(0);
+  sb.on_transmit(2, true);
+  EXPECT_EQ(sb.pipe(), 1);
+  sb.on_sack_block(2, 3);  // the retransmission arrives and is SACKed
+  EXPECT_EQ(sb.pipe(), 0);
+  EXPECT_FALSE(sb.is_lost(2));
+}
+
+TEST(SackScoreboardTest, CumackRetiresRetransmissionInFlight) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 6; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(3, 6);
+  sb.declare_losses(0);   // 0..2 lost, pipe 0
+  sb.on_transmit(0, true);
+  sb.on_transmit(1, true);
+  EXPECT_EQ(sb.pipe(), 2);
+  sb.on_cumack(0, 3);  // retransmissions 0,1 delivered, 2 lost again? no: all below 3 retired
+  EXPECT_EQ(sb.pipe(), 0);
+  EXPECT_FALSE(sb.has_losses());
+}
+
+TEST(SackScoreboardTest, ResetClearsEverything) {
+  SackScoreboard sb;
+  for (net::SeqNum s = 0; s < 8; ++s) sb.on_transmit(s, false);
+  sb.on_sack_block(5, 8);
+  sb.declare_losses(0);
+  sb.reset();
+  EXPECT_EQ(sb.pipe(), 0);
+  EXPECT_EQ(sb.sacked_count(), 0u);
+  EXPECT_FALSE(sb.has_losses());
+}
+
+// ---------------------------------------------------------------- end-to-end
+
+struct Harness {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::Dumbbell bell;
+  Harness(std::uint64_t seed, std::size_t flows, Duration access, double buf = 1.0)
+      : sim(seed) {
+    net::DumbbellConfig cfg;
+    cfg.flow_count = flows;
+    cfg.access_delays.assign(flows, access);
+    cfg.buffer_bdp_fraction = buf;
+    bell = net::build_dumbbell(net, cfg);
+  }
+};
+
+TcpFlow make_sack_flow(Harness& h, net::FlowId id, std::uint64_t total_segments) {
+  TcpSender::Params sp;
+  sp.sack_enabled = true;
+  sp.total_segments = total_segments;
+  TcpReceiver::Params rp;
+  rp.sack_enabled = true;
+  return TcpFlow(h.sim, id, h.bell.fwd_routes[id - 1], h.bell.rev_routes[id - 1], sp, rp);
+}
+
+TEST(SackEndToEndTest, TransfersReliably) {
+  Harness h(1, 1, 24_ms);
+  TcpFlow flow = make_sack_flow(h, 1, 5000);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 60_s);
+  EXPECT_TRUE(flow.sender().completed());
+  EXPECT_EQ(flow.receiver().rcv_next(), 5000u);
+  EXPECT_EQ(flow.receiver().bytes_received(), 5000u * net::kMssBytes);
+}
+
+TEST(SackEndToEndTest, RecoversMultiLossWindowAlmostWithoutTimeouts) {
+  // Slow-start overshoot drops hundreds of packets from one window; SACK
+  // repairs them hole-parallel. An RTO can still occur when a
+  // *retransmission* dies in the same full queue, but the NewReno-style
+  // cascade of timeouts must not happen.
+  Harness h(2, 1, 24_ms, 0.5);
+  TcpFlow flow = make_sack_flow(h, 1, 30000);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 120_s);
+  EXPECT_TRUE(flow.sender().completed());
+  EXPECT_GT(flow.sender().stats().retransmits, 50u);  // the burst was real
+  EXPECT_LE(flow.sender().stats().timeouts, 2u);
+}
+
+TEST(SackEndToEndTest, FasterThanNewRenoUnderBurstLoss) {
+  auto run = [](bool sack) {
+    Harness h(3, 1, 24_ms, 0.5);
+    TcpSender::Params sp;
+    sp.sack_enabled = sack;
+    sp.total_segments = 30000;
+    TcpReceiver::Params rp;
+    rp.sack_enabled = sack;
+    TcpFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0], sp, rp);
+    flow.sender().start(TimePoint::zero());
+    h.sim.run_until(TimePoint::zero() + 300_s);
+    EXPECT_TRUE(flow.sender().completed());
+    return flow.sender().completion_time().seconds();
+  };
+  const double with_sack = run(true);
+  const double without = run(false);
+  EXPECT_LT(with_sack, without);
+}
+
+TEST(SackEndToEndTest, PacedSackWorks) {
+  Harness h(4, 1, 24_ms, 0.5);
+  TcpSender::Params sp;
+  sp.sack_enabled = true;
+  sp.emission = EmissionMode::kPaced;
+  sp.pacing_rtt_hint = 50_ms;
+  sp.total_segments = 10000;
+  TcpReceiver::Params rp;
+  rp.sack_enabled = true;
+  TcpFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0], sp, rp);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 300_s);
+  EXPECT_TRUE(flow.sender().completed());
+  EXPECT_EQ(flow.receiver().rcv_next(), 10000u);
+}
+
+TEST(SackEndToEndTest, ReceiverReportsBlocks) {
+  sim::Simulator sim(5);
+  TcpReceiver::Params rp;
+  rp.sack_enabled = true;
+  TcpReceiver recv(sim, 1, rp);
+  class AckSink final : public net::Endpoint {
+   public:
+    net::Packet last;
+    void receive(net::Packet p) override { last = p; }
+  } sink;
+  static const net::Route kEmpty;
+  recv.connect(&kEmpty, &sink);
+
+  auto data = [&](net::SeqNum s) {
+    net::Packet p;
+    p.flow = 1;
+    p.seq = s;
+    p.size_bytes = net::kDataPacketBytes;
+    recv.receive(std::move(p));
+  };
+  data(0);
+  EXPECT_EQ(sink.last.sack_count, 0u);  // no holes
+  data(2);  // hole at 1
+  ASSERT_EQ(sink.last.sack_count, 1u);
+  EXPECT_EQ(sink.last.sack[0].begin, 2u);
+  EXPECT_EQ(sink.last.sack[0].end, 3u);
+  data(5);  // holes at 1, 3, 4
+  ASSERT_EQ(sink.last.sack_count, 2u);
+  // Most recent block (containing 5) first.
+  EXPECT_EQ(sink.last.sack[0].begin, 5u);
+  EXPECT_EQ(sink.last.sack[1].begin, 2u);
+  data(3);
+  ASSERT_EQ(sink.last.sack_count, 2u);
+  EXPECT_EQ(sink.last.sack[0].begin, 2u);  // run 2..4 contains newest seq 3
+  EXPECT_EQ(sink.last.sack[0].end, 4u);
+  data(1);  // fills the first hole; 2..3 delivered, 5 still buffered
+  EXPECT_EQ(sink.last.ack_seq, 4u);
+  ASSERT_EQ(sink.last.sack_count, 1u);
+  EXPECT_EQ(sink.last.sack[0].begin, 5u);
+}
+
+}  // namespace
+}  // namespace lossburst::tcp

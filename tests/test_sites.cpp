@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "inet/sites.hpp"
+
+namespace lossburst::inet {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+
+TEST(SitesTest, TwentySixSitesAsInTable1) {
+  EXPECT_EQ(planetlab_sites().size(), 26u);
+}
+
+TEST(SitesTest, HostnamesUnique) {
+  std::set<std::string> names;
+  for (const auto& s : planetlab_sites()) names.insert(s.hostname);
+  EXPECT_EQ(names.size(), 26u);
+}
+
+TEST(SitesTest, GeographicMixMatchesPaper) {
+  // "6 are in California, 11 are in other parts of United States, 3 are in
+  // Canada and the rest are in Asia, Europe and Southern America."
+  int california = 0, canada = 0;
+  for (const auto& s : planetlab_sites()) {
+    if (s.location.find(", CA") != std::string::npos) ++california;
+    if (s.location.find("Canada") != std::string::npos) ++canada;
+  }
+  EXPECT_EQ(california, 6);
+  EXPECT_EQ(canada, 3);
+}
+
+TEST(SitesTest, CoordinatesPlausible) {
+  for (const auto& s : planetlab_sites()) {
+    EXPECT_GE(s.lat_deg, -90.0);
+    EXPECT_LE(s.lat_deg, 90.0);
+    EXPECT_GE(s.lon_deg, -180.0);
+    EXPECT_LE(s.lon_deg, 180.0);
+  }
+}
+
+TEST(GreatCircleTest, ZeroForSamePoint) {
+  const auto& s = planetlab_sites()[0];
+  EXPECT_NEAR(great_circle_km(s, s), 0.0, 1e-9);
+}
+
+TEST(GreatCircleTest, Symmetric) {
+  const auto& a = planetlab_sites()[0];
+  const auto& b = planetlab_sites()[21];  // Beijing
+  EXPECT_NEAR(great_circle_km(a, b), great_circle_km(b, a), 1e-9);
+}
+
+TEST(GreatCircleTest, KnownDistanceLaToBeijing) {
+  // LA <-> Beijing is roughly 10,000 km.
+  const auto& la = planetlab_sites()[0];
+  const auto& beijing = planetlab_sites()[21];
+  const double km = great_circle_km(la, beijing);
+  EXPECT_GT(km, 9'000.0);
+  EXPECT_LT(km, 11'000.0);
+}
+
+TEST(RttModelTest, RangeMatchesPaperSpread) {
+  // "The RTTs of these paths have a range from 2ms to more than 200ms" and
+  // the highest measured "more than 300ms".
+  const auto& sites = planetlab_sites();
+  Duration min_rtt = Duration::seconds(999);
+  Duration max_rtt = Duration::zero();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      if (i == j) continue;
+      const Duration rtt = estimate_rtt(sites[i], sites[j]);
+      min_rtt = std::min(min_rtt, rtt);
+      max_rtt = std::max(max_rtt, rtt);
+    }
+  }
+  EXPECT_LE(min_rtt, 10_ms);
+  EXPECT_GE(min_rtt, 2_ms);
+  EXPECT_GE(max_rtt, 200_ms);
+  EXPECT_LE(max_rtt, 500_ms);
+}
+
+TEST(RttModelTest, FloorAtTwoMilliseconds) {
+  // Co-located sites (UCLA / Marina del Rey) hit the 2 ms floor region.
+  const auto& sites = planetlab_sites();
+  const Duration rtt = estimate_rtt(sites[1], sites[4]);  // same coordinates
+  EXPECT_EQ(rtt, 2_ms);
+}
+
+TEST(PairsTest, SixHundredFiftyDirectionalEdges) {
+  // "The complete graph formed by these 26 sites has 650 directional edges."
+  const auto pairs = all_directional_pairs();
+  EXPECT_EQ(pairs.size(), 650u);
+  std::set<std::pair<std::size_t, std::size_t>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 650u);
+  for (const auto& [a, b] : pairs) EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lossburst::inet

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+class Collector final : public Endpoint {
+ public:
+  explicit Collector(sim::Simulator& sim) : sim_(sim) {}
+  void receive(Packet pkt) override {
+    ++count;
+    last_time = sim_.now();
+    last = pkt;
+  }
+  int count = 0;
+  TimePoint last_time;
+  Packet last;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+TEST(StarTest, BuildsAllRoutes) {
+  sim::Simulator sim(1);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 5;
+  Star star = build_star(net, cfg);
+  EXPECT_EQ(star.uplinks.size(), 5u);
+  EXPECT_EQ(star.downlinks.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(star.routes[i][i], nullptr);
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (i != j) {
+        ASSERT_NE(star.routes[i][j], nullptr);
+        EXPECT_EQ(star.routes[i][j]->size(), 2u);
+        EXPECT_EQ((*star.routes[i][j])[0], star.uplinks[i]);
+        EXPECT_EQ((*star.routes[i][j])[1], star.downlinks[j]);
+      }
+    }
+  }
+}
+
+TEST(StarTest, ExplicitDelaysAndRtt) {
+  sim::Simulator sim(2);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 3;
+  cfg.node_delays = {1_ms, 2_ms, 3_ms};
+  Star star = build_star(net, cfg);
+  EXPECT_EQ(star.base_rtt(0, 1), 2 * (1_ms + 2_ms));
+  EXPECT_EQ(star.base_rtt(1, 2), 2 * (2_ms + 3_ms));
+  EXPECT_EQ(star.base_rtt(2, 0), star.base_rtt(0, 2));
+}
+
+TEST(StarTest, SampledDelaysWithinRange) {
+  sim::Simulator sim(3);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 16;
+  Star star = build_star(net, cfg);
+  for (Duration d : star.node_delays) {
+    EXPECT_GE(d, 1_ms);
+    EXPECT_LE(d, 25_ms);
+  }
+}
+
+TEST(StarTest, PacketTraversesUplinkThenDownlink) {
+  sim::Simulator sim(4);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 2;
+  cfg.node_delays = {3_ms, 7_ms};
+  cfg.switch_delay = Duration::micros(0);
+  Star star = build_star(net, cfg);
+  Collector sink(sim);
+  Packet p;
+  p.flow = 1;
+  p.size_bytes = 1000;
+  p.route = star.routes[0][1];
+  p.sink = &sink;
+  sim.in(Duration::zero(), [&, p] { inject(Packet(p)); });
+  sim.run();
+  ASSERT_EQ(sink.count, 1);
+  // 3ms + 7ms propagation plus two 80us serializations at 100 Mbps.
+  EXPECT_EQ(sink.last_time, TimePoint::zero() + 10_ms + Duration::micros(160));
+  EXPECT_EQ(star.uplinks[0]->packets_sent(), 1u);
+  EXPECT_EQ(star.downlinks[1]->packets_sent(), 1u);
+}
+
+TEST(StarTest, IncastConvergesOnDownlink) {
+  // Many nodes blast one receiver: drops happen at that receiver's
+  // downlink, not at the senders' uplinks.
+  sim::Simulator sim(5);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 6;
+  cfg.node_delays = std::vector<Duration>(6, 2_ms);
+  cfg.buffer_pkts = 16;
+  Star star = build_star(net, cfg);
+  Collector sink(sim);
+  // Each sender emits at its own line rate (one packet per 80 us), so the
+  // uplinks never queue; five line-rate streams then converge on node 0's
+  // downlink.
+  for (std::size_t src = 1; src < 6; ++src) {
+    for (int k = 0; k < 50; ++k) {
+      sim.in(Duration::micros(80) * k, [&, src, k] {
+        Packet p;
+        p.flow = static_cast<FlowId>(src);
+        p.seq = static_cast<SeqNum>(k);
+        p.size_bytes = 1000;
+        p.route = star.routes[src][0];
+        p.sink = &sink;
+        inject(std::move(p));
+      });
+    }
+  }
+  sim.run();
+  std::uint64_t uplink_drops = 0;
+  for (Link* up : star.uplinks) uplink_drops += up->queue().counters().dropped;
+  EXPECT_EQ(uplink_drops, 0u);
+  EXPECT_GT(star.downlinks[0]->queue().counters().dropped, 0u);
+  EXPECT_EQ(sink.count + static_cast<int>(star.downlinks[0]->queue().counters().dropped),
+            250);
+}
+
+TEST(StarTest, BufferDefaultsToBdp) {
+  sim::Simulator sim(6);
+  Network net(sim);
+  StarConfig cfg;
+  cfg.nodes = 2;
+  cfg.node_delays = {25_ms, 25_ms};
+  Star star = build_star(net, cfg);
+  auto* q = dynamic_cast<DropTailQueue*>(&star.downlinks[0]->queue());
+  ASSERT_NE(q, nullptr);
+  // BDP at 2*25ms over 100 Mbps = 625 packets.
+  EXPECT_NEAR(static_cast<double>(q->capacity()), 625.0, 5.0);
+}
+
+TEST(MakeQueueTest, RedTuningApplied) {
+  auto q = make_queue(QueueKind::kRed, 100, util::Rng(1), Duration::millis(50),
+                      RedTuning{0.5, 0.9, 0.3, 0.01});
+  auto* red = dynamic_cast<RedQueue*>(q.get());
+  ASSERT_NE(red, nullptr);
+  // Behavioural check: below min_th (50 packets) nothing drops.
+  for (SeqNum s = 0; s < 40; ++s) {
+    Packet p;
+    p.seq = s;
+    p.size_bytes = 1000;
+    EXPECT_TRUE(red->enqueue(std::move(p)));
+  }
+  EXPECT_EQ(red->counters().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace lossburst::net

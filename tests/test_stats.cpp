@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lossburst::util {
+namespace {
+
+TEST(OnlineStatsTest, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SummaryTest, PercentilesInterpolate) {
+  Summary s({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // midway between order stats
+}
+
+TEST(SummaryTest, FractionBelow) {
+  Summary s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(100.0), 1.0);
+  // Strictly below: value equal to a sample does not count it.
+  EXPECT_DOUBLE_EQ(s.fraction_below(3.0), 0.5);
+}
+
+TEST(SummaryTest, EmptyIsNaN) {
+  Summary s({});
+  EXPECT_TRUE(std::isnan(s.percentile(50.0)));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SummaryTest, MeanAndStddev) {
+  Summary s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(CovTest, PoissonLikeIsNearOne) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(rng.exponential(1.0));
+  EXPECT_NEAR(coefficient_of_variation(v), 1.0, 0.02);
+}
+
+TEST(CovTest, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({3.0, 3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(CovTest, BurstyExceedsOne) {
+  // Mixture of tiny and huge intervals: a bursty process signature.
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 100 == 0 ? 100.0 : 0.001);
+  EXPECT_GT(coefficient_of_variation(v), 2.0);
+}
+
+TEST(AutocorrTest, IndependentSamplesNearZero) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(autocorrelation(v, 1), 0.0, 0.02);
+}
+
+TEST(AutocorrTest, AlternatingIsNegative) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(v, 1), -1.0, 0.01);
+  EXPECT_NEAR(autocorrelation(v, 2), 1.0, 0.01);
+}
+
+TEST(AutocorrTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 1.0, 1.0}, 1), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);       // lag too large
+}
+
+}  // namespace
+}  // namespace lossburst::util

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::tcp {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+TEST(TfrcEquationTest, MonotoneDecreasingInLossRate) {
+  const double s = 1000, r = 0.1;
+  double prev = tfrc_throughput_eq(s, r, 0.001);
+  for (double p : {0.005, 0.01, 0.05, 0.1, 0.3}) {
+    const double x = tfrc_throughput_eq(s, r, p);
+    EXPECT_LT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(TfrcEquationTest, InverselyProportionalToRtt) {
+  // For small p the equation ~ s / (R sqrt(2p/3)): halving R doubles X.
+  const double x1 = tfrc_throughput_eq(1000, 0.1, 0.0001);
+  const double x2 = tfrc_throughput_eq(1000, 0.05, 0.0001);
+  EXPECT_NEAR(x2 / x1, 2.0, 0.05);
+}
+
+TEST(TfrcEquationTest, MatchesSimplifiedFormAtLowLoss) {
+  // X ~ s / (R sqrt(2p/3)) when the RTO term is negligible.
+  const double s = 1000, r = 0.1, p = 1e-5;
+  const double expected = s / (r * std::sqrt(2.0 * p / 3.0));
+  EXPECT_NEAR(tfrc_throughput_eq(s, r, p), expected, expected * 0.02);
+}
+
+TEST(TfrcEquationTest, ZeroLossIsUnbounded) {
+  EXPECT_GT(tfrc_throughput_eq(1000, 0.1, 0.0), 1e15);
+}
+
+struct Harness {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::Dumbbell bell;
+  explicit Harness(std::uint64_t seed, std::size_t flows, Duration access,
+                   std::uint64_t bps = 100'000'000) : sim(seed) {
+    net::DumbbellConfig cfg;
+    cfg.flow_count = flows;
+    cfg.bottleneck_bps = bps;
+    cfg.access_delays.assign(flows, access);
+    bell = net::build_dumbbell(net, cfg);
+  }
+};
+
+TEST(TfrcFlowTest, RampsUpWithoutLoss) {
+  Harness h(1, 1, 24_ms, 10'000'000);
+  TfrcSender::Params sp;
+  sp.initial_rtt = 50_ms;
+  TfrcFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0], sp);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 2_s);
+  // Doubling per RTT from 1 pkt/RTT: by 2s it should be well above start.
+  EXPECT_GT(flow.sender().rate_bps(), 1'000'000.0);
+  EXPECT_GT(flow.receiver().packets_received(), 100u);
+}
+
+TEST(TfrcFlowTest, MeasuresRttFromFeedback) {
+  Harness h(2, 1, 24_ms, 10'000'000);
+  TfrcFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0]);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 5_s);
+  EXPECT_NEAR(flow.sender().rtt_seconds(), 0.050, 0.030);
+}
+
+TEST(TfrcFlowTest, DetectsLossesFromGaps) {
+  Harness h(3, 1, 10_ms, 5'000'000);
+  TfrcFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0]);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 20_s);
+  // At 5 Mbps bottleneck the flow must overrun and lose packets.
+  EXPECT_GT(flow.receiver().losses_detected(), 0u);
+  EXPECT_GT(flow.receiver().loss_events(), 0u);
+  EXPECT_GT(flow.sender().loss_event_rate(), 0.0);
+}
+
+TEST(TfrcFlowTest, LossEventsGroupWithinRtt) {
+  Harness h(4, 1, 24_ms, 5'000'000);
+  TfrcFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0]);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 20_s);
+  // Bursty DropTail losses collapse into fewer loss events.
+  EXPECT_LT(flow.receiver().loss_events(), flow.receiver().losses_detected());
+}
+
+TEST(TfrcFlowTest, StabilizesNearBottleneckRate) {
+  Harness h(5, 1, 24_ms, 10'000'000);
+  TfrcFlow flow(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0]);
+  flow.sender().start(TimePoint::zero());
+  h.sim.run_until(TimePoint::zero() + 30_s);
+  const double recv_mbps =
+      static_cast<double>(flow.receiver().bytes_received()) * 8.0 / 30.0 / 1e6;
+  // Long-run average within a sane band of the 10 Mbps bottleneck.
+  EXPECT_GT(recv_mbps, 3.0);
+  EXPECT_LT(recv_mbps, 10.5);
+}
+
+TEST(TfrcFlowTest, RateHalvesWhenFeedbackStops) {
+  // Run normally, then cut the run short of feedback by simply advancing
+  // time with the receiver detached from further data (sender keeps going
+  // while its no-feedback timer halves the rate).
+  sim::Simulator sim(6);
+  net::Network net(sim);
+  net::DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.access_delays = {24_ms};
+  net::Dumbbell bell = net::build_dumbbell(net, cfg);
+
+  TfrcSender::Params sp;
+  sp.initial_rtt = 50_ms;
+  TfrcSender sender(sim, 1, sp);
+  class BlackHole final : public net::Endpoint {
+   public:
+    void receive(net::Packet) override {}
+  } hole;
+  sender.connect(bell.fwd_routes[0], &hole);  // data vanishes: no feedback ever
+  const double initial_rate = sender.rate_bps();
+  sender.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 3_s);
+  EXPECT_LT(sender.rate_bps(), initial_rate + 1.0);
+}
+
+TEST(TfrcReceiverTest, WeightedLossIntervalAverage) {
+  // Feed a synthetic pattern directly: 1 loss every 100 packets => loss
+  // event rate ~ 1/100.
+  sim::Simulator sim(7);
+  TfrcReceiver recv(sim, 1);
+  class Hole final : public net::Endpoint {
+   public:
+    void receive(net::Packet) override {}
+  } hole;
+  static const net::Route kEmpty;
+  recv.connect(&kEmpty, &hole);
+  net::SeqNum seq = 0;
+  for (int event = 0; event < 12; ++event) {
+    for (int k = 0; k < 99; ++k) {
+      net::Packet p;
+      p.flow = 1;
+      p.seq = seq++;
+      p.size_bytes = 1000;
+      p.tfrc.sender_rtt_s = 0.00001;  // tiny RTT: every loss is its own event
+      recv.receive(std::move(p));
+    }
+    ++seq;  // skip one: a loss
+    // Advance simulated time so events are separated by > RTT. (The
+    // receiver's own feedback timer keeps the queue non-empty, so bound the
+    // run instead of draining it.)
+    sim.run_until(sim.now() + Duration::micros(100));
+  }
+  EXPECT_NEAR(recv.loss_event_rate(), 0.01, 0.003);
+}
+
+TEST(TfrcVsTcpTest, TfrcLosesToWindowBasedTcp) {
+  // Rhee & Xu's observation, reproduced: TFRC sharing a DropTail bottleneck
+  // with window-based TCP gets less than its fair share.
+  Harness h(8, 4, 24_ms);
+  TfrcFlow tfrc1(h.sim, 1, h.bell.fwd_routes[0], h.bell.rev_routes[0]);
+  TfrcFlow tfrc2(h.sim, 2, h.bell.fwd_routes[1], h.bell.rev_routes[1]);
+  TcpFlow tcp1(h.sim, 3, h.bell.fwd_routes[2], h.bell.rev_routes[2]);
+  TcpFlow tcp2(h.sim, 4, h.bell.fwd_routes[3], h.bell.rev_routes[3]);
+  tfrc1.sender().start(TimePoint::zero());
+  tfrc2.sender().start(TimePoint::zero() + 50_ms);
+  tcp1.sender().start(TimePoint::zero() + 100_ms);
+  tcp2.sender().start(TimePoint::zero() + 150_ms);
+  h.sim.run_until(TimePoint::zero() + 60_s);
+  const double tfrc_bytes = static_cast<double>(tfrc1.receiver().bytes_received() +
+                                                tfrc2.receiver().bytes_received());
+  const double tcp_bytes = static_cast<double>(tcp1.receiver().bytes_received() +
+                                               tcp2.receiver().bytes_received());
+  EXPECT_LT(tfrc_bytes, tcp_bytes);
+}
+
+}  // namespace
+}  // namespace lossburst::tcp

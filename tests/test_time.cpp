@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace lossburst::util {
+namespace {
+
+using namespace lossburst::util::literals;
+
+TEST(DurationTest, Construction) {
+  EXPECT_EQ(Duration::zero().ns(), 0);
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(3).ns(), 3000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((5_ns).ns(), 5);
+  EXPECT_EQ((5_us).ns(), 5'000);
+  EXPECT_EQ((5_ms).ns(), 5'000'000);
+  EXPECT_EQ((5_s).ns(), 5'000'000'000LL);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_ms).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).millis(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_ns).micros(), 1.5);
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000LL);
+  EXPECT_EQ(Duration::from_seconds(0.0000000005).ns(), 1);   // rounds up
+  EXPECT_EQ(Duration::from_seconds(-1.5).ns(), -1'500'000'000LL);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((3_ms + 2_ms).ns(), (5_ms).ns());
+  EXPECT_EQ((3_ms - 5_ms).ns(), (-(2_ms)).ns());
+  EXPECT_EQ((3_ms * 4).ns(), (12_ms).ns());
+  EXPECT_EQ((12_ms / 4).ns(), (3_ms).ns());
+  EXPECT_DOUBLE_EQ(6_ms / (3_ms), 2.0);
+}
+
+TEST(DurationTest, ScaleByFactor) {
+  EXPECT_EQ(scale(10_ms, 0.5).ns(), (5_ms).ns());
+  EXPECT_EQ(scale(10_ms, 1.25).ns(), 12'500'000);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GE(2_ms, 2_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0).ns(), (5_ms).ns());
+  EXPECT_EQ((t1 - 2_ms).ns(), (3_ms).ns());
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePointTest, PlusEquals) {
+  TimePoint t = TimePoint::zero();
+  t += 7_us;
+  EXPECT_EQ(t.ns(), 7000);
+}
+
+TEST(TimeFormattingTest, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::nanos(12)), "12ns");
+  EXPECT_EQ(to_string(Duration::micros(12)), "12us");
+  EXPECT_EQ(to_string(Duration::millis(12)), "12ms");
+  EXPECT_EQ(to_string(Duration::seconds(12)), "12s");
+}
+
+TEST(TimePointTest, MaxSentinel) {
+  EXPECT_GT(TimePoint::max(), TimePoint::zero() + Duration::seconds(1'000'000));
+}
+
+}  // namespace
+}  // namespace lossburst::util

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::net {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+class Collector final : public Endpoint {
+ public:
+  explicit Collector(sim::Simulator& sim) : sim_(sim) {}
+  void receive(Packet pkt) override {
+    count++;
+    last_time = sim_.now();
+    last = pkt;
+  }
+  int count = 0;
+  TimePoint last_time;
+  Packet last;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+TEST(DumbbellTest, BuildsRequestedFlowCount) {
+  sim::Simulator sim(1);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 8;
+  Dumbbell bell = build_dumbbell(net, cfg);
+  EXPECT_EQ(bell.fwd_routes.size(), 8u);
+  EXPECT_EQ(bell.rev_routes.size(), 8u);
+  EXPECT_EQ(bell.base_rtts.size(), 8u);
+  ASSERT_NE(bell.bottleneck_fwd, nullptr);
+  ASSERT_NE(bell.bottleneck_rev, nullptr);
+}
+
+TEST(DumbbellTest, RandomAccessDelaysWithinPaperRange) {
+  sim::Simulator sim(2);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 64;
+  Dumbbell bell = build_dumbbell(net, cfg);
+  for (Duration rtt : bell.base_rtts) {
+    // RTT = 2 * (access + bottleneck 1ms); access in [2, 200] ms.
+    EXPECT_GE(rtt, 2 * (2_ms + 1_ms));
+    EXPECT_LE(rtt, 2 * (200_ms + 1_ms));
+  }
+}
+
+TEST(DumbbellTest, ExplicitAccessDelaysCycled) {
+  sim::Simulator sim(3);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 4;
+  cfg.access_delays = {10_ms, 20_ms};
+  Dumbbell bell = build_dumbbell(net, cfg);
+  EXPECT_EQ(bell.base_rtts[0], 2 * (10_ms + 1_ms));
+  EXPECT_EQ(bell.base_rtts[1], 2 * (20_ms + 1_ms));
+  EXPECT_EQ(bell.base_rtts[2], 2 * (10_ms + 1_ms));
+  EXPECT_EQ(bell.base_rtts[3], 2 * (20_ms + 1_ms));
+}
+
+TEST(DumbbellTest, MeanRttAveragesFlows) {
+  sim::Simulator sim(4);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 2;
+  cfg.access_delays = {10_ms, 30_ms};
+  Dumbbell bell = build_dumbbell(net, cfg);
+  EXPECT_EQ(bell.mean_rtt(), 2 * (20_ms + 1_ms));
+}
+
+TEST(DumbbellTest, BufferSizedFromBdpFraction) {
+  sim::Simulator sim(5);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.access_delays = {24_ms};  // RTT 50ms, BDP = 625 packets
+  cfg.buffer_bdp_fraction = 0.5;
+  Dumbbell bell = build_dumbbell(net, cfg);
+  auto* q = dynamic_cast<DropTailQueue*>(&bell.bottleneck_fwd->queue());
+  ASSERT_NE(q, nullptr);
+  EXPECT_NEAR(static_cast<double>(q->capacity()), 312.0, 2.0);
+}
+
+TEST(DumbbellTest, ExplicitBufferOverridesFraction) {
+  sim::Simulator sim(6);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.buffer_pkts = 77;
+  Dumbbell bell = build_dumbbell(net, cfg);
+  auto* q = dynamic_cast<DropTailQueue*>(&bell.bottleneck_fwd->queue());
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->capacity(), 77u);
+}
+
+TEST(DumbbellTest, ForwardPathHasExpectedLatency) {
+  sim::Simulator sim(7);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.access_delays = {24_ms};
+  Dumbbell bell = build_dumbbell(net, cfg);
+  Collector sink(sim);
+  Packet p;
+  p.flow = 1;
+  p.seq = 0;
+  p.size_bytes = 1000;
+  p.route = bell.fwd_routes[0];
+  p.sink = &sink;
+  sim.in(Duration::zero(), [&, p] { inject(Packet(p)); });
+  sim.run();
+  ASSERT_EQ(sink.count, 1);
+  // One-way: 12ms + 1ms + 12ms propagation plus three serializations
+  // (8us access + 80us bottleneck + 8us access at 1G/100M/1G).
+  const Duration expected = 25_ms + Duration::micros(8 + 80 + 8);
+  EXPECT_EQ(sink.last_time, TimePoint::zero() + expected);
+}
+
+TEST(DumbbellTest, QueueKindSelection) {
+  sim::Simulator sim(8);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.queue = QueueKind::kRed;
+  Dumbbell bell = build_dumbbell(net, cfg);
+  EXPECT_NE(dynamic_cast<RedQueue*>(&bell.bottleneck_fwd->queue()), nullptr);
+
+  sim::Simulator sim2(9);
+  Network net2(sim2);
+  cfg.queue = QueueKind::kPersistentEcn;
+  Dumbbell bell2 = build_dumbbell(net2, cfg);
+  EXPECT_NE(dynamic_cast<PersistentEcnQueue*>(&bell2.bottleneck_fwd->queue()), nullptr);
+}
+
+TEST(MakeQueueTest, AllKindsConstruct) {
+  for (QueueKind kind : {QueueKind::kDropTail, QueueKind::kRed, QueueKind::kRedEcn,
+                         QueueKind::kPersistentEcn}) {
+    auto q = make_queue(kind, 50, util::Rng(1));
+    ASSERT_NE(q, nullptr);
+    EXPECT_TRUE(q->empty());
+  }
+}
+
+TEST(ThroughputMeterTest, BinsBytesPerInterval) {
+  sim::Simulator sim(10);
+  ThroughputMeter meter(sim, 1_s);
+  meter.start();
+  sim.in(100_ms, [&] { meter.on_bytes(125'000); });  // 1 Mbit in first second
+  sim.in(1500_ms, [&] { meter.on_bytes(250'000); }); // 2 Mbit in second second
+  sim.run_until(TimePoint::zero() + Duration::millis(2500));
+  ASSERT_GE(meter.series_mbps().size(), 2u);
+  EXPECT_NEAR(meter.series_mbps()[0], 1.0, 1e-9);
+  EXPECT_NEAR(meter.series_mbps()[1], 2.0, 1e-9);
+  EXPECT_EQ(meter.total_bytes(), 375'000u);
+}
+
+}  // namespace
+}  // namespace lossburst::net
