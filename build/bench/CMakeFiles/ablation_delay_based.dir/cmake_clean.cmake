@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_based.dir/ablation_delay_based.cpp.o"
+  "CMakeFiles/ablation_delay_based.dir/ablation_delay_based.cpp.o.d"
+  "ablation_delay_based"
+  "ablation_delay_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecn.dir/ablation_ecn.cpp.o"
+  "CMakeFiles/ablation_ecn.dir/ablation_ecn.cpp.o.d"
+  "ablation_ecn"
+  "ablation_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

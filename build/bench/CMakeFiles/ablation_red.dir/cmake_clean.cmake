@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_red.dir/ablation_red.cpp.o"
+  "CMakeFiles/ablation_red.dir/ablation_red.cpp.o.d"
+  "ablation_red"
+  "ablation_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

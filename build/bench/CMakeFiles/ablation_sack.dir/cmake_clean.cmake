@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sack.dir/ablation_sack.cpp.o"
+  "CMakeFiles/ablation_sack.dir/ablation_sack.cpp.o.d"
+  "ablation_sack"
+  "ablation_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq_loss_visibility.dir/eq_loss_visibility.cpp.o"
+  "CMakeFiles/eq_loss_visibility.dir/eq_loss_visibility.cpp.o.d"
+  "eq_loss_visibility"
+  "eq_loss_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq_loss_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ns2_pdf.dir/fig2_ns2_pdf.cpp.o"
+  "CMakeFiles/fig2_ns2_pdf.dir/fig2_ns2_pdf.cpp.o.d"
+  "fig2_ns2_pdf"
+  "fig2_ns2_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ns2_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dummynet_pdf.dir/fig3_dummynet_pdf.cpp.o"
+  "CMakeFiles/fig3_dummynet_pdf.dir/fig3_dummynet_pdf.cpp.o.d"
+  "fig3_dummynet_pdf"
+  "fig3_dummynet_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dummynet_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_competition.dir/fig7_competition.cpp.o"
+  "CMakeFiles/fig7_competition.dir/fig7_competition.cpp.o.d"
+  "fig7_competition"
+  "fig7_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

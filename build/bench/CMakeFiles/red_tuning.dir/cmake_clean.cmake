@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_tuning.dir/red_tuning.cpp.o"
+  "CMakeFiles/red_tuning.dir/red_tuning.cpp.o.d"
+  "red_tuning"
+  "red_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_mapreduce.dir/shuffle_mapreduce.cpp.o"
+  "CMakeFiles/shuffle_mapreduce.dir/shuffle_mapreduce.cpp.o.d"
+  "shuffle_mapreduce"
+  "shuffle_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

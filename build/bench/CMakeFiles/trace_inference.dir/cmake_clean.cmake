@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_inference.dir/trace_inference.cpp.o"
+  "CMakeFiles/trace_inference.dir/trace_inference.cpp.o.d"
+  "trace_inference"
+  "trace_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

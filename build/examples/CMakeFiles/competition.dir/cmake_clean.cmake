@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competition.dir/competition.cpp.o"
+  "CMakeFiles/competition.dir/competition.cpp.o.d"
+  "competition"
+  "competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_monitor.dir/loss_monitor.cpp.o"
+  "CMakeFiles/loss_monitor.dir/loss_monitor.cpp.o.d"
+  "loss_monitor"
+  "loss_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_cli.dir/lossburst_cli.cpp.o"
+  "CMakeFiles/lossburst_cli.dir/lossburst_cli.cpp.o.d"
+  "lossburst_cli"
+  "lossburst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

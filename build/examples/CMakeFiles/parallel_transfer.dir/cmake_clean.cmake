@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_transfer.dir/parallel_transfer.cpp.o"
+  "CMakeFiles/parallel_transfer.dir/parallel_transfer.cpp.o.d"
+  "parallel_transfer"
+  "parallel_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrc_streaming.dir/tfrc_streaming.cpp.o"
+  "CMakeFiles/tfrc_streaming.dir/tfrc_streaming.cpp.o.d"
+  "tfrc_streaming"
+  "tfrc_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrc_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dispersion.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/dispersion.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/dispersion.cpp.o.d"
+  "/root/repo/src/analysis/episodes.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/episodes.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/episodes.cpp.o.d"
+  "/root/repo/src/analysis/gilbert.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/gilbert.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/gilbert.cpp.o.d"
+  "/root/repo/src/analysis/loss_intervals.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/loss_intervals.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/loss_intervals.cpp.o.d"
+  "/root/repo/src/analysis/trace_inference.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/trace_inference.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/trace_inference.cpp.o.d"
+  "/root/repo/src/analysis/trace_io.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/trace_io.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/trace_io.cpp.o.d"
+  "/root/repo/src/analysis/validate.cpp" "src/analysis/CMakeFiles/lossburst_analysis.dir/validate.cpp.o" "gcc" "src/analysis/CMakeFiles/lossburst_analysis.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lossburst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

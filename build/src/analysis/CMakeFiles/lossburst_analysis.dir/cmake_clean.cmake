@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_analysis.dir/dispersion.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/dispersion.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/episodes.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/episodes.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/gilbert.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/gilbert.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/loss_intervals.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/loss_intervals.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/trace_inference.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/trace_inference.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/trace_io.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/trace_io.cpp.o.d"
+  "CMakeFiles/lossburst_analysis.dir/validate.cpp.o"
+  "CMakeFiles/lossburst_analysis.dir/validate.cpp.o.d"
+  "liblossburst_analysis.a"
+  "liblossburst_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_core.dir/burstiness_study.cpp.o"
+  "CMakeFiles/lossburst_core.dir/burstiness_study.cpp.o.d"
+  "CMakeFiles/lossburst_core.dir/competition_experiment.cpp.o"
+  "CMakeFiles/lossburst_core.dir/competition_experiment.cpp.o.d"
+  "CMakeFiles/lossburst_core.dir/dumbbell_experiment.cpp.o"
+  "CMakeFiles/lossburst_core.dir/dumbbell_experiment.cpp.o.d"
+  "CMakeFiles/lossburst_core.dir/loss_visibility.cpp.o"
+  "CMakeFiles/lossburst_core.dir/loss_visibility.cpp.o.d"
+  "CMakeFiles/lossburst_core.dir/parallel_transfer.cpp.o"
+  "CMakeFiles/lossburst_core.dir/parallel_transfer.cpp.o.d"
+  "CMakeFiles/lossburst_core.dir/shuffle_experiment.cpp.o"
+  "CMakeFiles/lossburst_core.dir/shuffle_experiment.cpp.o.d"
+  "liblossburst_core.a"
+  "liblossburst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

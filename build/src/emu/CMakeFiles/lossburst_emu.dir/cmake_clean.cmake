@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_emu.dir/dummynet.cpp.o"
+  "CMakeFiles/lossburst_emu.dir/dummynet.cpp.o.d"
+  "liblossburst_emu.a"
+  "liblossburst_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

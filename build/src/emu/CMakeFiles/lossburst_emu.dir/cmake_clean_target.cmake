@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblossburst_emu.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/campaign.cpp" "src/inet/CMakeFiles/lossburst_inet.dir/campaign.cpp.o" "gcc" "src/inet/CMakeFiles/lossburst_inet.dir/campaign.cpp.o.d"
+  "/root/repo/src/inet/path.cpp" "src/inet/CMakeFiles/lossburst_inet.dir/path.cpp.o" "gcc" "src/inet/CMakeFiles/lossburst_inet.dir/path.cpp.o.d"
+  "/root/repo/src/inet/sites.cpp" "src/inet/CMakeFiles/lossburst_inet.dir/sites.cpp.o" "gcc" "src/inet/CMakeFiles/lossburst_inet.dir/sites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/lossburst_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lossburst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lossburst_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lossburst_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lossburst_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_inet.dir/campaign.cpp.o"
+  "CMakeFiles/lossburst_inet.dir/campaign.cpp.o.d"
+  "CMakeFiles/lossburst_inet.dir/path.cpp.o"
+  "CMakeFiles/lossburst_inet.dir/path.cpp.o.d"
+  "CMakeFiles/lossburst_inet.dir/sites.cpp.o"
+  "CMakeFiles/lossburst_inet.dir/sites.cpp.o.d"
+  "liblossburst_inet.a"
+  "liblossburst_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

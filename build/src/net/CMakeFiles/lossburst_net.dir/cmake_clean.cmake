@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_net.dir/link.cpp.o"
+  "CMakeFiles/lossburst_net.dir/link.cpp.o.d"
+  "CMakeFiles/lossburst_net.dir/network.cpp.o"
+  "CMakeFiles/lossburst_net.dir/network.cpp.o.d"
+  "CMakeFiles/lossburst_net.dir/queue.cpp.o"
+  "CMakeFiles/lossburst_net.dir/queue.cpp.o.d"
+  "CMakeFiles/lossburst_net.dir/trace.cpp.o"
+  "CMakeFiles/lossburst_net.dir/trace.cpp.o.d"
+  "liblossburst_net.a"
+  "liblossburst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lossburst_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lossburst_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lossburst_sim.dir/simulator.cpp.o.d"
+  "liblossburst_sim.a"
+  "liblossburst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cbr.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/cbr.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/cbr.cpp.o.d"
+  "/root/repo/src/tcp/onoff.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/onoff.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/onoff.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/receiver.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/receiver.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/rtt_estimator.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/sack.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/sack.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/sack.cpp.o.d"
+  "/root/repo/src/tcp/sender.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/sender.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/sender.cpp.o.d"
+  "/root/repo/src/tcp/tfrc.cpp" "src/tcp/CMakeFiles/lossburst_tcp.dir/tfrc.cpp.o" "gcc" "src/tcp/CMakeFiles/lossburst_tcp.dir/tfrc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lossburst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lossburst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lossburst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

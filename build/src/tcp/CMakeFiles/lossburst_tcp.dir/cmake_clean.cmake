@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_tcp.dir/cbr.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/cbr.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/onoff.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/onoff.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/sack.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/sack.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/sender.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/sender.cpp.o.d"
+  "CMakeFiles/lossburst_tcp.dir/tfrc.cpp.o"
+  "CMakeFiles/lossburst_tcp.dir/tfrc.cpp.o.d"
+  "liblossburst_tcp.a"
+  "liblossburst_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossburst_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/lossburst_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/csv.cpp.o"
+  "CMakeFiles/lossburst_util.dir/csv.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/histogram.cpp.o"
+  "CMakeFiles/lossburst_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/log.cpp.o"
+  "CMakeFiles/lossburst_util.dir/log.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/rng.cpp.o"
+  "CMakeFiles/lossburst_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/stats.cpp.o"
+  "CMakeFiles/lossburst_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lossburst_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lossburst_util.dir/time.cpp.o"
+  "CMakeFiles/lossburst_util.dir/time.cpp.o.d"
+  "liblossburst_util.a"
+  "liblossburst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossburst_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

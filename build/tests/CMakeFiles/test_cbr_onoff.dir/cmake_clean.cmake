@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbr_onoff.dir/test_cbr_onoff.cpp.o"
+  "CMakeFiles/test_cbr_onoff.dir/test_cbr_onoff.cpp.o.d"
+  "test_cbr_onoff"
+  "test_cbr_onoff.pdb"
+  "test_cbr_onoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbr_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_chart.dir/test_csv_chart.cpp.o"
+  "CMakeFiles/test_csv_chart.dir/test_csv_chart.cpp.o.d"
+  "test_csv_chart"
+  "test_csv_chart.pdb"
+  "test_csv_chart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_episodes.dir/test_episodes.cpp.o"
+  "CMakeFiles/test_episodes.dir/test_episodes.cpp.o.d"
+  "test_episodes"
+  "test_episodes.pdb"
+  "test_episodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

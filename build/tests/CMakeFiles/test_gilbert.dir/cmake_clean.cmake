@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gilbert.dir/test_gilbert.cpp.o"
+  "CMakeFiles/test_gilbert.dir/test_gilbert.cpp.o.d"
+  "test_gilbert"
+  "test_gilbert.pdb"
+  "test_gilbert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sites.dir/test_sites.cpp.o"
+  "CMakeFiles/test_sites.dir/test_sites.cpp.o.d"
+  "test_sites"
+  "test_sites.pdb"
+  "test_sites[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_inference.dir/test_trace_inference.cpp.o"
+  "CMakeFiles/test_trace_inference.dir/test_trace_inference.cpp.o.d"
+  "test_trace_inference"
+  "test_trace_inference.pdb"
+  "test_trace_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
