@@ -65,16 +65,24 @@ int main(int argc, char** argv) {
   bench::print_header("ABL-DELAY", "delay-based (Vegas) vs loss-based (NewReno) control",
                       "delay signals avoid the bursty loss process altogether");
 
+  const bool serial = lossburst::bench::serial_mode(argc, argv);
+
   std::printf("(a) all-of-one-kind dumbbell, 16 flows, 45 s\n");
   std::printf("%10s %10s %12s %12s\n", "variant", "drops", "util", "goodputMbps");
-  for (const bool vegas : {false, true}) {
+  const std::vector<bool> variants = {false, true};
+  std::vector<core::DumbbellExperimentResult> results(variants.size());
+  lossburst::bench::run_sweep(variants.size(), serial, [&](std::size_t i) {
     core::DumbbellExperimentConfig cfg;
     cfg.seed = 1600;
     cfg.tcp_flows = 16;
-    cfg.variant = vegas ? tcp::CcVariant::kVegas : tcp::CcVariant::kNewReno;
+    cfg.variant = variants[i] ? tcp::CcVariant::kVegas : tcp::CcVariant::kNewReno;
     cfg.duration = util::Duration::seconds(full ? 120 : 45);
     cfg.warmup = util::Duration::seconds(5);
-    const auto r = core::run_dumbbell_experiment(cfg);
+    results[i] = core::run_dumbbell_experiment(cfg);
+  });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const bool vegas = variants[i];
+    const auto& r = results[i];
     std::printf("%10s %10llu %11.1f%% %12.1f\n", vegas ? "vegas" : "newreno",
                 static_cast<unsigned long long>(r.total_drops),
                 r.bottleneck_utilization * 100.0, r.aggregate_goodput_mbps);

@@ -34,21 +34,32 @@ int main(int argc, char** argv) {
       {"red-ecn", net::QueueKind::kRedEcn, true},
   };
 
-  std::printf("%16s %14s %14s %12s\n", "config", "paced_mbps", "window_mbps", "deficit");
-  for (const auto& c : configs) {
+  // Independent runs (same seed, different queue config) across the pool.
+  const bool serial = bench::serial_mode(argc, argv);
+  std::vector<core::CompetitionResult> results(configs.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(configs.size(), serial, [&](std::size_t i) {
     core::CompetitionConfig cfg;
     cfg.seed = 7;
     cfg.paced_flows = 16;
     cfg.window_flows = 16;
-    cfg.queue = c.queue;
-    cfg.ecn = c.ecn;
+    cfg.queue = configs[i].queue;
+    cfg.ecn = configs[i].ecn;
     cfg.duration = util::Duration::seconds(full ? 60 : 40);
-    const auto r = core::run_competition(cfg);
+    results[i] = core::run_competition(cfg);
+  });
+
+  std::printf("%16s %14s %14s %12s\n", "config", "paced_mbps", "window_mbps", "deficit");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    const auto& r = results[i];
     std::printf("%16s %14.1f %14.1f %11.1f%%\n", c.name, r.paced_mean_mbps,
                 r.window_mean_mbps, r.paced_deficit * 100.0);
     std::printf("csv: %s,%.2f,%.2f,%.4f\n", c.name, r.paced_mean_mbps, r.window_mean_mbps,
                 r.paced_deficit);
   }
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", timer.elapsed_s(),
+              configs.size(), serial ? "serial, --serial" : "thread pool");
 
   std::printf("\nreading: the droptail row reproduces the Figure-7 unfairness; the ECN\n"
               "rows should cut the deficit substantially (the [22] proposal's claim).\n");

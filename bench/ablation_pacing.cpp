@@ -41,8 +41,16 @@ double jain_index(const std::vector<double>& xs) {
 
 namespace {
 
+struct FairnessRow {
+  std::size_t n = 0;
+  bool paced = false;
+  double mean_mbps = 0.0;
+  double cov = 0.0;
+  double jain = 0.0;
+};
+
 /// (a) N concurrent long flows of one class; per-flow throughput fairness.
-void long_flow_fairness(bool paced, std::size_t n, std::uint64_t seed) {
+FairnessRow long_flow_fairness(bool paced, std::size_t n, std::uint64_t seed) {
   using namespace lossburst;
   sim::Simulator sim(seed);
   net::Network network(sim);
@@ -70,12 +78,8 @@ void long_flow_fairness(bool paced, std::size_t n, std::uint64_t seed) {
   for (auto& f : flows) {
     mbps.push_back(static_cast<double>(f->receiver().bytes_received()) * 8.0 / 60.0 / 1e6);
   }
-  std::printf("%8zu %10s %12.2f %12.3f %10.3f\n", n, paced ? "paced" : "window",
-              util::Summary(mbps).mean(), util::coefficient_of_variation(mbps),
-              jain_index(mbps));
-  std::printf("csv-a: %zu,%s,%.3f,%.4f,%.4f\n", n, paced ? "paced" : "window",
-              util::Summary(mbps).mean(), util::coefficient_of_variation(mbps),
-              jain_index(mbps));
+  return FairnessRow{n, paced, util::Summary(mbps).mean(),
+                     util::coefficient_of_variation(mbps), jain_index(mbps)};
 }
 
 }  // namespace
@@ -87,11 +91,31 @@ int main(int argc, char** argv) {
   bench::print_header("ABL-PACE", "uniform window-based vs uniform paced deployments",
                       "all-rate-based -> fairer, more predictable per-flow throughput");
 
+  const bool serial = bench::serial_mode(argc, argv);
+
   std::printf("(a) long-flow throughput fairness, 100 Mbps / 50 ms, 60 s\n");
   std::printf("%8s %10s %12s %12s %10s\n", "flows", "mode", "mean_mbps", "cov", "jain");
-  for (std::size_t n : {8u, 16u}) {
-    long_flow_fairness(/*paced=*/false, n, 960 + n);
-    long_flow_fairness(/*paced=*/true, n, 960 + n);
+  {
+    struct Point {
+      bool paced;
+      std::size_t n;
+      std::uint64_t seed;
+    };
+    std::vector<Point> plan;
+    for (std::size_t n : {8u, 16u}) {
+      plan.push_back({false, n, 960 + n});
+      plan.push_back({true, n, 960 + n});
+    }
+    std::vector<FairnessRow> rows(plan.size());
+    bench::run_sweep(plan.size(), serial, [&](std::size_t i) {
+      rows[i] = long_flow_fairness(plan[i].paced, plan[i].n, plan[i].seed);
+    });
+    for (const auto& row : rows) {
+      std::printf("%8zu %10s %12.2f %12.3f %10.3f\n", row.n,
+                  row.paced ? "paced" : "window", row.mean_mbps, row.cov, row.jain);
+      std::printf("csv-a: %zu,%s,%.3f,%.4f,%.4f\n", row.n, row.paced ? "paced" : "window",
+                  row.mean_mbps, row.cov, row.jain);
+    }
   }
 
   std::printf("\n(b) Figure-8 parallel transfers in both modes\n");
@@ -108,7 +132,9 @@ int main(int argc, char** argv) {
         cfg.emission = paced ? tcp::EmissionMode::kPaced : tcp::EmissionMode::kWindowBurst;
         cfg.total_bytes = 64ULL << 20;
         cfg.timeout = util::Duration::seconds(400);
-        const auto batch = core::run_parallel_transfer_batch(cfg, repeats, 0);
+        // The batch fans out across a pool with per-repeat seeds fixed up
+        // front; --serial forces one thread for the identity check.
+        const auto batch = core::run_parallel_transfer_batch(cfg, repeats, serial ? 1 : 0);
 
         util::OnlineStats norm;
         double jain_sum = 0.0;

@@ -27,21 +27,33 @@ int main(int argc, char** argv) {
       {"RED", net::QueueKind::kRed},
   };
 
+  // Plan: each (discipline, seed) pair is one independent run; seeds fixed
+  // up front so pooling per discipline is identical serial or parallel.
+  const bool serial = bench::serial_mode(argc, argv);
+  const std::vector<std::uint64_t> seeds = {501, 502, 503};
+  std::vector<core::DumbbellExperimentResult> results(rows.size() * seeds.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(results.size(), serial, [&](std::size_t i) {
+    core::DumbbellExperimentConfig cfg;
+    cfg.seed = seeds[i % seeds.size()];
+    cfg.tcp_flows = 16;
+    cfg.queue = rows[i / seeds.size()].kind;
+    cfg.buffer_bdp_fraction = 0.5;
+    cfg.duration = util::Duration::seconds(full ? 120 : 45);
+    cfg.warmup = util::Duration::seconds(5);
+    results[i] = core::run_dumbbell_experiment(cfg);
+  });
+  const double sweep_s = timer.elapsed_s();
+
   std::printf("%10s %10s %12s %12s %12s %14s\n", "queue", "drops", "<0.01RTT", "<1RTT",
               "CoV", "bin0/poisson");
-  for (const auto& row : rows) {
-    // Pool a few seeds per discipline.
+  for (std::size_t ri = 0; ri < rows.size(); ++ri) {
+    const auto& row = rows[ri];
+    // Pool the discipline's seeds in plan order.
     std::vector<double> pooled;
     std::uint64_t drops = 0;
-    for (std::uint64_t seed : {501u, 502u, 503u}) {
-      core::DumbbellExperimentConfig cfg;
-      cfg.seed = seed;
-      cfg.tcp_flows = 16;
-      cfg.queue = row.kind;
-      cfg.buffer_bdp_fraction = 0.5;
-      cfg.duration = util::Duration::seconds(full ? 120 : 45);
-      cfg.warmup = util::Duration::seconds(5);
-      const auto r = core::run_dumbbell_experiment(cfg);
+    for (std::size_t si = 0; si < seeds.size(); ++si) {
+      const auto& r = results[ri * seeds.size() + si];
       drops += r.total_drops;
       auto times = r.drop_times_s;
       std::sort(times.begin(), times.end());
@@ -57,6 +69,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(drops), a.frac_below_001_rtt,
                 a.frac_below_1_rtt, a.cov, a.first_bin_excess());
   }
+
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, results.size(),
+              serial ? "serial, --serial" : "thread pool");
 
   std::printf("\nreading: the RED row should show a far smaller <0.01 RTT fraction\n"
               "than DropTail — randomized early drops break up the overflow bursts.\n");

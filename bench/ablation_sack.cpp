@@ -20,20 +20,30 @@ int main(int argc, char** argv) {
   bench::print_header("ABL-SACK", "NewReno vs SACK across the paper's experiments",
                       "SACK fixes recovery, not loss-event visibility");
 
+  const bool serial = bench::serial_mode(argc, argv);
+
   std::printf("(a) Figure-7 competition, 16 paced vs 16 window-based\n");
   std::printf("%10s %14s %14s %12s\n", "recovery", "paced_mbps", "window_mbps", "deficit");
-  for (const bool sack : {false, true}) {
-    core::CompetitionConfig cfg;
-    cfg.seed = 7;
-    cfg.paced_flows = 16;
-    cfg.window_flows = 16;
-    cfg.duration = util::Duration::seconds(full ? 60 : 40);
-    cfg.sack = sack;
-    const auto r = core::run_competition(cfg);
-    std::printf("%10s %14.1f %14.1f %11.1f%%\n", sack ? "sack" : "newreno",
-                r.paced_mean_mbps, r.window_mean_mbps, r.paced_deficit * 100.0);
-    std::printf("csv-a: %s,%.2f,%.2f,%.4f\n", sack ? "sack" : "newreno", r.paced_mean_mbps,
-                r.window_mean_mbps, r.paced_deficit);
+  {
+    const std::vector<bool> sack_modes = {false, true};
+    std::vector<core::CompetitionResult> results(sack_modes.size());
+    bench::run_sweep(sack_modes.size(), serial, [&](std::size_t i) {
+      core::CompetitionConfig cfg;
+      cfg.seed = 7;
+      cfg.paced_flows = 16;
+      cfg.window_flows = 16;
+      cfg.duration = util::Duration::seconds(full ? 60 : 40);
+      cfg.sack = sack_modes[i];
+      results[i] = core::run_competition(cfg);
+    });
+    for (std::size_t i = 0; i < sack_modes.size(); ++i) {
+      const bool sack = sack_modes[i];
+      const auto& r = results[i];
+      std::printf("%10s %14.1f %14.1f %11.1f%%\n", sack ? "sack" : "newreno",
+                  r.paced_mean_mbps, r.window_mean_mbps, r.paced_deficit * 100.0);
+      std::printf("csv-a: %s,%.2f,%.2f,%.4f\n", sack ? "sack" : "newreno",
+                  r.paced_mean_mbps, r.window_mean_mbps, r.paced_deficit);
+    }
   }
 
   std::printf("\n(b) Figure-8 parallel transfer, 64 MB\n");
@@ -49,7 +59,9 @@ int main(int argc, char** argv) {
         cfg.rtt = util::Duration::millis(rtt_ms);
         cfg.sack = sack;
         cfg.timeout = util::Duration::seconds(400);
-        const auto batch = core::run_parallel_transfer_batch(cfg, repeats, 0);
+        // The batch itself fans out across a pool with per-repeat seeds
+        // fixed up front; --serial forces one thread for the identity check.
+        const auto batch = core::run_parallel_transfer_batch(cfg, repeats, serial ? 1 : 0);
         util::OnlineStats norm;
         for (const auto& r : batch) norm.add(r.normalized_latency);
         std::printf("%8d %8zu %10s %12.2f %12.2f %12.2f\n", rtt_ms, flows,

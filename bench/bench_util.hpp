@@ -1,11 +1,13 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "core/burstiness_study.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lossburst::bench {
 
@@ -39,6 +41,45 @@ inline bool full_mode(int argc, char** argv) {
     if (std::string(argv[i]) == "--full") return true;
   }
   return false;
+}
+
+/// Returns true when the caller passed --serial (disable the thread pool;
+/// used to verify that pooled results are bit-identical to serial order).
+inline bool serial_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--serial") return true;
+  }
+  return false;
+}
+
+/// Wall-clock stopwatch for reporting sweep speedup.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Run `fn(i)` for i in [0, n), across a thread pool unless `serial`.
+///
+/// Determinism contract: every run must take ALL its inputs (seed included)
+/// from its index into a pre-built plan, write its outputs only to index i
+/// of a results vector, and all printing/pooling must happen afterwards in
+/// index order. Then the pooled statistics are bit-identical to the serial
+/// order no matter how threads interleave.
+template <typename Fn>
+void run_sweep(std::size_t n, bool serial, Fn&& fn) {
+  if (serial || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool pool;
+  pool.parallel_for(n, fn);
 }
 
 }  // namespace lossburst::bench

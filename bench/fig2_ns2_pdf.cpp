@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
+  const bool serial = bench::serial_mode(argc, argv);
 
   bench::print_header("FIG2", "PDF of inter-loss time (NS-2-style simulation)",
                       ">95% of losses within 0.01 RTT; far above Poisson at sub-RTT");
@@ -28,39 +29,59 @@ int main(int argc, char** argv) {
            : std::vector<double>{0.125, 0.5, 2.0};
   const auto duration = util::Duration::seconds(full ? 180 : 60);
 
-  // Pool normalized intervals across the sweep, exactly as the paper pools
-  // its simulation runs into one PDF.
+  // Seeds are assigned while building the plan — before any dispatch — so
+  // pooled results are identical whether the sweep runs serially or on the
+  // thread pool.
+  struct Point {
+    std::size_t flows;
+    double buf;
+    std::uint64_t seed;
+  };
+  std::vector<Point> plan;
+  std::uint64_t seed = 2007;
+  for (std::size_t flows : flow_counts) {
+    for (double buf : buffers) plan.push_back({flows, buf, seed++});
+  }
+
+  std::vector<core::DumbbellExperimentResult> results(plan.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(plan.size(), serial, [&](std::size_t i) {
+    core::DumbbellExperimentConfig cfg;
+    cfg.seed = plan[i].seed;
+    cfg.tcp_flows = plan[i].flows;
+    cfg.buffer_bdp_fraction = plan[i].buf;
+    cfg.duration = duration;
+    cfg.warmup = util::Duration::seconds(5);
+    results[i] = core::run_dumbbell_experiment(cfg);
+  });
+  const double sweep_s = timer.elapsed_s();
+
+  // Pool normalized intervals across the sweep in plan order, exactly as the
+  // paper pools its simulation runs into one PDF.
   std::vector<double> pooled;
-  std::vector<double> representative_trace;  // 16-flow, mid-buffer run
+  std::vector<double> representative_trace;  // highest-flow, mid-buffer run
   double representative_rtt = 0.0;
   std::printf("%8s %8s %10s %12s %12s %12s\n", "flows", "buffer", "drops", "<0.01RTT",
               "<1RTT", "CoV");
-  std::uint64_t seed = 2007;
-  for (std::size_t flows : flow_counts) {
-    for (double buf : buffers) {
-      core::DumbbellExperimentConfig cfg;
-      cfg.seed = seed++;
-      cfg.tcp_flows = flows;
-      cfg.buffer_bdp_fraction = buf;
-      cfg.duration = duration;
-      cfg.warmup = util::Duration::seconds(5);
-      const auto r = core::run_dumbbell_experiment(cfg);
-      std::printf("%8zu %8.3f %10llu %11.1f%% %11.1f%% %12.2f\n", flows, buf,
-                  static_cast<unsigned long long>(r.total_drops),
-                  r.loss.frac_below_001_rtt * 100.0, r.loss.frac_below_1_rtt * 100.0,
-                  r.loss.cov);
-      // Normalize this run's intervals by its mean RTT and pool.
-      auto times = r.drop_times_s;
-      std::sort(times.begin(), times.end());
-      for (double iv : analysis::inter_loss_intervals(times)) {
-        pooled.push_back(iv / r.mean_rtt_s);
-      }
-      if (flows == flow_counts.back() && buf == 0.5) {
-        representative_trace = times;
-        representative_rtt = r.mean_rtt_s;
-      }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%8zu %8.3f %10llu %11.1f%% %11.1f%% %12.2f\n", plan[i].flows,
+                plan[i].buf, static_cast<unsigned long long>(r.total_drops),
+                r.loss.frac_below_001_rtt * 100.0, r.loss.frac_below_1_rtt * 100.0,
+                r.loss.cov);
+    auto times = r.drop_times_s;
+    std::sort(times.begin(), times.end());
+    for (double iv : analysis::inter_loss_intervals(times)) {
+      pooled.push_back(iv / r.mean_rtt_s);
+    }
+    if (plan[i].flows == flow_counts.back() && plan[i].buf == 0.5) {
+      representative_trace = times;
+      representative_rtt = r.mean_rtt_s;
     }
   }
+
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, plan.size(),
+              serial ? "serial, --serial" : "thread pool");
 
   const auto merged = analysis::analyze_normalized_intervals(pooled);
   std::printf("\n--- pooled over sweep (%zu intervals) ---\n", pooled.size());

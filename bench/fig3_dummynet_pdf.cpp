@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
+  const bool serial = bench::serial_mode(argc, argv);
 
   bench::print_header("FIG3", "PDF of inter-loss time (Dummynet-style emulation)",
                       "~80% of losses within 0.01 RTT; still far above Poisson");
@@ -24,30 +25,50 @@ int main(int argc, char** argv) {
       full ? std::vector<double>{0.125, 0.5, 1.0, 2.0} : std::vector<double>{0.125, 0.5};
   const auto duration = util::Duration::seconds(full ? 180 : 60);
 
-  std::vector<double> pooled;
-  std::printf("%8s %8s %10s %12s %12s\n", "flows", "buffer", "drops", "<0.01RTT", "<1RTT");
+  // Per-run seeds fixed at plan time: pooled results are identical serial or
+  // parallel (see fig2 for the contract).
+  struct Point {
+    std::size_t flows;
+    double buf;
+    std::uint64_t seed;
+  };
+  std::vector<Point> plan;
   std::uint64_t seed = 1997;
   for (std::size_t flows : flow_counts) {
-    for (double buf : buffers) {
-      core::DumbbellExperimentConfig cfg;
-      cfg.seed = seed++;
-      cfg.tcp_flows = flows;
-      cfg.buffer_bdp_fraction = buf;
-      cfg.duration = duration;
-      cfg.warmup = util::Duration::seconds(5);
-      cfg.rtt_distribution = core::RttDistribution::kDummynetClasses;
-      cfg.emulate_dummynet = true;  // 1 ms clock + pipe noise
-      const auto r = core::run_dumbbell_experiment(cfg);
-      std::printf("%8zu %8.3f %10llu %11.1f%% %11.1f%%\n", flows, buf,
-                  static_cast<unsigned long long>(r.total_drops),
-                  r.loss.frac_below_001_rtt * 100.0, r.loss.frac_below_1_rtt * 100.0);
-      auto times = r.drop_times_s;
-      std::sort(times.begin(), times.end());
-      for (double iv : analysis::inter_loss_intervals(times)) {
-        pooled.push_back(iv / r.mean_rtt_s);
-      }
+    for (double buf : buffers) plan.push_back({flows, buf, seed++});
+  }
+
+  std::vector<core::DumbbellExperimentResult> results(plan.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(plan.size(), serial, [&](std::size_t i) {
+    core::DumbbellExperimentConfig cfg;
+    cfg.seed = plan[i].seed;
+    cfg.tcp_flows = plan[i].flows;
+    cfg.buffer_bdp_fraction = plan[i].buf;
+    cfg.duration = duration;
+    cfg.warmup = util::Duration::seconds(5);
+    cfg.rtt_distribution = core::RttDistribution::kDummynetClasses;
+    cfg.emulate_dummynet = true;  // 1 ms clock + pipe noise
+    results[i] = core::run_dumbbell_experiment(cfg);
+  });
+  const double sweep_s = timer.elapsed_s();
+
+  std::vector<double> pooled;
+  std::printf("%8s %8s %10s %12s %12s\n", "flows", "buffer", "drops", "<0.01RTT", "<1RTT");
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%8zu %8.3f %10llu %11.1f%% %11.1f%%\n", plan[i].flows, plan[i].buf,
+                static_cast<unsigned long long>(r.total_drops),
+                r.loss.frac_below_001_rtt * 100.0, r.loss.frac_below_1_rtt * 100.0);
+    auto times = r.drop_times_s;
+    std::sort(times.begin(), times.end());
+    for (double iv : analysis::inter_loss_intervals(times)) {
+      pooled.push_back(iv / r.mean_rtt_s);
     }
   }
+
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, plan.size(),
+              serial ? "serial, --serial" : "thread pool");
 
   const auto merged = analysis::analyze_normalized_intervals(pooled);
   std::printf("\n--- pooled over sweep (%zu intervals) ---\n", pooled.size());

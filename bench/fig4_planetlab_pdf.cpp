@@ -33,7 +33,15 @@ int main(int argc, char** argv) {
   cfg.num_paths = full ? 40 : 12;
   cfg.probe_duration = util::Duration::seconds(full ? 300 : 45);  // paper: 5 min
   cfg.warmup = util::Duration::seconds(5);
+  // Path probes run across the campaign's thread pool; per-path seeds are
+  // fixed at plan time, so --serial produces bit-identical pooled output.
+  const bool serial = bench::serial_mode(argc, argv);
+  if (serial) cfg.threads = 1;
+  const bench::WallTimer timer;
   const auto result = inet::run_campaign(cfg);
+  std::printf("campaign wall-clock: %.2f s for %zu paths x 2 probe sizes (%s)\n\n",
+              timer.elapsed_s(), cfg.num_paths,
+              serial ? "serial, --serial" : "thread pool");
 
   std::printf("%6s %6s %8s %10s %10s %10s %6s %s\n", "from", "to", "rtt_ms", "sent",
               "lost48", "lost400", "valid", "reason");

@@ -4,13 +4,49 @@
 // the figure benches can afford.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it, so
+// benchmarks can assert (as a reported counter) that the engine's hot path
+// is allocation-free in steady state.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -51,6 +87,88 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EventQueueHold(benchmark::State& state) {
+  // Classic "hold" model: keep n events pending; each step pops the earliest
+  // and schedules a replacement at a random future time. This isolates the
+  // 4-ary heap's sift costs at a steady queue depth, the regime the TCP
+  // simulations live in.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  sim::EventQueue q;
+  std::int64_t now = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {});
+  }
+  for (auto _ : state) {
+    now = q.pop_and_run().ns();
+    q.schedule(TimePoint(now + rng.uniform_int(1, 1'000'000)), [] {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueHold)->Arg(1024)->Arg(65536);
+
+void BM_EventQueueSteadyStateAllocs(benchmark::State& state) {
+  // Acceptance gate: schedule()/pop_and_run() must not allocate once the
+  // slab pools and heap have reached their high-water marks. The reported
+  // `allocs_per_op` counter must be 0.00.
+  const std::size_t n = 4096;
+  util::Rng rng(9);
+  sim::EventQueue q;
+  // Warm to the high-water mark, then drain back to the hold depth.
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {});
+  }
+  while (q.size() > n) (void)q.pop_and_run();
+  // A few untimed hold cycles settle transient capacities (the slot free
+  // list's high-water mark) before the counter window opens.
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t now = q.pop_and_run().ns();
+    q.schedule(TimePoint(now + rng.uniform_int(1, 1'000'000)), [] {});
+  }
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    const std::int64_t now = q.pop_and_run().ns();
+    q.schedule(TimePoint(now + rng.uniform_int(1, 1'000'000)), [] {});
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueSteadyStateAllocs);
+
+void BM_EventQueueCancelAllocs(benchmark::State& state) {
+  // Same gate for the cancel path: schedule-then-cancel churn recycles slots
+  // eagerly and must be allocation-free in steady state.
+  const std::size_t n = 4096;
+  util::Rng rng(10);
+  sim::EventQueue q;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(n);
+  // Warm-up pass establishes the slab/heap high-water mark.
+  for (std::size_t i = 0; i < n; ++i) {
+    handles.push_back(q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {}));
+  }
+  for (auto& h : handles) h.cancel();
+  handles.clear();
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    sim::EventHandle h = q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {});
+    h.cancel();
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCancelAllocs);
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Rng rng(3);

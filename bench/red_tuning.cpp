@@ -37,19 +37,29 @@ int main(int argc, char** argv) {
       {"fast-avg", {0.25, 0.75, 0.10, 0.05}},
   };
 
-  std::printf("%12s %10s %12s %12s %12s %12s\n", "setting", "drops", "<0.01RTT", "<1RTT",
-              "util", "goodputMbps");
-  for (std::size_t si = 0; si < settings.size(); ++si) {
-    const auto& s = settings[si];
+  // Every setting reruns the same seed (1500) so rows differ only by queue
+  // tuning; runs are independent, so they sweep across the thread pool.
+  const bool serial = bench::serial_mode(argc, argv);
+  std::vector<core::DumbbellExperimentResult> results(settings.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(settings.size(), serial, [&](std::size_t si) {
     core::DumbbellExperimentConfig cfg;
     cfg.seed = 1500;
     cfg.tcp_flows = 16;
     cfg.queue = si == 0 ? net::QueueKind::kDropTail : net::QueueKind::kRed;
-    cfg.red = s.red;
+    cfg.red = settings[si].red;
     cfg.buffer_bdp_fraction = 0.5;
     cfg.duration = util::Duration::seconds(full ? 120 : 45);
     cfg.warmup = util::Duration::seconds(5);
-    const auto r = core::run_dumbbell_experiment(cfg);
+    results[si] = core::run_dumbbell_experiment(cfg);
+  });
+  const double sweep_s = timer.elapsed_s();
+
+  std::printf("%12s %10s %12s %12s %12s %12s\n", "setting", "drops", "<0.01RTT", "<1RTT",
+              "util", "goodputMbps");
+  for (std::size_t si = 0; si < settings.size(); ++si) {
+    const auto& s = settings[si];
+    const auto& r = results[si];
     std::printf("%12s %10llu %11.1f%% %11.1f%% %11.1f%% %12.1f\n", s.name,
                 static_cast<unsigned long long>(r.total_drops),
                 r.loss.frac_below_001_rtt * 100.0, r.loss.frac_below_1_rtt * 100.0,
@@ -59,6 +69,8 @@ int main(int argc, char** argv) {
                 r.loss.frac_below_1_rtt, r.bottleneck_utilization,
                 r.aggregate_goodput_mbps);
   }
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, settings.size(),
+              serial ? "serial, --serial" : "thread pool");
 
   std::puts("\nreading: compare each RED row against 'droptail'. De-bursting (<0.01RTT");
   std::puts("down) trades against utilization and drop volume, and the best setting");

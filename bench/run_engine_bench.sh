@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the engine micro-benchmarks and record the results as BENCH_engine.json
+# at the repository root, so the perf trajectory is tracked PR over PR.
+#
+# Usage: bench/run_engine_bench.sh [build-dir] [extra google-benchmark args]
+# The build dir defaults to ./build; the binary must already be built
+# (cmake --build <build-dir> --target micro_engine).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+bin="${build_dir}/bench/micro_engine"
+if [[ ! -x "${bin}" ]]; then
+  echo "error: ${bin} not found; build it first:" >&2
+  echo "  cmake --build ${build_dir} --target micro_engine" >&2
+  exit 1
+fi
+
+"${bin}" \
+  --benchmark_out="${repo_root}/BENCH_engine.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "$@"
+
+echo
+echo "wrote ${repo_root}/BENCH_engine.json"

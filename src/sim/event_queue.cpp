@@ -1,55 +1,118 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace lossburst::sim {
 
 namespace {
-struct EntryGreater {
-  template <typename E>
-  bool operator()(const E& a, const E& b) const { return a > b; }
-};
+constexpr std::size_t kArity = 4;
 }  // namespace
 
-EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
-  auto token = std::make_shared<bool>(false);
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), token});
-  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
-  return EventHandle(std::move(token));
+void EventQueue::sift_up(std::size_t i) const {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
-void EventQueue::drop_dead_heads() const {
-  while (!heap_.empty() && *heap_.front().cancelled) {
-    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
-    heap_.pop_back();
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_heap_entry() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_stale_heads() const {
+  while (!heap_.empty() && slot_gen(heap_.front().slot) != heap_.front().gen) {
+    pop_heap_entry();
   }
 }
 
-bool EventQueue::empty() const {
-  drop_dead_heads();
-  return heap_.empty();
+void EventQueue::release_slot(std::uint32_t id) {
+  if ((id & kLargePoolBit) != 0) {
+    large_.release(id & ~kLargePoolBit);
+  } else {
+    small_.release(id);
+  }
+  --live_;
 }
 
-std::size_t EventQueue::size() const {
-  drop_dead_heads();
-  return heap_.size();
+void EventQueue::cancel_handle(std::uint32_t id, std::uint32_t gen) {
+  if (!handle_pending(id, gen)) return;
+  // Destroy the callback now (eager slot reuse); the heap entry goes stale
+  // and is skipped when it reaches the head.
+  if ((id & kLargePoolBit) != 0) {
+    auto& s = large_.slot(id & ~kLargePoolBit);
+    s.ops->destroy(s.buf);
+  } else {
+    auto& s = small_.slot(id);
+    s.ops->destroy(s.buf);
+  }
+  release_slot(id);
+  // Cancel-heavy churn (e.g. per-ACK RTO rescheduling) can fill the heap
+  // with stale entries faster than the head drains; compact in place when
+  // garbage dominates so memory stays bounded and allocation-free.
+  if (heap_.size() >= 64 && heap_.size() > 4 * live_) compact_heap();
+}
+
+void EventQueue::compact_heap() {
+  const auto stale = [this](const HeapEntry& e) { return slot_gen(e.slot) != e.gen; };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), stale), heap_.end());
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) sift_down(i);
+  }
 }
 
 TimePoint EventQueue::next_time() const {
-  drop_dead_heads();
-  return heap_.empty() ? TimePoint::max() : heap_.front().at;
+  if (live_ == 0) return TimePoint::max();
+  drop_stale_heads();
+  return TimePoint(heap_.front().at_ns);
 }
 
 TimePoint EventQueue::pop_and_run() {
-  drop_dead_heads();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  *e.cancelled = true;  // mark fired so the handle reports not-pending
-  e.fn();
-  return e.at;
+  assert(live_ > 0);
+  drop_stale_heads();
+  const HeapEntry e = heap_.front();
+  pop_heap_entry();
+  // Relocate the callback onto the stack and recycle the slot *before*
+  // invoking: the callback may schedule new events (growing the slab) or
+  // cancel anything, including a stale handle to itself (a no-op by then).
+  alignas(std::max_align_t) unsigned char tmp[kLargeCallable];
+  const detail::CallableOps* ops;
+  if ((e.slot & kLargePoolBit) != 0) {
+    auto& s = large_.slot(e.slot & ~kLargePoolBit);
+    ops = s.ops;
+    ops->relocate(s.buf, tmp);
+  } else {
+    auto& s = small_.slot(e.slot);
+    ops = s.ops;
+    ops->relocate(s.buf, tmp);
+  }
+  release_slot(e.slot);
+  ops->invoke(tmp);
+  ops->destroy(tmp);
+  return TimePoint(e.at_ns);
 }
 
 }  // namespace lossburst::sim

@@ -1,11 +1,39 @@
-// The event queue at the heart of the simulator: a binary heap ordered by
-// (time, insertion sequence). The sequence number makes simultaneous events
-// fire in scheduling order, which keeps runs deterministic.
+// The event queue at the heart of the simulator.
+//
+// Design (see DESIGN.md "Engine internals"):
+//  - Callbacks are stored type-erased in fixed-size slots (small-buffer
+//    storage plus an ops table of invoke/destroy/relocate function
+//    pointers). Two slab pools back the slots: a small pool whose slots are
+//    exactly one cache line (48-byte captures — timers and other
+//    `this`-capturing lambdas), and a large pool for the per-packet Link
+//    callbacks that carry a Packet by value. static_asserts in schedule()
+//    verify at compile time that every callback ever scheduled fits.
+//  - Slabs grow in chunks of 256 slots, so slots never move and steady-state
+//    schedule()/cancel()/pop_and_run() performs zero heap allocations once
+//    the pools and heap reach their high-water marks.
+//  - Each slot carries a generation counter, so an EventHandle is a
+//    trivially-copyable {queue, slot id, generation} token — no per-event
+//    shared_ptr.
+//  - Ordering uses a 4-ary implicit heap of 24-byte {time, seq, slot, gen}
+//    entries keyed by (time, insertion sequence). The sequence number makes
+//    simultaneous events fire in scheduling order, which keeps runs
+//    deterministic — the determinism regression test in
+//    tests/test_determinism.cpp guards this contract across engine rewrites.
+//  - cancel() destroys the callback and recycles the slot eagerly; the heap
+//    entry goes stale (generation mismatch) and is skipped lazily.
+//
+// Lifetime contract: an EventHandle must not be used after its EventQueue is
+// destroyed. In practice every handle lives inside a component that holds a
+// reference to the Simulator owning the queue, so the queue outlives it.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/time.hpp"
@@ -15,38 +43,171 @@ namespace lossburst::sim {
 using util::Duration;
 using util::TimePoint;
 
-using EventFn = std::function<void()>;
+namespace detail {
 
-/// Handle to a scheduled event; allows O(1) lazy cancellation. Handles are
-/// cheap shared tokens — copying one does not copy the event.
+/// Type-erasure ops for a callable stored in raw slot storage.
+struct CallableOps {
+  void (*invoke)(void*);
+  void (*destroy)(void*);
+  void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+};
+
+template <typename D>
+inline constexpr CallableOps kCallableOps = {
+    [](void* p) { (*static_cast<D*>(p))(); },
+    [](void* p) { static_cast<D*>(p)->~D(); },
+    [](void* src, void* dst) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    },
+};
+
+/// A slab of fixed-capacity callback slots. Storage grows in chunks so slots
+/// never move; released slot indices are recycled through a free list (eager
+/// reuse keeps the working set compact).
+template <std::size_t Capacity>
+class SlotPool {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  static constexpr std::uint32_t kChunkSlots = 256;
+
+  struct Slot {
+    alignas(std::max_align_t) unsigned char buf[Capacity];
+    const CallableOps* ops = nullptr;
+    std::uint32_t gen = 0;  // bumped when the slot is released (fire/cancel)
+  };
+
+  SlotPool() = default;
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  ~SlotPool() {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      Slot& s = slot(i);
+      if (s.ops != nullptr) s.ops->destroy(s.buf);
+    }
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+
+  /// Hand out a free slot index, growing by one chunk when exhausted.
+  [[nodiscard]] std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    if (count_ % kChunkSlots == 0) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    }
+    return count_++;
+  }
+
+  void release(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    s.ops = nullptr;
+    ++s.gen;
+    free_.push_back(idx);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace detail
+
+class EventQueue;
+
+/// Handle to a scheduled event; allows O(1) cancellation. A handle is a
+/// trivially-copyable 16-byte token — copying it copies nothing of the
+/// event, and a handle left over from a fired or cancelled event is inert
+/// (the generation no longer matches, so cancel() is a no-op and pending()
+/// is false), even if the slot has since been reused by a new event.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still scheduled (not fired, not cancelled).
-  [[nodiscard]] bool pending() const { return token_ && !*token_; }
+  [[nodiscard]] inline bool pending() const;
 
-  /// Cancel the event if still pending. Safe to call repeatedly.
-  void cancel() {
-    if (token_) *token_ = true;
-  }
+  /// Cancel the event if still pending. Safe to call repeatedly, after the
+  /// event fired, or on a default-constructed handle.
+  inline void cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> token) : token_(std::move(token)) {}
-  std::shared_ptr<bool> token_;  // true => cancelled or fired
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint32_t gen)
+      : q_(q), slot_(slot), gen_(gen) {}
+
+  EventQueue* q_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<EventHandle>);
 
 class EventQueue {
  public:
+  /// Capture budget for the common case: a slot is exactly one cache line.
+  static constexpr std::size_t kSmallCallable = 48;
+  /// Capture budget for per-packet callbacks (Link tx/delivery: `this` plus
+  /// a Packet by value, ~160 bytes). Revisit if Packet grows.
+  static constexpr std::size_t kLargeCallable = 176;
+
+  EventQueue() = default;
+
+  // Handles store a pointer back to the queue, so it must stay put.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Schedule `fn` at absolute time `at`. Returns a cancellable handle.
-  EventHandle schedule(TimePoint at, EventFn fn);
+  /// Allocation-free once the pools and heap reach steady-state size.
+  template <typename F>
+  EventHandle schedule(TimePoint at, F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= kLargeCallable,
+                  "event callback capture exceeds the engine's slot size; "
+                  "shrink the capture or raise EventQueue::kLargeCallable");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "event callback is over-aligned for slot storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "event callbacks must be nothrow-move-constructible");
 
-  [[nodiscard]] bool empty() const;
+    std::uint32_t id;
+    std::uint32_t gen;
+    if constexpr (sizeof(D) <= kSmallCallable) {
+      const std::uint32_t idx = small_.acquire();
+      auto& s = small_.slot(idx);
+      ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
+      s.ops = &detail::kCallableOps<D>;
+      gen = s.gen;
+      id = idx;
+    } else {
+      const std::uint32_t idx = large_.acquire();
+      auto& s = large_.slot(idx);
+      ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
+      s.ops = &detail::kCallableOps<D>;
+      gen = s.gen;
+      id = idx | kLargePoolBit;
+    }
+    heap_.push_back(HeapEntry{at.ns(), next_seq_++, id, gen});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return EventHandle(this, id, gen);
+  }
 
-  /// Number of entries currently held (cancelled entries not yet at the heap
-  /// head are still counted — this is a diagnostic, not an exact live count).
-  [[nodiscard]] std::size_t size() const;
+  /// True when no live (non-cancelled, unfired) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Exact number of live events (cancelled slots are recycled eagerly).
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; TimePoint::max() when empty.
   [[nodiscard]] TimePoint next_time() const;
@@ -59,23 +220,56 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
 
  private:
-  struct Entry {
-    TimePoint at;
-    std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
+  friend class EventHandle;
 
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
+  static constexpr std::uint32_t kLargePoolBit = 0x8000'0000u;
+
+  // 24 bytes keyed by (time, seq); the callback lives in a slab slot.
+  struct HeapEntry {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    [[nodiscard]] bool before(const HeapEntry& o) const {
+      if (at_ns != o.at_ns) return at_ns < o.at_ns;
+      return seq < o.seq;
     }
   };
 
-  void drop_dead_heads() const;
+  [[nodiscard]] std::uint32_t slot_gen(std::uint32_t id) const {
+    return (id & kLargePoolBit) != 0 ? large_.slot(id & ~kLargePoolBit).gen
+                                     : small_.slot(id).gen;
+  }
 
-  // `heap_` is mutable so const observers can shed cancelled heads.
-  mutable std::vector<Entry> heap_;
+  [[nodiscard]] bool handle_pending(std::uint32_t id, std::uint32_t gen) const {
+    return slot_gen(id) == gen;
+  }
+
+  void cancel_handle(std::uint32_t id, std::uint32_t gen);
+  void release_slot(std::uint32_t id);
+
+  // The heap maintenance helpers are const because observers (next_time)
+  // shed stale heads; they only touch the mutable `heap_`.
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void pop_heap_entry() const;
+  void drop_stale_heads() const;
+  void compact_heap();
+
+  detail::SlotPool<kSmallCallable> small_;
+  detail::SlotPool<kLargeCallable> large_;
+  mutable std::vector<HeapEntry> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return q_ != nullptr && q_->handle_pending(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (q_ != nullptr) q_->cancel_handle(slot_, gen_);
+}
 
 }  // namespace lossburst::sim

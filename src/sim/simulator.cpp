@@ -1,16 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-#include <stdexcept>
-
 namespace lossburst::sim {
-
-EventHandle Simulator::at(TimePoint t, EventFn fn) {
-  if (t < now_) {
-    throw std::logic_error("Simulator::at: scheduling into the past");
-  }
-  return queue_.schedule(t, std::move(fn));
-}
 
 std::uint64_t Simulator::run_until(TimePoint until) {
   std::uint64_t ran = 0;

@@ -1,9 +1,13 @@
 // The simulator: a clock plus an event queue. Components hold a reference to
 // it and schedule callbacks; there is exactly one logical thread of execution
-// per simulator instance, so components need no synchronization.
+// per simulator instance, so components need no synchronization. Distinct
+// simulator instances share nothing, so independent runs may execute on
+// different threads of a util::ThreadPool.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
@@ -23,10 +27,19 @@ class Simulator {
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
   /// Schedule at an absolute time; must not be in the past.
-  EventHandle at(TimePoint t, EventFn fn);
+  template <typename F>
+  EventHandle at(TimePoint t, F&& fn) {
+    if (t < now_) {
+      throw std::logic_error("Simulator::at: scheduling into the past");
+    }
+    return queue_.schedule(t, std::forward<F>(fn));
+  }
 
   /// Schedule after a relative delay (>= 0).
-  EventHandle in(Duration d, EventFn fn) { return at(now_ + d, std::move(fn)); }
+  template <typename F>
+  EventHandle in(Duration d, F&& fn) {
+    return at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Run until the queue drains or the clock passes `until`. Events at
   /// exactly `until` still run. Returns the number of events executed.

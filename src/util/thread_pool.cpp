@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace lossburst::util {
 
@@ -39,12 +40,37 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(size(), n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
+  futs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futs.push_back(submit([&fn, &next, &failed, n] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    }));
   }
-  for (auto& f : futs) f.get();
+  // Wait for *all* chunks before rethrowing: the tasks reference fn/next by
+  // address, which must stay alive until every worker is done with them.
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace lossburst::util

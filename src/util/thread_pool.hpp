@@ -40,6 +40,11 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Work is chunked: one task per worker pulling indices off a shared
+  /// atomic counter, so the setup cost is O(workers) heap allocations, not
+  /// O(n). If any invocation throws, the first exception (in completion
+  /// order) is rethrown on the caller's thread after all workers finish;
+  /// remaining indices are abandoned once a failure is observed.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -117,6 +118,145 @@ TEST(EventQueueTest, ScheduledCountTracksAll) {
   EventQueue q;
   for (int i = 0; i < 5; ++i) q.schedule(TimePoint(i), [] {});
   EXPECT_EQ(q.scheduled_count(), 5u);
+}
+
+TEST(EventQueueTest, HandleIsTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<EventHandle>);
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint(1), [] {});
+  EventHandle copy = h;  // copies the token, not the event
+  EXPECT_TRUE(copy.pending());
+  copy.cancel();
+  EXPECT_FALSE(h.pending());  // both tokens name the same event
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int runs = 0;
+  EventHandle h = q.schedule(TimePoint(1), [&] { ++runs; });
+  q.pop_and_run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not disturb anything...
+  h.cancel();  // ...no matter how often it is called
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, StaleGenerationHandleNotPendingAfterSlotReuse) {
+  EventQueue q;
+  // Fire the only event: its slot is recycled eagerly.
+  EventHandle old = q.schedule(TimePoint(1), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(old.pending());
+  // The next schedule reuses the slot with a bumped generation: the stale
+  // handle must stay !pending() and its cancel() must not kill the new event.
+  bool second_ran = false;
+  EventHandle fresh = q.schedule(TimePoint(2), [&] { second_ran = true; });
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  old.cancel();
+  EXPECT_TRUE(fresh.pending());
+  q.pop_and_run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueTest, CancelledSlotReusedEagerly) {
+  EventQueue q;
+  EventHandle a = q.schedule(TimePoint(5), [] {});
+  a.cancel();
+  EXPECT_TRUE(q.empty());
+  // Cancel-then-schedule churn must not leak live events or run anything.
+  for (int i = 0; i < 1000; ++i) {
+    EventHandle h = q.schedule(TimePoint(5 + i), [] { FAIL(); });
+    h.cancel();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, CancelFromWithinCallback) {
+  EventQueue q;
+  bool later_ran = false;
+  EventHandle later = q.schedule(TimePoint(2), [&] { later_ran = true; });
+  q.schedule(TimePoint(1), [&] { later.cancel(); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(EventQueueTest, SelfCancelFromOwnCallbackIsNoOp) {
+  // By the time a callback runs, its own handle is already stale; cancelling
+  // it from inside must not disturb the queue or any reused slot.
+  EventQueue q;
+  EventHandle self;
+  bool other_ran = false;
+  self = q.schedule(TimePoint(1), [&] {
+    self.cancel();
+    q.schedule(TimePoint(2), [&] { other_ran = true; });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_TRUE(other_ran);
+}
+
+TEST(EventQueueTest, LargeCaptureCallbacksWork) {
+  // Captures above the small-slot budget route to the large pool; behavior
+  // must be identical, including cancellation with destructor side effects.
+  struct Big {
+    std::array<std::uint64_t, 18> payload;  // 144 bytes: beyond the 48B slots
+  };
+  EventQueue q;
+  Big big{};
+  big.payload[17] = 99;
+  std::uint64_t seen = 0;
+  q.schedule(TimePoint(1), [big, &seen] { seen = big.payload[17]; });
+  EventHandle cancelled = q.schedule(TimePoint(2), [big, &seen] { seen = 1; });
+  cancelled.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(EventQueueTest, CallbackDestructorRunsExactlyOnceOnCancel) {
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    Probe(const Probe& o) = default;
+    ~Probe() {
+      if (counter != nullptr) ++*counter;
+    }
+    void operator()() const {}
+  };
+  int destroyed = 0;
+  {
+    EventQueue q;
+    EventHandle h = q.schedule(TimePoint(1), Probe(&destroyed));
+    h.cancel();
+    EXPECT_EQ(destroyed, 1) << "cancel must destroy the callback eagerly";
+    h.cancel();
+    EXPECT_EQ(destroyed, 1);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(EventQueueTest, QueueDestructorDestroysUnfiredCallbacks) {
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    Probe(const Probe& o) = default;
+    ~Probe() {
+      if (counter != nullptr) ++*counter;
+    }
+    void operator()() const {}
+  };
+  int destroyed = 0;
+  {
+    EventQueue q;
+    q.schedule(TimePoint(1), Probe(&destroyed));
+    q.schedule(TimePoint(2), Probe(&destroyed));
+  }
+  EXPECT_EQ(destroyed, 2);
 }
 
 }  // namespace

@@ -50,6 +50,37 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForMoreIndicesThanWorkers) {
+  // Chunked dispatch: 2 workers must still cover all 1000 indices exactly
+  // once, regardless of how the atomic counter interleaves.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("index 37 failed");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForUsableAfterException) {
+  // A throwing sweep must not wedge the pool: a follow-up sweep still works.
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t) { throw std::runtime_error("boom"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsCleanly) {
   std::atomic<int> counter{0};
   {
