@@ -6,24 +6,62 @@
 // identical loss detection and congestion reaction. The paper observed the
 // same behaviour "with different parameters (different RTTs and different
 // number of flows)", which the sweep below also reproduces.
+//
+// All simulations (the headline run plus the full-mode sweep) are planned
+// up front with fixed seeds and fanned out over the thread pool; printing
+// happens afterwards in plan order, so --serial output is byte-identical.
+#include <vector>
+
 #include "bench_util.hpp"
 #include "util/ascii_chart.hpp"
 
 int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
+  const bool serial = bench::serial_mode(argc, argv);
 
   bench::print_header("FIG7", "TCP Pacing (16) vs TCP NewReno (16), 100 Mbps, 50 ms",
                       "paced aggregate ~17% below NewReno aggregate");
 
-  core::CompetitionConfig cfg;
-  cfg.seed = 7;
-  cfg.paced_flows = 16;
-  cfg.window_flows = 16;
-  cfg.rtt = util::Duration::millis(50);
-  cfg.duration = util::Duration::seconds(40);
-  const auto r = core::run_competition(cfg);
+  // Plan: index 0 is the headline figure; the rest are the parameter sweep.
+  struct PlanEntry {
+    core::CompetitionConfig cfg;
+    std::size_t flows = 0;
+    int rtt_ms = 0;
+  };
+  std::vector<PlanEntry> plan;
+  {
+    PlanEntry main_run;
+    main_run.cfg.seed = 7;
+    main_run.cfg.paced_flows = 16;
+    main_run.cfg.window_flows = 16;
+    main_run.cfg.rtt = util::Duration::millis(50);
+    main_run.cfg.duration = util::Duration::seconds(40);
+    plan.push_back(main_run);
+  }
+  if (full) {
+    for (std::size_t flows : {4u, 8u, 16u}) {
+      for (int rtt_ms : {10, 50, 200}) {
+        PlanEntry e;
+        e.cfg.seed = 70 + flows + static_cast<std::uint64_t>(rtt_ms);
+        e.cfg.paced_flows = flows;
+        e.cfg.window_flows = flows;
+        e.cfg.rtt = util::Duration::millis(rtt_ms);
+        e.cfg.duration = util::Duration::seconds(40);
+        e.flows = flows;
+        e.rtt_ms = rtt_ms;
+        plan.push_back(e);
+      }
+    }
+  }
 
+  std::vector<core::CompetitionResult> results(plan.size());
+  bench::WallTimer timer;
+  bench::run_sweep(plan.size(), serial,
+                   [&](std::size_t i) { results[i] = core::run_competition(plan[i].cfg); });
+  const double sweep_s = timer.elapsed_s();
+
+  const auto& r = results[0];
   util::ChartSeries paced{"TCP Pacing (16 flows)", {}, {}, 'p'};
   util::ChartSeries window{"TCP NewReno (16 flows)", {}, {}, 'n'};
   for (std::size_t i = 0; i < r.paced_mbps.size(); ++i) {
@@ -55,18 +93,12 @@ int main(int argc, char** argv) {
   if (full) {
     std::printf("\nparameter sweep (deficit should stay positive):\n");
     std::printf("%8s %8s %12s\n", "flows", "rtt_ms", "deficit");
-    for (std::size_t flows : {4u, 8u, 16u}) {
-      for (int rtt_ms : {10, 50, 200}) {
-        core::CompetitionConfig c;
-        c.seed = 70 + flows + static_cast<std::uint64_t>(rtt_ms);
-        c.paced_flows = flows;
-        c.window_flows = flows;
-        c.rtt = util::Duration::millis(rtt_ms);
-        c.duration = util::Duration::seconds(40);
-        const auto rr = core::run_competition(c);
-        std::printf("%8zu %8d %11.1f%%\n", flows, rtt_ms, rr.paced_deficit * 100.0);
-      }
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+      std::printf("%8zu %8d %11.1f%%\n", plan[i].flows, plan[i].rtt_ms,
+                  results[i].paced_deficit * 100.0);
     }
   }
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, plan.size(),
+              serial ? "serial, --serial" : "thread pool");
   return 0;
 }

@@ -9,6 +9,10 @@
 // ranging from 11 to 50 seconds (2x-9x the 5.39 s bound) "depending on how
 // many flows enter the congestion avoidance phase prematurely". The paper
 // also notes the variance at RTT=200ms/4 flows is too large to display.
+//
+// The whole grid x repeats plan is flattened and fanned out over the thread
+// pool (seeds fixed at plan time); aggregation and printing happen
+// afterwards in plan order, so --serial output is byte-identical.
 #include <vector>
 
 #include "bench_util.hpp"
@@ -17,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
+  const bool serial = bench::serial_mode(argc, argv);
 
   bench::print_header("FIG8", "parallel-flow 64 MB transfer latency (normalized)",
                       "at 200 ms RTT latency spans ~2x-9x the lower bound, high variance");
@@ -25,32 +30,59 @@ int main(int argc, char** argv) {
   const std::vector<int> rtts_ms{2, 10, 50, 200};
   const std::size_t repeats = full ? 5 : 3;
 
+  // Flatten grid x repeats into one plan; every run's seed is fixed here.
+  struct Run {
+    core::ParallelTransferConfig cfg;
+    std::size_t point = 0;  ///< index into the (rtt, flows) grid
+  };
+  std::vector<Run> plan;
+  std::size_t points = 0;
+  for (int rtt_ms : rtts_ms) {
+    for (std::size_t flows : flow_counts) {
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        Run run;
+        run.cfg.seed = 800 + static_cast<std::uint64_t>(rtt_ms) * 100 + flows + rep;
+        run.cfg.flows = flows;
+        run.cfg.rtt = util::Duration::millis(rtt_ms);
+        run.cfg.total_bytes = 64ULL << 20;
+        run.cfg.timeout = util::Duration::seconds(400);
+        run.point = points;
+        plan.push_back(run);
+      }
+      ++points;
+    }
+  }
+
+  std::vector<core::ParallelTransferResult> results(plan.size());
+  const bench::WallTimer timer;
+  bench::run_sweep(plan.size(), serial,
+                   [&](std::size_t i) { results[i] = core::run_parallel_transfer(plan[i].cfg); });
+  const double sweep_s = timer.elapsed_s();
+
   std::printf("%8s %8s %12s %12s %12s %12s %14s\n", "rtt_ms", "flows", "bound_s",
               "mean_norm", "min_norm", "max_norm", "stddev_norm");
   std::printf("csv: rtt_ms,flows,mean_norm,min_norm,max_norm,stddev_norm\n");
 
+  std::size_t point = 0;
   for (int rtt_ms : rtts_ms) {
     for (std::size_t flows : flow_counts) {
-      core::ParallelTransferConfig cfg;
-      cfg.seed = 800 + static_cast<std::uint64_t>(rtt_ms) * 100 + flows;
-      cfg.flows = flows;
-      cfg.rtt = util::Duration::millis(rtt_ms);
-      cfg.total_bytes = 64ULL << 20;
-      cfg.timeout = util::Duration::seconds(400);
-      const auto batch = core::run_parallel_transfer_batch(cfg, repeats, 0);
-
       util::OnlineStats norm;
       double bound = 0.0;
-      for (const auto& r : batch) {
-        norm.add(r.normalized_latency);
-        bound = r.lower_bound_s;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (plan[i].point != point) continue;
+        norm.add(results[i].normalized_latency);
+        bound = results[i].lower_bound_s;
       }
       std::printf("%8d %8zu %12.2f %12.2f %12.2f %12.2f %14.2f\n", rtt_ms, flows, bound,
                   norm.mean(), norm.min(), norm.max(), norm.stddev());
       std::printf("csv: %d,%zu,%.3f,%.3f,%.3f,%.3f\n", rtt_ms, flows, norm.mean(),
                   norm.min(), norm.max(), norm.stddev());
+      ++point;
     }
   }
+
+  std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, plan.size(),
+              serial ? "serial, --serial" : "thread pool");
 
   std::printf("\nnotes: bound includes 40 B/segment header overhead (5.59 s for 64 MB\n"
               "at 100 Mbps vs the paper's payload-only 5.39 s). The paper's headline:\n"

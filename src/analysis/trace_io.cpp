@@ -1,11 +1,37 @@
 #include "analysis/trace_io.hpp"
 
+#include <charconv>
 #include <iomanip>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
 namespace lossburst::analysis {
+namespace {
+
+// Field parsers over a [p, end) range, std::from_chars-based: no locale, no
+// exceptions, no per-field string copies. Each consumes optional leading
+// blanks then the value, leaving `p` at the first unconsumed character.
+void skip_blanks(const char*& p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t')) ++p;
+}
+
+template <typename T>
+bool parse_number(const char*& p, const char* end, T& out) {
+  skip_blanks(p, end);
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc()) return false;
+  p = next;
+  return true;
+}
+
+bool consume_comma(const char*& p, const char* end) {
+  skip_blanks(p, end);
+  if (p == end || *p != ',') return false;
+  ++p;
+  return true;
+}
+
+}  // namespace
 
 void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>& drops) {
   // Nanosecond timestamps need more than the default 6 significant digits.
@@ -18,26 +44,24 @@ void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>&
 }
 
 bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops) {
+  // On failure the output vector is restored to its entry size: a malformed
+  // row never leaves earlier rows of the bad stream behind.
+  const std::size_t entry_size = drops.size();
   std::string line;
   if (!std::getline(in, line)) return false;  // header
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::istringstream row(line);
-    std::string field;
+    const char* p = line.data();
+    const char* const end = p + line.size();
     net::DropRecord rec{};
     double time_s = 0.0;
-    try {
-      if (!std::getline(row, field, ',')) return false;
-      time_s = std::stod(field);
-      if (!std::getline(row, field, ',')) return false;
-      rec.flow = static_cast<net::FlowId>(std::stoul(field));
-      if (!std::getline(row, field, ',')) return false;
-      rec.seq = std::stoull(field);
-      if (!std::getline(row, field, ',')) return false;
-      rec.size_bytes = static_cast<std::uint32_t>(std::stoul(field));
-      if (!std::getline(row, field, ',')) return false;
-      rec.queue_len = std::stoul(field);
-    } catch (const std::exception&) {
+    const bool ok = parse_number(p, end, time_s) && consume_comma(p, end) &&
+                    parse_number(p, end, rec.flow) && consume_comma(p, end) &&
+                    parse_number(p, end, rec.seq) && consume_comma(p, end) &&
+                    parse_number(p, end, rec.size_bytes) && consume_comma(p, end) &&
+                    parse_number(p, end, rec.queue_len);
+    if (!ok) {
+      drops.resize(entry_size);
       return false;
     }
     rec.time = util::TimePoint(static_cast<std::int64_t>(time_s * 1e9 + 0.5));
@@ -53,15 +77,19 @@ void write_loss_times_csv(std::ostream& out, const std::vector<double>& times_s)
 }
 
 bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s) {
+  const std::size_t entry_size = times_s.size();
   std::string line;
   if (!std::getline(in, line)) return false;  // header
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    try {
-      times_s.push_back(std::stod(line));
-    } catch (const std::exception&) {
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    double t = 0.0;
+    if (!parse_number(p, end, t)) {
+      times_s.resize(entry_size);
       return false;
     }
+    times_s.push_back(t);
   }
   return true;
 }

@@ -1,23 +1,54 @@
 #include "net/link.hpp"
 
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace lossburst::net {
 
-Link::Link(sim::Simulator& sim, std::string name, std::uint64_t rate_bps, Duration delay,
-           std::unique_ptr<Queue> queue)
-    : sim_(sim), name_(std::move(name)), rate_bps_(rate_bps), delay_(delay),
+Link::Link(sim::Simulator& sim, PacketPool& pool, std::string name, std::uint64_t rate_bps,
+           Duration delay, std::unique_ptr<Queue> queue)
+    : sim_(sim), pool_(pool), name_(std::move(name)), rate_bps_(rate_bps), delay_(delay),
       queue_(std::move(queue)) {
   assert(rate_bps_ > 0);
   assert(queue_);
-  queue_->attach(&sim_);
+  queue_->attach(&sim_, &pool_);
+  // Serialization is ns = bytes * 8e9 / rate. Every real line rate divides
+  // 8e9 (or failing that 8e12) evenly, so precompute the exact per-byte
+  // factor once and reduce the per-packet cost to a single multiply.
+  if (8'000'000'000ULL % rate_bps_ == 0) {
+    tx_mode_ = TxMode::kNanosExact;
+    tx_per_byte_ = 8'000'000'000ULL / rate_bps_;
+  } else if (8'000'000'000'000ULL % rate_bps_ == 0) {
+    tx_mode_ = TxMode::kPicosExact;
+    tx_per_byte_ = 8'000'000'000'000ULL / rate_bps_;
+  } else {
+    tx_mode_ = TxMode::kExact128;
+  }
+  mul_safe_bytes_ =
+      tx_per_byte_ == 0
+          ? 0
+          : static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) / tx_per_byte_;
 }
 
 Duration Link::tx_time(std::uint32_t bytes) const {
-  // ns = bytes * 8 * 1e9 / rate_bps; compute in 128-bit-safe order.
-  const auto bits = static_cast<std::uint64_t>(bytes) * 8ULL;
-  return Duration(static_cast<std::int64_t>(bits * 1'000'000'000ULL / rate_bps_));
+  if (bytes <= mul_safe_bytes_) {
+    const std::uint64_t prod = tx_per_byte_ * bytes;
+    return Duration(static_cast<std::int64_t>(
+        tx_mode_ == TxMode::kNanosExact ? prod : prod / 1000));
+  }
+  return tx_time_slow(bytes);
+}
+
+Duration Link::tx_time_slow(std::uint32_t bytes) const {
+  // Odd rates and jumbo sizes: do the whole computation in 128 bits (the
+  // old "bits * 1e9 / rate" order overflowed 64 bits past ~2.3 GB) and
+  // saturate rather than wrap.
+  const unsigned __int128 ns =
+      static_cast<unsigned __int128>(bytes) * 8u * 1'000'000'000ULL / rate_bps_;
+  constexpr auto kMax =
+      static_cast<unsigned __int128>(std::numeric_limits<std::int64_t>::max());
+  return Duration(static_cast<std::int64_t>(ns > kMax ? kMax : ns));
 }
 
 double Link::bdp_packets(std::uint32_t pkt_bytes) const {
@@ -25,25 +56,36 @@ double Link::bdp_packets(std::uint32_t pkt_bytes) const {
   return bytes_per_sec * delay_.seconds() / static_cast<double>(pkt_bytes);
 }
 
-void Link::enqueue(Packet&& pkt) {
-  if (!queue_->enqueue(std::move(pkt))) return;  // dropped
+void Link::enqueue(PacketHandle h) {
+  if (!queue_->enqueue(h)) return;  // dropped (queue released the handle)
   if (!busy_) start_tx();
 }
 
 void Link::start_tx() {
   assert(!queue_->empty());
   busy_ = true;
-  Packet pkt = queue_->dequeue();
-  Duration tx = tx_time(pkt.size_bytes);
+  const PacketHandle h = queue_->dequeue();
+  const Packet& p = pool_[h];
+  Duration tx = tx_time(p.size_bytes);
   if (processing_jitter_) tx += processing_jitter_();
-  bytes_sent_ += pkt.size_bytes;
+  bytes_sent_ += p.size_bytes;
   ++packets_sent_;
-  sim_.in(tx, [this, pkt = std::move(pkt)]() mutable { finish_tx(std::move(pkt)); });
+  tx_head_ = h;
+  sim_.in(tx, [this] { finish_tx(); });
 }
 
-void Link::finish_tx(Packet pkt) {
-  // Propagation: the packet arrives at the far end after `delay_`.
-  sim_.in(delay_, [pkt = std::move(pkt)]() mutable { deliver(std::move(pkt)); });
+void Link::finish_tx() {
+  // Propagation: the head packet arrives at the far end after `delay_`.
+  // Serialization completes in start order and the delay is constant, so
+  // arrivals are FIFO — one pending arrival event (for the flight's head)
+  // suffices; on_arrival re-arms for the next packet.
+  const std::int64_t arrive_ns = (sim_.now() + delay_).ns();
+  const bool was_idle = flight_.empty();
+  flight_.push_back(InFlight{tx_head_, arrive_ns});
+  tx_head_ = PacketHandle{};
+  if (was_idle) {
+    sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); });
+  }
   if (!queue_->empty()) {
     start_tx();
   } else {
@@ -51,25 +93,39 @@ void Link::finish_tx(Packet pkt) {
   }
 }
 
-void Link::deliver(Packet pkt) {
-  if (pkt.route != nullptr && static_cast<std::size_t>(pkt.hop) + 1 < pkt.route->size()) {
-    ++pkt.hop;
-    Link* next = (*pkt.route)[pkt.hop];
-    next->enqueue(std::move(pkt));
-    return;
+void Link::on_arrival() {
+  const InFlight f = flight_.pop_front();
+  assert(f.arrive_ns == sim_.now().ns());
+  if (!flight_.empty()) {
+    sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); });
   }
-  assert(pkt.sink != nullptr);
-  pkt.sink->receive(std::move(pkt));
+  deliver(f.h);
 }
 
-void inject(Packet&& pkt) {
+void Link::deliver(PacketHandle h) {
+  Packet& p = pool_[h];
+  if (p.route != nullptr && static_cast<std::size_t>(p.hop) + 1 < p.route->size()) {
+    ++p.hop;
+    Link* next = (*p.route)[p.hop];
+    assert(&next->pool_ == &pool_);  // routes never cross Network pools
+    next->enqueue(h);
+    return;
+  }
+  assert(p.sink != nullptr);
+  Endpoint* sink = p.sink;
+  sink->receive(p, pool_.options_of(p));
+  pool_.release(h);
+}
+
+void inject(Packet&& pkt, const PacketOptions* opt) {
   if (pkt.route != nullptr && !pkt.route->empty()) {
     pkt.hop = 0;
-    (*pkt.route)[0]->enqueue(std::move(pkt));
+    Link* first = (*pkt.route)[0];
+    first->enqueue(first->pool().materialize(pkt, opt));
     return;
   }
   assert(pkt.sink != nullptr);
-  pkt.sink->receive(std::move(pkt));
+  pkt.sink->receive(pkt, opt);
 }
 
 }  // namespace lossburst::net

@@ -1,5 +1,12 @@
 // A unidirectional link: serialization at a fixed rate, then fixed
 // propagation delay, fed by a queue discipline. This is the ns-2 link model.
+//
+// The propagation stage is an in-flight FIFO (DESIGN.md §7 "Packet
+// datapath"): serialization finishes in start order and the propagation
+// delay is a per-link constant, so arrivals at the far end are FIFO too.
+// The link therefore keeps at most two pending events — one "transmit
+// done" and one "head of flight arrives" — each capturing only `this`,
+// instead of scheduling one fat packet-carrying event per packet in flight.
 #pragma once
 
 #include <cstdint>
@@ -8,29 +15,34 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace lossburst::net {
 
 class Link {
  public:
   /// `rate_bps` is the line rate in bits/second; `delay` the one-way
-  /// propagation latency. The link takes ownership of its queue.
-  Link(sim::Simulator& sim, std::string name, std::uint64_t rate_bps, Duration delay,
-       std::unique_ptr<Queue> queue);
+  /// propagation latency. The link takes ownership of its queue; packets
+  /// are resolved against `pool` (one pool per Network).
+  Link(sim::Simulator& sim, PacketPool& pool, std::string name, std::uint64_t rate_bps,
+       Duration delay, std::unique_ptr<Queue> queue);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// Offer a packet for transmission. May drop (queue's decision).
-  void enqueue(Packet&& pkt);
+  /// Offer a packet for transmission. May drop (queue's decision); either
+  /// way ownership of the handle transfers to the link.
+  void enqueue(PacketHandle h);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint64_t rate_bps() const { return rate_bps_; }
   [[nodiscard]] Duration delay() const { return delay_; }
   [[nodiscard]] Queue& queue() { return *queue_; }
   [[nodiscard]] const Queue& queue() const { return *queue_; }
+  [[nodiscard]] PacketPool& pool() { return pool_; }
 
   /// Serialization time for a packet of `bytes` at the line rate.
   [[nodiscard]] Duration tx_time(std::uint32_t bytes) const;
@@ -52,22 +64,42 @@ class Link {
 
  private:
   void start_tx();
-  void finish_tx(Packet pkt);
-  static void deliver(Packet pkt);
+  void finish_tx();
+  void on_arrival();
+  void deliver(PacketHandle h);
+
+  struct InFlight {
+    PacketHandle h;
+    std::int64_t arrive_ns;
+  };
 
   sim::Simulator& sim_;
+  PacketPool& pool_;
   std::string name_;
   std::uint64_t rate_bps_;
   Duration delay_;
   std::unique_ptr<Queue> queue_;
   std::function<Duration()> processing_jitter_;
+
+  // Precomputed serialization factor (see tx_time): real line rates divide
+  // 8e9 (or at worst 8e12) evenly, so the per-packet cost is one multiply.
+  enum class TxMode : std::uint8_t { kNanosExact, kPicosExact, kExact128 };
+  TxMode tx_mode_ = TxMode::kExact128;
+  std::uint64_t tx_per_byte_ = 0;     ///< ns/byte or ps/byte, per tx_mode_
+  std::uint64_t mul_safe_bytes_ = 0;  ///< overflow guard for the fast path
+
+  [[nodiscard]] Duration tx_time_slow(std::uint32_t bytes) const;
+
+  PacketHandle tx_head_{};  ///< packet currently serializing
+  util::RingBuffer<InFlight> flight_;
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
 };
 
-/// Deliver a packet into the first hop of its route, or directly to its sink
-/// when the route is empty (loopback-style, used in unit tests).
-void inject(Packet&& pkt);
+/// Deliver a packet into the first hop of its route (copying it into that
+/// link's pool), or directly to its sink when the route is empty
+/// (loopback-style, used in unit tests — no pool involved).
+void inject(Packet&& pkt, const PacketOptions* opt = nullptr);
 
 }  // namespace lossburst::net

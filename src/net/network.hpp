@@ -8,11 +8,13 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace lossburst::net {
 
-/// Owns all links and routes of one simulated network. Components refer to
+/// Owns all links and routes of one simulated network — and the PacketPool
+/// every link's datapath resolves handles against. Components refer to
 /// links by raw pointer; the Network outlives every flow in an experiment.
 class Network {
  public:
@@ -23,8 +25,8 @@ class Network {
 
   Link* add_link(std::string name, std::uint64_t rate_bps, Duration delay,
                  std::unique_ptr<Queue> queue) {
-    links_.push_back(
-        std::make_unique<Link>(*sim_, std::move(name), rate_bps, delay, std::move(queue)));
+    links_.push_back(std::make_unique<Link>(*sim_, pool_, std::move(name), rate_bps, delay,
+                                            std::move(queue)));
     return links_.back().get();
   }
 
@@ -35,10 +37,14 @@ class Network {
   }
 
   [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+  [[nodiscard]] PacketPool& pool() { return pool_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
  private:
   sim::Simulator* sim_;
+  // The pool is declared before the links so it outlives them: link queues
+  // and flight FIFOs may still hold handles at teardown.
+  PacketPool pool_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Route>> routes_;
 };

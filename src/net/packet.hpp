@@ -5,10 +5,20 @@
 // endpoint that should receive it at the end of the path. This sidesteps
 // routing tables entirely — appropriate for the fixed experiment topologies
 // the paper uses — and makes forwarding O(1).
+//
+// The struct is split hot/cold (DESIGN.md §7 "Packet datapath"): `Packet`
+// holds only what every hop touches, and fits in ~72 bytes so the datapath
+// can copy it once into the pool at injection and never again. The SACK and
+// TFRC header options live in a `PacketOptions` side table inside the
+// `PacketPool`, referenced by the `opt` slot index and paid for only by the
+// flows that attach them. ECN stays in the hot core as flag bits: every
+// RED/persistent-ECN router reads or writes it per packet, so pushing it
+// through the side table would add a lookup to the hottest loop.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "util/time.hpp"
@@ -20,6 +30,7 @@ using util::TimePoint;
 
 class Link;
 class Endpoint;
+class PacketPool;
 
 using FlowId = std::uint32_t;
 using SeqNum = std::uint64_t;
@@ -28,54 +39,74 @@ using SeqNum = std::uint64_t;
 /// setup; packets reference it, so per-packet cost is a pointer + index.
 using Route = std::vector<Link*>;
 
+/// SACK option (RFC 2018): up to three [begin, end) blocks of segments held
+/// above the cumulative ACK point; the block containing the most recently
+/// received segment comes first.
+struct SackBlock {
+  SeqNum begin = 0;
+  SeqNum end = 0;  ///< exclusive
+};
+
+/// TFRC header extension (stacked headers, ns-2 style). Data packets carry
+/// the sender's RTT estimate so the receiver can group loss events; the
+/// once-per-RTT feedback packets carry the measured loss-event rate and
+/// receive rate back to the sender (RFC 3448).
+struct TfrcInfo {
+  double loss_event_rate = 0.0;  ///< feedback: p
+  double recv_rate_bps = 0.0;    ///< feedback: X_recv
+  double sender_rtt_s = 0.0;     ///< data: sender's current R estimate
+};
+
+/// Cold per-packet header options, stored in the pool's side table and
+/// attached only when a flow actually uses SACK or TFRC.
+struct PacketOptions {
+  std::array<SackBlock, 3> sack{};
+  std::uint8_t sack_count = 0;
+  TfrcInfo tfrc;
+};
+
+/// Slot index sentinel: packet carries no options.
+inline constexpr std::uint32_t kNoOptions = 0xffff'ffffu;
+
 struct Packet {
   FlowId flow = 0;
-  SeqNum seq = 0;                ///< segment number (data) — not byte offset
   std::uint32_t size_bytes = 0;  ///< wire size including headers
-  bool is_ack = false;
+  SeqNum seq = 0;                ///< segment number (data) — not byte offset
   SeqNum ack_seq = 0;            ///< cumulative: next expected segment
   TimePoint sent = TimePoint::zero();
   /// Echoed send timestamp of the segment that triggered this ACK (TCP
   /// timestamp option); lets the sender take unambiguous RTT samples.
   TimePoint echo = TimePoint::zero();
 
-  /// SACK option (RFC 2018): up to three [begin, end) blocks of segments
-  /// held above the cumulative ACK point; the block containing the most
-  /// recently received segment comes first.
-  struct SackBlock {
-    SeqNum begin = 0;
-    SeqNum end = 0;  ///< exclusive
-  };
-  std::array<SackBlock, 3> sack{};
-  std::uint8_t sack_count = 0;
+  const Route* route = nullptr;
+  Endpoint* sink = nullptr;
 
+  /// PacketOptions slot in the owning pool's side table; managed exclusively
+  /// by PacketPool (kNoOptions for option-free packets).
+  std::uint32_t opt = kNoOptions;
+  std::uint16_t hop = 0;
+
+  bool is_ack = false;
   // Explicit Congestion Notification state.
   bool ecn_capable = false;  ///< sender negotiated ECN
   bool ecn_marked = false;   ///< CE mark set by a router
   bool ecn_echo = false;     ///< receiver echoes CE back on ACKs
-
-  /// TFRC header extension (stacked headers, ns-2 style). Data packets carry
-  /// the sender's RTT estimate so the receiver can group loss events; the
-  /// once-per-RTT feedback packets carry the measured loss-event rate and
-  /// receive rate back to the sender (RFC 3448).
-  struct TfrcInfo {
-    double loss_event_rate = 0.0;  ///< feedback: p
-    double recv_rate_bps = 0.0;    ///< feedback: X_recv
-    double sender_rtt_s = 0.0;     ///< data: sender's current R estimate
-  };
-  TfrcInfo tfrc;
-
-  const Route* route = nullptr;
-  std::uint16_t hop = 0;
-  Endpoint* sink = nullptr;
 };
+
+static_assert(std::is_trivially_copyable_v<Packet>);
 
 /// Anything that terminates packets: TCP senders (for ACKs), receivers,
 /// traffic sinks, probe collectors.
+///
+/// Ownership contract: the packet (and its options, when present) is
+/// *borrowed* for the duration of the call — the datapath releases the
+/// pooled storage right after receive() returns, so implementations copy out
+/// whatever they keep. Handles stay entirely inside the network layer;
+/// endpoints never touch the pool.
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
-  virtual void receive(Packet pkt) = 0;
+  virtual void receive(const Packet& pkt, const PacketOptions* opt) = 0;
 };
 
 /// Common wire constants (Ethernet-ish, as ns-2 defaults assume).

@@ -1,0 +1,165 @@
+// Slab pool of packets with generation-counted handles, plus the cold
+// options side table (DESIGN.md §7 "Packet datapath").
+//
+// The datapath (queues, link transmit slots, link in-flight FIFOs) passes
+// trivially-copyable 8-byte PacketHandles instead of moving ~72-byte Packet
+// structs, and the pool's storage grows in chunks of 256 slots so packets
+// never move and steady-state acquire/release performs zero heap
+// allocations once the pool reaches its high-water mark — the same recipe
+// as the event queue's callback slabs.
+//
+// Generations make stale handles inert: release() bumps the slot's
+// generation, so a handle kept across a release dereferences to an assert
+// in debug builds and is detectably invalid via valid() everywhere.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace lossburst::net {
+
+/// Trivially-copyable 8-byte ticket for one pooled packet.
+struct PacketHandle {
+  std::uint32_t idx = 0xffff'ffffu;
+  std::uint32_t gen = 0;
+
+  [[nodiscard]] bool null() const { return idx == 0xffff'ffffu; }
+};
+
+static_assert(sizeof(PacketHandle) == 8);
+static_assert(std::is_trivially_copyable_v<PacketHandle>);
+
+class PacketPool {
+ public:
+  static constexpr std::uint32_t kChunkSlots = 256;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Hand out a slot holding a default-constructed Packet.
+  [[nodiscard]] PacketHandle acquire() {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      if (count_ % kChunkSlots == 0) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      }
+      idx = count_++;
+    }
+    Slot& s = slot(idx);
+    s.pkt = Packet{};
+    s.live = true;
+    ++live_;
+    if (live_ > high_water_) high_water_ = live_;
+    return PacketHandle{idx, s.gen};
+  }
+
+  /// Copy `pkt` into a fresh slot, attaching `opt` (when non-null and
+  /// non-empty) to the side table. This is the single entry point where a
+  /// stack-built packet crosses into the pooled datapath.
+  [[nodiscard]] PacketHandle materialize(const Packet& pkt, const PacketOptions* opt = nullptr) {
+    const PacketHandle h = acquire();
+    Packet& dst = slot(h.idx).pkt;
+    dst = pkt;
+    dst.opt = kNoOptions;  // the opt slot is pool-managed, never inherited
+    if (opt != nullptr) set_options(dst, *opt);
+    return h;
+  }
+
+  [[nodiscard]] Packet& operator[](PacketHandle h) {
+    assert(valid(h));
+    return slot(h.idx).pkt;
+  }
+  [[nodiscard]] const Packet& operator[](PacketHandle h) const {
+    assert(valid(h));
+    return slot(h.idx).pkt;
+  }
+
+  /// True while `h` refers to a live (acquired, unreleased) packet.
+  [[nodiscard]] bool valid(PacketHandle h) const {
+    return !h.null() && h.idx < count_ && slot(h.idx).gen == h.gen && slot(h.idx).live;
+  }
+
+  /// Return the slot (and any attached options) to the free lists. The
+  /// generation bump invalidates every outstanding copy of `h`.
+  void release(PacketHandle h) {
+    assert(valid(h));
+    Slot& s = slot(h.idx);
+    if (s.pkt.opt != kNoOptions) {
+      opt_free_.push_back(s.pkt.opt);
+      s.pkt.opt = kNoOptions;
+    }
+    ++s.gen;
+    s.live = false;
+    free_.push_back(h.idx);
+    --live_;
+  }
+
+  /// Attach (or overwrite) options for a pooled packet.
+  void set_options(Packet& pkt, const PacketOptions& opt) {
+    if (pkt.opt == kNoOptions) {
+      if (!opt_free_.empty()) {
+        pkt.opt = opt_free_.back();
+        opt_free_.pop_back();
+      } else {
+        if (opt_count_ % kChunkSlots == 0) {
+          opt_chunks_.push_back(std::make_unique<PacketOptions[]>(kChunkSlots));
+        }
+        pkt.opt = opt_count_++;
+      }
+      if (opt_live() > opt_high_water_) opt_high_water_ = opt_live();
+    }
+    opt_slot(pkt.opt) = opt;
+  }
+
+  /// The side-table entry of a pooled packet; nullptr when it carries none.
+  [[nodiscard]] const PacketOptions* options_of(const Packet& pkt) const {
+    return pkt.opt == kNoOptions ? nullptr : &opt_slot(pkt.opt);
+  }
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t opt_live() const { return opt_count_ - opt_free_.size(); }
+  [[nodiscard]] std::size_t opt_high_water() const { return opt_high_water_; }
+
+ private:
+  struct Slot {
+    Packet pkt;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    Slot& s = chunks_[idx / kChunkSlots][idx % kChunkSlots];
+    return s;
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+  [[nodiscard]] PacketOptions& opt_slot(std::uint32_t idx) {
+    return opt_chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+  [[nodiscard]] const PacketOptions& opt_slot(std::uint32_t idx) const {
+    return opt_chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t count_ = 0;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+
+  std::vector<std::unique_ptr<PacketOptions[]>> opt_chunks_;
+  std::vector<std::uint32_t> opt_free_;
+  std::uint32_t opt_count_ = 0;
+  std::size_t opt_high_water_ = 0;
+};
+
+}  // namespace lossburst::net

@@ -7,24 +7,24 @@ namespace lossburst::net {
 
 // ---------------------------------------------------------------- DropTail
 
-bool DropTailQueue::enqueue(Packet&& pkt) {
+bool DropTailQueue::enqueue(PacketHandle h) {
   if (q_.size() >= capacity_) {
-    report_drop(pkt, q_.size());
+    drop(h, q_.size());
     return false;
   }
-  bytes_ += pkt.size_bytes;
-  q_.push_back(std::move(pkt));
-  report_enqueue(q_.back(), q_.size());
+  const Packet& p = pkt(h);
+  bytes_ += p.size_bytes;
+  q_.push_back(h);
+  report_enqueue(p, q_.size());
   return true;
 }
 
-Packet DropTailQueue::dequeue() {
+PacketHandle DropTailQueue::dequeue() {
   assert(!q_.empty());
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
-  bytes_ -= pkt.size_bytes;
+  const PacketHandle h = q_.pop_front();
+  bytes_ -= pkt(h).size_bytes;
   count_dequeue();
-  return pkt;
+  return h;
 }
 
 // --------------------------------------------------------------------- RED
@@ -42,7 +42,7 @@ double RedQueue::drop_probability() const {
   return 1.0;
 }
 
-bool RedQueue::enqueue(Packet&& pkt) {
+bool RedQueue::enqueue(PacketHandle h) {
   // Update the average queue estimate. After an idle period the average
   // decays as if small packets had been draining (Floyd & Jacobson §4).
   if (idle_) {
@@ -57,7 +57,7 @@ bool RedQueue::enqueue(Packet&& pkt) {
   bool drop_or_mark = false;
   if (q_.size() >= params_.capacity_pkts) {
     // Physical overflow: forced drop regardless of RED state.
-    report_drop(pkt, q_.size());
+    drop(h, q_.size());
     count_since_last_ = 0;
     return false;
   }
@@ -74,63 +74,63 @@ bool RedQueue::enqueue(Packet&& pkt) {
     count_since_last_ = -1;
   }
 
+  Packet& p = pkt(h);
   if (drop_or_mark) {
     count_since_last_ = 0;
-    if (params_.ecn_mark && pkt.ecn_capable) {
-      pkt.ecn_marked = true;
-      report_mark(pkt);
+    if (params_.ecn_mark && p.ecn_capable) {
+      p.ecn_marked = true;
+      report_mark(p);
     } else {
-      report_drop(pkt, q_.size());
+      drop(h, q_.size());
       return false;
     }
   }
 
-  bytes_ += pkt.size_bytes;
-  q_.push_back(std::move(pkt));
-  report_enqueue(q_.back(), q_.size());
+  bytes_ += p.size_bytes;
+  q_.push_back(h);
+  report_enqueue(p, q_.size());
   return true;
 }
 
-Packet RedQueue::dequeue() {
+PacketHandle RedQueue::dequeue() {
   assert(!q_.empty());
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
-  bytes_ -= pkt.size_bytes;
+  const PacketHandle h = q_.pop_front();
+  bytes_ -= pkt(h).size_bytes;
   count_dequeue();
   if (q_.empty()) {
     idle_ = true;
     idle_since_ = now();
   }
-  return pkt;
+  return h;
 }
 
 // ----------------------------------------------------------- PersistentEcn
 
-bool PersistentEcnQueue::enqueue(Packet&& pkt) {
+bool PersistentEcnQueue::enqueue(PacketHandle h) {
   if (q_.size() >= capacity_) {
-    report_drop(pkt, q_.size());
+    drop(h, q_.size());
     // Congestion onset: mark everything ECN-capable for the next window so
     // the signal reaches (nearly) every flow, per [22].
     mark_until_ = now() + mark_window_;
     return false;
   }
-  if (now() < mark_until_ && pkt.ecn_capable && !pkt.ecn_marked) {
-    pkt.ecn_marked = true;
-    report_mark(pkt);
+  Packet& p = pkt(h);
+  if (now() < mark_until_ && p.ecn_capable && !p.ecn_marked) {
+    p.ecn_marked = true;
+    report_mark(p);
   }
-  bytes_ += pkt.size_bytes;
-  q_.push_back(std::move(pkt));
-  report_enqueue(q_.back(), q_.size());
+  bytes_ += p.size_bytes;
+  q_.push_back(h);
+  report_enqueue(p, q_.size());
   return true;
 }
 
-Packet PersistentEcnQueue::dequeue() {
+PacketHandle PersistentEcnQueue::dequeue() {
   assert(!q_.empty());
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
-  bytes_ -= pkt.size_bytes;
+  const PacketHandle h = q_.pop_front();
+  bytes_ -= pkt(h).size_bytes;
   count_dequeue();
-  return pkt;
+  return h;
 }
 
 }  // namespace lossburst::net

@@ -1,14 +1,21 @@
 // Router queue disciplines. The queue is where the paper's subject — the
 // packet loss process — is generated, so every queue reports each drop (and
 // ECN mark) through a tracer interface with the exact simulated timestamp.
+//
+// Queues store 8-byte PacketHandles in a growable ring buffer (std::deque
+// would allocate block nodes during steady-state churn); the packets
+// themselves stay put in the attached PacketPool. enqueue() takes ownership
+// of the handle unconditionally: an accepted packet is stored, a dropped one
+// is released back to the pool after the tracer sees it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace lossburst::net {
 
@@ -33,12 +40,13 @@ class Queue {
   virtual ~Queue() = default;
 
   /// Offer a packet. Returns true if accepted (packet stored, possibly CE
-  /// marked); false if dropped. Drops are reported to the tracer before
-  /// returning.
-  virtual bool enqueue(Packet&& pkt) = 0;
+  /// marked); false if dropped — the handle is released back to the pool
+  /// after the drop is reported, so the caller must not use it again.
+  virtual bool enqueue(PacketHandle h) = 0;
 
-  /// Remove the head packet. Precondition: !empty().
-  virtual Packet dequeue() = 0;
+  /// Remove the head packet; ownership of the handle transfers to the
+  /// caller. Precondition: !empty().
+  virtual PacketHandle dequeue() = 0;
 
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual std::size_t len_packets() const = 0;
@@ -47,29 +55,38 @@ class Queue {
   [[nodiscard]] const QueueCounters& counters() const { return counters_; }
 
   void set_tracer(QueueTracer* tracer) { tracer_ = tracer; }
-  /// The owning link wires the simulator in so drops get exact timestamps.
-  void attach(sim::Simulator* sim) { sim_ = sim; }
+  /// The owning link wires in the simulator (for exact drop timestamps) and
+  /// the packet pool the stored handles resolve against.
+  void attach(sim::Simulator* sim, PacketPool* pool) {
+    sim_ = sim;
+    pool_ = pool;
+  }
 
  protected:
   [[nodiscard]] TimePoint now() const {
     return sim_ ? sim_->now() : TimePoint::zero();
   }
+  [[nodiscard]] PacketPool& pool() { return *pool_; }
+  [[nodiscard]] Packet& pkt(PacketHandle h) { return (*pool_)[h]; }
 
-  void report_drop(const Packet& pkt, std::size_t qlen) {
+  /// Report + release: the tracer sees the packet while it is still live.
+  void drop(PacketHandle h, std::size_t qlen) {
     ++counters_.dropped;
-    if (tracer_) tracer_->on_drop(now(), pkt, qlen);
+    if (tracer_) tracer_->on_drop(now(), (*pool_)[h], qlen);
+    pool_->release(h);
   }
-  void report_mark(const Packet& pkt) {
+  void report_mark(const Packet& p) {
     ++counters_.marked;
-    if (tracer_) tracer_->on_mark(now(), pkt);
+    if (tracer_) tracer_->on_mark(now(), p);
   }
-  void report_enqueue(const Packet& pkt, std::size_t qlen) {
+  void report_enqueue(const Packet& p, std::size_t qlen) {
     ++counters_.enqueued;
-    if (tracer_) tracer_->on_enqueue(now(), pkt, qlen);
+    if (tracer_) tracer_->on_enqueue(now(), p, qlen);
   }
   void count_dequeue() { ++counters_.dequeued; }
 
   sim::Simulator* sim_ = nullptr;
+  PacketPool* pool_ = nullptr;
   QueueTracer* tracer_ = nullptr;
   QueueCounters counters_;
 };
@@ -80,8 +97,8 @@ class DropTailQueue final : public Queue {
  public:
   explicit DropTailQueue(std::size_t capacity_pkts) : capacity_(capacity_pkts) {}
 
-  bool enqueue(Packet&& pkt) override;
-  Packet dequeue() override;
+  bool enqueue(PacketHandle h) override;
+  PacketHandle dequeue() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
@@ -89,7 +106,7 @@ class DropTailQueue final : public Queue {
 
  private:
   std::size_t capacity_;
-  std::deque<Packet> q_;
+  util::RingBuffer<PacketHandle> q_;
   std::size_t bytes_ = 0;
 };
 
@@ -111,8 +128,8 @@ class RedQueue final : public Queue {
 
   RedQueue(Params params, util::Rng rng) : params_(params), rng_(rng) {}
 
-  bool enqueue(Packet&& pkt) override;
-  Packet dequeue() override;
+  bool enqueue(PacketHandle h) override;
+  PacketHandle dequeue() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
@@ -125,7 +142,7 @@ class RedQueue final : public Queue {
 
   Params params_;
   util::Rng rng_;
-  std::deque<Packet> q_;
+  util::RingBuffer<PacketHandle> q_;
   std::size_t bytes_ = 0;
   double avg_ = 0.0;
   std::int64_t count_since_last_ = -1;  ///< packets since last drop/mark
@@ -143,8 +160,8 @@ class PersistentEcnQueue final : public Queue {
   PersistentEcnQueue(std::size_t capacity_pkts, Duration mark_window)
       : capacity_(capacity_pkts), mark_window_(mark_window) {}
 
-  bool enqueue(Packet&& pkt) override;
-  Packet dequeue() override;
+  bool enqueue(PacketHandle h) override;
+  PacketHandle dequeue() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
@@ -154,7 +171,7 @@ class PersistentEcnQueue final : public Queue {
  private:
   std::size_t capacity_;
   Duration mark_window_;
-  std::deque<Packet> q_;
+  util::RingBuffer<PacketHandle> q_;
   std::size_t bytes_ = 0;
   TimePoint mark_until_ = TimePoint::zero();
 };

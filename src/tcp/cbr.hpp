@@ -78,7 +78,7 @@ class ProbeSink final : public net::Endpoint {
     TimePoint sent;
   };
 
-  void receive(Packet pkt) override {
+  void receive(const Packet& pkt, const net::PacketOptions* /*opt*/) override {
     arrivals_.push_back(Arrival{pkt.seq, arrived_clock_ ? arrived_clock_->now() : pkt.sent,
                                 pkt.sent});
   }

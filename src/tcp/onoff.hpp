@@ -61,7 +61,7 @@ class ExpOnOffSource {
 /// Endpoint that just counts; sinks background/noise traffic.
 class NullSink final : public net::Endpoint {
  public:
-  void receive(Packet pkt) override {
+  void receive(const Packet& pkt, const net::PacketOptions* /*opt*/) override {
     ++packets_;
     bytes_ += pkt.size_bytes;
   }

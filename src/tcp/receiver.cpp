@@ -9,7 +9,7 @@ namespace lossburst::tcp {
 TcpReceiver::TcpReceiver(sim::Simulator& sim, FlowId flow, Params params)
     : sim_(sim), flow_(flow), params_(params) {}
 
-void TcpReceiver::receive(Packet pkt) {
+void TcpReceiver::receive(const Packet& pkt, const net::PacketOptions* /*opt*/) {
   assert(!pkt.is_ack);
   ++segments_received_;
   last_arrived_ = pkt.seq;
@@ -75,13 +75,19 @@ void TcpReceiver::send_ack(TimePoint echo_ts) {
   // semantics (vs full RFC 3168 CWR handshake) still deliver at least one
   // congestion signal per marked window, which is what the sender needs.
   ce_pending_ = false;
-  if (params_.sack_enabled) fill_sack_blocks(ack);
   ack.route = route_;
   ack.sink = sender_;
-  net::inject(std::move(ack));
+  if (params_.sack_enabled && !out_of_order_.empty()) {
+    // Only ACKs that actually carry blocks pay for an options slot.
+    net::PacketOptions opt;
+    fill_sack_blocks(opt);
+    net::inject(std::move(ack), &opt);
+  } else {
+    net::inject(std::move(ack));
+  }
 }
 
-void TcpReceiver::fill_sack_blocks(Packet& ack) const {
+void TcpReceiver::fill_sack_blocks(net::PacketOptions& opt) const {
   if (out_of_order_.empty()) return;
   // Decompose the out-of-order set into contiguous runs.
   struct Run {
@@ -110,12 +116,12 @@ void TcpReceiver::fill_sack_blocks(Packet& ack) const {
       break;
     }
   }
-  auto push = [&ack](const Run& r) {
-    if (ack.sack_count >= ack.sack.size()) return;
-    ack.sack[ack.sack_count++] = {r.begin, r.end};
+  auto push = [&opt](const Run& r) {
+    if (opt.sack_count >= opt.sack.size()) return;
+    opt.sack[opt.sack_count++] = {r.begin, r.end};
   };
   if (first_idx < runs.size()) push(runs[first_idx]);
-  for (std::size_t i = 0; i < runs.size() && ack.sack_count < ack.sack.size(); ++i) {
+  for (std::size_t i = 0; i < runs.size() && opt.sack_count < opt.sack.size(); ++i) {
     if (i != first_idx) push(runs[i]);
   }
 }

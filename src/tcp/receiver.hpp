@@ -42,7 +42,7 @@ class TcpReceiver final : public net::Endpoint {
   /// Invoked with payload byte count each time in-order data advances.
   void set_on_data(std::function<void(std::uint64_t)> fn) { on_data_ = std::move(fn); }
 
-  void receive(Packet pkt) override;
+  void receive(const Packet& pkt, const net::PacketOptions* opt) override;
 
   [[nodiscard]] SeqNum rcv_next() const { return rcv_next_; }
   [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
@@ -52,7 +52,7 @@ class TcpReceiver final : public net::Endpoint {
  private:
   void send_ack(TimePoint echo_ts);
   void arm_delack_timer(TimePoint echo_ts);
-  void fill_sack_blocks(Packet& ack) const;
+  void fill_sack_blocks(net::PacketOptions& opt) const;
 
   sim::Simulator& sim_;
   FlowId flow_;

@@ -116,14 +116,14 @@ void TcpSender::pace_tick() {
   arm_pacing();
 }
 
-void TcpSender::receive(Packet pkt) {
+void TcpSender::receive(const Packet& pkt, const net::PacketOptions* opt) {
   assert(pkt.is_ack);
   if (completed_) return;
 
   if (pkt.ecn_echo && params_.ecn_enabled) ecn_congestion_response();
 
   if (params_.sack_enabled) {
-    sack_process(pkt);
+    sack_process(pkt, opt);
     return;
   }
 
@@ -134,9 +134,11 @@ void TcpSender::receive(Packet pkt) {
   }
 }
 
-void TcpSender::sack_process(const Packet& ack) {
-  for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
-    sack_.on_sack_block(ack.sack[i].begin, ack.sack[i].end);
+void TcpSender::sack_process(const Packet& ack, const net::PacketOptions* opt) {
+  if (opt != nullptr) {
+    for (std::uint8_t i = 0; i < opt->sack_count; ++i) {
+      sack_.on_sack_block(opt->sack[i].begin, opt->sack[i].end);
+    }
   }
 
   if (ack.ack_seq > snd_una_) {

@@ -96,7 +96,10 @@ class TcpSender final : public net::Endpoint {
   /// Called when the last segment of a bounded transfer is acknowledged.
   void set_on_complete(std::function<void(util::TimePoint)> fn) { on_complete_ = std::move(fn); }
 
-  void receive(Packet pkt) override;  ///< ACK arrival
+  /// ACK arrival. SACK blocks, when present, ride in the options side
+  /// table; the packet and options are borrowed for the call (net::Endpoint
+  /// contract).
+  void receive(const Packet& pkt, const net::PacketOptions* opt) override;
 
   [[nodiscard]] double cwnd() const { return cwnd_; }
   [[nodiscard]] double ssthresh() const { return ssthresh_; }
@@ -121,7 +124,7 @@ class TcpSender final : public net::Endpoint {
   void on_new_ack(const Packet& ack);
   void on_dup_ack(const Packet& ack);
   void vegas_adjust();
-  void sack_process(const Packet& ack);
+  void sack_process(const Packet& ack, const net::PacketOptions* opt);
   void enter_sack_recovery();
   void sack_try_send();
   void enter_recovery();

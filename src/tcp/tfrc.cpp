@@ -40,11 +40,12 @@ void TfrcSender::send_tick() {
   pkt.seq = next_seq_++;
   pkt.size_bytes = params_.segment_bytes;
   pkt.sent = sim_.now();
-  pkt.tfrc.sender_rtt_s = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
   pkt.route = route_;
   pkt.sink = receiver_;
+  net::PacketOptions opt;
+  opt.tfrc.sender_rtt_s = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
   ++segments_sent_;
-  net::inject(std::move(pkt));
+  net::inject(std::move(pkt), &opt);
   schedule_next_send();
 }
 
@@ -53,7 +54,7 @@ void TfrcSender::schedule_next_send() {
   send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); });
 }
 
-void TfrcSender::receive(Packet pkt) {
+void TfrcSender::receive(const Packet& pkt, const net::PacketOptions* opt) {
   assert(pkt.is_ack);
   // RTT sample from the echoed data timestamp.
   if (pkt.echo != TimePoint::zero()) {
@@ -61,8 +62,8 @@ void TfrcSender::receive(Packet pkt) {
     rtt_s_ = rtt_s_ == 0.0 ? sample : 0.9 * rtt_s_ + 0.1 * sample;
   }
   const double r = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
-  const double p = pkt.tfrc.loss_event_rate;
-  const double x_recv = pkt.tfrc.recv_rate_bps;
+  const double p = opt != nullptr ? opt->tfrc.loss_event_rate : 0.0;
+  const double x_recv = opt != nullptr ? opt->tfrc.recv_rate_bps : 0.0;
   last_p_ = p;
 
   double x;
@@ -97,10 +98,10 @@ void TfrcSender::on_no_feedback() {
 TfrcReceiver::TfrcReceiver(sim::Simulator& sim, FlowId flow, Params params)
     : sim_(sim), flow_(flow), params_(params) {}
 
-void TfrcReceiver::receive(Packet pkt) {
+void TfrcReceiver::receive(const Packet& pkt, const net::PacketOptions* opt) {
   assert(!pkt.is_ack);
   if (sender_rtt_s_ == 0.0) period_start_ = sim_.now();
-  sender_rtt_s_ = pkt.tfrc.sender_rtt_s;
+  if (opt != nullptr) sender_rtt_s_ = opt->tfrc.sender_rtt_s;
   last_data_sent_ts_ = pkt.sent;
   ++packets_received_;
   bytes_received_ += pkt.size_bytes;
@@ -177,11 +178,12 @@ void TfrcReceiver::send_feedback() {
   fb.size_bytes = params_.feedback_bytes;
   fb.sent = sim_.now();
   fb.echo = last_data_sent_ts_;
-  fb.tfrc.loss_event_rate = loss_event_rate();
-  fb.tfrc.recv_rate_bps = static_cast<double>(bytes_this_period_) * 8.0 / period_s;
   fb.route = route_;
   fb.sink = sender_;
-  net::inject(std::move(fb));
+  net::PacketOptions opt;
+  opt.tfrc.loss_event_rate = loss_event_rate();
+  opt.tfrc.recv_rate_bps = static_cast<double>(bytes_this_period_) * 8.0 / period_s;
+  net::inject(std::move(fb), &opt);
   bytes_this_period_ = 0;
   period_start_ = sim_.now();
   arm_feedback_timer();

@@ -46,8 +46,8 @@ class TfrcSender final : public net::Endpoint {
 
   void start(TimePoint at);
 
-  /// Feedback packet arrival.
-  void receive(Packet pkt) override;
+  /// Feedback packet arrival (p and X_recv ride in the options side table).
+  void receive(const Packet& pkt, const net::PacketOptions* opt) override;
 
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
   [[nodiscard]] double rtt_seconds() const { return rtt_s_; }
@@ -94,7 +94,7 @@ class TfrcReceiver final : public net::Endpoint {
     sender_ = sender;
   }
 
-  void receive(Packet pkt) override;  ///< data packet arrival
+  void receive(const Packet& pkt, const net::PacketOptions* opt) override;  ///< data packet arrival
 
   [[nodiscard]] double loss_event_rate() const;
   [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }

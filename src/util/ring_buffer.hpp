@@ -1,0 +1,78 @@
+// A growable power-of-two ring buffer. std::deque allocates and frees its
+// block map nodes during steady-state push/pop churn, which would break the
+// datapath's zero-allocation guarantee; this buffer only allocates when it
+// grows past its high-water capacity, so a warmed-up queue runs allocation
+// free forever after.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lossburst::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  T pop_front() {
+    assert(size_ > 0);
+    T out = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return out;
+  }
+
+  /// Element `i` positions behind the front (0 = front).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = buf_.size() - 1;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace lossburst::util

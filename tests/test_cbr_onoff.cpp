@@ -71,7 +71,7 @@ TEST(ProbeSinkTest, MissingIdentifiesGaps) {
   for (net::SeqNum s : {0u, 1u, 3u, 6u}) {
     net::Packet p;
     p.seq = s;
-    sink.receive(std::move(p));
+    sink.receive(p, nullptr);
   }
   const auto missing = sink.missing(8);
   EXPECT_EQ(missing, (std::vector<net::SeqNum>{2, 4, 5, 7}));
@@ -82,7 +82,7 @@ TEST(ProbeSinkTest, NoLossesNoMissing) {
   for (net::SeqNum s = 0; s < 5; ++s) {
     net::Packet p;
     p.seq = s;
-    sink.receive(std::move(p));
+    sink.receive(p, nullptr);
   }
   EXPECT_TRUE(sink.missing(5).empty());
 }
@@ -171,7 +171,7 @@ TEST(OnOffTest, EmissionIsBurstyNotConstant) {
   class BinCounter final : public net::Endpoint {
    public:
     explicit BinCounter(sim::Simulator& s) : sim_(s) {}
-    void receive(net::Packet) override {
+    void receive(const net::Packet&, const net::PacketOptions*) override {
       const auto bin = static_cast<std::size_t>(sim_.now().millis() / 20.0);
       if (bin >= bins.size()) bins.resize(bin + 1, 0);
       bins[bin]++;

@@ -115,6 +115,36 @@ TEST(TraceIoTest, MalformedInputRejected) {
   EXPECT_FALSE(read_loss_times_csv(ss2, times));
 }
 
+TEST(TraceIoTest, FailedParseLeavesNoPartialRows) {
+  // Valid rows followed by a malformed one: the reader must not leave the
+  // already-parsed prefix (or a half-built record) in the output vector.
+  std::vector<net::DropRecord> drops;
+  net::DropRecord seeded{};
+  seeded.flow = 99;
+  drops.push_back(seeded);  // pre-existing caller data must survive
+  std::stringstream ss(
+      "time_s,flow,seq,size_bytes,queue_len\n"
+      "0.5,1,10,1000,3\n"
+      "0.6,2,11,1000,4\n"
+      "garbage,row,here,x,y\n");
+  EXPECT_FALSE(read_drop_trace_csv(ss, drops));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].flow, 99u);
+
+  std::vector<double> times = {42.0};
+  std::stringstream ss2("time_s\n0.25\n0.75\nnot-a-number\n");
+  EXPECT_FALSE(read_loss_times_csv(ss2, times));
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 42.0);
+}
+
+TEST(TraceIoTest, TruncatedRowRejected) {
+  std::stringstream ss("time_s,flow,seq,size_bytes,queue_len\n0.5,1,10\n");
+  std::vector<net::DropRecord> drops;
+  EXPECT_FALSE(read_drop_trace_csv(ss, drops));
+  EXPECT_TRUE(drops.empty());
+}
+
 TEST(TraceIoTest, EmptyStream) {
   std::stringstream ss;
   std::vector<double> times;

@@ -61,7 +61,9 @@ TEST(PipeNoiseTest, AddsPositiveDelay) {
   class Collector final : public net::Endpoint {
    public:
     explicit Collector(sim::Simulator& s) : sim_(s) {}
-    void receive(net::Packet) override { times.push_back(sim_.now()); }
+    void receive(const net::Packet&, const net::PacketOptions*) override {
+      times.push_back(sim_.now());
+    }
     std::vector<TimePoint> times;
 
    private:
@@ -98,7 +100,9 @@ TEST(PipeNoiseTest, DeterministicGivenSeed) {
     class Last final : public net::Endpoint {
      public:
       explicit Last(sim::Simulator& s) : sim_(s) {}
-      void receive(net::Packet) override { last = sim_.now(); }
+      void receive(const net::Packet&, const net::PacketOptions*) override {
+        last = sim_.now();
+      }
       TimePoint last;
 
      private:

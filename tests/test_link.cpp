@@ -18,7 +18,7 @@ using util::TimePoint;
 class Collector final : public Endpoint {
  public:
   explicit Collector(sim::Simulator& sim) : sim_(sim) {}
-  void receive(Packet pkt) override {
+  void receive(const Packet& pkt, const PacketOptions* /*opt*/) override {
     seqs.push_back(pkt.seq);
     times.push_back(sim_.now());
     last = pkt;
@@ -43,14 +43,42 @@ Packet make_packet(SeqNum seq, std::uint32_t bytes, const Route* route, Endpoint
 
 TEST(LinkTest, TxTimeMatchesRate) {
   sim::Simulator sim;
-  Link link(sim, "l", 8'000'000 /* 1 MB/s */, 0_ms, std::make_unique<DropTailQueue>(10));
+  PacketPool pool;
+  Link link(sim, pool, "l", 8'000'000 /* 1 MB/s */, 0_ms,
+            std::make_unique<DropTailQueue>(10));
   EXPECT_EQ(link.tx_time(1000).ns(), 1'000'000);  // 1000 B at 1 MB/s = 1 ms
   EXPECT_EQ(link.tx_time(1).ns(), 1'000);
 }
 
+TEST(LinkTest, TxTimeOddRateMatchesExactFormula) {
+  // 7 bps does not divide 8e9 or 8e12 — exercises the 128-bit fallback.
+  sim::Simulator sim;
+  PacketPool pool;
+  Link link(sim, pool, "l", 7, 0_ms, std::make_unique<DropTailQueue>(10));
+  // 1000 B * 8e9 / 7 = 1142857142857.14... -> floor.
+  EXPECT_EQ(link.tx_time(1000).ns(), 1'142'857'142'857);
+}
+
+TEST(LinkTest, TxTimeJumboSizeDoesNotOverflow) {
+  sim::Simulator sim;
+  PacketPool pool;
+  // 1 Tbps uses the picosecond fast path (8 ps/byte).
+  Link link(sim, pool, "l", 1'000'000'000'000ULL, 0_ms,
+            std::make_unique<DropTailQueue>(10));
+  // Max-size "packet": 4294967295 B * 8e12 / 1e12 ns.
+  EXPECT_EQ(link.tx_time(0xffff'ffffu).ns(), 34'359'738);
+  // A max-size packet on a 1 bps link exceeds int64 nanoseconds entirely;
+  // the guard saturates instead of wrapping negative.
+  PacketPool pool2;
+  Link slow(sim, pool2, "s", 1, 0_ms, std::make_unique<DropTailQueue>(10));
+  EXPECT_GT(slow.tx_time(0xffff'ffffu).ns(), 0);
+  EXPECT_GE(slow.tx_time(0xffff'ffffu).ns(), slow.tx_time(0x7fff'ffffu).ns());
+}
+
 TEST(LinkTest, BdpPackets) {
   sim::Simulator sim;
-  Link link(sim, "l", 100'000'000, 50_ms, std::make_unique<DropTailQueue>(10));
+  PacketPool pool;
+  Link link(sim, pool, "l", 100'000'000, 50_ms, std::make_unique<DropTailQueue>(10));
   // 100 Mbps * 50 ms = 625000 bytes = 625 x 1000B packets.
   EXPECT_NEAR(link.bdp_packets(1000), 625.0, 1e-9);
 }

@@ -1,0 +1,293 @@
+// PacketPool unit tests: slot reuse, generation invalidation, the options
+// side table's lifecycle, and the link in-flight FIFO's ordering guarantees
+// (DESIGN.md §7 "Packet datapath").
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace lossburst::net {
+namespace {
+
+using namespace lossburst::util::literals;
+using util::Duration;
+using util::TimePoint;
+
+TEST(PacketPoolTest, NullHandleByDefault) {
+  PacketHandle h;
+  EXPECT_TRUE(h.null());
+  PacketPool pool;
+  EXPECT_FALSE(pool.valid(h));
+}
+
+TEST(PacketPoolTest, HandleIsEightBytesAndTriviallyCopyable) {
+  static_assert(sizeof(PacketHandle) == 8);
+  static_assert(std::is_trivially_copyable_v<PacketHandle>);
+  SUCCEED();
+}
+
+TEST(PacketPoolTest, AcquireGivesCleanLivePacket) {
+  PacketPool pool;
+  const PacketHandle h = pool.acquire();
+  ASSERT_TRUE(pool.valid(h));
+  EXPECT_EQ(pool[h].seq, 0u);
+  EXPECT_EQ(pool[h].opt, kNoOptions);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.release(h);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, MaterializeCopiesFields) {
+  PacketPool pool;
+  Packet p;
+  p.flow = 7;
+  p.seq = 42;
+  p.size_bytes = 1000;
+  p.is_ack = true;
+  const PacketHandle h = pool.materialize(p);
+  ASSERT_TRUE(pool.valid(h));
+  EXPECT_EQ(pool[h].flow, 7u);
+  EXPECT_EQ(pool[h].seq, 42u);
+  EXPECT_TRUE(pool[h].is_ack);
+}
+
+TEST(PacketPoolTest, ReleasedSlotIsReused) {
+  PacketPool pool;
+  const PacketHandle a = pool.acquire();
+  const std::uint32_t idx = a.idx;
+  pool.release(a);
+  const PacketHandle b = pool.acquire();
+  // LIFO free list: the slot comes straight back...
+  EXPECT_EQ(b.idx, idx);
+  // ...but under a new generation.
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_EQ(pool.high_water(), 1u);
+}
+
+TEST(PacketPoolTest, StaleHandleInvalidAfterRelease) {
+  PacketPool pool;
+  const PacketHandle a = pool.acquire();
+  pool.release(a);
+  EXPECT_FALSE(pool.valid(a));
+  // Reusing the slot must not resurrect the stale handle.
+  const PacketHandle b = pool.acquire();
+  EXPECT_FALSE(pool.valid(a));
+  EXPECT_TRUE(pool.valid(b));
+}
+
+TEST(PacketPoolTest, GrowsAcrossChunksWithStableReferences) {
+  PacketPool pool;
+  std::vector<PacketHandle> handles;
+  // More than one 256-slot chunk.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const PacketHandle h = pool.acquire();
+    pool[h].seq = i;
+    handles.push_back(h);
+  }
+  // References taken early must survive later growth (chunks never move).
+  const Packet* first = &pool[handles[0]];
+  for (std::uint32_t i = 1000; i < 2000; ++i) (void)pool.acquire();
+  EXPECT_EQ(first, &pool[handles[0]]);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool[handles[i]].seq, i);
+  }
+  EXPECT_EQ(pool.live(), 2000u);
+  EXPECT_EQ(pool.high_water(), 2000u);
+}
+
+TEST(PacketPoolTest, OptionsLifecycle) {
+  PacketPool pool;
+  const PacketHandle h = pool.acquire();
+  EXPECT_EQ(pool.options_of(pool[h]), nullptr);
+
+  PacketOptions opt;
+  opt.sack_count = 2;
+  opt.sack[0] = {5, 9};
+  opt.sack[1] = {12, 13};
+  opt.tfrc.loss_event_rate = 0.25;
+  pool.set_options(pool[h], opt);
+  ASSERT_NE(pool.options_of(pool[h]), nullptr);
+  EXPECT_EQ(pool.options_of(pool[h])->sack_count, 2u);
+  EXPECT_EQ(pool.options_of(pool[h])->sack[0].begin, 5u);
+  EXPECT_DOUBLE_EQ(pool.options_of(pool[h])->tfrc.loss_event_rate, 0.25);
+  EXPECT_EQ(pool.opt_live(), 1u);
+
+  // Releasing the packet frees its options slot too.
+  pool.release(h);
+  EXPECT_EQ(pool.opt_live(), 0u);
+
+  // A recycled packet slot starts without options.
+  const PacketHandle h2 = pool.acquire();
+  EXPECT_EQ(pool.options_of(pool[h2]), nullptr);
+}
+
+TEST(PacketPoolTest, MaterializeWithOptionsCopiesSideTable) {
+  PacketPool pool;
+  Packet p;
+  p.flow = 1;
+  PacketOptions opt;
+  opt.sack_count = 1;
+  opt.sack[0] = {2, 3};
+  const PacketHandle h = pool.materialize(p, &opt);
+  ASSERT_NE(pool.options_of(pool[h]), nullptr);
+  EXPECT_EQ(pool.options_of(pool[h])->sack[0].begin, 2u);
+  // The side table is per-pool storage, not the caller's stack copy.
+  EXPECT_NE(pool.options_of(pool[h]), &opt);
+}
+
+TEST(PacketPoolTest, OnlyOptionCarryingPacketsTouchSideTable) {
+  // A plain-data workload must never grow the options table.
+  PacketPool pool;
+  std::vector<PacketHandle> handles;
+  for (int i = 0; i < 600; ++i) {
+    Packet p;
+    p.seq = static_cast<SeqNum>(i);
+    handles.push_back(pool.materialize(p));
+  }
+  EXPECT_EQ(pool.opt_live(), 0u);
+  EXPECT_EQ(pool.opt_high_water(), 0u);
+  for (PacketHandle h : handles) pool.release(h);
+}
+
+// ---------------------------------------------------------------- link FIFO
+
+class Collector final : public Endpoint {
+ public:
+  explicit Collector(sim::Simulator& sim) : sim_(sim) {}
+  void receive(const Packet& pkt, const PacketOptions* /*opt*/) override {
+    seqs.push_back(pkt.seq);
+    times.push_back(sim_.now());
+  }
+  std::vector<SeqNum> seqs;
+  std::vector<TimePoint> times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+TEST(LinkFifoTest, InFlightFifoDeliversInOrderUnderJitter) {
+  // Processing jitter stretches serialization times unevenly, but finish
+  // times stay in start order and propagation is constant, so the in-flight
+  // FIFO invariant holds: arrivals are in send order, always.
+  sim::Simulator sim(1);
+  Network net(sim);
+  Link* link = net.add_link("l", 8'000'000, 5_ms, std::make_unique<DropTailQueue>(256));
+  util::Rng jitter_rng(99);
+  link->set_processing_jitter(
+      [&jitter_rng] { return Duration::micros(jitter_rng.uniform_int(0, 900)); });
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    for (SeqNum s = 0; s < 200; ++s) {
+      Packet p;
+      p.flow = 1;
+      p.seq = s;
+      p.size_bytes = 1000;
+      p.route = route;
+      p.sink = &sink;
+      inject(std::move(p));
+    }
+  });
+  sim.run();
+  ASSERT_EQ(sink.seqs.size(), 200u);
+  for (SeqNum s = 0; s < 200; ++s) EXPECT_EQ(sink.seqs[s], s);
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    EXPECT_LE(sink.times[i - 1], sink.times[i]);
+  }
+  // Everything delivered -> the pool drained back to zero live packets.
+  EXPECT_EQ(net.pool().live(), 0u);
+}
+
+TEST(LinkFifoTest, ManyPacketsInFlightSimultaneously) {
+  // Long fat pipe: hundreds of packets live inside the propagation delay at
+  // once. One arrival event at a time must still deliver every packet at
+  // its exact arrival instant.
+  sim::Simulator sim(2);
+  Network net(sim);
+  // 1 Gbps, 50 ms: 8 us serialization, so ~6250 packets fit in the pipe.
+  Link* link =
+      net.add_link("lfn", 1'000'000'000, 50_ms, std::make_unique<DropTailQueue>(2048));
+  const Route* route = net.add_route({link});
+  Collector sink(sim);
+  sim.in(Duration::zero(), [&] {
+    for (SeqNum s = 0; s < 1000; ++s) {
+      Packet p;
+      p.flow = 1;
+      p.seq = s;
+      p.size_bytes = 1000;
+      p.route = route;
+      p.sink = &sink;
+      inject(std::move(p));
+    }
+  });
+  sim.run();
+  ASSERT_EQ(sink.seqs.size(), 1000u);
+  // Packet s finishes serializing at (s+1) * 8 us and arrives 50 ms later.
+  for (SeqNum s = 0; s < 1000; ++s) {
+    EXPECT_EQ(sink.seqs[s], s);
+    EXPECT_EQ(sink.times[s],
+              TimePoint::zero() + 50_ms +
+                  Duration::micros(8 * (static_cast<std::int64_t>(s) + 1)));
+  }
+  EXPECT_EQ(net.pool().live(), 0u);
+}
+
+// ------------------------------------------------- option-heavy flow sweeps
+
+TEST(OptionsSideTableTest, SackHeavyFlowRecyclesOptions) {
+  // A lossy SACK transfer generates thousands of option-carrying ACKs; the
+  // side table must recycle slots (bounded high-water) and drain to zero.
+  sim::Simulator sim(3);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.access_delays = {24_ms};
+  cfg.buffer_bdp_fraction = 0.25;  // forces loss -> out-of-order -> SACK blocks
+  Dumbbell bell = build_dumbbell(net, cfg);
+  tcp::TcpSender::Params sp;
+  sp.sack_enabled = true;
+  sp.total_segments = 10000;
+  tcp::TcpReceiver::Params rp;
+  rp.sack_enabled = true;
+  tcp::TcpFlow flow(sim, 1, bell.fwd_routes[0], bell.rev_routes[0], sp, rp);
+  flow.sender().start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 120_s);
+  ASSERT_TRUE(flow.sender().completed());
+  EXPECT_GT(flow.sender().stats().retransmits, 0u);  // SACK actually exercised
+  // Quiescent network: every packet and options slot returned.
+  EXPECT_EQ(net.pool().live(), 0u);
+  EXPECT_EQ(net.pool().opt_live(), 0u);
+  EXPECT_GT(net.pool().opt_high_water(), 0u);
+  // Options storage stays a small fraction of packet storage: only ACKs
+  // with blocks to report rent a slot.
+  EXPECT_LE(net.pool().opt_high_water(), net.pool().high_water());
+}
+
+TEST(OptionsSideTableTest, TfrcFlowRecyclesOptions) {
+  // TFRC puts options on every data packet (sender RTT) and every feedback
+  // packet (p, X_recv): the heaviest user of the side table.
+  sim::Simulator sim(4);
+  Network net(sim);
+  DumbbellConfig cfg;
+  cfg.flow_count = 1;
+  cfg.bottleneck_bps = 10'000'000;
+  cfg.access_delays = {24_ms};
+  Dumbbell bell = build_dumbbell(net, cfg);
+  tcp::TfrcFlow flow(sim, 1, bell.fwd_routes[0], bell.rev_routes[0]);
+  flow.sender().start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + 10_s);
+  EXPECT_GT(flow.receiver().packets_received(), 100u);
+  EXPECT_GT(net.pool().opt_high_water(), 0u);
+  // Every in-flight option belongs to an in-flight packet; nothing leaks.
+  EXPECT_LE(net.pool().opt_live(), net.pool().live());
+  EXPECT_LE(net.pool().opt_high_water(), net.pool().high_water());
+}
+
+}  // namespace
+}  // namespace lossburst::net

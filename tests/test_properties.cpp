@@ -37,7 +37,7 @@ TEST_P(ConservationProperty, PacketsConservedThroughBottleneck) {
 
   class Counter final : public net::Endpoint {
    public:
-    void receive(net::Packet pkt) override {
+    void receive(const net::Packet& pkt, const net::PacketOptions*) override {
       ++delivered;
       seen_twice |= !seqs.insert(pkt.seq).second;
     }

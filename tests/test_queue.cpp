@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "net/trace.hpp"
 
@@ -11,52 +12,66 @@ namespace {
 using util::Duration;
 using util::TimePoint;
 
-Packet make_packet(FlowId flow, SeqNum seq, std::uint32_t bytes = kDataPacketBytes,
-                   bool ecn = false) {
+PacketHandle make_packet(PacketPool& pool, FlowId flow, SeqNum seq,
+                         std::uint32_t bytes = kDataPacketBytes, bool ecn = false) {
   Packet p;
   p.flow = flow;
   p.seq = seq;
   p.size_bytes = bytes;
   p.ecn_capable = ecn;
-  return p;
+  return pool.materialize(p);
 }
 
 TEST(DropTailQueueTest, AcceptsUpToCapacity) {
+  PacketPool pool;
   DropTailQueue q(3);
-  EXPECT_TRUE(q.enqueue(make_packet(1, 0)));
-  EXPECT_TRUE(q.enqueue(make_packet(1, 1)));
-  EXPECT_TRUE(q.enqueue(make_packet(1, 2)));
-  EXPECT_FALSE(q.enqueue(make_packet(1, 3)));  // full -> tail drop
+  q.attach(nullptr, &pool);
+  EXPECT_TRUE(q.enqueue(make_packet(pool, 1, 0)));
+  EXPECT_TRUE(q.enqueue(make_packet(pool, 1, 1)));
+  EXPECT_TRUE(q.enqueue(make_packet(pool, 1, 2)));
+  EXPECT_FALSE(q.enqueue(make_packet(pool, 1, 3)));  // full -> tail drop
   EXPECT_EQ(q.len_packets(), 3u);
   EXPECT_EQ(q.counters().dropped, 1u);
   EXPECT_EQ(q.counters().enqueued, 3u);
+  // The dropped packet's slot went back to the pool.
+  EXPECT_EQ(pool.live(), 3u);
 }
 
 TEST(DropTailQueueTest, FifoOrder) {
+  PacketPool pool;
   DropTailQueue q(10);
-  for (SeqNum s = 0; s < 5; ++s) ASSERT_TRUE(q.enqueue(make_packet(1, s)));
-  for (SeqNum s = 0; s < 5; ++s) EXPECT_EQ(q.dequeue().seq, s);
+  q.attach(nullptr, &pool);
+  for (SeqNum s = 0; s < 5; ++s) ASSERT_TRUE(q.enqueue(make_packet(pool, 1, s)));
+  for (SeqNum s = 0; s < 5; ++s) {
+    const PacketHandle h = q.dequeue();
+    EXPECT_EQ(pool[h].seq, s);
+    pool.release(h);
+  }
   EXPECT_TRUE(q.empty());
+  EXPECT_EQ(pool.live(), 0u);
 }
 
 TEST(DropTailQueueTest, ByteAccounting) {
+  PacketPool pool;
   DropTailQueue q(10);
-  ASSERT_TRUE(q.enqueue(make_packet(1, 0, 100)));
-  ASSERT_TRUE(q.enqueue(make_packet(1, 1, 200)));
+  q.attach(nullptr, &pool);
+  ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 0, 100)));
+  ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 1, 200)));
   EXPECT_EQ(q.len_bytes(), 300u);
-  (void)q.dequeue();
+  pool.release(q.dequeue());
   EXPECT_EQ(q.len_bytes(), 200u);
 }
 
 TEST(DropTailQueueTest, TracerSeesDropsWithTimestamp) {
   sim::Simulator sim;
+  PacketPool pool;
   DropTailQueue q(1);
-  q.attach(&sim);
+  q.attach(&sim, &pool);
   LossTrace trace;
   q.set_tracer(&trace);
   sim.in(Duration::millis(7), [&] {
-    ASSERT_TRUE(q.enqueue(make_packet(3, 10)));
-    EXPECT_FALSE(q.enqueue(make_packet(4, 11)));
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 3, 10)));
+    EXPECT_FALSE(q.enqueue(make_packet(pool, 4, 11)));
   });
   sim.run();
   ASSERT_EQ(trace.drops().size(), 1u);
@@ -68,10 +83,12 @@ TEST(DropTailQueueTest, TracerSeesDropsWithTimestamp) {
 TEST(DropTailQueueTest, DropsComeInBurstsWhenFull) {
   // The mechanism behind the paper's claim: while a DropTail buffer stays
   // full, every arrival in that episode is dropped back-to-back.
+  PacketPool pool;
   DropTailQueue q(5);
+  q.attach(nullptr, &pool);
   LossTrace trace;
   q.set_tracer(&trace);
-  for (SeqNum s = 0; s < 20; ++s) (void)q.enqueue(make_packet(1, s));
+  for (SeqNum s = 0; s < 20; ++s) (void)q.enqueue(make_packet(pool, 1, s));
   EXPECT_EQ(trace.drops().size(), 15u);
   for (std::size_t i = 0; i < trace.drops().size(); ++i) {
     EXPECT_EQ(trace.drops()[i].seq, 5 + i);  // consecutive
@@ -79,16 +96,19 @@ TEST(DropTailQueueTest, DropsComeInBurstsWhenFull) {
 }
 
 TEST(RedQueueTest, NoDropsBelowMinThreshold) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 100;
   p.min_th = 20;
   p.max_th = 60;
   RedQueue q(p, util::Rng(1));
-  for (SeqNum s = 0; s < 10; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s)));
+  q.attach(nullptr, &pool);
+  for (SeqNum s = 0; s < 10; ++s) EXPECT_TRUE(q.enqueue(make_packet(pool, 1, s)));
   EXPECT_EQ(q.counters().dropped, 0u);
 }
 
 TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 1000;
   p.min_th = 5;
@@ -96,26 +116,30 @@ TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
   p.max_p = 0.5;
   p.weight = 1.0;  // avg == instantaneous for test determinism
   RedQueue q(p, util::Rng(2));
+  q.attach(nullptr, &pool);
   int dropped = 0;
   for (SeqNum s = 0; s < 400; ++s) {
-    if (!q.enqueue(make_packet(1, s))) ++dropped;
-    if (q.len_packets() > 10) (void)q.dequeue();  // hold queue in RED band
+    if (!q.enqueue(make_packet(pool, 1, s))) ++dropped;
+    if (q.len_packets() > 10) pool.release(q.dequeue());  // hold queue in RED band
   }
   EXPECT_GT(dropped, 10);    // dropping is active
   EXPECT_LT(dropped, 390);   // but not total
 }
 
 TEST(RedQueueTest, ForcedDropAtPhysicalCapacity) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 4;
   p.min_th = 100;  // RED logic dormant
   p.max_th = 200;
   RedQueue q(p, util::Rng(3));
-  for (SeqNum s = 0; s < 4; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s)));
-  EXPECT_FALSE(q.enqueue(make_packet(1, 4)));
+  q.attach(nullptr, &pool);
+  for (SeqNum s = 0; s < 4; ++s) EXPECT_TRUE(q.enqueue(make_packet(pool, 1, s)));
+  EXPECT_FALSE(q.enqueue(make_packet(pool, 1, 4)));
 }
 
 TEST(RedQueueTest, EcnMarksInsteadOfDropping) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 1000;
   p.min_th = 1;
@@ -125,9 +149,12 @@ TEST(RedQueueTest, EcnMarksInsteadOfDropping) {
   p.ecn_mark = true;
   p.gentle = false;
   RedQueue q(p, util::Rng(4));
+  q.attach(nullptr, &pool);
   LossTrace trace;
   q.set_tracer(&trace);
-  for (SeqNum s = 0; s < 50; ++s) EXPECT_TRUE(q.enqueue(make_packet(1, s, 1000, /*ecn=*/true)));
+  for (SeqNum s = 0; s < 50; ++s) {
+    EXPECT_TRUE(q.enqueue(make_packet(pool, 1, s, 1000, /*ecn=*/true)));
+  }
   EXPECT_EQ(q.counters().dropped, 0u);
   EXPECT_GT(q.counters().marked, 0u);
   EXPECT_EQ(trace.marks().size(), q.counters().marked);
@@ -136,6 +163,7 @@ TEST(RedQueueTest, EcnMarksInsteadOfDropping) {
 }
 
 TEST(RedQueueTest, NonEcnPacketsDroppedEvenInMarkMode) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 1000;
   p.min_th = 1;
@@ -145,43 +173,47 @@ TEST(RedQueueTest, NonEcnPacketsDroppedEvenInMarkMode) {
   p.ecn_mark = true;
   p.gentle = false;
   RedQueue q(p, util::Rng(5));
+  q.attach(nullptr, &pool);
   int dropped = 0;
   for (SeqNum s = 0; s < 50; ++s) {
-    if (!q.enqueue(make_packet(1, s, 1000, /*ecn=*/false))) ++dropped;
+    if (!q.enqueue(make_packet(pool, 1, s, 1000, /*ecn=*/false))) ++dropped;
   }
   EXPECT_GT(dropped, 0);
 }
 
 TEST(RedQueueTest, AverageTracksOccupancy) {
+  PacketPool pool;
   RedQueue::Params p;
   p.capacity_pkts = 100;
   p.weight = 0.5;
   RedQueue q(p, util::Rng(6));
-  for (SeqNum s = 0; s < 10; ++s) (void)q.enqueue(make_packet(1, s));
+  q.attach(nullptr, &pool);
+  for (SeqNum s = 0; s < 10; ++s) (void)q.enqueue(make_packet(pool, 1, s));
   EXPECT_GT(q.avg_queue(), 0.0);
   EXPECT_LT(q.avg_queue(), 10.0);
 }
 
 TEST(PersistentEcnQueueTest, MarksForWindowAfterDrop) {
   sim::Simulator sim;
+  PacketPool pool;
   PersistentEcnQueue q(2, Duration::millis(50));
-  q.attach(&sim);
+  q.attach(&sim, &pool);
   sim.in(Duration::millis(1), [&] {
-    ASSERT_TRUE(q.enqueue(make_packet(1, 0, 1000, true)));
-    ASSERT_TRUE(q.enqueue(make_packet(1, 1, 1000, true)));
-    EXPECT_FALSE(q.enqueue(make_packet(1, 2, 1000, true)));  // drop -> arm window
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 0, 1000, true)));
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 1, 1000, true)));
+    EXPECT_FALSE(q.enqueue(make_packet(pool, 1, 2, 1000, true)));  // drop -> arm window
     EXPECT_EQ(q.counters().marked, 0u);  // marking starts after the drop
-    (void)q.dequeue();
+    pool.release(q.dequeue());
   });
   // Inside the 50 ms window: packets get CE marked.
   sim.in(Duration::millis(20), [&] {
-    ASSERT_TRUE(q.enqueue(make_packet(2, 0, 1000, true)));
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 2, 0, 1000, true)));
     EXPECT_EQ(q.counters().marked, 1u);
   });
   // After the window: no marking.
   sim.in(Duration::millis(80), [&] {
-    (void)q.dequeue();
-    ASSERT_TRUE(q.enqueue(make_packet(2, 1, 1000, true)));
+    pool.release(q.dequeue());
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 2, 1, 1000, true)));
     EXPECT_EQ(q.counters().marked, 1u);
   });
   sim.run();
@@ -189,13 +221,14 @@ TEST(PersistentEcnQueueTest, MarksForWindowAfterDrop) {
 
 TEST(PersistentEcnQueueTest, NonEcnPacketsPassUnmarked) {
   sim::Simulator sim;
+  PacketPool pool;
   PersistentEcnQueue q(1, Duration::millis(50));
-  q.attach(&sim);
+  q.attach(&sim, &pool);
   sim.in(Duration::millis(1), [&] {
-    ASSERT_TRUE(q.enqueue(make_packet(1, 0, 1000, false)));
-    EXPECT_FALSE(q.enqueue(make_packet(1, 1, 1000, false)));  // drop
-    (void)q.dequeue();
-    ASSERT_TRUE(q.enqueue(make_packet(1, 2, 1000, false)));
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 0, 1000, false)));
+    EXPECT_FALSE(q.enqueue(make_packet(pool, 1, 1, 1000, false)));  // drop
+    pool.release(q.dequeue());
+    ASSERT_TRUE(q.enqueue(make_packet(pool, 1, 2, 1000, false)));
     EXPECT_EQ(q.counters().marked, 0u);
   });
   sim.run();

@@ -203,7 +203,11 @@ TEST(SackEndToEndTest, ReceiverReportsBlocks) {
   class AckSink final : public net::Endpoint {
    public:
     net::Packet last;
-    void receive(net::Packet p) override { last = p; }
+    net::PacketOptions opt;  // copy of the side-table options, if any
+    void receive(const net::Packet& p, const net::PacketOptions* o) override {
+      last = p;
+      opt = o != nullptr ? *o : net::PacketOptions{};
+    }
   } sink;
   static const net::Route kEmpty;
   recv.connect(&kEmpty, &sink);
@@ -213,27 +217,27 @@ TEST(SackEndToEndTest, ReceiverReportsBlocks) {
     p.flow = 1;
     p.seq = s;
     p.size_bytes = net::kDataPacketBytes;
-    recv.receive(std::move(p));
+    recv.receive(p, nullptr);
   };
   data(0);
-  EXPECT_EQ(sink.last.sack_count, 0u);  // no holes
+  EXPECT_EQ(sink.opt.sack_count, 0u);  // no holes
   data(2);  // hole at 1
-  ASSERT_EQ(sink.last.sack_count, 1u);
-  EXPECT_EQ(sink.last.sack[0].begin, 2u);
-  EXPECT_EQ(sink.last.sack[0].end, 3u);
+  ASSERT_EQ(sink.opt.sack_count, 1u);
+  EXPECT_EQ(sink.opt.sack[0].begin, 2u);
+  EXPECT_EQ(sink.opt.sack[0].end, 3u);
   data(5);  // holes at 1, 3, 4
-  ASSERT_EQ(sink.last.sack_count, 2u);
+  ASSERT_EQ(sink.opt.sack_count, 2u);
   // Most recent block (containing 5) first.
-  EXPECT_EQ(sink.last.sack[0].begin, 5u);
-  EXPECT_EQ(sink.last.sack[1].begin, 2u);
+  EXPECT_EQ(sink.opt.sack[0].begin, 5u);
+  EXPECT_EQ(sink.opt.sack[1].begin, 2u);
   data(3);
-  ASSERT_EQ(sink.last.sack_count, 2u);
-  EXPECT_EQ(sink.last.sack[0].begin, 2u);  // run 2..4 contains newest seq 3
-  EXPECT_EQ(sink.last.sack[0].end, 4u);
+  ASSERT_EQ(sink.opt.sack_count, 2u);
+  EXPECT_EQ(sink.opt.sack[0].begin, 2u);  // run 2..4 contains newest seq 3
+  EXPECT_EQ(sink.opt.sack[0].end, 4u);
   data(1);  // fills the first hole; 2..3 delivered, 5 still buffered
   EXPECT_EQ(sink.last.ack_seq, 4u);
-  ASSERT_EQ(sink.last.sack_count, 1u);
-  EXPECT_EQ(sink.last.sack[0].begin, 5u);
+  ASSERT_EQ(sink.opt.sack_count, 1u);
+  EXPECT_EQ(sink.opt.sack[0].begin, 5u);
 }
 
 }  // namespace

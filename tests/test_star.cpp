@@ -14,7 +14,7 @@ using util::TimePoint;
 class Collector final : public Endpoint {
  public:
   explicit Collector(sim::Simulator& sim) : sim_(sim) {}
-  void receive(Packet pkt) override {
+  void receive(const Packet& pkt, const PacketOptions* /*opt*/) override {
     ++count;
     last_time = sim_.now();
     last = pkt;
@@ -145,16 +145,18 @@ TEST(StarTest, BufferDefaultsToBdp) {
 }
 
 TEST(MakeQueueTest, RedTuningApplied) {
+  PacketPool pool;
   auto q = make_queue(QueueKind::kRed, 100, util::Rng(1), Duration::millis(50),
                       RedTuning{0.5, 0.9, 0.3, 0.01});
   auto* red = dynamic_cast<RedQueue*>(q.get());
   ASSERT_NE(red, nullptr);
+  red->attach(nullptr, &pool);
   // Behavioural check: below min_th (50 packets) nothing drops.
   for (SeqNum s = 0; s < 40; ++s) {
     Packet p;
     p.seq = s;
     p.size_bytes = 1000;
-    EXPECT_TRUE(red->enqueue(std::move(p)));
+    EXPECT_TRUE(red->enqueue(pool.materialize(p)));
   }
   EXPECT_EQ(red->counters().dropped, 0u);
 }

@@ -221,7 +221,7 @@ TEST(TcpReceiverTest, OutOfOrderBufferedAndDelivered) {
    public:
     int acks = 0;
     net::SeqNum last_ack = 0;
-    void receive(net::Packet p) override {
+    void receive(const net::Packet& p, const net::PacketOptions*) override {
       ++acks;
       last_ack = p.ack_seq;
     }
@@ -235,7 +235,7 @@ TEST(TcpReceiverTest, OutOfOrderBufferedAndDelivered) {
     p.flow = 1;
     p.seq = s;
     p.size_bytes = net::kDataPacketBytes;
-    recv.receive(std::move(p));
+    recv.receive(p, nullptr);
   };
   data(0);
   EXPECT_EQ(ack_sink.last_ack, 1u);
@@ -256,7 +256,7 @@ TEST(TcpReceiverTest, DuplicateSegmentReAcked) {
   class AckSink final : public net::Endpoint {
    public:
     int acks = 0;
-    void receive(net::Packet) override { ++acks; }
+    void receive(const net::Packet&, const net::PacketOptions*) override { ++acks; }
   } ack_sink;
   static const net::Route kEmpty;
   recv.connect(&kEmpty, &ack_sink);
@@ -265,7 +265,7 @@ TEST(TcpReceiverTest, DuplicateSegmentReAcked) {
     p.flow = 1;
     p.seq = 0;
     p.size_bytes = net::kDataPacketBytes;
-    recv.receive(std::move(p));
+    recv.receive(p, nullptr);
   }
   EXPECT_EQ(recv.rcv_next(), 1u);
   EXPECT_EQ(ack_sink.acks, 3);  // old segments still acknowledged

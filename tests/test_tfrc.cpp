@@ -124,7 +124,7 @@ TEST(TfrcFlowTest, RateHalvesWhenFeedbackStops) {
   TfrcSender sender(sim, 1, sp);
   class BlackHole final : public net::Endpoint {
    public:
-    void receive(net::Packet) override {}
+    void receive(const net::Packet&, const net::PacketOptions*) override {}
   } hole;
   sender.connect(bell.fwd_routes[0], &hole);  // data vanishes: no feedback ever
   const double initial_rate = sender.rate_bps();
@@ -140,7 +140,7 @@ TEST(TfrcReceiverTest, WeightedLossIntervalAverage) {
   TfrcReceiver recv(sim, 1);
   class Hole final : public net::Endpoint {
    public:
-    void receive(net::Packet) override {}
+    void receive(const net::Packet&, const net::PacketOptions*) override {}
   } hole;
   static const net::Route kEmpty;
   recv.connect(&kEmpty, &hole);
@@ -151,8 +151,9 @@ TEST(TfrcReceiverTest, WeightedLossIntervalAverage) {
       p.flow = 1;
       p.seq = seq++;
       p.size_bytes = 1000;
-      p.tfrc.sender_rtt_s = 0.00001;  // tiny RTT: every loss is its own event
-      recv.receive(std::move(p));
+      net::PacketOptions opt;
+      opt.tfrc.sender_rtt_s = 0.00001;  // tiny RTT: every loss is its own event
+      recv.receive(p, &opt);
     }
     ++seq;  // skip one: a loss
     // Advance simulated time so events are separated by > RTT. (The

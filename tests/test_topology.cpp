@@ -14,7 +14,7 @@ using util::TimePoint;
 class Collector final : public Endpoint {
  public:
   explicit Collector(sim::Simulator& sim) : sim_(sim) {}
-  void receive(Packet pkt) override {
+  void receive(const Packet& pkt, const PacketOptions* /*opt*/) override {
     count++;
     last_time = sim_.now();
     last = pkt;
