@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/burstiness_study.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lossburst::bench {
@@ -50,6 +51,46 @@ inline bool serial_mode(int argc, char** argv) {
     if (std::string(argv[i]) == "--serial") return true;
   }
   return false;
+}
+
+/// Parse the telemetry flags shared by the fig benches into an ObsConfig:
+///   --obs-dir=DIR       export interval CSV + Chrome trace JSON into DIR
+///   --obs-interval=MS   metric sampling period (default 100 ms)
+///   --obs-trace-cap=N   flight-recorder capacity in records (default 16384,
+///                       sized to stay cache-resident; the ring keeps the
+///                       newest N, so this also bounds the trace JSON to
+///                       roughly N * 100 bytes)
+///   --obs-profile       also write the event-loop wall-time profile
+/// Telemetry stays disabled (zero overhead) unless --obs-dir is given.
+inline obs::ObsConfig obs_config(int argc, char** argv, const std::string& prefix) {
+  obs::ObsConfig cfg;
+  cfg.prefix = prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--obs-dir=", 0) == 0) {
+      cfg.dir = arg.substr(10);
+    } else if (arg.rfind("--obs-interval=", 0) == 0) {
+      cfg.interval = util::Duration::millis(std::stoll(arg.substr(15)));
+    } else if (arg.rfind("--obs-trace-cap=", 0) == 0) {
+      cfg.trace_capacity = static_cast<std::size_t>(std::stoull(arg.substr(16)));
+    } else if (arg == "--obs-profile") {
+      cfg.profile = true;
+    }
+  }
+  return cfg;
+}
+
+inline void print_obs_artifacts(const obs::ObsConfig& cfg) {
+  if (!cfg.enabled()) return;
+  std::printf("\ntelemetry artifacts written to %s/:\n", cfg.dir.c_str());
+  std::printf("  %sintervals.csv  (metric time series; plot or load as CSV)\n",
+              cfg.prefix.c_str());
+  std::printf("  %strace.json     (Chrome trace_event; open in ui.perfetto.dev)\n",
+              cfg.prefix.c_str());
+  if (cfg.profile) {
+    std::printf("  %sprofile.txt    (event-loop wall-time by event type)\n",
+                cfg.prefix.c_str());
+  }
 }
 
 /// Wall-clock stopwatch for reporting sweep speedup.

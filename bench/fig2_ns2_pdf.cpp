@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
   const bool serial = bench::serial_mode(argc, argv);
+  const obs::ObsConfig obs = bench::obs_config(argc, argv, "fig2_");
 
   bench::print_header("FIG2", "PDF of inter-loss time (NS-2-style simulation)",
                       ">95% of losses within 0.01 RTT; far above Poisson at sub-RTT");
@@ -52,6 +53,10 @@ int main(int argc, char** argv) {
     cfg.buffer_bdp_fraction = plan[i].buf;
     cfg.duration = duration;
     cfg.warmup = util::Duration::seconds(5);
+    // Telemetry on the first run only: one set of artifacts, and sampling
+    // events never perturb simulated behaviour, so pooled stats are
+    // unchanged whether or not --obs-dir is given.
+    if (i == 0) cfg.obs = obs;
     results[i] = core::run_dumbbell_experiment(cfg);
   });
   const double sweep_s = timer.elapsed_s();
@@ -110,5 +115,6 @@ int main(int argc, char** argv) {
                   curve.window_s[i] / representative_rtt, curve.idc[i]);
     }
   }
+  bench::print_obs_artifacts(obs);
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
   const bool serial = bench::serial_mode(argc, argv);
+  const obs::ObsConfig obs = bench::obs_config(argc, argv, "fig7_");
 
   bench::print_header("FIG7", "TCP Pacing (16) vs TCP NewReno (16), 100 Mbps, 50 ms",
                       "paced aggregate ~17% below NewReno aggregate");
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     main_run.cfg.window_flows = 16;
     main_run.cfg.rtt = util::Duration::millis(50);
     main_run.cfg.duration = util::Duration::seconds(40);
+    main_run.cfg.obs = obs;  // telemetry on the headline run only
     plan.push_back(main_run);
   }
   if (full) {
@@ -100,5 +102,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nsweep wall-clock: %.2f s for %zu runs (%s)\n", sweep_s, plan.size(),
               serial ? "serial, --serial" : "thread pool");
+  bench::print_obs_artifacts(obs);
   return 0;
 }

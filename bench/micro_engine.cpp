@@ -10,6 +10,9 @@
 #include <new>
 
 #include "net/network.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/process.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
 #include "util/histogram.hpp"
@@ -367,6 +370,103 @@ void BM_DumbbellSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DumbbellSecond)->Unit(benchmark::kMillisecond);
+
+void BM_ObsOverhead(benchmark::State& state) {
+  // Telemetry cost on the steady-state dumbbell second (same workload as
+  // BM_DumbbellSecond). Three runtime configurations:
+  //   Arg 0  "detached"  no Telemetry attached. Under -DLOSSBURST_TRACE=0
+  //                      this is also exactly the compiled-out build: the
+  //                      instrumented call sites are dead code either way.
+  //   Arg 1  "disabled"  Telemetry attached (metrics registered, recorder
+  //                      configured) but recording off and no sampling —
+  //                      the instrumented-but-idle hot path.
+  //   Arg 2  "enabled"   flight recorder on (default kinds) plus 100 ms
+  //                      interval sampling: the --obs-dir configuration.
+  const int mode = static_cast<int>(state.range(0));
+  state.SetLabel(mode == 0 ? "detached" : mode == 1 ? "disabled" : "enabled");
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      sim::Simulator sim(12);
+      obs::Telemetry telemetry;
+      if (mode >= 1) {
+        telemetry.recorder().configure(obs::ObsConfig{}.trace_capacity, obs::kDefaultKinds);
+        telemetry.recorder().set_enabled(mode == 2);
+        sim.set_telemetry(&telemetry);
+      }
+      net::Network network(sim);
+      net::DumbbellConfig cfg;
+      cfg.flow_count = 8;
+      cfg.access_delays.assign(8, Duration::millis(10));
+      net::Dumbbell bell = net::build_dumbbell(network, cfg);
+      std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+      for (std::size_t i = 0; i < 8; ++i) {
+        flows.push_back(std::make_unique<tcp::TcpFlow>(
+            sim, static_cast<net::FlowId>(i + 1), bell.fwd_routes[i], bell.rev_routes[i]));
+        flows.back()->sender().start(TimePoint::zero());
+      }
+      std::unique_ptr<obs::IntervalSeries> series;
+      std::unique_ptr<sim::PeriodicProcess> sampler;
+      if (mode == 2) {
+        series = std::make_unique<obs::IntervalSeries>(telemetry.registry());
+        series->reserve(64);
+        sampler = std::make_unique<sim::PeriodicProcess>(
+            sim, Duration::millis(100), [&] { series->sample(sim.now()); });
+        sampler->start(Duration::millis(100));
+      }
+      sim.run_until(TimePoint::zero() + Duration::seconds(1));
+      const std::uint64_t allocs_before = g_heap_allocs.load();
+      state.ResumeTiming();
+      sim.run_until(TimePoint::zero() + Duration::seconds(2));
+      state.PauseTiming();
+      state.counters["allocs_total"] =
+          static_cast<double>(g_heap_allocs.load() - allocs_before);
+      if (mode >= 1) {
+        state.counters["trace_records"] =
+            static_cast<double>(telemetry.recorder().total_records());
+      }
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_ObsSteadyStateAllocs(benchmark::State& state) {
+  // Acceptance gate: with telemetry fully enabled (flight recorder on for
+  // every kind, metrics registered), the queue hot path must still not
+  // allocate — record() writes into the preallocated ring and the counters
+  // are plain members. The reported `allocs_per_op` must be 0.00.
+  sim::Simulator sim(13);
+  obs::Telemetry telemetry;
+  telemetry.recorder().configure(std::size_t{1} << 16, obs::kAllKinds);
+  sim.set_telemetry(&telemetry);
+  net::PacketPool pool;
+  net::DropTailQueue q(1024);
+  q.attach(&sim, &pool);
+  q.set_obs_track(telemetry.recorder().register_track("bench queue"));
+  net::Packet pkt;
+  pkt.size_bytes = 1000;
+  for (int i = 0; i < 2048; ++i) {
+    if (!q.enqueue(pool.materialize(pkt))) {
+      while (!q.empty()) pool.release(q.dequeue());
+    }
+  }
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    if (!q.enqueue(pool.materialize(pkt))) {
+      while (!q.empty()) pool.release(q.dequeue());
+    }
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.counters["trace_records"] = static_cast<double>(telemetry.recorder().total_records());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSteadyStateAllocs);
 
 }  // namespace
 

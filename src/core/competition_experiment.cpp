@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/noise.hpp"
+#include "core/obs_session.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
@@ -14,6 +15,7 @@ using util::TimePoint;
 
 CompetitionResult run_competition(const CompetitionConfig& cfg) {
   sim::Simulator sim(cfg.seed);
+  ObsSession obs_session(sim, cfg.obs);
   net::Network network(sim);
   util::Rng rng = sim.rng().split(0xc0);
 
@@ -58,7 +60,9 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
   NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
                                    cfg.bottleneck_bps, rng.split(0x0f0));
 
+  obs_session.start_sampling(cfg.duration);
   sim.run_until(TimePoint::zero() + cfg.duration);
+  obs_session.finish();
 
   CompetitionResult result;
   result.paced_mbps = paced_meter.series_mbps();

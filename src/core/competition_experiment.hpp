@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "tcp/sender.hpp"
 #include "util/time.hpp"
 
@@ -33,6 +34,8 @@ struct CompetitionConfig {
   double noise_load = 0.10;
   /// Give every flow SACK loss recovery (extension; the paper used NewReno).
   bool sack = false;
+  /// Telemetry (DESIGN.md §8): set obs.dir to export run artifacts.
+  obs::ObsConfig obs{};
 };
 
 struct CompetitionResult {

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/noise.hpp"
+#include "core/obs_session.hpp"
 #include "emu/dummynet.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
@@ -15,6 +16,7 @@ using util::TimePoint;
 
 DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig& cfg) {
   sim::Simulator sim(cfg.seed);
+  ObsSession obs_session(sim, cfg.obs);
   net::Network network(sim);
   util::Rng rng = sim.rng().split(0xd0b);
 
@@ -59,7 +61,9 @@ DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig&
                                    cfg.bottleneck_bps, rng.split(0x0f0));
 
   const TimePoint end_time = TimePoint::zero() + cfg.warmup + cfg.duration;
+  obs_session.start_sampling(cfg.warmup + cfg.duration);
   sim.run_until(end_time);
+  obs_session.finish();
 
   // ---- Analysis: drops after warmup, normalized by the mean base RTT.
   DumbbellExperimentResult result;

@@ -8,6 +8,7 @@
 
 #include "analysis/loss_intervals.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "tcp/sender.hpp"
 #include "util/time.hpp"
 
@@ -41,6 +42,11 @@ struct DumbbellExperimentConfig {
   // clock and add software-router processing noise at the bottleneck.
   bool emulate_dummynet = false;
   Duration emu_clock = Duration::millis(1);
+
+  /// Telemetry (DESIGN.md §8): set obs.dir to export interval CSV + Chrome
+  /// trace JSON for this run. Off (zero overhead beyond a few branches) when
+  /// dir is empty.
+  obs::ObsConfig obs{};
 };
 
 struct DumbbellExperimentResult {

@@ -13,6 +13,7 @@ Link::Link(sim::Simulator& sim, PacketPool& pool, std::string name, std::uint64_
   assert(rate_bps_ > 0);
   assert(queue_);
   queue_->attach(&sim_, &pool_);
+  if (obs::Telemetry* t = sim_.telemetry()) register_observability(*t);
   // Serialization is ns = bytes * 8e9 / rate. Every real line rate divides
   // 8e9 (or failing that 8e12) evenly, so precompute the exact per-byte
   // factor once and reduce the per-packet cost to a single multiply.
@@ -29,6 +30,33 @@ Link::Link(sim::Simulator& sim, PacketPool& pool, std::string name, std::uint64_
       tx_per_byte_ == 0
           ? 0
           : static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) / tx_per_byte_;
+}
+
+Link::~Link() {
+  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+}
+
+// Called once at construction when the simulator already carries telemetry:
+// name our flight-recorder tracks and expose the link/queue counters. The
+// registry reads members in place, so nothing here touches the datapath.
+void Link::register_observability(obs::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  obs_track_ = telemetry.recorder().register_track("link " + name_);
+  queue_->set_obs_track(telemetry.recorder().register_track("queue " + name_));
+
+  obs::Registry& reg = telemetry.registry();
+  reg.add_counter("link." + name_ + ".bytes_sent", &bytes_sent_, this);
+  reg.add_counter("link." + name_ + ".packets_sent", &packets_sent_, this);
+  const QueueCounters& qc = queue_->counters();
+  reg.add_counter("queue." + name_ + ".enqueued", &qc.enqueued, this);
+  reg.add_counter("queue." + name_ + ".dropped", &qc.dropped, this);
+  reg.add_counter("queue." + name_ + ".marked", &qc.marked, this);
+  reg.add_counter("queue." + name_ + ".dequeued", &qc.dequeued, this);
+  reg.add(obs::MetricKind::kGauge, "queue." + name_ + ".len_pkts",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const Queue*>(c)->len_packets());
+          },
+          queue_.get(), this);
 }
 
 Duration Link::tx_time(std::uint32_t bytes) const {
@@ -71,7 +99,7 @@ void Link::start_tx() {
   bytes_sent_ += p.size_bytes;
   ++packets_sent_;
   tx_head_ = h;
-  sim_.in(tx, [this] { finish_tx(); });
+  sim_.in(tx, [this] { finish_tx(); }, obs::EventTag::kLinkTx);
 }
 
 void Link::finish_tx() {
@@ -84,7 +112,7 @@ void Link::finish_tx() {
   flight_.push_back(InFlight{tx_head_, arrive_ns});
   tx_head_ = PacketHandle{};
   if (was_idle) {
-    sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); });
+    sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
   }
   if (!queue_->empty()) {
     start_tx();
@@ -97,7 +125,8 @@ void Link::on_arrival() {
   const InFlight f = flight_.pop_front();
   assert(f.arrive_ns == sim_.now().ns());
   if (!flight_.empty()) {
-    sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); });
+    sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); },
+            obs::EventTag::kLinkArrive);
   }
   deliver(f.h);
 }
@@ -112,6 +141,13 @@ void Link::deliver(PacketHandle h) {
     return;
   }
   assert(p.sink != nullptr);
+  if constexpr (obs::kTraceCompiledIn) {
+    if (obs::FlightRecorder* rec =
+            obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kPktDeliver)) {
+      rec->record(obs::RecordKind::kPktDeliver, sim_.now().ns(), obs_track_,
+                  obs::pack_packet(p.flow, p.seq), 0);
+    }
+  }
   Endpoint* sink = p.sink;
   sink->receive(p, pool_.options_of(p));
   pool_.release(h);

@@ -29,6 +29,7 @@ class Link {
   /// are resolved against `pool` (one pool per Network).
   Link(sim::Simulator& sim, PacketPool& pool, std::string name, std::uint64_t rate_bps,
        Duration delay, std::unique_ptr<Queue> queue);
+  ~Link();
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -67,6 +68,7 @@ class Link {
   void finish_tx();
   void on_arrival();
   void deliver(PacketHandle h);
+  void register_observability(obs::Telemetry& telemetry);
 
   struct InFlight {
     PacketHandle h;
@@ -95,6 +97,8 @@ class Link {
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;  ///< where our metrics were registered
+  std::uint16_t obs_track_ = 0;          ///< flight-recorder track for deliveries
 };
 
 /// Deliver a packet into the first hop of its route (copying it into that

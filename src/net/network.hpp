@@ -18,7 +18,31 @@ namespace lossburst::net {
 /// links by raw pointer; the Network outlives every flow in an experiment.
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(&sim) {}
+  explicit Network(sim::Simulator& sim) : sim_(&sim) {
+    if (obs::Telemetry* t = sim.telemetry()) {
+      obs::Registry& reg = t->registry();
+      reg.add(obs::MetricKind::kGauge, "pool.live",
+              [](const void* c) {
+                return static_cast<double>(static_cast<const PacketPool*>(c)->live());
+              },
+              &pool_, this);
+      reg.add(obs::MetricKind::kGauge, "pool.high_water",
+              [](const void* c) {
+                return static_cast<double>(static_cast<const PacketPool*>(c)->high_water());
+              },
+              &pool_, this);
+      reg.add(obs::MetricKind::kGauge, "pool.opt_live",
+              [](const void* c) {
+                return static_cast<double>(static_cast<const PacketPool*>(c)->opt_live());
+              },
+              &pool_, this);
+      telemetry_ = t;
+    }
+  }
+
+  ~Network() {
+    if (telemetry_ != nullptr) telemetry_->registry().release(this);
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -47,6 +71,7 @@ class Network {
   PacketPool pool_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Route>> routes_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 /// Queue discipline selection for topology builders.

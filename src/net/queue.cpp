@@ -23,7 +23,7 @@ PacketHandle DropTailQueue::dequeue() {
   assert(!q_.empty());
   const PacketHandle h = q_.pop_front();
   bytes_ -= pkt(h).size_bytes;
-  count_dequeue();
+  report_dequeue(pkt(h), q_.size());
   return h;
 }
 
@@ -79,7 +79,7 @@ bool RedQueue::enqueue(PacketHandle h) {
     count_since_last_ = 0;
     if (params_.ecn_mark && p.ecn_capable) {
       p.ecn_marked = true;
-      report_mark(p);
+      report_mark(p, q_.size());
     } else {
       drop(h, q_.size());
       return false;
@@ -96,7 +96,7 @@ PacketHandle RedQueue::dequeue() {
   assert(!q_.empty());
   const PacketHandle h = q_.pop_front();
   bytes_ -= pkt(h).size_bytes;
-  count_dequeue();
+  report_dequeue(pkt(h), q_.size());
   if (q_.empty()) {
     idle_ = true;
     idle_since_ = now();
@@ -117,7 +117,7 @@ bool PersistentEcnQueue::enqueue(PacketHandle h) {
   Packet& p = pkt(h);
   if (now() < mark_until_ && p.ecn_capable && !p.ecn_marked) {
     p.ecn_marked = true;
-    report_mark(p);
+    report_mark(p, q_.size());
   }
   bytes_ += p.size_bytes;
   q_.push_back(h);
@@ -129,7 +129,7 @@ PacketHandle PersistentEcnQueue::dequeue() {
   assert(!q_.empty());
   const PacketHandle h = q_.pop_front();
   bytes_ -= pkt(h).size_bytes;
-  count_dequeue();
+  report_dequeue(pkt(h), q_.size());
   return h;
 }
 

@@ -24,7 +24,7 @@ class QueueTracer {
  public:
   virtual ~QueueTracer() = default;
   virtual void on_drop(TimePoint t, const Packet& pkt, std::size_t queue_len_pkts) = 0;
-  virtual void on_mark(TimePoint /*t*/, const Packet& /*pkt*/) {}
+  virtual void on_mark(TimePoint /*t*/, const Packet& /*pkt*/, std::size_t /*queue_len_pkts*/) {}
   virtual void on_enqueue(TimePoint /*t*/, const Packet& /*pkt*/, std::size_t /*queue_len_pkts*/) {}
 };
 
@@ -61,6 +61,9 @@ class Queue {
     sim_ = sim;
     pool_ = pool;
   }
+  /// Flight-recorder track for this queue's records (set by the owning link
+  /// when telemetry is attached; 0 = engine track, effectively untracked).
+  void set_obs_track(std::uint16_t track) { obs_track_ = track; }
 
  protected:
   [[nodiscard]] TimePoint now() const {
@@ -69,26 +72,51 @@ class Queue {
   [[nodiscard]] PacketPool& pool() { return *pool_; }
   [[nodiscard]] Packet& pkt(PacketHandle h) { return (*pool_)[h]; }
 
+  /// Flight-recorder hook shared by all report paths. Compiles away under
+  /// LOSSBURST_TRACE=0; otherwise costs one or two predictable branches
+  /// when telemetry is detached or the record kind is masked off.
+  void obs_record(obs::RecordKind k, const Packet& p, std::size_t qlen) {
+    if constexpr (obs::kTraceCompiledIn) {
+      if (sim_ == nullptr) return;
+      if (obs::FlightRecorder* rec = obs::trace_recorder(sim_->telemetry(), k)) {
+        rec->record(k, sim_->now().ns(), obs_track_, obs::pack_packet(p.flow, p.seq),
+                    static_cast<std::uint32_t>(qlen));
+      }
+    } else {
+      (void)k;
+      (void)p;
+      (void)qlen;
+    }
+  }
+
   /// Report + release: the tracer sees the packet while it is still live.
   void drop(PacketHandle h, std::size_t qlen) {
     ++counters_.dropped;
-    if (tracer_) tracer_->on_drop(now(), (*pool_)[h], qlen);
+    const Packet& p = (*pool_)[h];
+    obs_record(obs::RecordKind::kPktDrop, p, qlen);
+    if (tracer_) tracer_->on_drop(now(), p, qlen);
     pool_->release(h);
   }
-  void report_mark(const Packet& p) {
+  void report_mark(const Packet& p, std::size_t qlen) {
     ++counters_.marked;
-    if (tracer_) tracer_->on_mark(now(), p);
+    obs_record(obs::RecordKind::kPktMark, p, qlen);
+    if (tracer_) tracer_->on_mark(now(), p, qlen);
   }
   void report_enqueue(const Packet& p, std::size_t qlen) {
     ++counters_.enqueued;
+    obs_record(obs::RecordKind::kPktEnqueue, p, qlen);
     if (tracer_) tracer_->on_enqueue(now(), p, qlen);
   }
-  void count_dequeue() { ++counters_.dequeued; }
+  void report_dequeue(const Packet& p, std::size_t qlen) {
+    ++counters_.dequeued;
+    obs_record(obs::RecordKind::kPktDequeue, p, qlen);
+  }
 
   sim::Simulator* sim_ = nullptr;
   PacketPool* pool_ = nullptr;
   QueueTracer* tracer_ = nullptr;
   QueueCounters counters_;
+  std::uint16_t obs_track_ = 0;
 };
 
 /// FIFO tail-drop queue with a fixed capacity in packets — the discipline

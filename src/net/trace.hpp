@@ -27,8 +27,8 @@ class LossTrace final : public QueueTracer {
   void on_drop(TimePoint t, const Packet& pkt, std::size_t qlen) override {
     drops_.push_back(DropRecord{t, pkt.flow, pkt.seq, pkt.size_bytes, qlen});
   }
-  void on_mark(TimePoint t, const Packet& pkt) override {
-    marks_.push_back(DropRecord{t, pkt.flow, pkt.seq, pkt.size_bytes, 0});
+  void on_mark(TimePoint t, const Packet& pkt, std::size_t qlen) override {
+    marks_.push_back(DropRecord{t, pkt.flow, pkt.seq, pkt.size_bytes, qlen});
   }
 
   [[nodiscard]] const std::vector<DropRecord>& drops() const { return drops_; }

@@ -1,0 +1,13 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace lossburst::obs {
+
+void Registry::release(const void* owner) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [owner](const Entry& e) { return e.owner == owner; }),
+                 entries_.end());
+}
+
+}  // namespace lossburst::obs

@@ -1,0 +1,79 @@
+// Metric registry: zero-allocation counters and gauges (DESIGN.md §8).
+//
+// The hot path never touches the registry. Components keep plain integral /
+// floating members (most already existed: QueueCounters, SenderStats, Link
+// byte counts) and bump them with ordinary arithmetic; registration — done
+// once at construction, when a Telemetry instance is attached to the
+// simulator — records a {name, reader fn, context} triple so samplers and
+// exporters can walk every metric later. No hashing, no lookup, no
+// synchronization anywhere near the datapath.
+//
+// Readers are captureless lambdas decayed to function pointers, so a gauge
+// over any member is one line and costs one indirect call at *sample* time
+// only. Registration order is deterministic (construction order), which
+// keeps the interval-CSV column order — and therefore the exported bytes —
+// identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lossburst::obs {
+
+/// Counters are monotone event counts (exported as per-interval deltas);
+/// gauges are instantaneous levels (exported raw).
+enum class MetricKind : std::uint8_t { kCounter, kGauge };
+
+class Registry {
+ public:
+  using ReadFn = double (*)(const void* ctx);
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register a metric read through `fn(ctx)`. `owner` groups entries for
+  /// release(); by convention it is the registering component (`this`).
+  void add(MetricKind kind, std::string name, ReadFn fn, const void* ctx,
+           const void* owner) {
+    entries_.push_back(Entry{std::move(name), fn, ctx, owner, kind});
+  }
+
+  /// Convenience: counter backed directly by a std::uint64_t member.
+  void add_counter(std::string name, const std::uint64_t* value, const void* owner) {
+    add(MetricKind::kCounter, std::move(name),
+        [](const void* c) { return static_cast<double>(*static_cast<const std::uint64_t*>(c)); },
+        value, owner);
+  }
+
+  void add_gauge(std::string name, ReadFn fn, const void* ctx) {
+    add(MetricKind::kGauge, std::move(name), fn, ctx, ctx);
+  }
+
+  /// Drop every entry registered under `owner`. Components that can die
+  /// before the Telemetry instance (flows, links) call this from their
+  /// destructor so the registry never holds dangling reader contexts.
+  void release(const void* owner);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const { return entries_[i].name; }
+  [[nodiscard]] MetricKind kind(std::size_t i) const { return entries_[i].kind; }
+  [[nodiscard]] double read(std::size_t i) const {
+    const Entry& e = entries_[i];
+    return e.fn(e.ctx);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    ReadFn fn;
+    const void* ctx;
+    const void* owner;
+    MetricKind kind;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lossburst::obs

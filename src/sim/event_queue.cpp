@@ -70,6 +70,7 @@ void EventQueue::cancel_handle(std::uint32_t id, std::uint32_t gen) {
     s.ops->destroy(s.buf);
   }
   release_slot(id);
+  ++cancelled_;
   // Cancel-heavy churn (e.g. per-ACK RTO rescheduling) can fill the heap
   // with stale entries faster than the head drains; compact in place when
   // garbage dominates so memory stays bounded and allocation-free.
@@ -103,13 +104,16 @@ TimePoint EventQueue::pop_and_run() {
   if ((e.slot & kLargePoolBit) != 0) {
     auto& s = large_.slot(e.slot & ~kLargePoolBit);
     ops = s.ops;
+    last_tag_ = s.tag;
     ops->relocate(s.buf, tmp);
   } else {
     auto& s = small_.slot(e.slot);
     ops = s.ops;
+    last_tag_ = s.tag;
     ops->relocate(s.buf, tmp);
   }
   release_slot(e.slot);
+  ++fired_;
   ops->invoke(tmp);
   ops->destroy(tmp);
   return TimePoint(e.at_ns);

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tags.hpp"
 #include "util/time.hpp"
 
 namespace lossburst::sim {
@@ -75,6 +76,9 @@ class SlotPool {
     alignas(std::max_align_t) unsigned char buf[Capacity];
     const CallableOps* ops = nullptr;
     std::uint32_t gen = 0;  // bumped when the slot is released (fire/cancel)
+    // Profiler tag; rides in the slot's existing alignment padding, so it
+    // costs no space (48+8+4 rounds to 64 with or without it).
+    obs::EventTag tag = obs::EventTag::kGeneric;
   };
 
   SlotPool() = default;
@@ -169,8 +173,10 @@ class EventQueue {
 
   /// Schedule `fn` at absolute time `at`. Returns a cancellable handle.
   /// Allocation-free once the pools and heap reach steady-state size.
+  /// `tag` attributes the event to a type for the loop profiler; untagged
+  /// call sites cost nothing extra.
   template <typename F>
-  EventHandle schedule(TimePoint at, F&& fn) {
+  EventHandle schedule(TimePoint at, F&& fn, obs::EventTag tag = obs::EventTag::kGeneric) {
     using D = std::decay_t<F>;
     static_assert(sizeof(D) <= kLargeCallable,
                   "event callback capture exceeds the engine's slot size; "
@@ -187,6 +193,7 @@ class EventQueue {
       auto& s = small_.slot(idx);
       ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
       s.ops = &detail::kCallableOps<D>;
+      s.tag = tag;
       gen = s.gen;
       id = idx;
     } else {
@@ -194,12 +201,14 @@ class EventQueue {
       auto& s = large_.slot(idx);
       ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
       s.ops = &detail::kCallableOps<D>;
+      s.tag = tag;
       gen = s.gen;
       id = idx | kLargePoolBit;
     }
     heap_.push_back(HeapEntry{at.ns(), next_seq_++, id, gen});
     sift_up(heap_.size() - 1);
     ++live_;
+    if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
     return EventHandle(this, id, gen);
   }
 
@@ -218,6 +227,15 @@ class EventQueue {
 
   /// Total events ever scheduled (for micro-benchmark accounting).
   [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
+
+  /// Engine telemetry (DESIGN.md §8): lifetime fired/cancelled counts and
+  /// the largest heap the run ever needed.
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+  [[nodiscard]] std::size_t heap_high_water() const { return heap_high_water_; }
+
+  /// Tag of the most recently dispatched event (valid after pop_and_run).
+  [[nodiscard]] obs::EventTag last_dispatch_tag() const { return last_tag_; }
 
  private:
   friend class EventHandle;
@@ -262,6 +280,10 @@ class EventQueue {
   mutable std::vector<HeapEntry> heap_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t heap_high_water_ = 0;
+  obs::EventTag last_tag_ = obs::EventTag::kGeneric;
 };
 
 inline bool EventHandle::pending() const {

@@ -42,7 +42,7 @@ class PeriodicProcess {
       if (!running_) return;
       fn_();
       if (running_) schedule_next(period_);
-    });
+    }, obs::EventTag::kPeriodic);
   }
 
   Simulator& sim_;

@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 namespace lossburst::sim {
 
 std::uint64_t Simulator::run_until(TimePoint until) {
+  if (telemetry_ != nullptr) return run_until_observed(until);
   std::uint64_t ran = 0;
   stop_requested_ = false;
   while (!queue_.empty()) {
@@ -18,6 +21,75 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   // run_until phase) starts from a consistent time.
   if (!stop_requested_ && until != TimePoint::max() && now_ < until) now_ = until;
   return ran;
+}
+
+// Same loop with the telemetry hooks. Kept separate so the detached path —
+// the one micro-benchmarks and parallel sweeps run — carries no per-event
+// branches at all. The profiler/recorder gates are resolved once per call;
+// toggling them mid-run takes effect at the next run_until.
+std::uint64_t Simulator::run_until_observed(TimePoint until) {
+  using Clock = std::chrono::steady_clock;
+  obs::LoopProfiler* prof = telemetry_->profiler();
+  obs::FlightRecorder* rec =
+      obs::trace_recorder(telemetry_, obs::RecordKind::kEventDispatch);
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t > until) break;
+    now_ = t;
+    if (prof != nullptr) {
+      const Clock::time_point start = Clock::now();
+      queue_.pop_and_run();
+      const auto wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+      prof->record(queue_.last_dispatch_tag(), wall_ns);
+    } else {
+      queue_.pop_and_run();
+    }
+    if (rec != nullptr) {
+      rec->record(obs::RecordKind::kEventDispatch, t.ns(), 0,
+                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()), 0);
+    }
+    ++ran;
+    ++executed_;
+    if (stop_requested_) break;
+  }
+  if (!stop_requested_ && until != TimePoint::max() && now_ < until) now_ = until;
+  return ran;
+}
+
+void Simulator::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry();
+  const EventQueue* q = &queue_;
+  reg.add(obs::MetricKind::kCounter, "engine.scheduled",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const EventQueue*>(c)->scheduled_count());
+          },
+          q, this);
+  reg.add(obs::MetricKind::kCounter, "engine.fired",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const EventQueue*>(c)->fired_count());
+          },
+          q, this);
+  reg.add(obs::MetricKind::kCounter, "engine.cancelled",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const EventQueue*>(c)->cancelled_count());
+          },
+          q, this);
+  reg.add(obs::MetricKind::kGauge, "engine.events_live",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const EventQueue*>(c)->size());
+          },
+          q, this);
+  reg.add(obs::MetricKind::kGauge, "engine.heap_high_water",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const EventQueue*>(c)->heap_high_water());
+          },
+          q, this);
 }
 
 }  // namespace lossburst::sim

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -28,17 +29,17 @@ class Simulator {
 
   /// Schedule at an absolute time; must not be in the past.
   template <typename F>
-  EventHandle at(TimePoint t, F&& fn) {
+  EventHandle at(TimePoint t, F&& fn, obs::EventTag tag = obs::EventTag::kGeneric) {
     if (t < now_) {
       throw std::logic_error("Simulator::at: scheduling into the past");
     }
-    return queue_.schedule(t, std::forward<F>(fn));
+    return queue_.schedule(t, std::forward<F>(fn), tag);
   }
 
   /// Schedule after a relative delay (>= 0).
   template <typename F>
-  EventHandle in(Duration d, F&& fn) {
-    return at(now_ + d, std::forward<F>(fn));
+  EventHandle in(Duration d, F&& fn, obs::EventTag tag = obs::EventTag::kGeneric) {
+    return at(now_ + d, std::forward<F>(fn), tag);
   }
 
   /// Run until the queue drains or the clock passes `until`. Events at
@@ -54,12 +55,22 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
+  /// Attach a telemetry bundle (DESIGN.md §8): registers the engine's own
+  /// metrics and makes run_until feed the loop profiler / flight recorder.
+  /// Pass nullptr to detach (also releases the engine's registry entries).
+  /// The Telemetry object must outlive the simulator or the next detach.
+  void set_telemetry(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
+
  private:
+  std::uint64_t run_until_observed(TimePoint until);
+
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();
   util::Rng rng_;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace lossburst::sim

@@ -17,7 +17,7 @@ void CbrSource::start(TimePoint at) {
     start_time_ = at;
     end_time_ = at + params_.duration;
     tick();
-  });
+  }, obs::EventTag::kAppStart);
 }
 
 void CbrSource::tick() {
@@ -33,7 +33,7 @@ void CbrSource::tick() {
   pkt.route = route_;
   pkt.sink = sink_;
   net::inject(std::move(pkt));
-  timer_ = sim_.in(params_.interval, [this] { tick(); });
+  timer_ = sim_.in(params_.interval, [this] { tick(); }, obs::EventTag::kSource);
 }
 
 std::vector<SeqNum> ProbeSink::missing(SeqNum sent) const {

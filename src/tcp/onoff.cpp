@@ -26,7 +26,7 @@ void ExpOnOffSource::start(TimePoint at) {
     } else {
       enter_off();
     }
-  });
+  }, obs::EventTag::kAppStart);
 }
 
 void ExpOnOffSource::stop() {
@@ -38,7 +38,8 @@ void ExpOnOffSource::stop() {
 void ExpOnOffSource::enter_on() {
   if (!running_) return;
   on_ = true;
-  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_on), [this] { enter_off(); });
+  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_on), [this] { enter_off(); },
+                         obs::EventTag::kSource);
   send_tick();
 }
 
@@ -46,7 +47,8 @@ void ExpOnOffSource::enter_off() {
   if (!running_) return;
   on_ = false;
   send_timer_.cancel();
-  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_off), [this] { enter_on(); });
+  state_timer_ = sim_.in(rng_.exponential_duration(params_.mean_off), [this] { enter_on(); },
+                         obs::EventTag::kSource);
 }
 
 void ExpOnOffSource::send_tick() {
@@ -61,7 +63,8 @@ void ExpOnOffSource::send_tick() {
   ++packets_sent_;
   net::inject(std::move(pkt));
   const double interval_s = 8.0 * params_.packet_bytes / params_.peak_bps;
-  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); });
+  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); },
+                        obs::EventTag::kSource);
 }
 
 }  // namespace lossburst::tcp

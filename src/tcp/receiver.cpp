@@ -1,13 +1,25 @@
 #include "tcp/receiver.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "net/link.hpp"
 
 namespace lossburst::tcp {
 
 TcpReceiver::TcpReceiver(sim::Simulator& sim, FlowId flow, Params params)
-    : sim_(sim), flow_(flow), params_(params) {}
+    : sim_(sim), flow_(flow), params_(params) {
+  if (obs::Telemetry* t = sim_.telemetry()) {
+    telemetry_ = t;
+    const std::string base = "flow" + std::to_string(flow_);
+    t->registry().add_counter(base + ".bytes_received", &bytes_received_, this);
+    t->registry().add_counter(base + ".acks_sent", &acks_sent_, this);
+  }
+}
+
+TcpReceiver::~TcpReceiver() {
+  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+}
 
 void TcpReceiver::receive(const Packet& pkt, const net::PacketOptions* /*opt*/) {
   assert(!pkt.is_ack);
@@ -130,7 +142,7 @@ void TcpReceiver::arm_delack_timer(TimePoint echo_ts) {
   delack_timer_.cancel();
   delack_timer_ = sim_.in(params_.delack_timeout, [this, echo_ts] {
     if (unacked_segments_ > 0) send_ack(echo_ts);
-  });
+  }, obs::EventTag::kTcpDelAck);
 }
 
 }  // namespace lossburst::tcp

@@ -32,6 +32,7 @@ class TcpReceiver final : public net::Endpoint {
 
   TcpReceiver(sim::Simulator& sim, FlowId flow) : TcpReceiver(sim, flow, Params{}) {}
   TcpReceiver(sim::Simulator& sim, FlowId flow, Params params);
+  ~TcpReceiver() override;
 
   /// Wire the reverse path: ACKs travel `route` and terminate at `sender`.
   void connect(const Route* route, net::Endpoint* sender) {
@@ -71,6 +72,7 @@ class TcpReceiver final : public net::Endpoint {
   std::uint64_t segments_received_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::function<void(std::uint64_t)> on_data_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace lossburst::tcp

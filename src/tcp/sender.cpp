@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "net/link.hpp"
 
@@ -14,14 +16,60 @@ using util::TimePoint;
 TcpSender::TcpSender(sim::Simulator& sim, FlowId flow, Params params)
     : sim_(sim), flow_(flow), params_(params),
       cwnd_(params.initial_cwnd), ssthresh_(params.initial_ssthresh),
-      rtt_(params.rtt) {}
+      rtt_(params.rtt) {
+  if (obs::Telemetry* t = sim_.telemetry()) register_observability(*t);
+}
+
+TcpSender::~TcpSender() {
+  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+}
+
+// Construction-time only (DESIGN.md §8): every per-flow gauge reads a plain
+// member in place at sample time; the counters are the SenderStats fields
+// the sender was already maintaining.
+void TcpSender::register_observability(obs::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  const std::string base = "flow" + std::to_string(flow_);
+  obs_track_ = telemetry.recorder().register_track(base);
+  obs::Registry& reg = telemetry.registry();
+  reg.add(obs::MetricKind::kGauge, base + ".cwnd",
+          [](const void* c) { return static_cast<const TcpSender*>(c)->cwnd_; }, this, this);
+  reg.add(obs::MetricKind::kGauge, base + ".ssthresh",
+          [](const void* c) { return static_cast<const TcpSender*>(c)->ssthresh_; }, this,
+          this);
+  reg.add(obs::MetricKind::kGauge, base + ".srtt_s",
+          [](const void* c) { return static_cast<const TcpSender*>(c)->rtt_.srtt().seconds(); },
+          this, this);
+  reg.add(obs::MetricKind::kGauge, base + ".outstanding",
+          [](const void* c) {
+            return static_cast<double>(static_cast<const TcpSender*>(c)->outstanding());
+          },
+          this, this);
+  reg.add_counter(base + ".segments_sent", &stats_.segments_sent, this);
+  reg.add_counter(base + ".retransmits", &stats_.retransmits, this);
+  reg.add_counter(base + ".fast_retransmits", &stats_.fast_retransmits, this);
+  reg.add_counter(base + ".timeouts", &stats_.timeouts, this);
+  reg.add_counter(base + ".congestion_events", &stats_.congestion_events, this);
+  reg.add_counter(base + ".ecn_responses", &stats_.ecn_responses, this);
+}
+
+void TcpSender::obs_cwnd() {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (obs::FlightRecorder* rec =
+            obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kCwnd)) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &cwnd_, sizeof(bits));
+      rec->record(obs::RecordKind::kCwnd, sim_.now().ns(), obs_track_, bits, 0);
+    }
+  }
+}
 
 void TcpSender::start(TimePoint at) {
   assert(route_ != nullptr && receiver_ != nullptr);
   sim_.at(at, [this] {
     started_ = true;
     try_send();
-  });
+  }, obs::EventTag::kAppStart);
 }
 
 std::uint64_t TcpSender::effective_window() const {
@@ -96,7 +144,7 @@ void TcpSender::arm_pacing() {
     wait = since >= wait ? Duration::zero() : wait - since;
   }
   pacing_armed_ = true;
-  pace_timer_ = sim_.in(wait, [this] { pace_tick(); });
+  pace_timer_ = sim_.in(wait, [this] { pace_tick(); }, obs::EventTag::kTcpPacing);
 }
 
 void TcpSender::pace_tick() {
@@ -164,6 +212,7 @@ void TcpSender::sack_process(const Packet& ack, const net::PacketOptions* opt) {
         cwnd_ += static_cast<double>(newly_acked) / cwnd_;
       }
       cwnd_ = std::min(cwnd_, params_.max_cwnd);
+      obs_cwnd();
     }
 
     if (params_.total_segments != 0 && snd_una_ >= params_.total_segments) {
@@ -197,6 +246,7 @@ void TcpSender::enter_sack_recovery() {
   flight_at_recovery_ = outstanding();
   ssthresh_ = std::max(static_cast<double>(flight_at_recovery_) / 2.0, 2.0);
   cwnd_ = ssthresh_;
+  obs_cwnd();
   recover_ = snd_next_;
   in_recovery_ = true;
   partial_ack_seen_ = false;
@@ -242,6 +292,7 @@ void TcpSender::on_new_ack(const Packet& ack) {
       // Full ACK: recovery is over; deflate the window.
       in_recovery_ = false;
       cwnd_ = ssthresh_;
+      obs_cwnd();
       dup_acks_ = 0;
     } else if (params_.variant != CcVariant::kReno) {
       // Partial ACK (RFC 3782 / 6582): retransmit the next hole, deflate
@@ -250,6 +301,7 @@ void TcpSender::on_new_ack(const Packet& ack) {
       // partial ACK, so a recovery with many holes times out rather than
       // limping along one hole per RTT.
       cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+      obs_cwnd();
       snd_una_ = ack.ack_seq;
       if (snd_next_ < snd_una_) snd_next_ = snd_una_;
       const bool first_partial = !partial_ack_seen_;
@@ -262,6 +314,7 @@ void TcpSender::on_new_ack(const Packet& ack) {
       // Reno: any new ACK terminates fast recovery.
       in_recovery_ = false;
       cwnd_ = ssthresh_;
+      obs_cwnd();
       dup_acks_ = 0;
     }
   } else {
@@ -284,6 +337,7 @@ void TcpSender::on_new_ack(const Packet& ack) {
       cwnd_ += static_cast<double>(newly_acked) / cwnd_;  // congestion avoidance
     }
     cwnd_ = std::min(cwnd_, params_.max_cwnd);
+    obs_cwnd();
     dup_acks_ = 0;
   }
 
@@ -311,6 +365,7 @@ void TcpSender::on_dup_ack(const Packet&) {
     // Window inflation: each dup ACK signals a departure, so let one more
     // segment out.
     cwnd_ += 1.0;
+    obs_cwnd();
     try_send();
     return;
   }
@@ -333,6 +388,7 @@ void TcpSender::enter_recovery() {
   ssthresh_ = std::max(static_cast<double>(flight_at_recovery_) / 2.0, 2.0);
   recover_ = snd_next_;
   cwnd_ = ssthresh_ + 3.0;
+  obs_cwnd();
   in_recovery_ = true;
   partial_ack_seen_ = false;
   reduced_once_ = true;
@@ -355,7 +411,10 @@ void TcpSender::vegas_adjust() {
     cwnd_ += 1.0;
   } else if (diff > params_.vegas_beta) {
     cwnd_ = std::max(2.0, cwnd_ - 1.0);
+  } else {
+    return;
   }
+  obs_cwnd();
 }
 
 void TcpSender::ecn_congestion_response() {
@@ -369,16 +428,17 @@ void TcpSender::ecn_congestion_response() {
   ++stats_.congestion_events;
   ssthresh_ = std::max(static_cast<double>(outstanding()) / 2.0, 2.0);
   cwnd_ = ssthresh_;
+  obs_cwnd();
 }
 
 void TcpSender::arm_rto() {
   if (rto_timer_.pending()) return;
-  rto_timer_ = sim_.in(rtt_.rto(), [this] { on_rto(); });
+  rto_timer_ = sim_.in(rtt_.rto(), [this] { on_rto(); }, obs::EventTag::kTcpRto);
 }
 
 void TcpSender::restart_rto() {
   rto_timer_.cancel();
-  rto_timer_ = sim_.in(rtt_.rto(), [this] { on_rto(); });
+  rto_timer_ = sim_.in(rtt_.rto(), [this] { on_rto(); }, obs::EventTag::kTcpRto);
 }
 
 void TcpSender::on_rto() {
@@ -391,6 +451,7 @@ void TcpSender::on_rto() {
       in_recovery_ ? std::min(outstanding(), flight_at_recovery_) : outstanding();
   ssthresh_ = std::max(static_cast<double>(flight) / 2.0, 2.0);
   cwnd_ = 1.0;
+  obs_cwnd();
   dup_acks_ = 0;
   in_recovery_ = false;
   reduced_once_ = true;

@@ -82,6 +82,7 @@ class TcpSender final : public net::Endpoint {
 
   TcpSender(sim::Simulator& sim, FlowId flow) : TcpSender(sim, flow, Params{}) {}
   TcpSender(sim::Simulator& sim, FlowId flow, Params params);
+  ~TcpSender() override;
 
   /// Wire the forward path: data travels `route` and terminates at
   /// `receiver`.
@@ -141,6 +142,8 @@ class TcpSender final : public net::Endpoint {
   void restart_rto();  ///< cancel and re-arm (new cumulative progress)
   void on_rto();
   void complete();
+  void register_observability(obs::Telemetry& telemetry);
+  void obs_cwnd();  ///< flight-recorder record at every cwnd change
 
   sim::Simulator& sim_;
   FlowId flow_;
@@ -184,6 +187,9 @@ class TcpSender final : public net::Endpoint {
 
   SenderStats stats_;
   std::function<void(util::TimePoint)> on_complete_;
+
+  obs::Telemetry* telemetry_ = nullptr;  ///< where our metrics were registered
+  std::uint16_t obs_track_ = 0;          ///< flight-recorder track for cwnd records
 };
 
 }  // namespace lossburst::tcp

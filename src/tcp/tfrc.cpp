@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "net/link.hpp"
 
@@ -22,7 +23,27 @@ double tfrc_throughput_eq(double s_bytes, double rtt_s, double p) {
 TfrcSender::TfrcSender(sim::Simulator& sim, FlowId flow, Params params)
     : sim_(sim), flow_(flow), params_(params),
       // Initial rate: one packet per initial RTT (RFC 3448 §4.2).
-      rate_bps_(8.0 * params.segment_bytes / params.initial_rtt.seconds()) {}
+      rate_bps_(8.0 * params.segment_bytes / params.initial_rtt.seconds()) {
+  if (obs::Telemetry* t = sim_.telemetry()) {
+    telemetry_ = t;
+    const std::string base = "flow" + std::to_string(flow_);
+    obs::Registry& reg = t->registry();
+    reg.add(obs::MetricKind::kGauge, base + ".rate_bps",
+            [](const void* c) { return static_cast<const TfrcSender*>(c)->rate_bps_; }, this,
+            this);
+    reg.add(obs::MetricKind::kGauge, base + ".rtt_s",
+            [](const void* c) { return static_cast<const TfrcSender*>(c)->rtt_s_; }, this,
+            this);
+    reg.add(obs::MetricKind::kGauge, base + ".loss_event_rate",
+            [](const void* c) { return static_cast<const TfrcSender*>(c)->last_p_; }, this,
+            this);
+    reg.add_counter(base + ".segments_sent", &segments_sent_, this);
+  }
+}
+
+TfrcSender::~TfrcSender() {
+  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+}
 
 void TfrcSender::start(TimePoint at) {
   assert(route_ != nullptr && receiver_ != nullptr);
@@ -30,7 +51,7 @@ void TfrcSender::start(TimePoint at) {
     started_ = true;
     arm_no_feedback_timer();
     send_tick();
-  });
+  }, obs::EventTag::kAppStart);
 }
 
 void TfrcSender::send_tick() {
@@ -51,7 +72,8 @@ void TfrcSender::send_tick() {
 
 void TfrcSender::schedule_next_send() {
   const double interval_s = 8.0 * params_.segment_bytes / rate_bps_;
-  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); });
+  send_timer_ = sim_.in(Duration::from_seconds(interval_s), [this] { send_tick(); },
+                        obs::EventTag::kTfrc);
 }
 
 void TfrcSender::receive(const Packet& pkt, const net::PacketOptions* opt) {
@@ -84,7 +106,7 @@ void TfrcSender::arm_no_feedback_timer() {
   no_feedback_timer_.cancel();
   const double r = rtt_s_ > 0.0 ? rtt_s_ : params_.initial_rtt.seconds();
   no_feedback_timer_ = sim_.in(Duration::from_seconds(std::max(4.0 * r, 0.01)),
-                               [this] { on_no_feedback(); });
+                               [this] { on_no_feedback(); }, obs::EventTag::kTfrc);
 }
 
 void TfrcSender::on_no_feedback() {
@@ -167,7 +189,8 @@ double TfrcReceiver::loss_event_rate() const {
 
 void TfrcReceiver::arm_feedback_timer() {
   const double r = sender_rtt_s_ > 0.0 ? sender_rtt_s_ : params_.initial_rtt.seconds();
-  feedback_timer_ = sim_.in(Duration::from_seconds(r), [this] { send_feedback(); });
+  feedback_timer_ = sim_.in(Duration::from_seconds(r), [this] { send_feedback(); },
+                            obs::EventTag::kTfrc);
 }
 
 void TfrcReceiver::send_feedback() {

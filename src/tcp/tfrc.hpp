@@ -38,6 +38,7 @@ class TfrcSender final : public net::Endpoint {
 
   TfrcSender(sim::Simulator& sim, FlowId flow) : TfrcSender(sim, flow, Params{}) {}
   TfrcSender(sim::Simulator& sim, FlowId flow, Params params);
+  ~TfrcSender() override;
 
   void connect(const Route* route, net::Endpoint* receiver) {
     route_ = route;
@@ -76,6 +77,7 @@ class TfrcSender final : public net::Endpoint {
   std::uint64_t segments_sent_ = 0;
   sim::EventHandle send_timer_;
   sim::EventHandle no_feedback_timer_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 class TfrcReceiver final : public net::Endpoint {

@@ -28,6 +28,20 @@ class CsvWriter {
 
   void row_vector(const std::vector<double>& values);
 
+  /// Incremental interface for rows whose column count is only known at
+  /// runtime (e.g. one column per registered metric): append fields one at
+  /// a time, then terminate the line.
+  template <typename T>
+  void row_append(const T& field) {
+    write_field(field, at_row_start_);
+    at_row_start_ = false;
+  }
+
+  void end_row() {
+    *out_ << '\n';
+    at_row_start_ = true;
+  }
+
  private:
   template <typename It>
   void row_strings(It begin, It end) {
@@ -54,6 +68,7 @@ class CsvWriter {
   void write_escaped(std::string_view s);
 
   std::ostream* out_;
+  bool at_row_start_ = true;
 };
 
 /// Opens a file, writes via CsvWriter, flushes on destruction.

@@ -1,18 +1,6 @@
 #include "util/log.hpp"
 
-#include <atomic>
-
 namespace lossburst::util {
-
-namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-}
-
-LogLevel global_log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
-
-void set_global_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
 
 std::string_view to_string(LogLevel level) {
   switch (level) {

@@ -1,7 +1,12 @@
-// Lightweight leveled logging. Disabled levels cost one branch; there is no
-// global registry — loggers are plain values you construct where needed.
+// Lightweight leveled logging. Disabled levels cost one relaxed atomic load
+// and a branch; there is no global registry — loggers are plain values you
+// construct where needed. The LOSSBURST_LOG_* macros additionally skip
+// evaluating the argument expressions when the level is disabled, so an
+// expensive formatting call inside a trace statement costs nothing in
+// production configurations.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -11,10 +16,23 @@ namespace lossburst::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
+namespace detail {
 /// Process-wide minimum level; defaults to Info. Tests lower it to Trace to
 /// exercise log paths; benches raise it to Off.
-LogLevel global_log_level();
-void set_global_log_level(LogLevel level);
+inline std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+}  // namespace detail
+
+inline LogLevel global_log_level() {
+  return detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+inline void set_global_log_level(LogLevel level) {
+  detail::g_log_level.store(level, std::memory_order_relaxed);
+}
+
+/// True when a statement at `level` would be emitted. The macro guard below
+/// uses this so callers can also gate expensive setup by hand.
+inline bool log_level_enabled(LogLevel level) { return level >= global_log_level(); }
 
 std::string_view to_string(LogLevel level);
 
@@ -25,7 +43,7 @@ class Logger {
 
   template <typename... Ts>
   void log(LogLevel level, const Ts&... parts) const {
-    if (level < global_log_level()) return;
+    if (!log_level_enabled(level)) return;
     std::ostringstream ss;
     ss << '[' << to_string(level) << "] " << component_ << ": ";
     (ss << ... << parts);
@@ -45,3 +63,24 @@ class Logger {
 };
 
 }  // namespace lossburst::util
+
+/// Level check happens BEFORE the arguments are evaluated: when the level is
+/// disabled, `__VA_ARGS__` is never executed (unlike Logger::log, where the
+/// caller pays for argument construction regardless).
+#define LOSSBURST_LOG(logger, level, ...)                       \
+  do {                                                          \
+    if (::lossburst::util::log_level_enabled(level)) {          \
+      (logger).log(level, __VA_ARGS__);                         \
+    }                                                           \
+  } while (0)
+
+#define LOSSBURST_LOG_TRACE(logger, ...) \
+  LOSSBURST_LOG(logger, ::lossburst::util::LogLevel::kTrace, __VA_ARGS__)
+#define LOSSBURST_LOG_DEBUG(logger, ...) \
+  LOSSBURST_LOG(logger, ::lossburst::util::LogLevel::kDebug, __VA_ARGS__)
+#define LOSSBURST_LOG_INFO(logger, ...) \
+  LOSSBURST_LOG(logger, ::lossburst::util::LogLevel::kInfo, __VA_ARGS__)
+#define LOSSBURST_LOG_WARN(logger, ...) \
+  LOSSBURST_LOG(logger, ::lossburst::util::LogLevel::kWarn, __VA_ARGS__)
+#define LOSSBURST_LOG_ERROR(logger, ...) \
+  LOSSBURST_LOG(logger, ::lossburst::util::LogLevel::kError, __VA_ARGS__)
