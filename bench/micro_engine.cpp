@@ -22,6 +22,14 @@
 // Global allocation counter: every operator new in this binary bumps it, so
 // benchmarks can assert (as a reported counter) that the engine's hot path
 // is allocation-free in steady state.
+//
+// The replacements below are matched pairs (malloc-backed new, free-backed
+// delete), but gcc's -Wmismatched-new-delete reasons about the *default*
+// operator new when it sees inlined callers in this TU and flags every
+// free() — a false positive specific to allocation-replacing TUs.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace

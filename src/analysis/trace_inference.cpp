@@ -1,7 +1,7 @@
 #include "analysis/trace_inference.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
 
 #include "analysis/loss_intervals.hpp"
 
@@ -12,19 +12,26 @@ InferredLosses infer_losses_from_tx_trace(const std::vector<double>& times_s,
   InferredLosses out;
   const std::size_t n = std::min(times_s.size(), seqs.size());
 
-  // First transmission time per sequence; a repeat marks the original lost.
-  std::unordered_map<std::uint64_t, double> first_tx;
-  std::unordered_map<std::uint64_t, bool> counted;
-  first_tx.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto [it, inserted] = first_tx.try_emplace(seqs[i], times_s[i]);
-    if (inserted) continue;
-    ++out.retransmissions;
-    if (!counted[seqs[i]]) {
-      counted[seqs[i]] = true;
+  // Group transmissions by sequence number via a stable sort of trace
+  // indices — deterministic by construction, unlike a hash map, whose
+  // iteration order depends on reserve size and standard-library version
+  // (DESIGN.md §9). Within a group the original trace order is preserved,
+  // so the group's first entry is the first transmission; any repeat marks
+  // that original as lost.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&seqs](std::uint32_t a, std::uint32_t b) { return seqs[a] < seqs[b]; });
+
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i + 1;
+    while (j < n && seqs[order[j]] == seqs[order[i]]) ++j;
+    if (j - i > 1) {
+      out.retransmissions += j - i - 1;
       ++out.inferred_count;
-      out.loss_times_s.push_back(it->second);
+      out.loss_times_s.push_back(times_s[order[i]]);
     }
+    i = j;
   }
   std::sort(out.loss_times_s.begin(), out.loss_times_s.end());
   return out;

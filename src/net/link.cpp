@@ -59,6 +59,12 @@ void Link::register_observability(obs::Telemetry& telemetry) {
           queue_.get(), this);
 }
 
+void Link::debug_append_handles(std::vector<PacketHandle>& out) const {
+  queue_->debug_append_handles(out);
+  if (!tx_head_.null()) out.push_back(tx_head_);
+  for (std::size_t i = 0; i < flight_.size(); ++i) out.push_back(flight_[i].h);
+}
+
 Duration Link::tx_time(std::uint32_t bytes) const {
   if (bytes <= mul_safe_bytes_) {
     const std::uint64_t prod = tx_per_byte_ * bytes;

@@ -55,6 +55,11 @@ class Link {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
 
+  /// Debug conservation support (DESIGN.md §9): append every handle the
+  /// link currently owns — queued, serializing, and in flight — in
+  /// deterministic order. Used by the Network teardown leak check.
+  void debug_append_handles(std::vector<PacketHandle>& out) const;
+
   /// Optional per-packet processing-time overhead, sampled before
   /// serialization. Used by the Dummynet emulation model to inject the
   /// scheduling noise a software router adds; nullptr (default) = ideal

@@ -1,10 +1,57 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "util/invariant.hpp"
+#include "util/log.hpp"
 
 namespace lossburst::net {
+
+void Network::debug_check_conservation() const {
+#if LOSSBURST_INVARIANTS_ENABLED
+  std::vector<PacketHandle> held;
+  for (const auto& link : links_) link->debug_append_handles(held);
+  std::vector<std::uint32_t> held_idx;
+  held_idx.reserve(held.size());
+  for (const PacketHandle h : held) held_idx.push_back(h.idx);
+  std::sort(held_idx.begin(), held_idx.end());
+
+  const util::Logger log("net.pool");
+  std::size_t leaked = 0;
+  pool_.for_each_live([&](PacketHandle h, const Packet& p) {
+    if (std::binary_search(held_idx.begin(), held_idx.end(), h.idx)) return;
+    ++leaked;
+    std::string attribution = "no flight-recorder attribution (telemetry off)";
+    if (telemetry_ != nullptr) {
+      // Scan the recorder ring newest-first for this packet's last sighting.
+      const obs::FlightRecorder& rec = telemetry_->recorder();
+      const std::uint64_t id = obs::pack_packet(p.flow, p.seq);
+      attribution = "no flight-recorder record (ring wrapped or masked)";
+      for (std::size_t i = rec.size(); i-- > 0;) {
+        const obs::TraceRecord& r = rec.at(i);
+        const auto kind = static_cast<obs::RecordKind>(r.kind);
+        if (r.a != id || kind == obs::RecordKind::kEventDispatch ||
+            kind == obs::RecordKind::kCwnd) {
+          continue;
+        }
+        attribution = "last seen: kind=" + std::to_string(r.kind) + " track='" +
+                      rec.track_names()[r.track] + "' t=" + std::to_string(r.t_ns) + "ns";
+        break;
+      }
+    }
+    LOSSBURST_LOG_ERROR(log, "leaked packet slot ", h.idx, " flow=", p.flow,
+                        " seq=", p.seq, " hop=", p.hop, " — ", attribution);
+  });
+  LOSSBURST_INVARIANT(leaked == 0,
+                      "PacketPool conservation violated: live packets not held by any "
+                      "link at Network teardown (leak report above)");
+#endif
+}
 
 std::unique_ptr<Queue> make_queue(QueueKind kind, std::size_t capacity_pkts, util::Rng rng,
                                   Duration ecn_mark_window, RedTuning red) {

@@ -41,8 +41,17 @@ class Network {
   }
 
   ~Network() {
+    if (util::kInvariantsEnabled) debug_check_conservation();
     if (telemetry_ != nullptr) telemetry_->registry().release(this);
   }
+
+  /// Packet conservation (DESIGN.md §9): every live pool slot must be held
+  /// by some link (queued, serializing, or in flight). Anything else is a
+  /// leaked handle; the check reports each leaked packet — attributed via
+  /// the flight recorder when telemetry is on — then trips an invariant.
+  /// Runs automatically at teardown in instrumented builds; tests may call
+  /// it at any quiescent point.
+  void debug_check_conservation() const;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;

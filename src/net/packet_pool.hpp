@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "util/invariant.hpp"
 
 namespace lossburst::net {
 
@@ -49,6 +50,7 @@ class PacketPool {
       free_.pop_back();
     } else {
       if (count_ % kChunkSlots == 0) {
+        // lossburst-lint: allow(datapath-alloc): slab growth; stops at the high-water mark
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
       }
       idx = count_++;
@@ -74,11 +76,11 @@ class PacketPool {
   }
 
   [[nodiscard]] Packet& operator[](PacketHandle h) {
-    assert(valid(h));
+    LOSSBURST_INVARIANT(valid(h), "dereference of a stale or corrupted PacketHandle");
     return slot(h.idx).pkt;
   }
   [[nodiscard]] const Packet& operator[](PacketHandle h) const {
-    assert(valid(h));
+    LOSSBURST_INVARIANT(valid(h), "dereference of a stale or corrupted PacketHandle");
     return slot(h.idx).pkt;
   }
 
@@ -90,7 +92,8 @@ class PacketPool {
   /// Return the slot (and any attached options) to the free lists. The
   /// generation bump invalidates every outstanding copy of `h`.
   void release(PacketHandle h) {
-    assert(valid(h));
+    LOSSBURST_INVARIANT(valid(h),
+                        "release of a stale or corrupted PacketHandle (double free?)");
     Slot& s = slot(h.idx);
     if (s.pkt.opt != kNoOptions) {
       opt_free_.push_back(s.pkt.opt);
@@ -110,6 +113,7 @@ class PacketPool {
         opt_free_.pop_back();
       } else {
         if (opt_count_ % kChunkSlots == 0) {
+          // lossburst-lint: allow(datapath-alloc): side-table growth; stops at the high-water mark
           opt_chunks_.push_back(std::make_unique<PacketOptions[]>(kChunkSlots));
         }
         pkt.opt = opt_count_++;
@@ -128,6 +132,17 @@ class PacketPool {
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
   [[nodiscard]] std::size_t opt_live() const { return opt_count_ - opt_free_.size(); }
   [[nodiscard]] std::size_t opt_high_water() const { return opt_high_water_; }
+
+  /// Visit every live packet in slot-index order (deterministic — never
+  /// hash order). Debug tooling only: the conservation check and leak
+  /// report (DESIGN.md §9) use it at experiment teardown.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      const Slot& s = slot(i);
+      if (s.live) fn(PacketHandle{i, s.gen}, s.pkt);
+    }
+  }
 
  private:
   struct Slot {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/invariant.hpp"
+
 namespace lossburst::net {
 
 // ---------------------------------------------------------------- DropTail
@@ -15,6 +17,8 @@ bool DropTailQueue::enqueue(PacketHandle h) {
   const Packet& p = pkt(h);
   bytes_ += p.size_bytes;
   q_.push_back(h);
+  LOSSBURST_INVARIANT(q_.size() <= capacity_,
+                      "DropTail occupancy exceeds its configured capacity");
   report_enqueue(p, q_.size());
   return true;
 }
@@ -22,6 +26,8 @@ bool DropTailQueue::enqueue(PacketHandle h) {
 PacketHandle DropTailQueue::dequeue() {
   assert(!q_.empty());
   const PacketHandle h = q_.pop_front();
+  LOSSBURST_INVARIANT(bytes_ >= pkt(h).size_bytes,
+                      "DropTail byte accounting underflow");
   bytes_ -= pkt(h).size_bytes;
   report_dequeue(pkt(h), q_.size());
   return h;
@@ -88,6 +94,8 @@ bool RedQueue::enqueue(PacketHandle h) {
 
   bytes_ += p.size_bytes;
   q_.push_back(h);
+  LOSSBURST_INVARIANT(q_.size() <= params_.capacity_pkts,
+                      "RED occupancy exceeds its configured capacity");
   report_enqueue(p, q_.size());
   return true;
 }
@@ -95,6 +103,7 @@ bool RedQueue::enqueue(PacketHandle h) {
 PacketHandle RedQueue::dequeue() {
   assert(!q_.empty());
   const PacketHandle h = q_.pop_front();
+  LOSSBURST_INVARIANT(bytes_ >= pkt(h).size_bytes, "RED byte accounting underflow");
   bytes_ -= pkt(h).size_bytes;
   report_dequeue(pkt(h), q_.size());
   if (q_.empty()) {
@@ -121,6 +130,8 @@ bool PersistentEcnQueue::enqueue(PacketHandle h) {
   }
   bytes_ += p.size_bytes;
   q_.push_back(h);
+  LOSSBURST_INVARIANT(q_.size() <= capacity_,
+                      "PersistentEcn occupancy exceeds its configured capacity");
   report_enqueue(p, q_.size());
   return true;
 }

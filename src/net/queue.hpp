@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
@@ -65,7 +66,17 @@ class Queue {
   /// when telemetry is attached; 0 = engine track, effectively untracked).
   void set_obs_track(std::uint16_t track) { obs_track_ = track; }
 
+  /// Debug conservation support (DESIGN.md §9): append every handle the
+  /// queue currently holds, in FIFO order. Used by the Network teardown
+  /// leak check; not a datapath call.
+  virtual void debug_append_handles(std::vector<PacketHandle>& out) const = 0;
+
  protected:
+  /// Shared implementation of debug_append_handles for ring-backed queues.
+  static void append_ring(const util::RingBuffer<PacketHandle>& ring,
+                          std::vector<PacketHandle>& out) {
+    for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring[i]);
+  }
   [[nodiscard]] TimePoint now() const {
     return sim_ ? sim_->now() : TimePoint::zero();
   }
@@ -131,6 +142,9 @@ class DropTailQueue final : public Queue {
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void debug_append_handles(std::vector<PacketHandle>& out) const override {
+    append_ring(q_, out);
+  }
 
  private:
   std::size_t capacity_;
@@ -161,6 +175,9 @@ class RedQueue final : public Queue {
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
+  void debug_append_handles(std::vector<PacketHandle>& out) const override {
+    append_ring(q_, out);
+  }
 
   [[nodiscard]] double avg_queue() const { return avg_; }
 
@@ -193,6 +210,9 @@ class PersistentEcnQueue final : public Queue {
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
+  void debug_append_handles(std::vector<PacketHandle>& out) const override {
+    append_ring(q_, out);
+  }
 
   [[nodiscard]] TimePoint marking_until() const { return mark_until_; }
 

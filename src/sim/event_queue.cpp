@@ -74,7 +74,28 @@ void EventQueue::cancel_handle(std::uint32_t id, std::uint32_t gen) {
   // Cancel-heavy churn (e.g. per-ACK RTO rescheduling) can fill the heap
   // with stale entries faster than the head drains; compact in place when
   // garbage dominates so memory stays bounded and allocation-free.
-  if (heap_.size() >= 64 && heap_.size() > 4 * live_) compact_heap();
+  if (heap_.size() >= 64 && heap_.size() > 4 * live_) {
+    compact_heap();
+    debug_validate();  // compaction rebuilt the heap; re-check its shape
+  }
+}
+
+void EventQueue::debug_validate() const {
+#if LOSSBURST_INVARIANTS_ENABLED
+  std::size_t live_entries = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const HeapEntry& e = heap_[i];
+    if (i > 0) {
+      const HeapEntry& parent = heap_[(i - 1) / kArity];
+      LOSSBURST_INVARIANT(!e.before(parent),
+                          "event heap shape violated: child orders before its parent");
+    }
+    if (slot_gen(e.slot) == e.gen) ++live_entries;
+  }
+  LOSSBURST_INVARIANT(live_entries == live_,
+                      "event count conservation violated: live heap entries "
+                      "disagree with the live-event counter");
+#endif
 }
 
 void EventQueue::compact_heap() {
@@ -95,6 +116,14 @@ TimePoint EventQueue::pop_and_run() {
   assert(live_ > 0);
   drop_stale_heads();
   const HeapEntry e = heap_.front();
+#if LOSSBURST_INVARIANTS_ENABLED
+  // Dispatch must be time-monotone: a head earlier than the previous pop
+  // means an event was scheduled into the simulated past (or the heap was
+  // corrupted) — either way determinism is gone.
+  LOSSBURST_INVARIANT(e.at_ns >= last_pop_ns_,
+                      "event dispatch went backwards in simulated time");
+  last_pop_ns_ = e.at_ns;
+#endif
   pop_heap_entry();
   // Relocate the callback onto the stack and recycle the slot *before*
   // invoking: the callback may schedule new events (growing the slab) or

@@ -30,6 +30,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "obs/tags.hpp"
+#include "util/invariant.hpp"
 #include "util/time.hpp"
 
 namespace lossburst::sim {
@@ -107,6 +109,7 @@ class SlotPool {
       return idx;
     }
     if (count_ % kChunkSlots == 0) {
+      // lossburst-lint: allow(datapath-alloc): slab growth; stops at the high-water mark
       chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
     }
     return count_++;
@@ -118,6 +121,9 @@ class SlotPool {
     ++s.gen;
     free_.push_back(idx);
   }
+
+  /// Slots ever created (valid ids are < size()).
+  [[nodiscard]] std::uint32_t size() const { return count_; }
 
  private:
   std::vector<std::unique_ptr<Slot[]>> chunks_;
@@ -237,6 +243,13 @@ class EventQueue {
   /// Tag of the most recently dispatched event (valid after pop_and_run).
   [[nodiscard]] obs::EventTag last_dispatch_tag() const { return last_tag_; }
 
+  /// Debug invariant sweep (DESIGN.md §9): full heap-shape validation
+  /// (every parent orders before its children), live-count conservation
+  /// (non-stale heap entries == live()), and slot-id range checks. O(n); a
+  /// no-op in release builds. Tests call it between operations; cancel()
+  /// also runs it after in-place compaction (rare).
+  void debug_validate() const;
+
  private:
   friend class EventHandle;
 
@@ -256,11 +269,20 @@ class EventQueue {
   };
 
   [[nodiscard]] std::uint32_t slot_gen(std::uint32_t id) const {
+    LOSSBURST_INVARIANT(((id & kLargePoolBit) != 0 ? (id & ~kLargePoolBit) < large_.size()
+                                                   : id < small_.size()),
+                        "event slot id out of range: the handle was corrupted or "
+                        "belongs to a different EventQueue");
     return (id & kLargePoolBit) != 0 ? large_.slot(id & ~kLargePoolBit).gen
                                      : small_.slot(id).gen;
   }
 
   [[nodiscard]] bool handle_pending(std::uint32_t id, std::uint32_t gen) const {
+    // A real handle's generation can only trail the slot's (the slot bumps
+    // on every fire/cancel); a generation from the future is corruption.
+    LOSSBURST_INVARIANT(gen <= slot_gen(id),
+                        "event handle generation exceeds its slot's: the handle "
+                        "was corrupted");
     return slot_gen(id) == gen;
   }
 
@@ -284,6 +306,11 @@ class EventQueue {
   std::uint64_t cancelled_ = 0;
   std::size_t heap_high_water_ = 0;
   obs::EventTag last_tag_ = obs::EventTag::kGeneric;
+#if LOSSBURST_INVARIANTS_ENABLED
+  // Dispatch-order watermark for the time-monotonicity invariant; absent
+  // from release builds so the release layout is the uninstrumented one.
+  std::int64_t last_pop_ns_ = std::numeric_limits<std::int64_t>::min();
+#endif
 };
 
 inline bool EventHandle::pending() const {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/invariant.hpp"
+
 namespace lossburst::sim {
 
 std::uint64_t Simulator::run_until(TimePoint until) {
@@ -11,6 +13,7 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   while (!queue_.empty()) {
     const TimePoint t = queue_.next_time();
     if (t > until) break;
+    LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
     now_ = t;
     queue_.pop_and_run();
     ++ran;
@@ -28,6 +31,13 @@ std::uint64_t Simulator::run_until(TimePoint until) {
 // branches at all. The profiler/recorder gates are resolved once per call;
 // toggling them mid-run takes effect at the next run_until.
 std::uint64_t Simulator::run_until_observed(TimePoint until) {
+  // Wall-clock audit (DESIGN.md §9): this is the only steady_clock use in
+  // the simulation core. The measured interval brackets pop_and_run and
+  // flows *only* into LoopProfiler::record — never into now_, the event
+  // queue, or an RNG — so host load cannot perturb simulated results. The
+  // flight recorder below stamps records with simulated time `t` for the
+  // same reason.
+  // lossburst-lint: allow(wall-clock): loop profiler measures host time per event; results see only simulated time
   using Clock = std::chrono::steady_clock;
   obs::LoopProfiler* prof = telemetry_->profiler();
   obs::FlightRecorder* rec =
@@ -37,6 +47,7 @@ std::uint64_t Simulator::run_until_observed(TimePoint until) {
   while (!queue_.empty()) {
     const TimePoint t = queue_.next_time();
     if (t > until) break;
+    LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
     now_ = t;
     if (prof != nullptr) {
       const Clock::time_point start = Clock::now();
@@ -47,6 +58,8 @@ std::uint64_t Simulator::run_until_observed(TimePoint until) {
     } else {
       queue_.pop_and_run();
     }
+    LOSSBURST_INVARIANT(now_ == t,
+                        "profiler instrumentation must not advance the simulated clock");
     if (rec != nullptr) {
       rec->record(obs::RecordKind::kEventDispatch, t.ns(), 0,
                   static_cast<std::uint64_t>(queue_.last_dispatch_tag()), 0);

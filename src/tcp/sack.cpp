@@ -2,9 +2,50 @@
 
 #include <algorithm>
 
+#include "util/invariant.hpp"
+
 namespace lossburst::tcp {
 
+void SackScoreboard::debug_validate([[maybe_unused]] net::SeqNum snd_una,
+                                    [[maybe_unused]] net::SeqNum snd_next) const {
+#if LOSSBURST_INVARIANTS_ENABLED
+  LOSSBURST_INVARIANT(pipe_ >= 0, "SACK pipe went negative");
+  // Each original transmission contributes at most one to pipe, each
+  // retransmission in flight one more. debug_overcount_ covers a post-RTO
+  // corner where pipe permanently over-counts by one: a stale old-flight
+  // SACK block decrements pipe for a segment it never counted (the clamp
+  // absorbs it elsewhere), and the go-back-N re-send of that already-SACKed
+  // sequence then increments pipe with no matching decrement — on_sack_block
+  // is a no-op for it and on_cumack sees was_sacked. The phantom outlives
+  // the sequence's retirement, so it is tracked at birth (on_transmit of an
+  // already-SACKed seq) rather than bounded by any current set size.
+  LOSSBURST_INVARIANT(
+      pipe_ <= static_cast<std::int64_t>(snd_next - snd_una) +
+                   static_cast<std::int64_t>(rtx_in_flight_.size()) +
+                   debug_overcount_,
+      "SACK pipe exceeds outstanding data plus retransmissions in flight");
+  const auto confined = [&](const std::set<net::SeqNum>& s) {
+    return s.empty() || (*s.begin() >= snd_una && *s.rbegin() < snd_next);
+  };
+  LOSSBURST_INVARIANT(confined(sacked_),
+                      "SACKed sequence outside [snd_una, snd_next)");
+  LOSSBURST_INVARIANT(confined(declared_lost_),
+                      "lost-declared sequence outside [snd_una, snd_next)");
+  LOSSBURST_INVARIANT(confined(rtx_in_flight_),
+                      "retransmit-in-flight sequence outside [snd_una, snd_next)");
+  for (const net::SeqNum s : declared_lost_) {
+    LOSSBURST_INVARIANT(!sacked_.contains(s),
+                        "scoreboard marks the same segment both SACKed and lost");
+  }
+#endif
+}
+
 void SackScoreboard::on_transmit(net::SeqNum seq, bool retransmit) {
+#if LOSSBURST_INVARIANTS_ENABLED
+  // Phantom birth (see debug_validate): sending a sequence the scoreboard
+  // already holds as SACKed means this pipe increment can never be paid back.
+  if (sacked_.contains(seq)) ++debug_overcount_;
+#endif
   ++pipe_;
   if (retransmit) rtx_in_flight_.insert(seq);
 }
@@ -73,6 +114,9 @@ void SackScoreboard::reset() {
   declared_lost_.clear();
   rtx_in_flight_.clear();
   pipe_ = 0;
+#if LOSSBURST_INVARIANTS_ENABLED
+  debug_overcount_ = 0;
+#endif
 }
 
 }  // namespace lossburst::tcp

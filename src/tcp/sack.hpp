@@ -16,6 +16,7 @@
 #include <set>
 
 #include "net/packet.hpp"
+#include "util/invariant.hpp"
 
 namespace lossburst::tcp {
 
@@ -55,6 +56,12 @@ class SackScoreboard {
   /// Full reset (RTO: flight information is no longer trustworthy).
   void reset();
 
+  /// Debug invariant sweep (DESIGN.md §9): scoreboard sets confined to
+  /// [snd_una, snd_next), lost/sacked disjoint, pipe within its accounting
+  /// bounds. A no-op in release builds; the sender runs it per ACK in
+  /// instrumented builds.
+  void debug_validate(net::SeqNum snd_una, net::SeqNum snd_next) const;
+
  private:
   /// Threshold below which unsacked segments are considered lost: the
   /// kDupThresh-th highest SACKed sequence.
@@ -64,6 +71,15 @@ class SackScoreboard {
   std::set<net::SeqNum> declared_lost_;  ///< lost, pipe already decremented
   std::set<net::SeqNum> rtx_in_flight_;  ///< retransmissions not yet acked
   std::int64_t pipe_ = 0;
+#if LOSSBURST_INVARIANTS_ENABLED
+  /// Debug-only shadow count of pipe's known phantom units: a re-send of an
+  /// already-SACKed sequence (post-RTO go-back-N crossing a stale old-flight
+  /// SACK block) increments pipe with no future decrement — on_sack_block's
+  /// insert is a no-op and on_cumack sees was_sacked. Tracking births keeps
+  /// debug_validate's upper bound exact instead of guessing slack. Absent
+  /// from release builds, so the release layout is the uninstrumented one.
+  std::int64_t debug_overcount_ = 0;
+#endif
 };
 
 }  // namespace lossburst::tcp

@@ -7,11 +7,38 @@
 #include <string>
 
 #include "net/link.hpp"
+#include "util/invariant.hpp"
 
 namespace lossburst::tcp {
 
 using util::Duration;
 using util::TimePoint;
+
+// State-machine sanity (DESIGN.md §9), checked after every ACK in
+// instrumented builds. The window bound allows the dup-ACK inflation of
+// fast recovery (up to one segment per ACK of the pre-recovery flight) on
+// top of the configured maximum.
+void TcpSender::debug_check_state() const {
+  LOSSBURST_INVARIANT(snd_una_ <= snd_next_,
+                      "TCP send cursor fell behind the cumulative ACK point");
+  LOSSBURST_INVARIANT(cwnd_ >= 1.0, "TCP cwnd collapsed below one segment");
+  if (params_.variant != CcVariant::kVegas) {
+    // (Vegas exempt: its once-per-RTT +1 probe is not clamped to max_cwnd;
+    // the emission gate clamps the effective window instead.)
+    LOSSBURST_INVARIANT(
+        cwnd_ <= params_.max_cwnd + static_cast<double>(flight_at_recovery_) + 3.0,
+        "TCP cwnd exceeds max_cwnd plus the recovery inflation allowance");
+  }
+  LOSSBURST_INVARIANT(ssthresh_ >= std::min(2.0, params_.initial_ssthresh),
+                      "TCP ssthresh fell below two segments");
+  LOSSBURST_INVARIANT(!completed_ || outstanding() == 0 || params_.total_segments == 0,
+                      "TCP transfer completed with segments still outstanding");
+  if (params_.sack_enabled) {
+    // recover_ tracks the highest sequence sent before the last reset, so
+    // max(snd_next_, recover_) bounds every sequence the receiver can SACK.
+    sack_.debug_validate(snd_una_, std::max(snd_next_, recover_));
+  }
+}
 
 TcpSender::TcpSender(sim::Simulator& sim, FlowId flow, Params params)
     : sim_(sim), flow_(flow), params_(params),
@@ -172,6 +199,7 @@ void TcpSender::receive(const Packet& pkt, const net::PacketOptions* opt) {
 
   if (params_.sack_enabled) {
     sack_process(pkt, opt);
+    if (util::kInvariantsEnabled) debug_check_state();
     return;
   }
 
@@ -180,6 +208,7 @@ void TcpSender::receive(const Packet& pkt, const net::PacketOptions* opt) {
   } else if (pkt.ack_seq == snd_una_ && outstanding() > 0) {
     on_dup_ack(pkt);
   }
+  if (util::kInvariantsEnabled) debug_check_state();
 }
 
 void TcpSender::sack_process(const Packet& ack, const net::PacketOptions* opt) {

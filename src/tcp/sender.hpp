@@ -144,6 +144,7 @@ class TcpSender final : public net::Endpoint {
   void complete();
   void register_observability(obs::Telemetry& telemetry);
   void obs_cwnd();  ///< flight-recorder record at every cwnd change
+  void debug_check_state() const;  ///< invariant sweep (DESIGN.md §9); no-op in release
 
   sim::Simulator& sim_;
   FlowId flow_;

@@ -1,0 +1,20 @@
+#include "util/invariant.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lossburst::util {
+
+[[noreturn]] void invariant_failure(const char* expr, const char* file, int line,
+                                    const char* func, const char* msg) {
+  // The invariant handler is the one place allowed to write to stderr
+  // directly: it runs immediately before abort(), possibly with the logger
+  // in an arbitrary state.
+  // lossburst-lint: allow(raw-stream): last-words diagnostic immediately before abort()
+  std::fprintf(stderr, "invariant violated: %s\n  at %s:%d in %s\n  %s\n", expr, file,
+               line, func, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lossburst::util

@@ -1,0 +1,53 @@
+// Debug invariant layer (DESIGN.md §9).
+//
+// LOSSBURST_INVARIANT(cond, msg) checks engine invariants that are too
+// expensive — or too paranoid — for release builds: event-time
+// monotonicity, handle-generation validity, packet conservation, queue
+// occupancy bounds, TCP state-machine sanity. In instrumented builds a
+// failed invariant prints the condition, location, and message to stderr
+// and aborts (so sanitizer jobs and gtest death tests catch it). In
+// release builds the macro compiles to an unevaluated-operand no-op: zero
+// code, zero branches — the zero-allocation bench gate runs the exact
+// uninstrumented hot paths.
+//
+// Enablement: the build system defines LOSSBURST_INVARIANTS_ENABLED (CMake
+// option LOSSBURST_INVARIANTS, default AUTO = on for every build type
+// except Release/MinSizeRel). Without a build-system definition it follows
+// NDEBUG, so ad-hoc debug compiles get checking for free.
+#pragma once
+
+#ifndef LOSSBURST_INVARIANTS_ENABLED
+#ifdef NDEBUG
+#define LOSSBURST_INVARIANTS_ENABLED 0
+#else
+#define LOSSBURST_INVARIANTS_ENABLED 1
+#endif
+#endif
+
+namespace lossburst::util {
+
+/// True in builds where LOSSBURST_INVARIANT expands to a real check. Tests
+/// use this to skip (rather than fail) death tests in release builds.
+inline constexpr bool kInvariantsEnabled = LOSSBURST_INVARIANTS_ENABLED != 0;
+
+/// Prints "invariant violated: <expr> ... <msg>" to stderr and aborts.
+/// Out-of-line so the check's fast path inlines to a single predictable
+/// branch.
+[[noreturn]] void invariant_failure(const char* expr, const char* file, int line,
+                                    const char* func, const char* msg);
+
+}  // namespace lossburst::util
+
+#if LOSSBURST_INVARIANTS_ENABLED
+#define LOSSBURST_INVARIANT(cond, msg)                                              \
+  do {                                                                              \
+    if (!(cond)) [[unlikely]] {                                                     \
+      ::lossburst::util::invariant_failure(#cond, __FILE__, __LINE__, __func__,     \
+                                           msg);                                    \
+    }                                                                               \
+  } while (0)
+#else
+// sizeof keeps `cond` syntactically checked and its operands "used" (no
+// -Wunused warnings in release) without evaluating or emitting anything.
+#define LOSSBURST_INVARIANT(cond, msg) ((void)sizeof(!(cond)))
+#endif

@@ -38,6 +38,7 @@ std::string_view to_string(LogLevel level);
 
 class Logger {
  public:
+  // lossburst-lint: allow(raw-stream): the Logger itself is the sanctioned sink for stderr
   explicit Logger(std::string component, std::ostream& out = std::cerr)
       : component_(std::move(component)), out_(&out) {}
 

@@ -1,0 +1,160 @@
+// Death tests for the debug invariant layer (DESIGN.md §9): each corrupted
+// state must abort with a diagnostic in instrumented builds, and the macro
+// must compile to nothing (operands unevaluated) when invariants are off.
+//
+// The death tests GTEST_SKIP in uninstrumented (Release/MinSizeRel) builds:
+// there the same corruptions are deliberately unchecked — that is the
+// zero-overhead half of the contract, covered by InvariantMacroTest and the
+// bench-smoke allocation gate.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/network.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/invariant.hpp"
+
+namespace lossburst {
+namespace {
+
+using namespace util::literals;
+using util::Duration;
+using util::TimePoint;
+
+// Mirror of EventHandle's {queue*, slot, gen} layout, for forging corrupted
+// handles via std::bit_cast (legal: both sides are trivially copyable).
+struct HandleBits {
+  void* q;
+  std::uint32_t slot;
+  std::uint32_t gen;
+};
+static_assert(sizeof(HandleBits) == sizeof(sim::EventHandle));
+
+#define SKIP_UNLESS_INSTRUMENTED()                                        \
+  if (!util::kInvariantsEnabled)                                          \
+  GTEST_SKIP() << "invariants compiled out in this build type "           \
+               << "(LOSSBURST_INVARIANTS_ENABLED=0)"
+
+TEST(InvariantMacroTest, ReleaseBuildDoesNotEvaluateOperands) {
+  if (util::kInvariantsEnabled) {
+    GTEST_SKIP() << "instrumented build: the macro is live here";
+  }
+  int evaluations = 0;
+  // In uninstrumented builds the condition sits under sizeof() — "used"
+  // for warning purposes, never executed. A live macro would abort (the
+  // condition is false once evaluated).
+  LOSSBURST_INVARIANT(++evaluations < 0, "must never evaluate");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(InvariantMacroTest, PassingConditionIsSilent) {
+  LOSSBURST_INVARIANT(2 + 2 == 4, "arithmetic still works");
+  SUCCEED();
+}
+
+TEST(EventQueueInvariantDeathTest, NonMonotoneDispatchAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  sim::EventQueue q;
+  (void)q.schedule(TimePoint::zero() + 100_ms, [] {});
+  (void)q.pop_and_run();
+  // Nothing stops a caller from scheduling into the past on a raw queue;
+  // the dispatch-order watermark must catch it at pop time.
+  (void)q.schedule(TimePoint::zero() + 50_ms, [] {});
+  EXPECT_DEATH((void)q.pop_and_run(), "went backwards");
+}
+
+TEST(EventQueueInvariantDeathTest, CorruptedHandleGenerationAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  sim::EventQueue q;
+  sim::EventHandle h = q.schedule(TimePoint::zero() + 1_ms, [] {});
+
+  // EventHandle is a trivially-copyable {queue*, slot, gen} token; corrupt
+  // the generation to one the slot has never issued (a real handle's can
+  // only trail the slot's).
+  auto bits = std::bit_cast<HandleBits>(h);
+  bits.gen += 7;
+  h = std::bit_cast<sim::EventHandle>(bits);
+  EXPECT_DEATH((void)h.pending(), "generation exceeds");
+}
+
+TEST(EventQueueInvariantDeathTest, OutOfRangeSlotIdAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  sim::EventQueue q;
+  sim::EventHandle h = q.schedule(TimePoint::zero() + 1_ms, [] {});
+  auto bits = std::bit_cast<HandleBits>(h);
+  bits.slot = 0x7fff'0000u;  // far beyond any pool this test grows
+  h = std::bit_cast<sim::EventHandle>(bits);
+  EXPECT_DEATH((void)h.pending(), "out of range");
+}
+
+TEST(SimulatorGuardTest, SchedulingIntoThePastThrows) {
+  // The Simulator rejects past scheduling at the API boundary in every
+  // build type; the EventQueue's dispatch-watermark invariant (death test
+  // above) is the debug backstop for callers that bypass this guard.
+  sim::Simulator sim(1);
+  bool checked = false;
+  sim.at(TimePoint::zero() + 10_ms, [&] {
+    checked = true;
+    EXPECT_THROW((void)sim.at(TimePoint::zero() + 5_ms, [] {}), std::logic_error);
+  });
+  (void)sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(PacketPoolInvariantDeathTest, DoubleReleaseAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  net::PacketPool pool;
+  const net::PacketHandle h = pool.acquire();
+  pool.release(h);
+  EXPECT_DEATH(pool.release(h), "double free");
+}
+
+TEST(PacketPoolInvariantDeathTest, StaleDereferenceAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  net::PacketPool pool;
+  const net::PacketHandle h = pool.acquire();
+  pool.release(h);
+  EXPECT_DEATH((void)pool[h], "stale or corrupted");
+}
+
+TEST(NetworkInvariantDeathTest, LeakedHandleAtTeardownAborts) {
+  SKIP_UNLESS_INSTRUMENTED();
+  EXPECT_DEATH(
+      {
+        sim::Simulator sim(1);
+        net::Network network(sim);
+        // Materialize a packet that no link ever holds, then let the
+        // Network destructor run the conservation sweep.
+        (void)network.pool().acquire();
+      },
+      "conservation violated");
+}
+
+TEST(NetworkInvariantTest, BalancedPoolTearsDownCleanly) {
+  sim::Simulator sim(1);
+  net::Network network(sim);
+  const net::PacketHandle h = network.pool().acquire();
+  network.pool().release(h);
+  network.debug_check_conservation();  // quiescent point: nothing live
+  SUCCEED();
+}
+
+TEST(EventQueueInvariantTest, DebugValidateCleanAcrossChurn) {
+  sim::EventQueue q;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(q.schedule(TimePoint::zero() + Duration::millis(200 - i), [] {}));
+  }
+  for (int i = 0; i < 200; i += 3) handles[static_cast<std::size_t>(i)].cancel();
+  q.debug_validate();
+  while (!q.empty()) (void)q.pop_and_run();
+  q.debug_validate();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lossburst

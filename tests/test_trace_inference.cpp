@@ -2,6 +2,8 @@
 // demonstration the paper's §2 methodology argument predicts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "analysis/trace_inference.hpp"
@@ -53,6 +55,62 @@ TEST(InferLossesTest, OutputSortedByTime) {
   const auto r = infer_losses_from_tx_trace({0.0, 0.1, 0.2, 0.9, 1.0}, {0, 1, 2, 2, 0});
   ASSERT_EQ(r.loss_times_s.size(), 2u);
   EXPECT_LT(r.loss_times_s[0], r.loss_times_s[1]);
+}
+
+TEST(InferLossesTest, DeterministicRegardlessOfContainerCapacity) {
+  // Regression for the unordered_map-based implementation, whose
+  // loss-time ordering could in principle follow hash-table iteration
+  // order — which libstdc++ is free to vary with reserve size or version.
+  // The inference must be a pure function of the trace: identical output
+  // for identical input regardless of input-vector capacity, and exactly
+  // what a reference std::map computation predicts.
+  std::vector<double> times;
+  std::vector<std::uint64_t> seqs;
+  std::uint64_t lcg = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    times.push_back(static_cast<double>(i) * 1e-3);
+    seqs.push_back((lcg >> 33) % 1500);  // plenty of repeats
+  }
+
+  // Reference: ordered map keyed by seq — hash-free by construction.
+  std::map<std::uint64_t, double> first_tx;
+  std::map<std::uint64_t, bool> counted;
+  InferredLosses expect;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    auto [it, inserted] = first_tx.try_emplace(seqs[i], times[i]);
+    if (inserted) continue;
+    ++expect.retransmissions;
+    if (!counted[seqs[i]]) {
+      counted[seqs[i]] = true;
+      ++expect.inferred_count;
+      expect.loss_times_s.push_back(it->second);
+    }
+  }
+  std::sort(expect.loss_times_s.begin(), expect.loss_times_s.end());
+
+  // Two input copies with wildly different capacities (the old failure
+  // mode: reserve size changed the hash table's bucket count and thus its
+  // iteration order).
+  std::vector<double> times_big;
+  std::vector<std::uint64_t> seqs_big;
+  times_big.reserve(1 << 16);
+  seqs_big.reserve(1 << 16);
+  times_big = times;
+  seqs_big = seqs;
+
+  const auto a = infer_losses_from_tx_trace(times, seqs);
+  const auto b = infer_losses_from_tx_trace(times_big, seqs_big);
+
+  EXPECT_EQ(a.inferred_count, expect.inferred_count);
+  EXPECT_EQ(a.retransmissions, expect.retransmissions);
+  ASSERT_EQ(a.loss_times_s.size(), expect.loss_times_s.size());
+  for (std::size_t i = 0; i < a.loss_times_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.loss_times_s[i], expect.loss_times_s[i]) << "index " << i;
+  }
+  EXPECT_EQ(b.inferred_count, a.inferred_count);
+  EXPECT_EQ(b.retransmissions, a.retransmissions);
+  EXPECT_EQ(b.loss_times_s, a.loss_times_s);
 }
 
 TEST(CompareInferenceTest, ComputesRatioAndFractions) {
