@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/burstiness_study.hpp"
+#include "fault/plan.hpp"
 #include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -78,6 +79,35 @@ inline obs::ObsConfig obs_config(int argc, char** argv, const std::string& prefi
     }
   }
   return cfg;
+}
+
+/// Parse the fault-injection flags shared by the fig benches:
+///   --fault-plan=FILE   impairment schedule (src/fault/plan.hpp format)
+///   --fault-seed=N      override the plan's RNG seed
+/// Returns false after printing the parser's line-numbered error; callers
+/// must exit non-zero without running (a bad plan never half-applies).
+inline bool fault_config(int argc, char** argv, fault::FaultPlan* out) {
+  std::string path;
+  bool have_seed = false;
+  std::uint64_t seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--fault-plan=", 0) == 0) {
+      path = arg.substr(13);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      have_seed = true;
+      seed = std::stoull(arg.substr(13));
+    }
+  }
+  if (path.empty()) return true;
+  const fault::PlanParseResult parsed = fault::parse_plan_file(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: bad fault plan: %s\n", parsed.error.c_str());
+    return false;
+  }
+  *out = parsed.plan;
+  if (have_seed) out->seed = seed;
+  return true;
 }
 
 inline void print_obs_artifacts(const obs::ObsConfig& cfg) {

@@ -20,9 +20,16 @@ int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
   const bool serial = bench::serial_mode(argc, argv);
   const obs::ObsConfig obs = bench::obs_config(argc, argv, "fig7_");
+  fault::FaultPlan fault_plan;
+  if (!bench::fault_config(argc, argv, &fault_plan)) return 2;
 
   bench::print_header("FIG7", "TCP Pacing (16) vs TCP NewReno (16), 100 Mbps, 50 ms",
                       "paced aggregate ~17% below NewReno aggregate");
+  if (!fault_plan.empty()) {
+    std::printf("fault plan active (%zu impaired link(s), seed %llu)\n",
+                fault_plan.links().size(),
+                static_cast<unsigned long long>(fault_plan.seed));
+  }
 
   // Plan: index 0 is the headline figure; the rest are the parameter sweep.
   struct PlanEntry {
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
     main_run.cfg.rtt = util::Duration::millis(50);
     main_run.cfg.duration = util::Duration::seconds(40);
     main_run.cfg.obs = obs;  // telemetry on the headline run only
+    main_run.cfg.fault = fault_plan;
     plan.push_back(main_run);
   }
   if (full) {

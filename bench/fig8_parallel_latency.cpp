@@ -22,9 +22,21 @@ int main(int argc, char** argv) {
   using namespace lossburst;
   const bool full = bench::full_mode(argc, argv);
   const bool serial = bench::serial_mode(argc, argv);
+  fault::FaultPlan fault_plan;
+  if (!bench::fault_config(argc, argv, &fault_plan)) return 2;
+  bool robust = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--robust") robust = true;
+  }
 
   bench::print_header("FIG8", "parallel-flow 64 MB transfer latency (normalized)",
                       "at 200 ms RTT latency spans ~2x-9x the lower bound, high variance");
+  if (!fault_plan.empty()) {
+    std::printf("fault plan active (%zu impaired link(s), seed %llu)%s\n",
+                fault_plan.links().size(),
+                static_cast<unsigned long long>(fault_plan.seed),
+                robust ? ", robust transfer" : "");
+  }
 
   const std::vector<std::size_t> flow_counts{2, 4, 8, 16, 32};
   const std::vector<int> rtts_ms{2, 10, 50, 200};
@@ -46,6 +58,8 @@ int main(int argc, char** argv) {
         run.cfg.rtt = util::Duration::millis(rtt_ms);
         run.cfg.total_bytes = 64ULL << 20;
         run.cfg.timeout = util::Duration::seconds(400);
+        run.cfg.fault = fault_plan;
+        run.cfg.robust = robust;
         run.point = points;
         plan.push_back(run);
       }

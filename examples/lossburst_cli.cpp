@@ -7,6 +7,11 @@
 //   lossburst_cli visibility --flows 16 [--paced]
 //   lossburst_cli shuffle --nodes 8 --chunk-kb 1024 [--sack]
 //   lossburst_cli campaign --paths 8 --duration 30
+//
+// dumbbell, competition, and transfer accept --fault-plan FILE (a fault-plan
+// text file, see src/fault/plan.hpp) and --fault-seed N (override the plan's
+// seed). transfer additionally accepts --robust (watchdog + retry +
+// re-striping). A malformed plan aborts before the experiment starts.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +21,7 @@
 
 #include "core/burstiness_study.hpp"
 #include "core/shuffle_experiment.hpp"
+#include "fault/plan.hpp"
 
 using namespace lossburst;
 
@@ -62,6 +68,30 @@ net::QueueKind parse_queue(const std::string& name) {
   return net::QueueKind::kDropTail;
 }
 
+/// Load --fault-plan / --fault-seed into `out`. Returns false (with the
+/// parser's line-numbered message on stderr) on a malformed plan; the caller
+/// must exit non-zero before any experiment work or artifact is produced.
+bool load_fault_plan(const Args& a, fault::FaultPlan* out) {
+  const std::string path = a.str("fault-plan", "");
+  if (path.empty()) {
+    if (a.kv.contains("fault-seed")) {
+      std::fprintf(stderr, "error: --fault-seed requires --fault-plan\n");
+      return false;
+    }
+    return true;
+  }
+  const fault::PlanParseResult parsed = fault::parse_plan_file(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: bad fault plan: %s\n", parsed.error.c_str());
+    return false;
+  }
+  *out = parsed.plan;
+  if (a.kv.contains("fault-seed")) {
+    out->seed = static_cast<std::uint64_t>(a.num("fault-seed", 0));
+  }
+  return true;
+}
+
 int cmd_dumbbell(const Args& a) {
   core::DumbbellExperimentConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(a.num("seed", 1));
@@ -74,11 +104,19 @@ int cmd_dumbbell(const Args& a) {
     cfg.emulate_dummynet = true;
     cfg.rtt_distribution = core::RttDistribution::kDummynetClasses;
   }
+  if (!load_fault_plan(a, &cfg.fault)) return 2;
   const auto r = core::run_dumbbell_experiment(cfg);
   std::printf("drops=%llu utilization=%.1f%% goodput=%.1fMbps mean_rtt=%.1fms\n",
               static_cast<unsigned long long>(r.total_drops),
               r.bottleneck_utilization * 100.0, r.aggregate_goodput_mbps,
               r.mean_rtt_s * 1e3);
+  if (!cfg.fault.empty()) {
+    std::printf("fault: gilbert_drops=%llu flap_drops=%llu corrupted=%llu duplicated=%llu\n",
+                static_cast<unsigned long long>(r.fault_totals.gilbert_drops),
+                static_cast<unsigned long long>(r.fault_totals.flap_drops),
+                static_cast<unsigned long long>(r.fault_totals.corrupted),
+                static_cast<unsigned long long>(r.fault_totals.duplicated));
+  }
   std::cout << core::summarize_burstiness(r.loss) << '\n'
             << core::render_loss_pdf_chart(r.loss, "inter-loss PDF");
   return 0;
@@ -94,6 +132,7 @@ int cmd_competition(const Args& a) {
   cfg.queue = parse_queue(a.str("queue", "droptail"));
   cfg.ecn = a.flag("ecn");
   cfg.sack = a.flag("sack");
+  if (!load_fault_plan(a, &cfg.fault)) return 2;
   const auto r = core::run_competition(cfg);
   std::printf("paced=%.1fMbps window=%.1fMbps deficit=%.1f%%\n", r.paced_mean_mbps,
               r.window_mean_mbps, r.paced_deficit * 100.0);
@@ -108,10 +147,15 @@ int cmd_transfer(const Args& a) {
   cfg.total_bytes = static_cast<std::uint64_t>(a.num("mb", 64)) << 20;
   if (a.flag("paced")) cfg.emission = tcp::EmissionMode::kPaced;
   cfg.sack = a.flag("sack");
+  cfg.robust = a.flag("robust");
+  if (!load_fault_plan(a, &cfg.fault)) return 2;
   const auto r = core::run_parallel_transfer(cfg);
   std::printf("latency=%.2fs bound=%.2fs normalized=%.2f flows_with_loss=%zu%s\n",
               r.latency_s, r.lower_bound_s, r.normalized_latency, r.flows_with_loss,
               r.all_completed ? "" : " (INCOMPLETE)");
+  if (cfg.robust) {
+    std::printf("robust: retries=%zu restripes=%zu\n", r.stripes_retried, r.restripes);
+  }
   return 0;
 }
 
@@ -161,18 +205,25 @@ int cmd_campaign(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  if (args.command == "dumbbell") return cmd_dumbbell(args);
-  if (args.command == "competition") return cmd_competition(args);
-  if (args.command == "transfer") return cmd_transfer(args);
-  if (args.command == "visibility") return cmd_visibility(args);
-  if (args.command == "shuffle") return cmd_shuffle(args);
-  if (args.command == "campaign") return cmd_campaign(args);
+  try {
+    if (args.command == "dumbbell") return cmd_dumbbell(args);
+    if (args.command == "competition") return cmd_competition(args);
+    if (args.command == "transfer") return cmd_transfer(args);
+    if (args.command == "visibility") return cmd_visibility(args);
+    if (args.command == "shuffle") return cmd_shuffle(args);
+    if (args.command == "campaign") return cmd_campaign(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   std::puts("usage: lossburst_cli <dumbbell|competition|transfer|visibility|shuffle|campaign>"
-            " [--key value ...] [--paced] [--sack] [--ecn] [--dummynet]");
+            " [--key value ...] [--paced] [--sack] [--ecn] [--dummynet]"
+            " [--fault-plan FILE] [--fault-seed N] [--robust]");
   std::puts("examples:");
   std::puts("  lossburst_cli dumbbell --flows 16 --duration 30 --queue red");
   std::puts("  lossburst_cli competition --paced 16 --window 16 --rtt-ms 50");
   std::puts("  lossburst_cli transfer --flows 8 --rtt-ms 200 --mb 64 --sack");
+  std::puts("  lossburst_cli transfer --robust --fault-plan chaos.plan --fault-seed 3");
   std::puts("  lossburst_cli shuffle --nodes 8 --chunk-kb 1024");
   return args.command.empty() ? 0 : 1;
 }

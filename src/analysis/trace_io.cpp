@@ -1,8 +1,10 @@
 #include "analysis/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 namespace lossburst::analysis {
@@ -43,12 +45,15 @@ void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>&
   }
 }
 
-bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops) {
-  // On failure the output vector is restored to its entry size: a malformed
-  // row never leaves earlier rows of the bad stream behind.
-  const std::size_t entry_size = drops.size();
+TraceReadStats read_drop_trace_csv_tolerant(std::istream& in,
+                                            std::vector<net::DropRecord>& drops) {
+  TraceReadStats stats;
   std::string line;
-  if (!std::getline(in, line)) return false;  // header
+  if (!std::getline(in, line)) return stats;  // missing header
+  stats.header_ok = true;
+  // Timestamps must be finite and non-decreasing relative to the last
+  // *accepted* row; a clock step backwards poisons only the stepped rows.
+  double last_time_s = -std::numeric_limits<double>::infinity();
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const char* p = line.data();
@@ -60,12 +65,26 @@ bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops) 
                     parse_number(p, end, rec.seq) && consume_comma(p, end) &&
                     parse_number(p, end, rec.size_bytes) && consume_comma(p, end) &&
                     parse_number(p, end, rec.queue_len);
-    if (!ok) {
-      drops.resize(entry_size);
-      return false;
+    if (!ok || !std::isfinite(time_s) || time_s < last_time_s) {
+      ++stats.malformed_rows;
+      continue;
     }
+    last_time_s = time_s;
     rec.time = util::TimePoint(static_cast<std::int64_t>(time_s * 1e9 + 0.5));
     drops.push_back(rec);
+    ++stats.rows_read;
+  }
+  return stats;
+}
+
+bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops) {
+  // On failure the output vector is restored to its entry size: a malformed
+  // row never leaves earlier rows of the bad stream behind.
+  const std::size_t entry_size = drops.size();
+  const TraceReadStats stats = read_drop_trace_csv_tolerant(in, drops);
+  if (!stats.header_ok || stats.malformed_rows > 0) {
+    drops.resize(entry_size);
+    return false;
   }
   return true;
 }
@@ -76,20 +95,35 @@ void write_loss_times_csv(std::ostream& out, const std::vector<double>& times_s)
   for (double t : times_s) out << t << '\n';
 }
 
-bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s) {
-  const std::size_t entry_size = times_s.size();
+TraceReadStats read_loss_times_csv_tolerant(std::istream& in,
+                                            std::vector<double>& times_s) {
+  TraceReadStats stats;
   std::string line;
-  if (!std::getline(in, line)) return false;  // header
+  if (!std::getline(in, line)) return stats;  // missing header
+  stats.header_ok = true;
+  double last_t = -std::numeric_limits<double>::infinity();
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const char* p = line.data();
     const char* const end = p + line.size();
     double t = 0.0;
-    if (!parse_number(p, end, t)) {
-      times_s.resize(entry_size);
-      return false;
+    if (!parse_number(p, end, t) || !std::isfinite(t) || t < last_t) {
+      ++stats.malformed_rows;
+      continue;
     }
+    last_t = t;
     times_s.push_back(t);
+    ++stats.rows_read;
+  }
+  return stats;
+}
+
+bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s) {
+  const std::size_t entry_size = times_s.size();
+  const TraceReadStats stats = read_loss_times_csv_tolerant(in, times_s);
+  if (!stats.header_ok || stats.malformed_rows > 0) {
+    times_s.resize(entry_size);
+    return false;
   }
   return true;
 }

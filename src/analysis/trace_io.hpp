@@ -4,6 +4,7 @@
 // analyze later) requires.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -12,15 +13,40 @@
 
 namespace lossburst::analysis {
 
+/// Row-level accounting for the tolerant readers. Real-world traces (the
+/// paper's were collected on PlanetLab over weeks) contain damage: truncated
+/// rows, NaN/inf timestamps from broken collectors, clock steps that run
+/// time backwards. The tolerant readers reject such rows individually —
+/// count them, keep the good rows, keep reading.
+struct TraceReadStats {
+  std::uint64_t rows_read = 0;       ///< rows accepted into the output
+  std::uint64_t malformed_rows = 0;  ///< rows rejected (parse failure, non-finite, time ran backwards)
+  bool header_ok = false;            ///< the stream had a header line
+
+  [[nodiscard]] double malformed_fraction() const {
+    const std::uint64_t total = rows_read + malformed_rows;
+    return total > 0 ? static_cast<double>(malformed_rows) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
 /// CSV columns: time_s,flow,seq,size_bytes,queue_len.
 void write_drop_trace_csv(std::ostream& out, const std::vector<net::DropRecord>& drops);
 
-/// Read a drop trace written by `write_drop_trace_csv`. Returns false on
-/// malformed input (partial rows already parsed are kept).
+/// Read a drop trace written by `write_drop_trace_csv`, strictly: returns
+/// false (restoring `drops` to its entry size) if the header is missing or
+/// any row is malformed. Use for trusted, simulator-written traces.
 bool read_drop_trace_csv(std::istream& in, std::vector<net::DropRecord>& drops);
+
+/// Tolerant variant for field traces: malformed rows (parse failures,
+/// non-finite values, non-monotonic timestamps) are counted and skipped;
+/// good rows are appended to `drops`.
+TraceReadStats read_drop_trace_csv_tolerant(std::istream& in,
+                                            std::vector<net::DropRecord>& drops);
 
 /// Convenience: drop timestamps only, one per row (header `time_s`).
 void write_loss_times_csv(std::ostream& out, const std::vector<double>& times_s);
 bool read_loss_times_csv(std::istream& in, std::vector<double>& times_s);
+TraceReadStats read_loss_times_csv_tolerant(std::istream& in, std::vector<double>& times_s);
 
 }  // namespace lossburst::analysis

@@ -8,6 +8,10 @@ namespace lossburst::analysis {
 ValidationResult validate_probe_pair(const ProbeTraceSummary& small_pkts,
                                      const ProbeTraceSummary& large_pkts,
                                      const ValidationPolicy& policy) {
+  if (small_pkts.malformed_fraction() > policy.max_malformed_fraction ||
+      large_pkts.malformed_fraction() > policy.max_malformed_fraction) {
+    return {false, "too many malformed trace rows"};
+  }
   if (small_pkts.lost < policy.min_losses || large_pkts.lost < policy.min_losses) {
     return {false, "too few losses to judge"};
   }

@@ -13,9 +13,17 @@ struct ProbeTraceSummary {
   std::size_t lost = 0;
   double frac_below_001_rtt = 0.0;
   double frac_below_1_rtt = 0.0;
+  /// Trace rows rejected while loading (see TraceReadStats): a damaged
+  /// recording can fake any loss pattern, so validation caps this.
+  std::size_t malformed_rows = 0;
 
   [[nodiscard]] double loss_rate() const {
     return sent > 0 ? static_cast<double>(lost) / static_cast<double>(sent) : 0.0;
+  }
+  [[nodiscard]] double malformed_fraction() const {
+    const std::size_t total = sent + malformed_rows;
+    return total > 0 ? static_cast<double>(malformed_rows) / static_cast<double>(total)
+                     : 0.0;
   }
 };
 
@@ -26,6 +34,8 @@ struct ValidationPolicy {
   double max_fraction_gap = 0.35;
   /// Paths with fewer losses than this in either run cannot be judged.
   std::size_t min_losses = 10;
+  /// Fraction of malformed rows beyond which a trace is untrustworthy.
+  double max_malformed_fraction = 0.01;
 };
 
 struct ValidationResult {

@@ -5,6 +5,7 @@
 
 #include "core/noise.hpp"
 #include "core/obs_session.hpp"
+#include "fault/injector.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
@@ -60,6 +61,11 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
   NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
                                    cfg.bottleneck_bps, rng.split(0x0f0));
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!cfg.fault.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(network, cfg.fault);
+  }
+
   obs_session.start_sampling(cfg.duration);
   sim.run_until(TimePoint::zero() + cfg.duration);
   obs_session.finish();
@@ -99,6 +105,7 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
     result.window_cong_events_per_flow =
         static_cast<double>(window_events) / static_cast<double>(cfg.window_flows);
   }
+  if (injector) result.fault_totals = injector->total();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "tcp/sender.hpp"
@@ -36,6 +37,9 @@ struct CompetitionConfig {
   bool sack = false;
   /// Telemetry (DESIGN.md §8): set obs.dir to export run artifacts.
   obs::ObsConfig obs{};
+  /// Fault plan (DESIGN.md §10): impairments keyed by link name; empty =
+  /// no fault layer attached.
+  fault::FaultPlan fault{};
 };
 
 struct CompetitionResult {
@@ -48,6 +52,7 @@ struct CompetitionResult {
   /// Mean congestion (loss/ECN) events seen per flow in each class.
   double paced_cong_events_per_flow = 0.0;
   double window_cong_events_per_flow = 0.0;
+  fault::FaultCounters fault_totals{};  ///< injected impairments, all links
 };
 
 CompetitionResult run_competition(const CompetitionConfig& cfg);

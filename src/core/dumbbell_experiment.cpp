@@ -5,6 +5,7 @@
 #include "core/noise.hpp"
 #include "core/obs_session.hpp"
 #include "emu/dummynet.hpp"
+#include "fault/injector.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
@@ -40,6 +41,14 @@ DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig&
 
   net::LossTrace trace;
   bell.bottleneck_fwd->queue().set_tracer(&trace);
+
+  // Fault layer: impairments scheduled up front, injected drops routed into
+  // the same loss trace the analysis reads (closed loop, DESIGN.md §10).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!cfg.fault.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(network, cfg.fault);
+    injector->set_drop_tracer(&trace);
+  }
 
   // ---- TCP flows.
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
@@ -92,6 +101,7 @@ DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig&
   for (const auto& f : flows) goodput_bytes += f->receiver().bytes_received();
   result.aggregate_goodput_mbps =
       static_cast<double>(goodput_bytes) * 8.0 / horizon_s / 1e6;
+  if (injector) result.fault_totals = injector->total();
   return result;
 }
 

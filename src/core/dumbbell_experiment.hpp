@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/loss_intervals.hpp"
+#include "fault/plan.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "tcp/sender.hpp"
@@ -47,6 +48,11 @@ struct DumbbellExperimentConfig {
   /// trace JSON for this run. Off (zero overhead beyond a few branches) when
   /// dir is empty.
   obs::ObsConfig obs{};
+
+  /// Fault plan (DESIGN.md §10): impairments to inject, keyed by link name
+  /// ("bottleneck.fwd" etc.). Injected drops merge into the same loss trace
+  /// the analysis consumes. Empty (default) = no fault layer attached.
+  fault::FaultPlan fault{};
 };
 
 struct DumbbellExperimentResult {
@@ -57,6 +63,7 @@ struct DumbbellExperimentResult {
   std::uint64_t bottleneck_packets = 0;  ///< forwarded by the bottleneck
   double bottleneck_utilization = 0.0;
   double aggregate_goodput_mbps = 0.0;
+  fault::FaultCounters fault_totals{};   ///< injected impairments, all links
 };
 
 DumbbellExperimentResult run_dumbbell_experiment(const DumbbellExperimentConfig& cfg);

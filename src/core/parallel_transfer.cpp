@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/noise.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
 #include "util/thread_pool.hpp"
@@ -11,6 +12,158 @@
 namespace lossburst::core {
 
 using util::TimePoint;
+
+namespace {
+
+/// One unit of robust-transfer work: a segment count bound to a TCP carrier.
+/// A stalled stripe is superseded (its carrier aborted) and its remainder
+/// handed to one or more replacement stripes; only non-superseded stripes
+/// count toward completion.
+struct Stripe {
+  std::uint64_t segments = 0;        ///< this carrier's share
+  tcp::TcpFlow* flow = nullptr;
+  net::SeqNum last_una = 0;
+  util::TimePoint last_progress = util::TimePoint::zero();
+  util::TimePoint retry_at = util::TimePoint::zero();  ///< backoff gate; zero = not stalled
+  std::size_t retries = 0;           ///< lineage depth (inherited by replacements)
+  bool done = false;                 ///< completed, superseded, or given up
+  bool superseded = false;
+  bool gave_up = false;
+  double completed_at = -1.0;        ///< seconds; < 0 while unfinished
+};
+
+/// The watchdog/retry controller for one robust run. Heap state is all here,
+/// allocated before the simulation starts; the periodic tick captures only
+/// the controller pointer.
+struct RobustState {
+  sim::Simulator* sim = nullptr;
+  const ParallelTransferConfig* cfg = nullptr;
+  net::Dumbbell* bell = nullptr;
+  std::vector<std::unique_ptr<tcp::TcpFlow>>* flows = nullptr;
+  double cwnd_cap = 1e9;
+  std::vector<Stripe> stripes;
+  std::size_t retried = 0;
+  std::size_t restriped = 0;
+  net::FlowId next_flow_id = 1000;   ///< clear of primaries (1..N) and noise (100000+)
+  std::size_t next_route = 0;        ///< round-robin over access paths
+
+  [[nodiscard]] util::Duration backoff(std::size_t retries) const {
+    double d = cfg->retry_backoff.seconds();
+    for (std::size_t i = 0; i < retries; ++i) d *= cfg->backoff_factor;
+    return std::min(util::Duration::from_seconds(d), cfg->max_backoff);
+  }
+
+  [[nodiscard]] bool all_done() const {
+    for (const Stripe& s : stripes) {
+      if (!s.done) return false;
+    }
+    return true;
+  }
+
+  /// Create a stripe carrying `segments` on the next access path. Replacement
+  /// stripes inherit their ancestor's retry depth so the backoff keeps
+  /// growing along a lineage.
+  void spawn(std::uint64_t segments, std::size_t retries) {
+    const std::size_t route = next_route++ % cfg->flows;
+    tcp::TcpSender::Params sp;
+    sp.variant = cfg->variant;
+    sp.emission = cfg->emission;
+    sp.max_cwnd = cwnd_cap;
+    sp.pacing_rtt_hint = cfg->rtt;
+    sp.total_segments = segments;
+    sp.sack_enabled = cfg->sack;
+    tcp::TcpReceiver::Params rp;
+    rp.sack_enabled = cfg->sack;
+    auto flow = std::make_unique<tcp::TcpFlow>(*sim, next_flow_id++, bell->fwd_routes[route],
+                                               bell->rev_routes[route], sp, rp);
+    const std::size_t idx = stripes.size();
+    flow->sender().set_on_complete([this, idx](TimePoint t) {
+      stripes[idx].done = true;
+      stripes[idx].completed_at = t.seconds();
+    });
+    flow->sender().start(sim->now());
+    Stripe s;
+    s.segments = segments;
+    s.flow = flow.get();
+    s.last_progress = sim->now();
+    s.retries = retries;
+    stripes.push_back(s);
+    flows->push_back(std::move(flow));
+  }
+
+  /// Kill a stalled stripe and re-stripe its remainder. A true straggler —
+  /// one dead stripe while the rest of the network moves — gets split across
+  /// several fresh connections (1:1 on the first retry, then 2, then 4).
+  /// When *nothing* is progressing (a full outage), splitting would only
+  /// multiply the retry storm, so the stripe is replaced 1:1.
+  void retry(Stripe& s, bool network_alive) {
+    ++retried;
+    s.flow->sender().abort_transfer();
+    s.done = true;
+    s.superseded = true;
+    const std::uint64_t remaining = s.segments - s.flow->sender().snd_una();
+    std::size_t parts =
+        !network_alive ? 1 : (s.retries == 0 ? 1 : (s.retries == 1 ? 2 : 4));
+    parts = std::min<std::size_t>(parts, remaining);
+    if (stripes.size() + parts > cfg->max_stripes) parts = 1;
+    if (parts > 1) ++restriped;
+    const std::uint64_t base = remaining / parts;
+    const std::uint64_t extra = remaining % parts;
+    for (std::size_t i = 0; i < parts; ++i) {
+      spawn(base + (i < extra ? 1 : 0), s.retries + 1);
+    }
+  }
+
+  void tick() {
+    const TimePoint now = sim->now();
+    const std::size_t count = stripes.size();
+    // Progress pass first, so the retry pass sees a consistent picture.
+    for (std::size_t i = 0; i < count; ++i) {
+      Stripe& s = stripes[i];
+      if (s.done) continue;
+      const net::SeqNum una = s.flow->sender().snd_una();
+      if (una > s.last_una) {
+        s.last_una = una;
+        s.last_progress = now;
+        s.retry_at = TimePoint::zero();
+        s.retries = 0;  // the path works again: reset the backoff lineage
+      }
+    }
+    // A completed stripe or one with recent progress means the network is
+    // alive and a stalled stripe is a genuine straggler worth re-striping.
+    bool network_alive = false;
+    for (const Stripe& s : stripes) {
+      const bool completed_recently =
+          s.completed_at >= 0.0 &&
+          now.seconds() - s.completed_at < cfg->stall_timeout.seconds();
+      if (completed_recently ||
+          (!s.done && (now - s.last_progress) < cfg->stall_timeout)) {
+        network_alive = true;
+        break;
+      }
+    }
+    // Index loop: retry() grows `stripes`, invalidating references.
+    for (std::size_t i = 0; i < count; ++i) {
+      Stripe& s = stripes[i];
+      if (s.done || (now - s.last_progress) < cfg->stall_timeout) continue;
+      if (s.retries >= cfg->max_retries) {
+        s.done = true;
+        s.gave_up = true;
+        continue;
+      }
+      if (s.retry_at == TimePoint::zero()) {
+        s.retry_at = now + backoff(s.retries);
+        continue;
+      }
+      if (now >= s.retry_at) retry(stripes[i], network_alive);
+    }
+    if (!all_done()) {
+      sim->in(cfg->watchdog_period, [this] { tick(); }, obs::EventTag::kFault);
+    }
+  }
+};
+
+}  // namespace
 
 ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) {
   sim::Simulator sim(cfg.seed);
@@ -44,6 +197,12 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
 
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
   std::vector<double> latencies(cfg.flows, -1.0);
+  auto controller = std::make_unique<RobustState>();
+  controller->sim = &sim;
+  controller->cfg = &cfg;
+  controller->bell = &bell;
+  controller->flows = &flows;
+  controller->cwnd_cap = cwnd_cap;
   for (std::size_t i = 0; i < cfg.flows; ++i) {
     tcp::TcpSender::Params sp;
     sp.variant = cfg.variant;
@@ -56,17 +215,39 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
     rp.sack_enabled = cfg.sack;
     auto flow = std::make_unique<tcp::TcpFlow>(sim, static_cast<net::FlowId>(i + 1),
                                                bell.fwd_routes[i], bell.rev_routes[i], sp, rp);
-    flow->sender().set_on_complete(
-        [&latencies, i](TimePoint t) { latencies[i] = t.seconds(); });
+    if (cfg.robust) {
+      RobustState* rs = controller.get();
+      const std::size_t idx = rs->stripes.size();
+      flow->sender().set_on_complete([rs, idx](TimePoint t) {
+        rs->stripes[idx].done = true;
+        rs->stripes[idx].completed_at = t.seconds();
+      });
+      Stripe s;
+      s.segments = sp.total_segments;
+      s.flow = flow.get();
+      rs->stripes.push_back(s);
+    } else {
+      flow->sender().set_on_complete(
+          [&latencies, i](TimePoint t) { latencies[i] = t.seconds(); });
+    }
     // The application hands out chunks (nearly) at once; host scheduling
     // staggers the actual first sends by a few milliseconds.
     flow->sender().start(TimePoint::zero() +
                          rng.uniform_duration(util::Duration::zero(), cfg.start_jitter));
     flows.push_back(std::move(flow));
   }
+  if (cfg.robust) {
+    sim.in(cfg.watchdog_period, [rs = controller.get()] { rs->tick(); },
+           obs::EventTag::kFault);
+  }
 
   NoiseBundle noise = attach_noise(sim, bell, cfg.noise_flows, cfg.noise_load,
                                    cfg.bottleneck_bps, rng.split(0x0f0));
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!cfg.fault.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(network, cfg.fault);
+  }
 
   sim.run_until(TimePoint::zero() + cfg.timeout);
 
@@ -75,16 +256,39 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
   // paper's 5.39 s for 64 MB over 100 Mbps.
   const double wire_bytes = static_cast<double>(total_segments) * net::kDataPacketBytes;
   result.lower_bound_s = wire_bytes * 8.0 / static_cast<double>(cfg.bottleneck_bps);
+  if (cfg.robust) {
+    // Completion = every non-superseded stripe delivered its share; the
+    // superseded ones handed their remainders to replacements.
+    bool all = true;
+    double last = 0.0;
+    for (const Stripe& s : controller->stripes) {
+      if (s.superseded) continue;
+      if (s.completed_at < 0.0) {
+        all = false;
+        continue;
+      }
+      last = std::max(last, s.completed_at);
+    }
+    for (std::size_t i = 0; i < cfg.flows && i < controller->stripes.size(); ++i) {
+      latencies[i] = controller->stripes[i].completed_at;
+    }
+    result.all_completed = all;
+    result.latency_s = all ? last : cfg.timeout.seconds();
+    result.stripes_retried = controller->retried;
+    result.restripes = controller->restriped;
+  } else {
+    result.all_completed =
+        std::all_of(latencies.begin(), latencies.end(), [](double v) { return v >= 0.0; });
+    result.latency_s = result.all_completed
+                           ? *std::max_element(latencies.begin(), latencies.end())
+                           : cfg.timeout.seconds();
+  }
   result.per_flow_latency_s = latencies;
-  result.all_completed =
-      std::all_of(latencies.begin(), latencies.end(), [](double v) { return v >= 0.0; });
-  result.latency_s = result.all_completed
-                         ? *std::max_element(latencies.begin(), latencies.end())
-                         : cfg.timeout.seconds();
   result.normalized_latency = result.latency_s / result.lower_bound_s;
   for (const auto& f : flows) {
     if (f->sender().stats().congestion_events > 0) ++result.flows_with_loss;
   }
+  if (injector) result.fault_totals = injector->total();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "net/network.hpp"
 #include "tcp/sender.hpp"
 #include "util/time.hpp"
@@ -42,6 +43,26 @@ struct ParallelTransferConfig {
   double max_cwnd_share_factor = 2.0;
   /// SACK loss recovery on every flow (extension; the paper used NewReno).
   bool sack = false;
+
+  /// Fault plan (DESIGN.md §10): impairments keyed by link name; empty =
+  /// no fault layer attached.
+  fault::FaultPlan fault{};
+
+  // --- Robust (chaos-tolerant) application layer --------------------------
+  // A plain parallel transfer stalls under link flaps: a stripe whose RTO
+  // has backed off toward the 60 s cap will sit silent straight through the
+  // link's up intervals. The robust mode adds what a GridFTP-style client
+  // actually ships: per-stripe progress watchdogs, exponential-backoff
+  // retries of dead stripes, and re-striping a straggler's remainder across
+  // several fresh connections.
+  bool robust = false;
+  Duration watchdog_period = Duration::millis(500);  ///< progress poll cadence
+  Duration stall_timeout = Duration::seconds(2);     ///< no progress => stalled
+  Duration retry_backoff = Duration::millis(500);    ///< first retry delay
+  double backoff_factor = 2.0;
+  Duration max_backoff = Duration::seconds(8);
+  std::size_t max_retries = 12;     ///< per stripe lineage; then give up
+  std::size_t max_stripes = 256;    ///< re-striping growth cap
 };
 
 struct ParallelTransferResult {
@@ -53,6 +74,10 @@ struct ParallelTransferResult {
   /// Flows that suffered at least one congestion event during slow start
   /// (entered congestion avoidance "prematurely", §4.2).
   std::size_t flows_with_loss = 0;
+  // Robust-mode accounting (zero when robust is off).
+  std::size_t stripes_retried = 0;   ///< watchdog-triggered replacements
+  std::size_t restripes = 0;         ///< stragglers split across new flows
+  fault::FaultCounters fault_totals{};  ///< injected impairments, all links
 };
 
 ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg);

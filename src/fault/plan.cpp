@@ -1,0 +1,350 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace lossburst::fault {
+namespace {
+
+/// One key=value token, split at the first '='.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+bool split_kv(const std::string& token, KeyValue& out) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) return false;
+  out.key = token.substr(0, eq);
+  out.value = token.substr(eq + 1);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* const begin = s.data();
+  const char* const end = begin + s.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || next != end) return false;
+  return std::isfinite(out);  // reject nan/inf spelled out in the file
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  const char* const begin = s.data();
+  const char* const end = begin + s.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && next == end;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const char* const begin = s.data();
+  const char* const end = begin + s.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && next == end;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) {
+    if (tok.front() == '#') break;  // trailing comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  PlanParseResult run(std::istream& in) {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::vector<std::string> tok = tokenize(line);
+      if (tok.empty()) continue;
+      if (!directive(tok, line_no)) {
+        PlanParseResult bad;
+        bad.error = error_;
+        return bad;  // plan stays empty: a bad plan never half-applies
+      }
+    }
+    PlanParseResult out;
+    out.ok = true;
+    out.plan = std::move(plan_);
+    return out;
+  }
+
+ private:
+  bool fail(std::size_t line_no, const std::string& msg) {
+    error_ = "line " + std::to_string(line_no) + ": " + msg;
+    return false;
+  }
+
+  bool directive(const std::vector<std::string>& tok, std::size_t line_no) {
+    const std::string& kind = tok[0];
+    if (kind == "seed") {
+      if (tok.size() != 2 || !parse_u64(tok[1], plan_.seed)) {
+        return fail(line_no, "expected 'seed <uint64>'");
+      }
+      return true;
+    }
+    if (kind == "gilbert") return gilbert(tok, line_no);
+    if (kind == "flap") return flap(tok, line_no);
+    if (kind == "stall") return stall(tok, line_no);
+    if (kind == "corrupt") return corrupt(tok, line_no);
+    return fail(line_no, "unknown directive '" + kind +
+                             "' (known: seed, gilbert, flap, stall, corrupt)");
+  }
+
+  /// Common prologue: directives look like `<kind> <link> k=v ...`.
+  bool link_of(const std::vector<std::string>& tok, std::size_t line_no,
+               std::string& link) {
+    if (tok.size() < 2 || tok[1].find('=') != std::string::npos) {
+      return fail(line_no, "expected '" + tok[0] + " <link> key=value ...'");
+    }
+    link = tok[1];
+    return true;
+  }
+
+  bool prob(const KeyValue& kv, std::size_t line_no, double& out) {
+    if (!parse_double(kv.value, out) || out < 0.0 || out > 1.0) {
+      return fail(line_no, "'" + kv.key + "' must be a probability in [0, 1], got '" +
+                               kv.value + "'");
+    }
+    return true;
+  }
+
+  bool seconds_nonneg(const KeyValue& kv, std::size_t line_no, double& out) {
+    if (!parse_double(kv.value, out) || out < 0.0) {
+      return fail(line_no,
+                  "'" + kv.key + "' must be a non-negative time in seconds, got '" +
+                      kv.value + "'");
+    }
+    return true;
+  }
+
+  bool gilbert(const std::vector<std::string>& tok, std::size_t line_no) {
+    GilbertSpec spec;
+    if (!link_of(tok, line_no, spec.link)) return false;
+    if (std::any_of(plan_.gilbert.begin(), plan_.gilbert.end(),
+                    [&](const GilbertSpec& g) { return g.link == spec.link; })) {
+      return fail(line_no, "duplicate gilbert spec for link '" + spec.link + "'");
+    }
+    bool have_p = false;
+    bool have_q = false;
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      KeyValue kv;
+      if (!split_kv(tok[i], kv)) return fail(line_no, "expected key=value, got '" + tok[i] + "'");
+      if (kv.key == "p") {
+        if (!prob(kv, line_no, spec.p_good_to_bad)) return false;
+        have_p = true;
+      } else if (kv.key == "q") {
+        if (!prob(kv, line_no, spec.p_bad_to_good)) return false;
+        have_q = true;
+      } else if (kv.key == "loss") {
+        if (!prob(kv, line_no, spec.drop_in_bad)) return false;
+      } else if (kv.key == "start") {
+        if (!seconds_nonneg(kv, line_no, spec.start_s)) return false;
+      } else if (kv.key == "stop") {
+        if (!seconds_nonneg(kv, line_no, spec.stop_s)) return false;
+      } else {
+        return fail(line_no, "unknown gilbert key '" + kv.key +
+                                 "' (known: p, q, loss, start, stop)");
+      }
+    }
+    if (!have_p || !have_q) return fail(line_no, "gilbert requires both p= and q=");
+    if (spec.p_bad_to_good <= 0.0) {
+      return fail(line_no, "gilbert q must be > 0 (q=0 never leaves the Bad state)");
+    }
+    if (spec.stop_s >= 0.0 && spec.stop_s <= spec.start_s) {
+      return fail(line_no, "gilbert stop must be after start");
+    }
+    if (spec.drop_in_bad <= 0.0) {
+      return fail(line_no, "gilbert loss must be > 0 (0 injects nothing)");
+    }
+    plan_.gilbert.push_back(std::move(spec));
+    return true;
+  }
+
+  bool flap(const std::vector<std::string>& tok, std::size_t line_no) {
+    FlapSpec spec;
+    if (!link_of(tok, line_no, spec.link)) return false;
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      KeyValue kv;
+      if (!split_kv(tok[i], kv)) return fail(line_no, "expected key=value, got '" + tok[i] + "'");
+      if (kv.key == "at") {
+        if (!seconds_nonneg(kv, line_no, spec.at_s)) return false;
+      } else if (kv.key == "down") {
+        if (!seconds_nonneg(kv, line_no, spec.down_s)) return false;
+      } else if (kv.key == "up") {
+        if (!seconds_nonneg(kv, line_no, spec.up_s)) return false;
+      } else if (kv.key == "cycles") {
+        if (!parse_size(kv.value, spec.cycles) || spec.cycles == 0) {
+          return fail(line_no, "'cycles' must be a positive integer");
+        }
+      } else if (kv.key == "policy") {
+        if (kv.value == "drop") {
+          spec.policy = DownPolicy::kDrop;
+        } else if (kv.value == "park") {
+          spec.policy = DownPolicy::kPark;
+        } else {
+          return fail(line_no, "'policy' must be drop or park, got '" + kv.value + "'");
+        }
+      } else {
+        return fail(line_no, "unknown flap key '" + kv.key +
+                                 "' (known: at, down, up, cycles, policy)");
+      }
+    }
+    if (spec.down_s <= 0.0) return fail(line_no, "flap down must be > 0");
+    if (spec.cycles > 1 && spec.up_s <= 0.0) {
+      return fail(line_no, "flap up must be > 0 when cycles > 1");
+    }
+    plan_.flaps.push_back(std::move(spec));
+    return true;
+  }
+
+  bool stall(const std::vector<std::string>& tok, std::size_t line_no) {
+    StallSpec spec;
+    if (!link_of(tok, line_no, spec.link)) return false;
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      KeyValue kv;
+      if (!split_kv(tok[i], kv)) return fail(line_no, "expected key=value, got '" + tok[i] + "'");
+      if (kv.key == "at") {
+        if (!seconds_nonneg(kv, line_no, spec.at_s)) return false;
+      } else if (kv.key == "dur") {
+        if (!seconds_nonneg(kv, line_no, spec.dur_s)) return false;
+      } else if (kv.key == "every") {
+        if (!seconds_nonneg(kv, line_no, spec.every_s)) return false;
+      } else if (kv.key == "count") {
+        if (!parse_size(kv.value, spec.count) || spec.count == 0) {
+          return fail(line_no, "'count' must be a positive integer");
+        }
+      } else {
+        return fail(line_no,
+                    "unknown stall key '" + kv.key + "' (known: at, dur, every, count)");
+      }
+    }
+    if (spec.dur_s <= 0.0) return fail(line_no, "stall dur must be > 0");
+    if (spec.count > 1 && spec.every_s < spec.dur_s) {
+      return fail(line_no, "stall every must be >= dur when count > 1 "
+                           "(windows must not overlap)");
+    }
+    plan_.stalls.push_back(std::move(spec));
+    return true;
+  }
+
+  bool corrupt(const std::vector<std::string>& tok, std::size_t line_no) {
+    CorruptSpec spec;
+    if (!link_of(tok, line_no, spec.link)) return false;
+    if (std::any_of(plan_.corrupt.begin(), plan_.corrupt.end(),
+                    [&](const CorruptSpec& c) { return c.link == spec.link; })) {
+      return fail(line_no, "duplicate corrupt spec for link '" + spec.link + "'");
+    }
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      KeyValue kv;
+      if (!split_kv(tok[i], kv)) return fail(line_no, "expected key=value, got '" + tok[i] + "'");
+      if (kv.key == "p") {
+        if (!prob(kv, line_no, spec.corrupt_prob)) return false;
+      } else if (kv.key == "dup") {
+        if (!prob(kv, line_no, spec.duplicate_prob)) return false;
+      } else if (kv.key == "start") {
+        if (!seconds_nonneg(kv, line_no, spec.start_s)) return false;
+      } else if (kv.key == "stop") {
+        if (!seconds_nonneg(kv, line_no, spec.stop_s)) return false;
+      } else {
+        return fail(line_no, "unknown corrupt key '" + kv.key +
+                                 "' (known: p, dup, start, stop)");
+      }
+    }
+    if (spec.corrupt_prob <= 0.0 && spec.duplicate_prob <= 0.0) {
+      return fail(line_no, "corrupt requires p > 0 or dup > 0");
+    }
+    if (spec.stop_s >= 0.0 && spec.stop_s <= spec.start_s) {
+      return fail(line_no, "corrupt stop must be after start");
+    }
+    plan_.corrupt.push_back(std::move(spec));
+    return true;
+  }
+
+  FaultPlan plan_;
+  std::string error_;
+};
+
+void append_unique(std::vector<std::string>& out, const std::string& name) {
+  if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+}
+
+void put_seconds(std::ostream& out, const char* key, double v) {
+  out << ' ' << key << '=' << v;
+}
+
+}  // namespace
+
+std::vector<std::string> FaultPlan::links() const {
+  std::vector<std::string> out;
+  for (const auto& s : gilbert) append_unique(out, s.link);
+  for (const auto& s : flaps) append_unique(out, s.link);
+  for (const auto& s : stalls) append_unique(out, s.link);
+  for (const auto& s : corrupt) append_unique(out, s.link);
+  return out;
+}
+
+PlanParseResult parse_plan(std::istream& in) { return Parser().run(in); }
+
+PlanParseResult parse_plan_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    PlanParseResult bad;
+    bad.error = "cannot open fault plan '" + path + "'";
+    return bad;
+  }
+  PlanParseResult out = parse_plan(f);
+  if (!out.ok) out.error = path + ": " + out.error;
+  return out;
+}
+
+std::string format_plan(const FaultPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);  // doubles round-trip exactly
+  out << "# lossburst fault plan\n";
+  out << "seed " << plan.seed << '\n';
+  for (const auto& s : plan.gilbert) {
+    out << "gilbert " << s.link;
+    put_seconds(out, "p", s.p_good_to_bad);
+    put_seconds(out, "q", s.p_bad_to_good);
+    put_seconds(out, "loss", s.drop_in_bad);
+    put_seconds(out, "start", s.start_s);
+    if (s.stop_s >= 0.0) put_seconds(out, "stop", s.stop_s);
+    out << '\n';
+  }
+  for (const auto& s : plan.flaps) {
+    out << "flap " << s.link;
+    put_seconds(out, "at", s.at_s);
+    put_seconds(out, "down", s.down_s);
+    put_seconds(out, "up", s.up_s);
+    out << " cycles=" << s.cycles
+        << " policy=" << (s.policy == DownPolicy::kDrop ? "drop" : "park") << '\n';
+  }
+  for (const auto& s : plan.stalls) {
+    out << "stall " << s.link;
+    put_seconds(out, "at", s.at_s);
+    put_seconds(out, "dur", s.dur_s);
+    put_seconds(out, "every", s.every_s);
+    out << " count=" << s.count << '\n';
+  }
+  for (const auto& s : plan.corrupt) {
+    out << "corrupt " << s.link;
+    put_seconds(out, "p", s.corrupt_prob);
+    put_seconds(out, "dup", s.duplicate_prob);
+    put_seconds(out, "start", s.start_s);
+    if (s.stop_s >= 0.0) put_seconds(out, "stop", s.stop_s);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lossburst::fault

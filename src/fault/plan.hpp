@@ -1,0 +1,107 @@
+// Fault plans: the declarative spec of every impairment a run injects
+// (DESIGN.md §10). A plan is data — link names plus parameters — and is
+// bound to a concrete Network by the FaultInjector. Plans round-trip through
+// a line-oriented text format (`--fault-plan FILE`):
+//
+//   # lossburst fault plan
+//   seed 42
+//   gilbert bottleneck.fwd p=0.02 q=0.3 loss=1.0 start=1 stop=30
+//   flap bottleneck.fwd at=5 down=2 up=4 cycles=3 policy=drop
+//   stall bottleneck.fwd at=10 dur=0.2 every=5 count=4
+//   corrupt bottleneck.fwd p=0.001 dup=0.0005
+//
+// All times are seconds of simulated time; `p`/`q` mirror the
+// analysis::GilbertFit parameter names (P(Good->Bad), P(Bad->Good)), closing
+// the loop between what is injected and what the fitter recovers. Parsing is
+// strict: any malformed line, non-finite number, out-of-range probability,
+// or unknown key fails the whole plan with a line-numbered error — a bad
+// plan must never half-apply.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/channel.hpp"
+
+namespace lossburst::fault {
+
+struct GilbertSpec {
+  std::string link;
+  double p_good_to_bad = 0.0;  ///< P(loss channel Good -> Bad), per packet
+  double p_bad_to_good = 1.0;  ///< P(Bad -> Good), per packet
+  double drop_in_bad = 1.0;    ///< loss probability while Bad (1 = classic)
+  double start_s = 0.0;
+  double stop_s = -1.0;        ///< < 0 = until the end of the run
+
+  bool operator==(const GilbertSpec&) const = default;
+};
+
+struct FlapSpec {
+  std::string link;
+  double at_s = 0.0;     ///< first down edge
+  double down_s = 1.0;   ///< outage duration
+  double up_s = 1.0;     ///< recovery duration between cycles
+  std::size_t cycles = 1;
+  DownPolicy policy = DownPolicy::kDrop;
+
+  bool operator==(const FlapSpec&) const = default;
+};
+
+struct StallSpec {
+  std::string link;
+  double at_s = 0.0;     ///< first freeze edge
+  double dur_s = 0.1;    ///< dequeue freeze duration
+  double every_s = 0.0;  ///< window period (0 with count 1 = one-shot)
+  std::size_t count = 1;
+
+  bool operator==(const StallSpec&) const = default;
+};
+
+struct CorruptSpec {
+  std::string link;
+  double corrupt_prob = 0.0;    ///< per-packet corruption probability
+  double duplicate_prob = 0.0;  ///< per-packet duplication probability
+  double start_s = 0.0;
+  double stop_s = -1.0;
+
+  bool operator==(const CorruptSpec&) const = default;
+};
+
+/// The full impairment schedule for one run. Spec order is preserved and is
+/// part of the determinism contract: per-link RNG streams derive from
+/// (seed, first-mention order of the link in the plan).
+struct FaultPlan {
+  std::uint64_t seed = 0xfa017;
+  std::vector<GilbertSpec> gilbert;
+  std::vector<FlapSpec> flaps;
+  std::vector<StallSpec> stalls;
+  std::vector<CorruptSpec> corrupt;
+
+  [[nodiscard]] bool empty() const {
+    return gilbert.empty() && flaps.empty() && stalls.empty() && corrupt.empty();
+  }
+  /// Link names in first-mention order (the RNG derivation order).
+  [[nodiscard]] std::vector<std::string> links() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+struct PlanParseResult {
+  bool ok = false;
+  FaultPlan plan;
+  std::string error;  ///< "line N: ..." when !ok
+};
+
+/// Parse a plan from a stream / file. Strict: returns ok=false with a
+/// line-numbered error on the first malformed directive; the returned plan
+/// is empty in that case (never partially filled).
+PlanParseResult parse_plan(std::istream& in);
+PlanParseResult parse_plan_file(const std::string& path);
+
+/// Serialize a plan in the same format parse_plan() accepts (round-trip:
+/// parse(format(p)).plan == p).
+std::string format_plan(const FaultPlan& plan);
+
+}  // namespace lossburst::fault

@@ -92,7 +92,9 @@ double Link::bdp_packets(std::uint32_t pkt_bytes) const {
 
 void Link::enqueue(PacketHandle h) {
   if (!queue_->enqueue(h)) return;  // dropped (queue released the handle)
-  if (!busy_) start_tx();
+  // A down or stalled link keeps accepting into its queue (the router buffer
+  // survives an interface flap); serialization resumes on the up edge.
+  if (!busy_ && !(fault_ != nullptr && fault_->gates_tx())) start_tx();
 }
 
 void Link::start_tx() {
@@ -113,12 +115,50 @@ void Link::finish_tx() {
   // Serialization completes in start order and the delay is constant, so
   // arrivals are FIFO — one pending arrival event (for the flight's head)
   // suffices; on_arrival re-arms for the next packet.
-  const std::int64_t arrive_ns = (sim_.now() + delay_).ns();
-  const bool was_idle = flight_.empty();
-  flight_.push_back(InFlight{tx_head_, arrive_ns});
+  //
+  // Attached fault state resolves the packet here, at the end of its
+  // serialization slot: drops still consume line time (a faulty wire is not
+  // a faster wire) and the Gilbert chain advances exactly once per
+  // transmitted packet in serialization order, which is what lets the
+  // analysis fitter recover the injected parameters (DESIGN.md §10).
+  const PacketHandle head = tx_head_;
   tx_head_ = PacketHandle{};
-  if (was_idle) {
-    sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
+  const std::int64_t arrive_ns = (sim_.now() + delay_).ns();
+  bool lost = false;
+  bool duplicated = false;
+  if (fault_ != nullptr) {
+    const std::int64_t now_ns = sim_.now().ns();
+    if (fault_->down && fault_->policy == fault::DownPolicy::kDrop) {
+      // The link died mid-serialization: this packet went into a dead wire.
+      ++fault_->counters.flap_drops;
+      fault_drop(head, fault::FaultCause::kFlap);
+      lost = true;
+    } else if (!fault_->down && fault_->loss_drop(now_ns)) {
+      fault_drop(head, fault::FaultCause::kGilbert);
+      lost = true;
+    } else {
+      if (fault_->corrupt_now(now_ns)) pool_[head].corrupted = true;
+      duplicated = fault_->duplicate_now(now_ns);
+    }
+  }
+  if (!lost) {
+    flight_.push_back(InFlight{head, arrive_ns});
+    if (duplicated) {
+      const Packet& p = pool_[head];
+      flight_.push_back(InFlight{pool_.materialize(p, pool_.options_of(p)), arrive_ns});
+    }
+    if (fault_ != nullptr && fault_->down) {
+      // DownPolicy::kPark: hold in the frozen flight; fault_set_down(false)
+      // replays the backlog.
+      fault_->counters.parked += duplicated ? 2u : 1u;
+    } else if (!arrive_event_.pending()) {
+      arrive_event_ =
+          sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
+    }
+  }
+  if (fault_ != nullptr && fault_->gates_tx()) {
+    busy_ = false;  // resumed by the up / unstall edge
+    return;
   }
   if (!queue_->empty()) {
     start_tx();
@@ -131,10 +171,92 @@ void Link::on_arrival() {
   const InFlight f = flight_.pop_front();
   assert(f.arrive_ns == sim_.now().ns());
   if (!flight_.empty()) {
-    sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); },
-            obs::EventTag::kLinkArrive);
+    arrive_event_ = sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); },
+                            obs::EventTag::kLinkArrive);
   }
   deliver(f.h);
+}
+
+void Link::fault_set_down(bool down) {
+  if (fault_ == nullptr || fault_->down == down) return;
+  fault_->down = down;
+  if (down) {
+    ++fault_->counters.down_transitions;
+    fault_record_event(true, fault::FaultCause::kFlap);
+    arrive_event_.cancel();
+    if (fault_->policy == fault::DownPolicy::kDrop) {
+      // Fiber cut: everything propagating is lost. A packet mid-serialization
+      // (tx_head_) is resolved when its kLinkTx event fires.
+      while (!flight_.empty()) {
+        const InFlight f = flight_.pop_front();
+        ++fault_->counters.flap_drops;
+        fault_drop(f.h, fault::FaultCause::kFlap);
+      }
+    } else {
+      // kPark: the in-flight tail freezes where it is until the up edge.
+      fault_->counters.parked += flight_.size();
+    }
+    return;
+  }
+  fault_record_event(false, fault::FaultCause::kFlap);
+  // Up edge: replay the parked flight. Arrivals must not be scheduled in the
+  // past and must stay FIFO, so clamp each entry to its predecessor.
+  std::int64_t floor_ns = sim_.now().ns();
+  for (std::size_t i = 0; i < flight_.size(); ++i) {
+    InFlight& f = flight_[i];
+    if (f.arrive_ns < floor_ns) f.arrive_ns = floor_ns;
+    floor_ns = f.arrive_ns;
+  }
+  if (!flight_.empty() && !arrive_event_.pending()) {
+    arrive_event_ = sim_.at(TimePoint(flight_.front().arrive_ns), [this] { on_arrival(); },
+                            obs::EventTag::kLinkArrive);
+  }
+  if (!busy_ && !fault_->gates_tx() && !queue_->empty()) start_tx();
+}
+
+void Link::fault_set_stalled(bool stalled) {
+  if (fault_ == nullptr || fault_->stalled == stalled) return;
+  fault_->stalled = stalled;
+  if (stalled) {
+    ++fault_->counters.stall_windows;
+    fault_record_event(true, fault::FaultCause::kStall);
+    return;  // in-flight packets keep propagating; only dequeue freezes
+  }
+  fault_record_event(false, fault::FaultCause::kStall);
+  if (!busy_ && !fault_->gates_tx() && !queue_->empty()) start_tx();
+}
+
+// Drop a handle on behalf of the fault layer: emit the flight-recorder
+// record, feed the experiment's loss trace (so injected losses join the
+// queue-drop stream the analysis consumes), and release the pool slot.
+// Cause-specific counters are incremented at the call sites.
+void Link::fault_drop(PacketHandle h, fault::FaultCause cause) {
+  const Packet& p = pool_[h];
+  if constexpr (obs::kTraceCompiledIn) {
+    if (obs::FlightRecorder* rec =
+            obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kFaultDrop)) {
+      const std::uint16_t track =
+          (fault_ != nullptr && fault_->obs_track != 0) ? fault_->obs_track : obs_track_;
+      rec->record(obs::RecordKind::kFaultDrop, sim_.now().ns(), track,
+                  obs::pack_packet(p.flow, p.seq), static_cast<std::uint32_t>(cause));
+    }
+  }
+  if (fault_ != nullptr && fault_->tracer != nullptr) {
+    fault_->tracer->on_drop(sim_.now(), p, queue_->len_packets());
+  }
+  pool_.release(h);
+}
+
+void Link::fault_record_event(bool enter, fault::FaultCause cause) {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (obs::FlightRecorder* rec =
+            obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kFaultEvent)) {
+      const std::uint16_t track =
+          (fault_ != nullptr && fault_->obs_track != 0) ? fault_->obs_track : obs_track_;
+      rec->record(obs::RecordKind::kFaultEvent, sim_.now().ns(), track, enter ? 1u : 0u,
+                  static_cast<std::uint32_t>(cause));
+    }
+  }
 }
 
 void Link::deliver(PacketHandle h) {
@@ -147,6 +269,13 @@ void Link::deliver(PacketHandle h) {
     return;
   }
   assert(p.sink != nullptr);
+  if (p.corrupted) {
+    // Receiver-side checksum drop: a corrupted payload traverses every hop
+    // (it still holds queue slots and line time) but the endpoint never
+    // sees it. `corrupted` was counted where the damage was injected.
+    fault_drop(h, fault::FaultCause::kCorrupt);
+    return;
+  }
   if constexpr (obs::kTraceCompiledIn) {
     if (obs::FlightRecorder* rec =
             obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kPktDeliver)) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/channel.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
@@ -64,9 +65,25 @@ class Link {
   /// serialization. Used by the Dummynet emulation model to inject the
   /// scheduling noise a software router adds; nullptr (default) = ideal
   /// hardware router.
+  // lossburst-lint: allow(datapath-alloc): constructed once at topology setup; the datapath only invokes it
   void set_processing_jitter(std::function<Duration()> fn) {
     processing_jitter_ = std::move(fn);
   }
+
+  /// Attach (or with nullptr detach) fault-injection state (DESIGN.md §10).
+  /// The state is owned by the fault::FaultInjector and must outlive the
+  /// attachment. With no state attached the datapath pays one null check.
+  void attach_fault(fault::LinkFaultState* state) { fault_ = state; }
+  [[nodiscard]] fault::LinkFaultState* fault() { return fault_; }
+
+  /// Control-plane transitions, invoked by injector-scheduled events.
+  /// Down: serialization stops and, under DownPolicy::kDrop, every packet in
+  /// flight is lost; under kPark the flight freezes and replays (FIFO, never
+  /// in the past) when the link comes back up. Queued packets stay queued —
+  /// the router buffer survives an interface flap. Stalled freezes dequeue
+  /// only; packets already in flight keep propagating.
+  void fault_set_down(bool down);
+  void fault_set_stalled(bool stalled);
 
  private:
   void start_tx();
@@ -74,6 +91,8 @@ class Link {
   void on_arrival();
   void deliver(PacketHandle h);
   void register_observability(obs::Telemetry& telemetry);
+  void fault_drop(PacketHandle h, fault::FaultCause cause);
+  void fault_record_event(bool enter, fault::FaultCause cause);
 
   struct InFlight {
     PacketHandle h;
@@ -86,6 +105,7 @@ class Link {
   std::uint64_t rate_bps_;
   Duration delay_;
   std::unique_ptr<Queue> queue_;
+  // lossburst-lint: allow(datapath-alloc): assigned once at topology setup, invoked per packet
   std::function<Duration()> processing_jitter_;
 
   // Precomputed serialization factor (see tx_time): real line rates divide
@@ -99,6 +119,8 @@ class Link {
 
   PacketHandle tx_head_{};  ///< packet currently serializing
   util::RingBuffer<InFlight> flight_;
+  sim::EventHandle arrive_event_;  ///< pending head-of-flight arrival
+  fault::LinkFaultState* fault_ = nullptr;  ///< owned by the FaultInjector
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;

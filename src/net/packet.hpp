@@ -91,6 +91,10 @@ struct Packet {
   bool ecn_capable = false;  ///< sender negotiated ECN
   bool ecn_marked = false;   ///< CE mark set by a router
   bool ecn_echo = false;     ///< receiver echoes CE back on ACKs
+  /// Payload corrupted by a fault channel; the delivering link drops it at
+  /// the final hop instead of handing it to the endpoint (the receiver's
+  /// checksum rejects it, so the endpoint never sees the packet).
+  bool corrupted = false;
 };
 
 static_assert(std::is_trivially_copyable_v<Packet>);

@@ -177,6 +177,12 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
         out << R"(,"args":{"cwnd":)" << fmt_value(v) << "}}";
         break;
       }
+      case RecordKind::kFaultDrop:
+        put_instant("fault.drop", r.track, r.t_ns, span_name(r.a));
+        break;
+      case RecordKind::kFaultEvent:
+        put_instant("fault.event", r.track, r.t_ns, "");
+        break;
       case RecordKind::kEventDispatch:
         put_instant(tag_name(static_cast<EventTag>(r.a)).data(), r.track, r.t_ns, "");
         break;

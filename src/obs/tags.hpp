@@ -22,6 +22,7 @@ enum class EventTag : std::uint8_t {
   kSource,        ///< CBR / on-off source ticks
   kPeriodic,      ///< sim::PeriodicProcess ticks (meters, samplers)
   kAppStart,      ///< flow start events
+  kFault,         ///< fault-injection transitions (flap/stall edges, watchdogs)
   kTagCount,
 };
 
@@ -40,6 +41,7 @@ constexpr std::string_view tag_name(EventTag tag) {
     case EventTag::kSource: return "source";
     case EventTag::kPeriodic: return "periodic";
     case EventTag::kAppStart: return "app.start";
+    case EventTag::kFault: return "fault";
     case EventTag::kTagCount: break;
   }
   return "?";

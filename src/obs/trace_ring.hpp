@@ -35,6 +35,8 @@ enum class RecordKind : std::uint8_t {
   kPktMark,            ///< queue CE-marked the packet (b = occupancy)
   kPktDeliver,         ///< link delivered the packet to its endpoint
   kCwnd,               ///< sender congestion window changed (a = bit-cast double)
+  kFaultDrop,          ///< fault layer dropped the packet (b = fault::FaultCause)
+  kFaultEvent,         ///< fault control-plane transition (a = code, b = cause)
   kKindCount,
 };
 

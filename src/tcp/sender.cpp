@@ -392,8 +392,13 @@ void TcpSender::on_dup_ack(const Packet&) {
   ++dup_acks_;
   if (in_recovery_) {
     // Window inflation: each dup ACK signals a departure, so let one more
-    // segment out.
-    cwnd_ += 1.0;
+    // segment out. Clamped: the emission gate caps the effective window at
+    // max_cwnd, so inflation past that is dead weight — and a long burst
+    // recovery (segments sent *during* recovery dup-ACKing in turn) would
+    // otherwise inflate without bound.
+    cwnd_ = std::min(
+        cwnd_ + 1.0,
+        params_.max_cwnd + static_cast<double>(flight_at_recovery_) + 3.0);
     obs_cwnd();
     try_send();
     return;
@@ -502,6 +507,16 @@ void TcpSender::complete() {
   rto_timer_.cancel();
   pace_timer_.cancel();
   if (on_complete_) on_complete_(completion_time_);
+}
+
+void TcpSender::abort_transfer() {
+  if (completed_) return;
+  aborted_ = true;
+  // completed_ gates every timer callback, ACK path, and try_send, so an
+  // aborted sender goes fully quiescent even with events still queued.
+  completed_ = true;
+  rto_timer_.cancel();
+  pace_timer_.cancel();
 }
 
 }  // namespace lossburst::tcp

@@ -97,6 +97,13 @@ class TcpSender final : public net::Endpoint {
   /// Called when the last segment of a bounded transfer is acknowledged.
   void set_on_complete(std::function<void(util::TimePoint)> fn) { on_complete_ = std::move(fn); }
 
+  /// Stop transmitting permanently: cancel every timer and ignore all later
+  /// ACKs. The completion callback does NOT fire. Used by the robust
+  /// parallel transfer to kill a stalled stripe (e.g. mid-RTO-backoff on a
+  /// flapping link) before re-striping its remainder onto a fresh flow.
+  void abort_transfer();
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
   /// ACK arrival. SACK blocks, when present, ride in the options side
   /// table; the packet and options are borrowed for the call (net::Endpoint
   /// contract).
@@ -166,6 +173,7 @@ class TcpSender final : public net::Endpoint {
   std::uint64_t flight_at_recovery_ = 0;
   bool started_ = false;
   bool completed_ = false;
+  bool aborted_ = false;
   util::TimePoint completion_time_ = util::TimePoint::zero();
   util::TimePoint last_reduction_ = util::TimePoint::zero();
   bool reduced_once_ = false;

@@ -49,6 +49,10 @@ class RingBuffer {
     assert(i < size_);
     return buf_[(head_ + i) & mask_];
   }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
 
   void clear() {
     head_ = 0;

@@ -126,6 +126,20 @@ TEST(ValidateTest, RejectsDivergentClusterFractions) {
   EXPECT_FALSE(validate_probe_pair(a, b).validated);
 }
 
+TEST(ValidateTest, RejectsDamagedTraces) {
+  // A trace whose reader rejected too many rows cannot be trusted, no
+  // matter how well the two runs agree.
+  ProbeTraceSummary a{10000, 100, 0.5, 0.9, 500};  // 500/10500 ~ 4.8% malformed
+  ProbeTraceSummary b{10000, 120, 0.45, 0.85};
+  const auto v = validate_probe_pair(a, b);
+  EXPECT_FALSE(v.validated);
+  EXPECT_STREQ(v.reason, "too many malformed trace rows");
+
+  ValidationPolicy loose;
+  loose.max_malformed_fraction = 0.10;
+  EXPECT_TRUE(validate_probe_pair(a, b, loose).validated);
+}
+
 TEST(ValidateTest, PolicyIsTunable) {
   ProbeTraceSummary a{10000, 20, 0.5, 0.9};
   ProbeTraceSummary b{10000, 50, 0.5, 0.9};

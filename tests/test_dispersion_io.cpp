@@ -151,5 +151,68 @@ TEST(TraceIoTest, EmptyStream) {
   EXPECT_FALSE(read_loss_times_csv(ss, times));
 }
 
+TEST(TraceIoTest, TolerantReaderSkipsAndCountsBadRows) {
+  std::stringstream ss(
+      "time_s,flow,seq,size_bytes,queue_len\n"
+      "0.5,1,10,1000,3\n"
+      "nan,1,11,1000,3\n"       // non-finite timestamp
+      "inf,1,12,1000,3\n"       // non-finite timestamp
+      "0.4,1,13,1000,3\n"       // time runs backwards
+      "garbage,row,here,x,y\n"  // parse failure
+      "0.6,2,14,1000,4\n");
+  std::vector<net::DropRecord> drops;
+  const TraceReadStats stats = read_drop_trace_csv_tolerant(ss, drops);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_EQ(stats.rows_read, 2u);
+  EXPECT_EQ(stats.malformed_rows, 4u);
+  EXPECT_NEAR(stats.malformed_fraction(), 4.0 / 6.0, 1e-12);
+  ASSERT_EQ(drops.size(), 2u);
+  EXPECT_EQ(drops[0].seq, 10u);
+  EXPECT_EQ(drops[1].seq, 14u);
+  EXPECT_NEAR(drops[1].time.seconds(), 0.6, 1e-9);
+}
+
+TEST(TraceIoTest, TolerantLossTimesSkipsAndCountsBadRows) {
+  std::stringstream ss(
+      "time_s\n"
+      "0.25\n"
+      "-inf\n"
+      "not-a-number\n"
+      "0.10\n"  // backwards relative to last accepted row (0.25)
+      "0.75\n");
+  std::vector<double> times;
+  const TraceReadStats stats = read_loss_times_csv_tolerant(ss, times);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_EQ(stats.rows_read, 2u);
+  EXPECT_EQ(stats.malformed_rows, 3u);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.25);
+  EXPECT_DOUBLE_EQ(times[1], 0.75);
+}
+
+TEST(TraceIoTest, TolerantReaderMissingHeader) {
+  std::stringstream ss;
+  std::vector<double> times;
+  const TraceReadStats stats = read_loss_times_csv_tolerant(ss, times);
+  EXPECT_FALSE(stats.header_ok);
+  EXPECT_EQ(stats.rows_read, 0u);
+  EXPECT_EQ(stats.malformed_rows, 0u);
+  EXPECT_DOUBLE_EQ(stats.malformed_fraction(), 0.0);
+}
+
+TEST(TraceIoTest, StrictReaderRejectsNonFiniteAndBackwardsTime) {
+  // The strict readers inherit the hardened row checks: a NaN or a clock
+  // step backwards fails the whole read instead of slipping into analysis.
+  std::stringstream ss("time_s,flow,seq,size_bytes,queue_len\n0.5,1,10,1000,3\nnan,1,11,1000,3\n");
+  std::vector<net::DropRecord> drops;
+  EXPECT_FALSE(read_drop_trace_csv(ss, drops));
+  EXPECT_TRUE(drops.empty());
+
+  std::stringstream ss2("time_s\n0.5\n0.4\n");
+  std::vector<double> times;
+  EXPECT_FALSE(read_loss_times_csv(ss2, times));
+  EXPECT_TRUE(times.empty());
+}
+
 }  // namespace
 }  // namespace lossburst::analysis

@@ -143,6 +143,71 @@ TEST(NetworkInvariantTest, BalancedPoolTearsDownCleanly) {
   SUCCEED();
 }
 
+// ---------------------------------------------------------------------------
+// PacketPool conservation across link-down events (DESIGN.md §10): a flap
+// must never strand a pool handle, whichever way it treats in-flight
+// packets. kDrop releases them through the normal drop path; kPark freezes
+// them in the flight FIFO (still "held by a link" for the conservation
+// sweep) and replays them on the up-edge.
+
+class CountingSink final : public net::Endpoint {
+ public:
+  void receive(const net::Packet&, const net::PacketOptions*) override { ++delivered; }
+  std::size_t delivered = 0;
+};
+
+void run_flap_conservation(fault::DownPolicy policy) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  // 50 ms propagation keeps packets in flight long after serialization, so
+  // the down-edge at 3 ms catches some mid-flight and some still queued.
+  net::Link* link = network.add_link("l", 8'000'000, Duration::millis(50),
+                                     std::make_unique<net::DropTailQueue>(32));
+  const net::Route* route = network.add_route({link});
+  CountingSink sink;
+
+  fault::LinkFaultState st;
+  st.policy = policy;
+  link->attach_fault(&st);
+
+  constexpr std::size_t kPackets = 10;
+  sim.in(Duration::zero(), [&] {
+    for (net::SeqNum s = 0; s < kPackets; ++s) {
+      net::Packet p;
+      p.flow = 1;
+      p.seq = s;
+      p.size_bytes = 1000;
+      p.route = route;
+      p.sink = &sink;
+      net::inject(std::move(p));
+    }
+  });
+  sim.in(Duration::millis(3), [&] { link->fault_set_down(true); });
+  // Mid-outage quiescent point: parked/queued packets must all be held.
+  sim.in(Duration::millis(30), [&] { network.debug_check_conservation(); });
+  sim.in(Duration::millis(60), [&] { link->fault_set_down(false); });
+  sim.run();
+
+  EXPECT_EQ(network.pool().live(), 0u);
+  network.debug_check_conservation();
+  if (policy == fault::DownPolicy::kDrop) {
+    EXPECT_GT(st.counters.flap_drops, 0u);
+    EXPECT_EQ(sink.delivered + st.counters.flap_drops, kPackets);
+  } else {
+    EXPECT_GT(st.counters.parked, 0u);
+    EXPECT_EQ(sink.delivered, kPackets);  // parked packets replay, none lost
+  }
+  link->attach_fault(nullptr);
+}
+
+TEST(NetworkInvariantTest, PoolConservedAcrossFlapDrop) {
+  run_flap_conservation(fault::DownPolicy::kDrop);
+}
+
+TEST(NetworkInvariantTest, PoolConservedAcrossFlapPark) {
+  run_flap_conservation(fault::DownPolicy::kPark);
+}
+
 TEST(EventQueueInvariantTest, DebugValidateCleanAcrossChurn) {
   sim::EventQueue q;
   std::vector<sim::EventHandle> handles;

@@ -60,7 +60,7 @@ ANNOTATION_RE = re.compile(
 LINT_DIRS = ("src", "bench", "tests")
 
 # Directories whose iteration order feeds simulation results.
-HASH_ITER_DIRS = ("src/sim", "src/net", "src/tcp", "src/analysis")
+HASH_ITER_DIRS = ("src/sim", "src/net", "src/tcp", "src/analysis", "src/fault")
 
 # The zero-allocation datapath guarded by the bench-smoke gate
 # (BM_ScheduleRun / BM_LinkForward / BM_ObsSteadyStateAllocs): steady-state
@@ -72,8 +72,12 @@ DATAPATH_FILES = (
     "src/net/packet_pool.hpp",
     "src/net/queue.hpp",
     "src/net/queue.cpp",
+    "src/net/link.hpp",
     "src/net/link.cpp",
     "src/util/ring_buffer.hpp",
+    # The fault layer's steady state (BM_FaultLinkForward) is gated too:
+    # all fault state is allocated at injector construction, never per packet.
+    "src/fault/channel.hpp",
 )
 
 RULES = (

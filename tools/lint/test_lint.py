@@ -150,6 +150,10 @@ def main() -> int:
             "hash-iteration: same code outside guarded dirs passes",
             tmp, "src/util/fix_hash_util.cpp", hash_iter_src,
         )
+        expect_finding(
+            "hash-iteration: src/fault is a guarded dir",
+            tmp, "src/fault/fix_hash_fault.cpp", hash_iter_src, "hash-iteration",
+        )
 
         # ------------------------------------------------ datapath-alloc
         expect_finding(
@@ -179,6 +183,19 @@ def main() -> int:
             "datapath-alloc: same alloc outside datapath files passes",
             tmp, "src/obs/fix_alloc_ok.cpp",
             "int* grow() { return new int[64]; }\n",
+        )
+        expect_finding(
+            "datapath-alloc: fault channel header is a datapath file",
+            tmp, "src/fault/channel.hpp",
+            "int* per_packet() { return new int; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: link header is a datapath file",
+            tmp, "src/net/link.hpp",
+            "#include <functional>\n"
+            "void hold(std::function<void()> f) { f(); }\n",
+            "datapath-alloc",
         )
 
         # ------------------------------------------------ untagged-event
