@@ -26,6 +26,7 @@ struct Stripe {
   util::TimePoint last_progress = util::TimePoint::zero();
   util::TimePoint retry_at = util::TimePoint::zero();  ///< backoff gate; zero = not stalled
   std::size_t retries = 0;           ///< lineage depth (inherited by replacements)
+  std::size_t root = 0;              ///< primary stripe this lineage descends from
   bool done = false;                 ///< completed, superseded, or given up
   bool superseded = false;
   bool gave_up = false;
@@ -63,7 +64,7 @@ struct RobustState {
   /// Create a stripe carrying `segments` on the next access path. Replacement
   /// stripes inherit their ancestor's retry depth so the backoff keeps
   /// growing along a lineage.
-  void spawn(std::uint64_t segments, std::size_t retries) {
+  void spawn(std::uint64_t segments, std::size_t retries, std::size_t root) {
     const std::size_t route = next_route++ % cfg->flows;
     tcp::TcpSender::Params sp;
     sp.variant = cfg->variant;
@@ -87,6 +88,7 @@ struct RobustState {
     s.flow = flow.get();
     s.last_progress = sim->now();
     s.retries = retries;
+    s.root = root;
     stripes.push_back(s);
     flows->push_back(std::move(flow));
   }
@@ -102,15 +104,18 @@ struct RobustState {
     s.done = true;
     s.superseded = true;
     const std::uint64_t remaining = s.segments - s.flow->sender().snd_una();
-    std::size_t parts =
-        !network_alive ? 1 : (s.retries == 0 ? 1 : (s.retries == 1 ? 2 : 4));
+    // spawn() grows `stripes` and may reallocate it, so `s` dangles after the
+    // first spawn: copy everything still needed out of the stripe first.
+    const std::size_t depth = s.retries;
+    const std::size_t root = s.root;
+    std::size_t parts = !network_alive ? 1 : (depth == 0 ? 1 : (depth == 1 ? 2 : 4));
     parts = std::min<std::size_t>(parts, remaining);
     if (stripes.size() + parts > cfg->max_stripes) parts = 1;
     if (parts > 1) ++restriped;
     const std::uint64_t base = remaining / parts;
     const std::uint64_t extra = remaining % parts;
     for (std::size_t i = 0; i < parts; ++i) {
-      spawn(base + (i < extra ? 1 : 0), s.retries + 1);
+      spawn(base + (i < extra ? 1 : 0), depth + 1, root);
     }
   }
 
@@ -225,6 +230,7 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
       Stripe s;
       s.segments = sp.total_segments;
       s.flow = flow.get();
+      s.root = idx;
       rs->stripes.push_back(s);
     } else {
       flow->sender().set_on_complete(
@@ -269,8 +275,20 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
       }
       last = std::max(last, s.completed_at);
     }
+    // Per-flow latency covers primary stripe i's whole lineage: a superseded
+    // primary finished when the last of its replacements delivered the
+    // remainder, not never (-1 stays only for lineages that truly didn't).
     for (std::size_t i = 0; i < cfg.flows && i < controller->stripes.size(); ++i) {
-      latencies[i] = controller->stripes[i].completed_at;
+      double done_at = -1.0;
+      for (const Stripe& s : controller->stripes) {
+        if (s.root != i || s.superseded) continue;
+        if (s.completed_at < 0.0) {
+          done_at = -1.0;
+          break;
+        }
+        done_at = std::max(done_at, s.completed_at);
+      }
+      latencies[i] = done_at;
     }
     result.all_completed = all;
     result.latency_s = all ? last : cfg.timeout.seconds();

@@ -70,6 +70,10 @@ struct ParallelTransferResult {
   double lower_bound_s = 0.0;      ///< payload / capacity (paper: 5.39 s)
   double normalized_latency = 0.0; ///< latency / lower bound
   bool all_completed = false;
+  /// Completion time per primary flow, -1 = did not finish. In robust mode
+  /// entry i covers primary stripe i's whole replacement lineage: a
+  /// superseded stripe reports the time its last replacement delivered the
+  /// remainder.
   std::vector<double> per_flow_latency_s;
   /// Flows that suffered at least one congestion event during slow start
   /// (entered congestion avoidance "prematurely", §4.2).

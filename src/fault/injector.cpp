@@ -36,6 +36,18 @@ FaultInjector::FaultInjector(net::Network& net, const FaultPlan& plan) : net_(ne
     }
     resolved.push_back(link);
   }
+  // A link has exactly one flap state machine: conflicting policies or
+  // overlapping windows would make the edge-triggered down/up transitions
+  // diverge from what the plan declares. parse_plan() rejects these with a
+  // line number; this check guards plans built programmatically.
+  for (std::size_t a = 0; a < plan.flaps.size(); ++a) {
+    for (std::size_t b = a + 1; b < plan.flaps.size(); ++b) {
+      if (const char* why = flap_conflict(plan.flaps[a], plan.flaps[b])) {
+        throw std::runtime_error(std::string(why) + " for link '" +
+                                 plan.flaps[a].link + "' in fault plan");
+      }
+    }
+  }
   telemetry_ = net.sim().telemetry();
 
   entries_.reserve(names.size());
@@ -102,7 +114,7 @@ FaultInjector::FaultInjector(net::Network& net, const FaultPlan& plan) : net_(ne
 
   for (const FlapSpec& spec : plan.flaps) {
     LinkFaultState* s = state_of(spec.link);
-    s->policy = spec.policy;  // one policy per link; last flap spec wins
+    s->policy = spec.policy;  // validated above: every spec for a link agrees
     schedule_flap(find_link(net_, spec.link), spec);
   }
   for (const StallSpec& spec : plan.stalls) {

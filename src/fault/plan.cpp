@@ -203,6 +203,11 @@ class Parser {
     if (spec.cycles > 1 && spec.up_s <= 0.0) {
       return fail(line_no, "flap up must be > 0 when cycles > 1");
     }
+    for (const FlapSpec& other : plan_.flaps) {
+      if (const char* why = flap_conflict(spec, other)) {
+        return fail(line_no, std::string(why) + " for link '" + spec.link + "'");
+      }
+    }
     plan_.flaps.push_back(std::move(spec));
     return true;
   }
@@ -274,6 +279,13 @@ class Parser {
   std::string error_;
 };
 
+/// End of a flap spec's active span: the last up edge. The up-gaps between
+/// cycles count as occupied — see flap_conflict().
+double flap_span_end(const FlapSpec& s) {
+  return s.at_s +
+         static_cast<double>(s.cycles - 1) * (s.down_s + s.up_s) + s.down_s;
+}
+
 void append_unique(std::vector<std::string>& out, const std::string& name) {
   if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
 }
@@ -283,6 +295,15 @@ void put_seconds(std::ostream& out, const char* key, double v) {
 }
 
 }  // namespace
+
+const char* flap_conflict(const FlapSpec& a, const FlapSpec& b) {
+  if (a.link != b.link) return nullptr;
+  if (a.policy != b.policy) return "conflicting flap policies";
+  if (a.at_s < flap_span_end(b) && b.at_s < flap_span_end(a)) {
+    return "overlapping flap windows";
+  }
+  return nullptr;
+}
 
 std::vector<std::string> FaultPlan::links() const {
   std::vector<std::string> out;

@@ -104,4 +104,14 @@ PlanParseResult parse_plan_file(const std::string& path);
 /// parse(format(p)).plan == p).
 std::string format_plan(const FaultPlan& plan);
 
+/// Flap-spec compatibility check, shared by the parser and the injector
+/// (which also guards programmatically built plans). Returns nullptr when
+/// the two specs can coexist, else a short reason. Specs for the same link
+/// conflict when their policies differ (a link has exactly one down policy)
+/// or their active spans — first down edge through last up edge, up-gaps
+/// included — overlap: the down/up transitions are edge-triggered, so
+/// interleaved windows would let one spec's up edge cut another's outage
+/// short. Specs for different links never conflict.
+[[nodiscard]] const char* flap_conflict(const FlapSpec& a, const FlapSpec& b);
+
 }  // namespace lossburst::fault

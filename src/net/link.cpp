@@ -137,7 +137,7 @@ void Link::finish_tx() {
       fault_drop(head, fault::FaultCause::kGilbert);
       lost = true;
     } else {
-      if (fault_->corrupt_now(now_ns)) pool_[head].corrupted = true;
+      if (fault_->corrupt_now(now_ns)) pool_[head].corrupted_by = fault_;
       duplicated = fault_->duplicate_now(now_ns);
     }
   }
@@ -231,18 +231,28 @@ void Link::fault_set_stalled(bool stalled) {
 // queue-drop stream the analysis consumes), and release the pool slot.
 // Cause-specific counters are incremented at the call sites.
 void Link::fault_drop(PacketHandle h, fault::FaultCause cause) {
+  fault_drop_via(h, cause, fault_);
+}
+
+// As fault_drop, but charged to an explicit fault state: `origin` is the
+// state of the link that caused the damage — usually this link's own, but a
+// checksum-drop executes at the final hop while the corruption was injected
+// (and counted) possibly several hops upstream, and the tracer/obs track of
+// that upstream link are the ones the analysis stream must see.
+void Link::fault_drop_via(PacketHandle h, fault::FaultCause cause,
+                          fault::LinkFaultState* origin) {
   const Packet& p = pool_[h];
   if constexpr (obs::kTraceCompiledIn) {
     if (obs::FlightRecorder* rec =
             obs::trace_recorder(sim_.telemetry(), obs::RecordKind::kFaultDrop)) {
       const std::uint16_t track =
-          (fault_ != nullptr && fault_->obs_track != 0) ? fault_->obs_track : obs_track_;
+          (origin != nullptr && origin->obs_track != 0) ? origin->obs_track : obs_track_;
       rec->record(obs::RecordKind::kFaultDrop, sim_.now().ns(), track,
                   obs::pack_packet(p.flow, p.seq), static_cast<std::uint32_t>(cause));
     }
   }
-  if (fault_ != nullptr && fault_->tracer != nullptr) {
-    fault_->tracer->on_drop(sim_.now(), p, queue_->len_packets());
+  if (origin != nullptr && origin->tracer != nullptr) {
+    origin->tracer->on_drop(sim_.now(), p, queue_->len_packets());
   }
   pool_.release(h);
 }
@@ -269,11 +279,13 @@ void Link::deliver(PacketHandle h) {
     return;
   }
   assert(p.sink != nullptr);
-  if (p.corrupted) {
+  if (p.corrupted_by != nullptr) {
     // Receiver-side checksum drop: a corrupted payload traverses every hop
     // (it still holds queue slots and line time) but the endpoint never
-    // sees it. `corrupted` was counted where the damage was injected.
-    fault_drop(h, fault::FaultCause::kCorrupt);
+    // sees it. The drop is charged to the fault state of the link that
+    // injected (and counted) the damage, which rode along in the packet —
+    // this delivering hop usually has no fault state of its own.
+    fault_drop_via(h, fault::FaultCause::kCorrupt, p.corrupted_by);
     return;
   }
   if constexpr (obs::kTraceCompiledIn) {

@@ -92,6 +92,7 @@ class Link {
   void deliver(PacketHandle h);
   void register_observability(obs::Telemetry& telemetry);
   void fault_drop(PacketHandle h, fault::FaultCause cause);
+  void fault_drop_via(PacketHandle h, fault::FaultCause cause, fault::LinkFaultState* origin);
   void fault_record_event(bool enter, fault::FaultCause cause);
 
   struct InFlight {

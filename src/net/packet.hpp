@@ -7,7 +7,7 @@
 // the paper uses — and makes forwarding O(1).
 //
 // The struct is split hot/cold (DESIGN.md §7 "Packet datapath"): `Packet`
-// holds only what every hop touches, and fits in ~72 bytes so the datapath
+// holds only what every hop touches, and fits in ~80 bytes so the datapath
 // can copy it once into the pool at injection and never again. The SACK and
 // TFRC header options live in a `PacketOptions` side table inside the
 // `PacketPool`, referenced by the `opt` slot index and paid for only by the
@@ -22,6 +22,10 @@
 #include <vector>
 
 #include "util/time.hpp"
+
+namespace lossburst::fault {
+struct LinkFaultState;
+}  // namespace lossburst::fault
 
 namespace lossburst::net {
 
@@ -80,6 +84,12 @@ struct Packet {
 
   const Route* route = nullptr;
   Endpoint* sink = nullptr;
+  /// Fault state of the link that corrupted the payload (nullptr = clean).
+  /// The final-hop link checksum-drops a corrupted packet instead of handing
+  /// it to the endpoint, and charges the drop — tracer and flight-recorder
+  /// track — to this possibly-upstream link, the one that injected the
+  /// damage (the delivering hop usually carries no fault state of its own).
+  fault::LinkFaultState* corrupted_by = nullptr;
 
   /// PacketOptions slot in the owning pool's side table; managed exclusively
   /// by PacketPool (kNoOptions for option-free packets).
@@ -91,10 +101,6 @@ struct Packet {
   bool ecn_capable = false;  ///< sender negotiated ECN
   bool ecn_marked = false;   ///< CE mark set by a router
   bool ecn_echo = false;     ///< receiver echoes CE back on ACKs
-  /// Payload corrupted by a fault channel; the delivering link drops it at
-  /// the final hop instead of handing it to the endpoint (the receiver's
-  /// checksum rejects it, so the endpoint never sees the packet).
-  bool corrupted = false;
 };
 
 static_assert(std::is_trivially_copyable_v<Packet>);

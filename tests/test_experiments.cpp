@@ -173,6 +173,58 @@ TEST(ParallelTransferTest, BatchSweepsSeeds) {
                batch[1].latency_s == batch[2].latency_s);
 }
 
+TEST(ParallelTransferTest, RobustPerFlowLatencyCoversReplacementLineages) {
+  ParallelTransferConfig cfg;
+  cfg.seed = 44;
+  cfg.flows = 2;
+  cfg.total_bytes = 4ULL << 20;
+  cfg.rtt = 10_ms;
+  cfg.timeout = 60_s;
+  cfg.robust = true;
+  // A 4 s outage early in slow start: both primaries stall, the watchdog
+  // supersedes them, and their replacements finish after the up edge.
+  cfg.fault.flaps.push_back(
+      {"bottleneck.fwd", 0.1, 4.0, 1.0, 1, fault::DownPolicy::kDrop});
+  const auto r = run_parallel_transfer(cfg);
+  ASSERT_TRUE(r.all_completed);
+  ASSERT_GE(r.stripes_retried, 1u);
+  // Superseded primaries report their lineage's completion, not -1: every
+  // chunk was delivered, so every per-flow latency is a real finish time.
+  ASSERT_EQ(r.per_flow_latency_s.size(), 2u);
+  double max_latency = 0.0;
+  for (double l : r.per_flow_latency_s) {
+    EXPECT_GE(l, 0.0) << "completed lineage reported as unfinished";
+    max_latency = std::max(max_latency, l);
+  }
+  EXPECT_DOUBLE_EQ(r.latency_s, max_latency);
+}
+
+TEST(ParallelTransferTest, RobustStragglerSplitsAcrossSurvivingFlows) {
+  ParallelTransferConfig cfg;
+  cfg.seed = 45;
+  cfg.flows = 3;
+  cfg.total_bytes = 24ULL << 20;
+  cfg.rtt = 10_ms;
+  cfg.timeout = 60_s;
+  cfg.robust = true;
+  cfg.watchdog_period = 100_ms;
+  cfg.stall_timeout = 500_ms;
+  cfg.retry_backoff = 100_ms;
+  // Flow 0's own access link dies for 8 s while the other flows keep moving:
+  // the first 1:1 replacement lands on the same dead path (round-robin), so
+  // its retry sees a live network and must *split* the remainder across
+  // several fresh flows — the multi-spawn path of RobustState::retry.
+  cfg.fault.flaps.push_back(
+      {"snd.acc.0", 0.2, 8.0, 1.0, 1, fault::DownPolicy::kDrop});
+  const auto r = run_parallel_transfer(cfg);
+  EXPECT_TRUE(r.all_completed);
+  EXPECT_GE(r.stripes_retried, 2u);
+  EXPECT_GE(r.restripes, 1u) << "straggler was never re-striped";
+  for (double l : r.per_flow_latency_s) {
+    EXPECT_GE(l, 0.0) << "completed lineage reported as unfinished";
+  }
+}
+
 TEST(LossVisibilityTest, WindowBasedHitsFewerFlowsThanRateBased) {
   LossVisibilityConfig cfg;
   cfg.seed = 51;

@@ -107,6 +107,38 @@ TEST(FaultPlanTest, RejectsMalformedInput) {
   }
 }
 
+TEST(FaultPlanTest, RejectsConflictingFlapSpecs) {
+  {
+    // Second spec starts inside the first's two-cycle span [1 s, 4 s).
+    std::istringstream in(
+        "flap l at=1 down=1 up=1 cycles=2 policy=drop\n"
+        "flap l at=2.5 down=1 policy=drop\n");
+    const fault::PlanParseResult r = fault::parse_plan(in);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("overlapping flap windows"), std::string::npos) << r.error;
+    EXPECT_TRUE(r.plan.empty());
+  }
+  {
+    // Disjoint windows, but a link has exactly one down policy.
+    std::istringstream in(
+        "flap l at=1 down=1 policy=drop\n"
+        "flap l at=10 down=1 policy=park\n");
+    const fault::PlanParseResult r = fault::parse_plan(in);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("conflicting flap policies"), std::string::npos) << r.error;
+  }
+  {
+    // Disjoint windows with one policy are a legitimate schedule.
+    std::istringstream in(
+        "flap l at=1 down=1 policy=park\n"
+        "flap l at=10 down=1 policy=park\n"
+        "flap other at=1.5 down=1 policy=drop\n");
+    const fault::PlanParseResult r = fault::parse_plan(in);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.plan.flaps.size(), 3u);
+  }
+}
+
 TEST(FaultPlanTest, MissingFileFailsCleanly) {
   const fault::PlanParseResult r = fault::parse_plan_file("/nonexistent/plan.txt");
   EXPECT_FALSE(r.ok);
@@ -124,6 +156,22 @@ TEST(FaultInjectorTest, UnknownLinkThrows) {
   fault::FaultPlan plan;
   plan.gilbert.push_back({"imaginary", 0.1, 0.5, 1.0, 0.0, -1.0});
   EXPECT_THROW(fault::FaultInjector(network, plan), std::runtime_error);
+}
+
+TEST(FaultInjectorTest, ConflictingFlapSpecsThrow) {
+  sim::Simulator sim(1);
+  net::Network network(sim);
+  (void)network.add_link("l", 8'000'000, 0_ms, std::make_unique<net::DropTailQueue>(8));
+  // Programmatically built plans bypass parse_plan(), so the injector must
+  // reject overlap/policy conflicts itself.
+  fault::FaultPlan plan;
+  plan.flaps.push_back({"l", 1.0, 1.0, 1.0, 2, fault::DownPolicy::kDrop});
+  plan.flaps.push_back({"l", 2.5, 1.0, 1.0, 1, fault::DownPolicy::kDrop});
+  EXPECT_THROW(fault::FaultInjector(network, plan), std::runtime_error);
+  plan.flaps[1] = {"l", 10.0, 1.0, 1.0, 1, fault::DownPolicy::kPark};
+  EXPECT_THROW(fault::FaultInjector(network, plan), std::runtime_error);
+  plan.flaps[1] = {"l", 10.0, 1.0, 1.0, 1, fault::DownPolicy::kDrop};
+  EXPECT_NO_THROW(fault::FaultInjector(network, plan));
 }
 
 TEST(FaultInjectorTest, CountersKeyedByLink) {
@@ -299,6 +347,40 @@ TEST(FaultCorruptTest, CertainCorruptionDropsEverythingAtTheReceiver) {
   ASSERT_EQ(sent, 50u);
   EXPECT_EQ(run.sink.count(), 0u) << "corrupted packets must fail the checksum";
   EXPECT_EQ(totals.corrupted, 50u);
+}
+
+TEST(FaultCorruptTest, MultiHopChecksumDropChargesTheCorruptingLink) {
+  sim::Simulator sim(26);
+  net::Network network(sim);
+  net::Link* first = network.add_link("first", 100'000'000, 5_ms,
+                                      std::make_unique<net::DropTailQueue>(64));
+  net::Link* last = network.add_link("last", 100'000'000, 5_ms,
+                                     std::make_unique<net::DropTailQueue>(64));
+  const net::Route* route = network.add_route({first, last});
+
+  fault::FaultPlan plan;
+  plan.corrupt.push_back({"first", 1.0, 0.0, 0.0, -1.0});
+  fault::FaultInjector inj(network, plan);
+  net::LossTrace trace;
+  inj.set_drop_tracer(&trace);  // attached to "first"'s fault state only
+
+  tcp::ProbeSink sink;
+  sink.attach_clock(&sim);
+  tcp::CbrSource::Params cp;
+  cp.interval = Duration::millis(10);
+  cp.duration = Duration::millis(10) * 20;
+  tcp::CbrSource src(sim, 1, cp);
+  src.connect(route, &sink);
+  src.start(TimePoint::zero());
+  sim.run();
+
+  ASSERT_EQ(src.packets_sent(), 20u);
+  EXPECT_EQ(sink.count(), 0u) << "corrupted packets must fail the checksum";
+  EXPECT_EQ(inj.counters("first").corrupted, 20u);
+  // The checksum drop executes at "last", which carries no fault state; the
+  // loss must still land in the corrupting link's tracer stream.
+  EXPECT_EQ(trace.drops().size(), 20u)
+      << "injected corruption losses missing from the drop trace";
 }
 
 TEST(FaultCorruptTest, CertainDuplicationDeliversEveryPacketTwice) {
