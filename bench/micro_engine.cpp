@@ -132,11 +132,23 @@ void BM_EventQueueSteadyStateAllocs(benchmark::State& state) {
     q.schedule(TimePoint(rng.uniform_int(0, 1'000'000)), [] {});
   }
   while (q.size() > n) (void)q.pop_and_run();
-  // A few untimed hold cycles settle transient capacities (the slot free
-  // list's high-water mark) before the counter window opens.
-  for (int i = 0; i < 64; ++i) {
-    const std::int64_t now = q.pop_and_run().ns();
-    q.schedule(TimePoint(now + rng.uniform_int(1, 1'000'000)), [] {});
+  // Warm past the ladder's first rung-window reseed (~134 ms of simulated
+  // time in): the reseed raises the rung/overflow capacity floors once per
+  // population high-water, and that one-time cost must not land inside the
+  // counter window. Then require a fully allocation-free hold round before
+  // opening it.
+  std::int64_t warm_now = 0;
+  while (warm_now < 300'000'000) {
+    warm_now = q.pop_and_run().ns();
+    q.schedule(TimePoint(warm_now + rng.uniform_int(1, 1'000'000)), [] {});
+  }
+  for (int round = 0; round < 64; ++round) {
+    const std::uint64_t before = g_heap_allocs.load();
+    for (int i = 0; i < 65536; ++i) {
+      warm_now = q.pop_and_run().ns();
+      q.schedule(TimePoint(warm_now + rng.uniform_int(1, 1'000'000)), [] {});
+    }
+    if (g_heap_allocs.load() == before) break;
   }
   std::uint64_t ops = 0;
   const std::uint64_t allocs_before = g_heap_allocs.load();
@@ -181,6 +193,59 @@ void BM_EventQueueCancelAllocs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventQueueCancelAllocs);
+
+void BM_TimerChurn(benchmark::State& state) {
+  // The RTO-timer pattern that motivated the ladder tier (DESIGN.md §11): a
+  // large population of far-future timers that are nearly always cancelled
+  // and re-armed before firing, while a sparse near-term stream actually
+  // dispatches. A single heap pays O(log n) sifts per re-arm; the ladder
+  // parks far timers in a rung or the overflow list for O(1).
+  const std::size_t n = 65536;
+  util::Rng rng(14);
+  sim::EventQueue q;
+  std::vector<sim::EventHandle> timers(n);
+  std::int64_t now = 0;
+  const auto far = [&] { return now + 200'000'000 + rng.uniform_int(0, 1'000'000'000); };
+  for (std::size_t i = 0; i < n; ++i) {
+    timers[i] = q.schedule(TimePoint(far()), [] {});
+  }
+  std::uint64_t ticks = 0;
+  const auto churn = [&] {
+    const std::size_t i = static_cast<std::size_t>(rng.next() % n);
+    timers[i].cancel();
+    timers[i] = q.schedule(TimePoint(far()), [] {});
+    if ((++ticks & 15u) == 0) {  // sparse near-term dispatch advances now
+      q.schedule(TimePoint(now + rng.uniform_int(1, 1'000)), [] {});
+      now = q.pop_and_run().ns();
+    }
+  };
+  // Warm until a full churn round allocates nothing: event slabs, rung
+  // buckets, and the compaction sweep must all be at their high-water marks
+  // before the zero-allocation window opens. Drive simulated time past the
+  // ladder's first rung-window reseed (at ~134 ms, when the construction-
+  // time window is exhausted) — that reseed raises the rung/overflow
+  // capacity floors once, and the one-time cost must stay out of the
+  // counter window.
+  while (now < 150'000'000) churn();
+  for (int round = 0; round < 256; ++round) {
+    const std::uint64_t before = g_heap_allocs.load();
+    for (int i = 0; i < 16384; ++i) churn();
+    if (g_heap_allocs.load() == before) break;
+  }
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    churn();
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.counters["timer_high_water"] = static_cast<double>(q.heap_high_water());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimerChurn);
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Rng rng(3);
@@ -366,6 +431,54 @@ void BM_FaultLinkForward(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FaultLinkForward);
+
+void BM_LinkBurstDrain(benchmark::State& state) {
+  // The burst-batched service path end to end (DESIGN.md §11): a standing
+  // backlog drains through kLinkBatch events — one scheduler event per
+  // up-to-kMaxBatch packets instead of one kLinkTx each — with per-packet
+  // side effects settled lazily. Items are packets; the zero-allocation
+  // gate applies to the whole drain.
+  sim::Simulator sim(15);
+  net::Network network(sim);
+  net::Link* link = network.add_link("l", 1'000'000'000ULL, Duration::micros(10),
+                                     std::make_unique<net::DropTailQueue>(2048));
+  const net::Route* route = network.add_route({link});
+  CountSink sink;
+  net::Packet pkt;
+  pkt.flow = 1;
+  pkt.size_bytes = 1000;
+  pkt.route = route;
+  pkt.sink = &sink;
+  constexpr int kBurst = 256;
+  const auto drain_burst = [&] {
+    for (int i = 0; i < kBurst; ++i) {
+      net::Packet p = pkt;
+      net::inject(std::move(p));
+    }
+    sim.run();
+  };
+  for (int i = 0; i < 8; ++i) drain_burst();  // pool/rings to high water
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  const std::uint64_t events_before = sim.events_executed();
+  const std::uint64_t batches_before = link->batches();
+  for (auto _ : state) {
+    drain_burst();
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  const std::uint64_t pkts = ops * static_cast<std::uint64_t>(kBurst);
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.counters["events_per_pkt"] =
+      static_cast<double>(sim.events_executed() - events_before) /
+      static_cast<double>(pkts == 0 ? 1 : pkts);
+  state.counters["batches"] = static_cast<double>(link->batches() - batches_before);
+  benchmark::DoNotOptimize(sink.count);
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+BENCHMARK(BM_LinkBurstDrain);
 
 void BM_HistogramAdd(benchmark::State& state) {
   util::Histogram h(0.0, 2.0, 100);

@@ -5,11 +5,31 @@
 # Usage: bench/run_engine_bench.sh [build-dir] [extra google-benchmark args]
 # The build dir defaults to ./build; the binary must already be built
 # (cmake --build <build-dir> --target micro_engine).
+#
+# The baseline is only meaningful from an optimized build: a debug-built
+# binary benchmarks assertion and invariant overhead, not the engine, and a
+# baseline recorded from one poisons every later comparison. Non-Release
+# build trees are therefore refused unless --allow-debug is passed (which
+# also warns so the run is not mistaken for a baseline).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
-shift || true
+
+allow_debug=0
+args=()
+for arg in "$@"; do
+  if [[ "${arg}" == "--allow-debug" ]]; then
+    allow_debug=1
+  else
+    args+=("${arg}")
+  fi
+done
+
+build_dir="${repo_root}/build"
+if [[ ${#args[@]} -gt 0 && "${args[0]}" != --* ]]; then
+  build_dir="${args[0]}"
+  args=("${args[@]:1}")
+fi
 
 bin="${build_dir}/bench/micro_engine"
 if [[ ! -x "${bin}" ]]; then
@@ -18,12 +38,38 @@ if [[ ! -x "${bin}" ]]; then
   exit 1
 fi
 
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${build_dir}/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "${build_type}" != "Release" && "${build_type}" != "RelWithDebInfo" ]]; then
+  if [[ "${allow_debug}" -ne 1 ]]; then
+    echo "error: ${build_dir} is a '${build_type:-unknown}' build; the recorded" >&2
+    echo "baseline must come from -DCMAKE_BUILD_TYPE=Release. Re-configure, or" >&2
+    echo "pass --allow-debug to record an explicitly non-baseline run." >&2
+    exit 1
+  fi
+  echo "warning: recording from a '${build_type:-unknown}' build (--allow-debug)" >&2
+fi
+
 "${bin}" \
   --benchmark_out="${repo_root}/BENCH_engine.json" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
-  "$@"
+  "${args[@]+"${args[@]}"}"
+
+# Stamp the tree's own build type into the context: google-benchmark's
+# `library_build_type` reflects how the *benchmark library* was compiled
+# (debug on systems with a debug libbenchmark package), which says nothing
+# about the engine code under test. tools/bench_gate.py trusts this field.
+python3 - "${repo_root}/BENCH_engine.json" "${build_type:-unknown}" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path, encoding="utf-8") as f:
+    data = json.load(f)
+data.setdefault("context", {})["cmake_build_type"] = build_type
+with open(path, "w", encoding="utf-8") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+EOF
 
 echo
 echo "wrote ${repo_root}/BENCH_engine.json"

@@ -1,52 +1,11 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
 namespace lossburst::sim {
 
-namespace {
-constexpr std::size_t kArity = 4;
-}  // namespace
-
-void EventQueue::sift_up(std::size_t i) const {
-  const HeapEntry e = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / kArity;
-    if (!e.before(heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = e;
-}
-
-void EventQueue::sift_down(std::size_t i) const {
-  const std::size_t n = heap_.size();
-  const HeapEntry e = heap_[i];
-  for (;;) {
-    const std::size_t first_child = i * kArity + 1;
-    if (first_child >= n) break;
-    const std::size_t last_child = std::min(first_child + kArity, n);
-    std::size_t best = first_child;
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      if (heap_[c].before(heap_[best])) best = c;
-    }
-    if (!heap_[best].before(e)) break;
-    heap_[i] = heap_[best];
-    i = best;
-  }
-  heap_[i] = e;
-}
-
-void EventQueue::pop_heap_entry() const {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-}
-
-void EventQueue::drop_stale_heads() const {
-  while (!heap_.empty() && slot_gen(heap_.front().slot) != heap_.front().gen) {
-    pop_heap_entry();
-  }
+EventQueue::EventQueue() {
+  // The ladder reads back through this to recognise cancelled (generation-
+  // mismatched) entries on every dispatch and sweep.
+  ladder_.set_owner(this);
 }
 
 void EventQueue::release_slot(std::uint32_t id) {
@@ -60,71 +19,79 @@ void EventQueue::release_slot(std::uint32_t id) {
 
 void EventQueue::cancel_handle(std::uint32_t id, std::uint32_t gen) {
   if (!handle_pending(id, gen)) return;
-  // Destroy the callback now (eager slot reuse); the heap entry goes stale
-  // and is skipped when it reaches the head.
-  if ((id & kLargePoolBit) != 0) {
-    auto& s = large_.slot(id & ~kLargePoolBit);
-    s.ops->destroy(s.buf);
+  // Recycle the slot eagerly; the timer entry goes stale and is dropped when
+  // its tier is swept or it reaches the heap head. A trivially-destructible
+  // callback (generation bit 0, recorded at schedule()) needs no destroy
+  // call, so its cancel never touches the slot's cold cache line — only the
+  // dense generation array. That matters: cancel-and-rearm is the RTO-timer
+  // pattern, and the slab stride is the cost that used to dominate it.
+  if ((gen & 1u) != 0) {
+    if ((id & kLargePoolBit) != 0) {
+      large_.release_trivial(id & ~kLargePoolBit);
+    } else {
+      small_.release_trivial(id);
+    }
+    --live_;
   } else {
-    auto& s = small_.slot(id);
-    s.ops->destroy(s.buf);
+    if ((id & kLargePoolBit) != 0) {
+      auto& s = large_.slot(id & ~kLargePoolBit);
+      s.ops->destroy(s.buf);
+    } else {
+      auto& s = small_.slot(id);
+      s.ops->destroy(s.buf);
+    }
+    release_slot(id);
   }
-  release_slot(id);
   ++cancelled_;
-  // Cancel-heavy churn (e.g. per-ACK RTO rescheduling) can fill the heap
-  // with stale entries faster than the head drains; compact in place when
+  // Cancel-heavy churn (e.g. per-ACK RTO rescheduling) can fill the ladder
+  // with stale entries faster than sweeps drain them; compact in place when
   // garbage dominates so memory stays bounded and allocation-free.
-  if (heap_.size() >= 64 && heap_.size() > 4 * live_) {
-    compact_heap();
+  const std::size_t total = ladder_.total_entries();
+  if (total >= 64 && total > 4 * live_) {
+    ladder_.compact();
     debug_validate();  // compaction rebuilt the heap; re-check its shape
   }
 }
 
 void EventQueue::debug_validate() const {
 #if LOSSBURST_INVARIANTS_ENABLED
-  std::size_t live_entries = 0;
-  for (std::size_t i = 0; i < heap_.size(); ++i) {
-    const HeapEntry& e = heap_[i];
-    if (i > 0) {
-      const HeapEntry& parent = heap_[(i - 1) / kArity];
-      LOSSBURST_INVARIANT(!e.before(parent),
-                          "event heap shape violated: child orders before its parent");
-    }
-    if (slot_gen(e.slot) == e.gen) ++live_entries;
-  }
+  const std::size_t live_entries = ladder_.debug_validate();
   LOSSBURST_INVARIANT(live_entries == live_,
-                      "event count conservation violated: live heap entries "
+                      "event count conservation violated: live ladder entries "
                       "disagree with the live-event counter");
 #endif
 }
 
-void EventQueue::compact_heap() {
-  const auto stale = [this](const HeapEntry& e) { return slot_gen(e.slot) != e.gen; };
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), stale), heap_.end());
-  if (heap_.size() > 1) {
-    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) sift_down(i);
-  }
-}
-
 TimePoint EventQueue::next_time() const {
   if (live_ == 0) return TimePoint::max();
-  drop_stale_heads();
-  return TimePoint(heap_.front().at_ns);
+  ladder_.ensure_front();
+  return TimePoint(ladder_.front().at_ns);
+}
+
+bool EventQueue::peek_next(NextEventMeta& m) const {
+  if (live_ == 0) return false;
+  ladder_.ensure_front();
+  const detail::TimerEntry& e = ladder_.front();
+  m = NextEventMeta{e.at_ns, slot_scheduled_at(e.slot), e.seq};
+  return true;
 }
 
 TimePoint EventQueue::pop_and_run() {
   assert(live_ > 0);
-  drop_stale_heads();
-  const HeapEntry e = heap_.front();
+  ladder_.ensure_front();
+  const detail::TimerEntry e = ladder_.front();
+  now_ns_ = e.at_ns;
+  cur_sched_ns_ = slot_scheduled_at(e.slot);
+  cur_seq_ = e.seq;
 #if LOSSBURST_INVARIANTS_ENABLED
   // Dispatch must be time-monotone: a head earlier than the previous pop
-  // means an event was scheduled into the simulated past (or the heap was
+  // means an event was scheduled into the simulated past (or the ladder was
   // corrupted) — either way determinism is gone.
   LOSSBURST_INVARIANT(e.at_ns >= last_pop_ns_,
                       "event dispatch went backwards in simulated time");
   last_pop_ns_ = e.at_ns;
 #endif
-  pop_heap_entry();
+  ladder_.pop_front();
   // Relocate the callback onto the stack and recycle the slot *before*
   // invoking: the callback may schedule new events (growing the slab) or
   // cancel anything, including a stale handle to itself (a no-op by then).

@@ -11,15 +11,21 @@
 //  - Slabs grow in chunks of 256 slots, so slots never move and steady-state
 //    schedule()/cancel()/pop_and_run() performs zero heap allocations once
 //    the pools and heap reach their high-water marks.
-//  - Each slot carries a generation counter, so an EventHandle is a
+//  - Each slot has a generation counter, so an EventHandle is a
 //    trivially-copyable {queue, slot id, generation} token — no per-event
-//    shared_ptr.
-//  - Ordering uses a 4-ary implicit heap of 24-byte {time, seq, slot, gen}
-//    entries keyed by (time, insertion sequence). The sequence number makes
-//    simultaneous events fire in scheduling order, which keeps runs
+//    shared_ptr. Generations live in a dense sidecar array (not the slab):
+//    staleness checks and cancels of trivially-destructible callbacks read
+//    and write only that array, never striding the slab itself.
+//  - Ordering uses a two-tier ladder queue (sim/ladder_queue.hpp, DESIGN.md
+//    §11): a 4-ary implicit heap of 24-byte {time, seq, slot, gen} entries
+//    for the near-now band, with O(1) calendar rungs and an overflow list
+//    for far-horizon timers (RTO, TFRC feedback, fault edges). Keys are
+//    (time, insertion sequence), so simultaneous events fire in scheduling
+//    order regardless of which tier they passed through, which keeps runs
 //    deterministic — the determinism regression test in
-//    tests/test_determinism.cpp guards this contract across engine rewrites.
-//  - cancel() destroys the callback and recycles the slot eagerly; the heap
+//    tests/test_determinism.cpp and the differential reference-queue test in
+//    tests/test_event_queue.cpp guard this contract across engine rewrites.
+//  - cancel() destroys the callback and recycles the slot eagerly; the timer
 //    entry goes stale (generation mismatch) and is skipped lazily.
 //
 // Lifetime contract: an EventHandle must not be used after its EventQueue is
@@ -38,6 +44,7 @@
 #include <vector>
 
 #include "obs/tags.hpp"
+#include "sim/ladder_queue.hpp"
 #include "util/invariant.hpp"
 #include "util/time.hpp"
 
@@ -77,9 +84,12 @@ class SlotPool {
   struct Slot {
     alignas(std::max_align_t) unsigned char buf[Capacity];
     const CallableOps* ops = nullptr;
-    std::uint32_t gen = 0;  // bumped when the slot is released (fire/cancel)
     // Profiler tag; rides in the slot's existing alignment padding, so it
-    // costs no space (48+8+4 rounds to 64 with or without it).
+    // costs no space (48+8+1 rounds to 64 with or without it). The slot's
+    // generation counter lives in the dense meta_ sidecar below, NOT here:
+    // staleness checks and cancels are the engine's hottest loads, and a
+    // per-slot counter would drag them through the multi-MB slab instead of
+    // a few hundred KB of hot memory.
     obs::EventTag tag = obs::EventTag::kGeneric;
   };
 
@@ -101,6 +111,16 @@ class SlotPool {
     return chunks_[idx / kChunkSlots][idx % kChunkSlots];
   }
 
+  /// Dense per-slot metadata: the generation word (bits 1+ count fire/cancel
+  /// cycles, bit 0 flags a trivially-destructible occupant) and the simulated
+  /// instant the occupant was scheduled at. One record so the dispatch path's
+  /// staleness check and scheduled-at read — and arm()'s writes of both —
+  /// land on a single cache line per slot.
+  struct SlotMeta {
+    std::int64_t sched_ns = 0;
+    std::uint32_t gen = 0;
+  };
+
   /// Hand out a free slot index, growing by one chunk when exhausted.
   [[nodiscard]] std::uint32_t acquire() {
     if (!free_.empty()) {
@@ -112,13 +132,43 @@ class SlotPool {
       // lossburst-lint: allow(datapath-alloc): slab growth; stops at the high-water mark
       chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
     }
+    // lossburst-lint: allow(datapath-alloc): sidecar growth; stops at the high-water mark
+    meta_.push_back(SlotMeta{});
     return count_++;
   }
 
+  /// Generation word for slot `idx`. Handles and timer entries carry the
+  /// whole word; equality against it is the staleness/pending test.
+  [[nodiscard]] std::uint32_t gen(std::uint32_t idx) const { return meta_[idx].gen; }
+
+  /// The simulated instant the slot's occupant was scheduled at (set by
+  /// arm(), read back at dispatch). Sidecar storage keeps it out of the
+  /// 24-byte timer entries the heap shuffles around.
+  [[nodiscard]] std::int64_t scheduled_at(std::uint32_t idx) const {
+    return meta_[idx].sched_ns;
+  }
+
+  /// Record the destructor class and scheduling instant of the slot's new
+  /// occupant; returns the generation word the entry/handle should carry.
+  std::uint32_t arm(std::uint32_t idx, bool trivial_destroy, std::int64_t sched_ns) {
+    SlotMeta& m = meta_[idx];
+    m.sched_ns = sched_ns;
+    m.gen = (m.gen & ~1u) | static_cast<std::uint32_t>(trivial_destroy);
+    return m.gen;
+  }
+
   void release(std::uint32_t idx) {
-    Slot& s = slot(idx);
-    s.ops = nullptr;
-    ++s.gen;
+    slot(idx).ops = nullptr;
+    meta_[idx].gen += 2;
+    free_.push_back(idx);
+  }
+
+  /// Release without touching the slab — valid only when the occupant is
+  /// trivially destructible (bit 0 of its generation word). The slot keeps
+  /// its stale ops pointer; it refers to a destroy that is a no-op, so the
+  /// pool destructor stays safe and the next acquire simply overwrites it.
+  void release_trivial(std::uint32_t idx) {
+    meta_[idx].gen += 2;
     free_.push_back(idx);
   }
 
@@ -127,6 +177,7 @@ class SlotPool {
 
  private:
   std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<SlotMeta> meta_;  // per-slot generation + scheduled-at records
   std::vector<std::uint32_t> free_;
   std::uint32_t count_ = 0;
 };
@@ -171,7 +222,7 @@ class EventQueue {
   /// a Packet by value, ~160 bytes). Revisit if Packet grows.
   static constexpr std::size_t kLargeCallable = 176;
 
-  EventQueue() = default;
+  EventQueue();
 
   // Handles store a pointer back to the queue, so it must stay put.
   EventQueue(const EventQueue&) = delete;
@@ -200,7 +251,7 @@ class EventQueue {
       ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
       s.ops = &detail::kCallableOps<D>;
       s.tag = tag;
-      gen = s.gen;
+      gen = small_.arm(idx, std::is_trivially_destructible_v<D>, now_ns_);
       id = idx;
     } else {
       const std::uint32_t idx = large_.acquire();
@@ -208,13 +259,11 @@ class EventQueue {
       ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
       s.ops = &detail::kCallableOps<D>;
       s.tag = tag;
-      gen = s.gen;
+      gen = large_.arm(idx, std::is_trivially_destructible_v<D>, now_ns_);
       id = idx | kLargePoolBit;
     }
-    heap_.push_back(HeapEntry{at.ns(), next_seq_++, id, gen});
-    sift_up(heap_.size() - 1);
+    ladder_.push(detail::TimerEntry{at.ns(), next_seq_++, id, gen});
     ++live_;
-    if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
     return EventHandle(this, id, gen);
   }
 
@@ -235,19 +284,44 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
 
   /// Engine telemetry (DESIGN.md §8): lifetime fired/cancelled counts and
-  /// the largest heap the run ever needed.
+  /// the most entries (all tiers, stale included) the run ever held at once.
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
   [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
-  [[nodiscard]] std::size_t heap_high_water() const { return heap_high_water_; }
+  [[nodiscard]] std::size_t heap_high_water() const { return ladder_.high_water(); }
 
   /// Tag of the most recently dispatched event (valid after pop_and_run).
   [[nodiscard]] obs::EventTag last_dispatch_tag() const { return last_tag_; }
 
-  /// Debug invariant sweep (DESIGN.md §9): full heap-shape validation
-  /// (every parent orders before its children), live-count conservation
-  /// (non-stale heap entries == live()), and slot-id range checks. O(n); a
-  /// no-op in release builds. Tests call it between operations; cancel()
-  /// also runs it after in-place compaction (rare).
+  /// Dispatch-order key of the event currently being dispatched: the
+  /// simulated instant it was scheduled at and its insertion sequence. Valid
+  /// while pop_and_run() is invoking a callback; the batched link service
+  /// compares these against its virtual per-packet boundaries to replay the
+  /// scalar path's same-instant dispatch order exactly (DESIGN.md §11).
+  [[nodiscard]] std::int64_t current_event_scheduled_at_ns() const { return cur_sched_ns_; }
+  [[nodiscard]] std::uint64_t current_event_seq() const { return cur_seq_; }
+
+  /// Dispatch-order key of the earliest pending event.
+  struct NextEventMeta {
+    std::int64_t at_ns;
+    std::int64_t scheduled_at_ns;
+    std::uint64_t seq;
+  };
+
+  /// Fill `m` with the earliest pending event's key; false when empty.
+  bool peek_next(NextEventMeta& m) const;
+
+  /// True when `e` refers to a fired or cancelled event (its slot's
+  /// generation moved on). The ladder consults this on every dispatch and
+  /// sweep; it must stay a single inlined load-and-compare.
+  [[nodiscard]] bool entry_stale(const detail::TimerEntry& e) const {
+    return slot_gen(e.slot) != e.gen;
+  }
+
+  /// Debug invariant sweep (DESIGN.md §9): full ladder validation (heap
+  /// shape, tier time-range confinement, monotone horizon), live-count
+  /// conservation (non-stale entries across all tiers == live()), and
+  /// slot-id range checks. O(n); a no-op in release builds. Tests call it
+  /// between operations; cancel() also runs it after compaction (rare).
   void debug_validate() const;
 
  private:
@@ -255,26 +329,18 @@ class EventQueue {
 
   static constexpr std::uint32_t kLargePoolBit = 0x8000'0000u;
 
-  // 24 bytes keyed by (time, seq); the callback lives in a slab slot.
-  struct HeapEntry {
-    std::int64_t at_ns;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    std::uint32_t gen;
-
-    [[nodiscard]] bool before(const HeapEntry& o) const {
-      if (at_ns != o.at_ns) return at_ns < o.at_ns;
-      return seq < o.seq;
-    }
-  };
+  [[nodiscard]] std::int64_t slot_scheduled_at(std::uint32_t id) const {
+    return (id & kLargePoolBit) != 0 ? large_.scheduled_at(id & ~kLargePoolBit)
+                                     : small_.scheduled_at(id);
+  }
 
   [[nodiscard]] std::uint32_t slot_gen(std::uint32_t id) const {
     LOSSBURST_INVARIANT(((id & kLargePoolBit) != 0 ? (id & ~kLargePoolBit) < large_.size()
                                                    : id < small_.size()),
                         "event slot id out of range: the handle was corrupted or "
                         "belongs to a different EventQueue");
-    return (id & kLargePoolBit) != 0 ? large_.slot(id & ~kLargePoolBit).gen
-                                     : small_.slot(id).gen;
+    return (id & kLargePoolBit) != 0 ? large_.gen(id & ~kLargePoolBit)
+                                     : small_.gen(id);
   }
 
   [[nodiscard]] bool handle_pending(std::uint32_t id, std::uint32_t gen) const {
@@ -289,22 +355,21 @@ class EventQueue {
   void cancel_handle(std::uint32_t id, std::uint32_t gen);
   void release_slot(std::uint32_t id);
 
-  // The heap maintenance helpers are const because observers (next_time)
-  // shed stale heads; they only touch the mutable `heap_`.
-  void sift_up(std::size_t i) const;
-  void sift_down(std::size_t i) const;
-  void pop_heap_entry() const;
-  void drop_stale_heads() const;
-  void compact_heap();
-
   detail::SlotPool<kSmallCallable> small_;
   detail::SlotPool<kLargeCallable> large_;
-  mutable std::vector<HeapEntry> heap_;
+  // The ladder is mutable because observers (next_time) shed stale heads
+  // and sweep tiers forward; neither changes the set of live events.
+  mutable detail::LadderQueue ladder_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  // Dispatch clock and current-event key (see the accessors above). now_ns_
+  // advances as events fire; schedule() stamps it into each new entry so
+  // same-instant ordering decisions can be replayed later.
+  std::int64_t now_ns_ = 0;
+  std::int64_t cur_sched_ns_ = 0;
+  std::uint64_t cur_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_ = 0;
-  std::size_t heap_high_water_ = 0;
   obs::EventTag last_tag_ = obs::EventTag::kGeneric;
 #if LOSSBURST_INVARIANTS_ENABLED
   // Dispatch-order watermark for the time-monotonicity invariant; absent
@@ -319,6 +384,21 @@ inline bool EventHandle::pending() const {
 
 inline void EventHandle::cancel() {
   if (q_ != nullptr) q_->cancel_handle(slot_, gen_);
+}
+
+inline bool detail::LadderQueue::stale(const Entry& e) const {
+  return owner_->entry_stale(e);
+}
+
+inline void detail::LadderQueue::ensure_front() {
+  // Fast path: a live heap head that no unswept tier can precede. Mirrors
+  // the authoritative-head test at the top of ensure_front_slow()'s loop;
+  // anything else (stale head, spent band, empty heap) takes the slow path.
+  if (!heap_.empty() && !stale(heap_.front())) {
+    if (rung_count_ == 0 && overflow_.empty()) return;
+    if (heap_.front().at_ns < (rung_count_ > 0 ? horizon_ns_ : rung_end_ns_)) return;
+  }
+  ensure_front_slow();
 }
 
 }  // namespace lossburst::sim

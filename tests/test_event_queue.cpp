@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "util/rng.hpp"
 
 namespace lossburst::sim {
 namespace {
@@ -237,6 +241,147 @@ TEST(EventQueueTest, CallbackDestructorRunsExactlyOnceOnCancel) {
     EXPECT_EQ(destroyed, 1);
   }
   EXPECT_EQ(destroyed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Differential validation of the two-tier ladder scheduler (DESIGN.md §11):
+// whatever mixture of horizons, cancels, and interleaved drains the queue
+// sees, its dispatch sequence must equal a naive reference — every
+// non-cancelled event stable-sorted by time, ties broken by insertion order.
+
+namespace {
+
+struct RefEvent {
+  std::int64_t at = 0;
+  int payload = 0;      ///< unique per schedule call
+  bool cancelled = false;
+  EventHandle h;
+};
+
+/// The reference dispatch order: schedule order is the vector order, so a
+/// stable sort by time alone reproduces the (time, insertion seq) contract.
+std::vector<std::pair<std::int64_t, int>> reference_order(std::vector<RefEvent> evs) {
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const RefEvent& a, const RefEvent& b) { return a.at < b.at; });
+  std::vector<std::pair<std::int64_t, int>> out;
+  for (const RefEvent& e : evs) {
+    if (!e.cancelled) out.emplace_back(e.at, e.payload);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(EventQueueTest, DifferentialRandomizedDispatchOrder) {
+  // Offsets are drawn from four scales so entries land in (and migrate
+  // between) every tier: the near heap, the rung band, and the overflow
+  // list, with drains forcing rung sweeps and overflow reseeds in between.
+  util::Rng rng(0x1adde8);
+  EventQueue q;
+  std::vector<RefEvent> evs;
+  std::vector<std::pair<std::int64_t, int>> got;
+  std::int64_t now = 0;
+  int next_payload = 0;
+
+  const auto draw_offset = [&]() -> std::int64_t {
+    switch (rng.next() & 3u) {
+      case 0: return static_cast<std::int64_t>(rng.next() & 0x3FFu);         // near
+      case 1: return static_cast<std::int64_t>(rng.next() & 0xFFFFFFu);      // rungs
+      case 2: return static_cast<std::int64_t>(rng.next() & 0x3FFFFFFFFFull);  // overflow
+      default: return static_cast<std::int64_t>(rng.next() & 0x7u);          // ties
+    }
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    const std::uint64_t op = rng.next() % 10u;
+    if (op < 5u) {  // schedule a small burst
+      const int k = 1 + static_cast<int>(rng.next() % 4u);
+      for (int i = 0; i < k; ++i) {
+        RefEvent e;
+        e.at = now + draw_offset();
+        e.payload = next_payload++;
+        const std::int64_t at = e.at;
+        const int payload = e.payload;
+        e.h = q.schedule(TimePoint(e.at), [&got, at, payload] {
+          got.emplace_back(at, payload);
+        });
+        evs.push_back(e);
+      }
+    } else if (op < 7u) {  // cancel a random still-pending event (any tier)
+      if (!evs.empty()) {
+        RefEvent& e = evs[rng.next() % evs.size()];
+        if (e.h.pending()) {
+          e.h.cancel();
+          e.cancelled = true;
+        }
+      }
+    } else {  // drain a few events, advancing now
+      const int k = 1 + static_cast<int>(rng.next() % 6u);
+      for (int i = 0; i < k && !q.empty(); ++i) {
+        const TimePoint t = q.pop_and_run();
+        EXPECT_GE(t.ns(), now);
+        now = t.ns();
+        ASSERT_FALSE(got.empty());
+        EXPECT_EQ(got.back().first, t.ns()) << "pop time must match event time";
+      }
+    }
+  }
+  while (!q.empty()) q.pop_and_run();
+
+  EXPECT_EQ(got, reference_order(evs));
+}
+
+TEST(EventQueueTest, CancelOverflowedHandleThenReseed) {
+  // Entries past the rung band live in the overflow tier; cancelling them
+  // there must neither fire them nor disturb the order of survivors once
+  // the band is re-anchored around the far cluster.
+  EventQueue q;
+  std::vector<std::pair<std::int64_t, int>> got;
+  const auto record = [&](std::int64_t at, int payload) {
+    return q.schedule(TimePoint(at), [&got, at, payload] { got.emplace_back(at, payload); });
+  };
+  std::vector<RefEvent> evs;
+  const auto add = [&](std::int64_t at) {
+    RefEvent e;
+    e.at = at;
+    e.payload = static_cast<int>(evs.size());
+    e.h = record(at, e.payload);
+    evs.push_back(e);
+  };
+  // A near cluster, then a far cluster well beyond the initial rung band,
+  // including equal-timestamp runs whose FIFO order must survive the
+  // overflow -> rung -> heap migrations.
+  for (int i = 0; i < 32; ++i) add(10 + i);
+  const std::int64_t far = (1LL << 40) + 123;
+  for (int i = 0; i < 32; ++i) add(far + (i / 4) * 1000);  // 4-way ties
+  // Cancel every third far entry while it still sits in overflow, plus one
+  // near entry for contrast.
+  for (std::size_t i = 32; i < evs.size(); i += 3) {
+    evs[i].h.cancel();
+    evs[i].cancelled = true;
+  }
+  evs[5].h.cancel();
+  evs[5].cancelled = true;
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(got, reference_order(evs));
+}
+
+TEST(EventQueueTest, CancelEntireOverflowThenScheduleNearAgain) {
+  // Cancelling the whole far horizon must leave the queue fully usable:
+  // live accounting intact, later near-term scheduling unaffected.
+  EventQueue q;
+  std::vector<EventHandle> far;
+  far.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    far.push_back(q.schedule(TimePoint((1LL << 45) + i), [] { FAIL(); }));
+  }
+  int ran = 0;
+  q.schedule(TimePoint(1), [&] { ++ran; });
+  for (EventHandle& h : far) h.cancel();
+  q.schedule(TimePoint(2), [&] { ++ran; });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(EventQueueTest, QueueDestructorDestroysUnfiredCallbacks) {

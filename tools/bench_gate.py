@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_engine run against the committed Release baseline.
+
+Usage: tools/bench_gate.py CURRENT.json [--baseline BENCH_engine.json]
+       [--tolerance 0.10]
+
+For every benchmark present in both files that reports an ``items_per_second``
+rate (events/sec or packets/sec), the current rate must be within
+``tolerance`` of the baseline rate on the slow side; speedups always pass.
+Benchmarks missing from either side are reported but only *baseline*
+benchmarks missing from the current run fail the gate — new benchmarks are
+expected to appear before their baseline is re-recorded.
+
+The committed baseline is recorded by ``bench/run_engine_bench.sh`` with
+``--benchmark_repetitions=3 --benchmark_report_aggregates_only=true``; this
+script reads the ``_median`` aggregate when present and the raw entry
+otherwise, so it accepts both aggregated baselines and single-repetition CI
+smoke runs.
+
+Stdlib only — no pip dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rates(path: str) -> dict[str, float]:
+    """Map benchmark name (sans aggregate suffix) -> items_per_second."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    rates: dict[str, float] = {}
+    raw: dict[str, float] = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        if b.get("aggregate_name") == "median":
+            rates[name[: -len("_median")]] = ips
+        elif "aggregate_name" not in b:
+            raw[name] = ips
+    # Prefer the median aggregate; fall back to the raw (single-rep) entry.
+    for name, ips in raw.items():
+        rates.setdefault(name, ips)
+    return rates
+
+
+def main() -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="benchmark JSON from the candidate build")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(repo_root, "BENCH_engine.json"),
+        help="committed baseline JSON (default: BENCH_engine.json at repo root)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown vs baseline (default 0.10 = 10%%)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        ctx = json.load(f).get("context", {})
+    # Prefer the tree's own build type, stamped by bench/run_engine_bench.sh;
+    # google-benchmark's library_build_type describes the benchmark *library*
+    # and is "debug" on systems shipping a debug libbenchmark.
+    build_type = ctx.get(
+        "cmake_build_type", ctx.get("library_build_type", "unknown")
+    ).lower()
+    if build_type not in ("release", "relwithdebinfo"):
+        print(
+            f"error: baseline {args.baseline} was recorded from a "
+            f"'{build_type}' build; re-record it with bench/run_engine_bench.sh "
+            "from a Release tree",
+            file=sys.stderr,
+        )
+        return 2
+
+    base = load_rates(args.baseline)
+    cur = load_rates(args.current)
+    if not base:
+        print("error: baseline reports no items_per_second rates", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for name in sorted(base):
+        if name not in cur:
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        ratio = cur[name] / base[name]
+        status = "OK  " if ratio >= 1.0 - args.tolerance else "FAIL"
+        print(
+            f"{status} {name}: {cur[name]:.3e} vs baseline {base[name]:.3e} "
+            f"items/s ({ratio:+.1%} of baseline)"
+        )
+        if status == "FAIL":
+            failures.append(
+                f"{name}: {ratio:.1%} of baseline rate "
+                f"(floor {1.0 - args.tolerance:.0%})"
+            )
+    for name in sorted(set(cur) - set(base)):
+        print(f"new  {name}: {cur[name]:.3e} items/s (no baseline yet)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) below the gate:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(base)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,8 @@ HASH_ITER_DIRS = ("src/sim", "src/net", "src/tcp", "src/analysis", "src/fault")
 DATAPATH_FILES = (
     "src/sim/event_queue.hpp",
     "src/sim/event_queue.cpp",
+    "src/sim/ladder_queue.hpp",
+    "src/sim/ladder_queue.cpp",
     "src/net/packet_pool.hpp",
     "src/net/queue.hpp",
     "src/net/queue.cpp",

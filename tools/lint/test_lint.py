@@ -197,6 +197,19 @@ def main() -> int:
             "void hold(std::function<void()> f) { f(); }\n",
             "datapath-alloc",
         )
+        expect_finding(
+            "datapath-alloc: ladder queue header is a datapath file",
+            tmp, "src/sim/ladder_queue.hpp",
+            "int* per_entry() { return new int; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: ladder queue impl is a datapath file",
+            tmp, "src/sim/ladder_queue.cpp",
+            "#include <memory>\n"
+            "std::shared_ptr<int> rung() { return std::make_shared<int>(1); }\n",
+            "datapath-alloc",
+        )
 
         # ------------------------------------------------ untagged-event
         expect_finding(
