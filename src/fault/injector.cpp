@@ -135,6 +135,12 @@ FaultInjector::~FaultInjector() {
 
 void FaultInjector::schedule_flap(net::Link* link, const FlapSpec& spec,
                                   LinkFaultState* state) {
+  if (link->is_boundary()) {
+    // Down edges kill packets mid-flight; once a packet has been handed to
+    // another shard its flight cannot be recalled race-free (DESIGN.md §12).
+    throw std::runtime_error("fault plan: flap spec on shard-boundary link '" +
+                             spec.link + "' is not supported");
+  }
   sim::Simulator& sim = net_.sim();
   const std::int64_t period_ns = to_ns(spec.down_s) + to_ns(spec.up_s);
   state->change_edges.reserve(state->change_edges.size() + 2 * spec.cycles);
@@ -153,6 +159,12 @@ void FaultInjector::schedule_flap(net::Link* link, const FlapSpec& spec,
 
 void FaultInjector::schedule_stall(net::Link* link, const StallSpec& spec,
                                    LinkFaultState* state) {
+  if (link->is_boundary()) {
+    // Stall windows park in-flight packets for later release; the parked set
+    // cannot span a shard cut (DESIGN.md §12).
+    throw std::runtime_error("fault plan: stall spec on shard-boundary link '" +
+                             spec.link + "' is not supported");
+  }
   sim::Simulator& sim = net_.sim();
   const std::int64_t period_ns =
       spec.every_s > 0.0 ? to_ns(spec.every_s) : to_ns(spec.dur_s);

@@ -1,0 +1,100 @@
+#include "inet/shard_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lossburst::inet {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> size;
+
+  explicit UnionFind(std::size_t n) : parent(n), size(n, 1) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  /// Union by smaller root id so labels stay deterministic.
+  void merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+    size[a] += size[b];
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> partition_regions(std::size_t regions,
+                                           std::vector<RegionEdge> edges,
+                                           std::size_t shards) {
+  if (shards == 0 || shards > regions) {
+    throw std::invalid_argument(
+        "partition_regions: need 1 <= shards <= regions");
+  }
+  UnionFind uf(regions);
+  std::size_t clusters = regions;
+  const std::size_t cap = (regions + shards - 1) / shards;
+
+  std::sort(edges.begin(), edges.end(), [](const RegionEdge& x, const RegionEdge& y) {
+    if (x.latency_ns != y.latency_ns) return x.latency_ns < y.latency_ns;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  for (const RegionEdge& e : edges) {
+    if (clusters == shards) break;
+    if (e.a >= regions || e.b >= regions) {
+      throw std::out_of_range("partition_regions: edge names a missing region");
+    }
+    const std::size_t ra = uf.find(e.a);
+    const std::size_t rb = uf.find(e.b);
+    if (ra == rb || uf.size[ra] + uf.size[rb] > cap) continue;
+    uf.merge(ra, rb);
+    --clusters;
+  }
+  // The balance cap can strand the merge (every remaining pair would exceed
+  // it) while clusters > shards: finish by merging the smallest clusters,
+  // smallest root id first — balance over cut quality at that point.
+  while (clusters > shards) {
+    std::size_t first = regions;
+    std::size_t second = regions;
+    for (std::size_t r = 0; r < regions; ++r) {
+      if (uf.find(r) != r) continue;
+      const auto better = [&](std::size_t cand, std::size_t cur) {
+        return cur == regions || uf.size[cand] < uf.size[cur];
+      };
+      if (better(r, first)) {
+        second = first;
+        first = r;
+      } else if (better(r, second)) {
+        second = r;
+      }
+    }
+    uf.merge(first, second);
+    --clusters;
+  }
+  // Normalize: shard ids by first appearance over region index order.
+  std::vector<std::size_t> label(regions, regions);
+  std::vector<std::size_t> out(regions);
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < regions; ++r) {
+    const std::size_t root = uf.find(r);
+    if (label[root] == regions) label[root] = next++;
+    out[r] = label[root];
+  }
+  return out;
+}
+
+}  // namespace lossburst::inet

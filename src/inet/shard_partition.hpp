@@ -1,0 +1,36 @@
+// Latency-aware region partitioner for the sharded campaign (DESIGN.md §12).
+//
+// The conservative engine's epoch length is bounded by the smallest
+// propagation delay crossing a shard cut, so a good partition keeps
+// low-latency edges inside shards and cuts only long-haul backbone links.
+// Regions (continental clusters of sites) are grouped by single-linkage
+// agglomerative clustering: merge the lowest-latency region pairs first,
+// under a balance cap, until exactly `shards` groups remain. Everything is
+// deterministic in the inputs — no RNG, no iteration-order dependence — so
+// the same topology always yields the same partition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::inet {
+
+struct RegionEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::int64_t latency_ns = 0;  ///< one-way propagation between the regions
+};
+
+/// Group `regions` into exactly `shards` clusters. Merges edges in ascending
+/// (latency, a, b) order subject to a balance cap of ceil(regions/shards)
+/// regions per cluster; if the cap strands more than `shards` clusters, the
+/// smallest clusters merge regardless of latency until the count is exact.
+/// Returned labels are normalized by first appearance (region 0's cluster is
+/// shard 0), so equal inputs give byte-equal outputs. Requires
+/// 1 <= shards <= regions.
+std::vector<std::size_t> partition_regions(std::size_t regions,
+                                           std::vector<RegionEdge> edges,
+                                           std::size_t shards);
+
+}  // namespace lossburst::inet

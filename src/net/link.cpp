@@ -102,7 +102,17 @@ void Link::enqueue(PacketHandle h) {
   if (!queue_->enqueue(h)) return;  // dropped (queue released the handle)
   // A down or stalled link keeps accepting into its queue (the router buffer
   // survives an interface flap); serialization resumes on the up edge.
-  if (!busy_ && !(fault_ != nullptr && fault_->gates_tx())) service();
+  if (busy_ || (fault_ != nullptr && fault_->gates_tx())) return;
+  // Idle line: the packet just queued is alone — every other path out of
+  // busy_ either drains the queue or closes the tx gates, and the gate
+  // reopening edge services immediately. So the single-packet forwarding
+  // steady state skips service()'s burst sizing (and its virtual
+  // queue-length probe) and goes straight to the serializer; bursts only
+  // ever form behind a busy line, where finish_tx/batch_finish still route
+  // through service().
+  LOSSBURST_INVARIANT(queue_->len_packets() == 1,
+                      "an idle ungated link found more than the just-queued packet");
+  start_tx();
 }
 
 // Serve the queue head: a whole back-to-back burst under one kLinkBatch
@@ -162,7 +172,7 @@ bool Link::try_start_batch() {
   // start_tx would schedule the first packet's kLinkTx event, so its
   // insertion sequence *is* the one that event would have carried — the
   // anchor every same-instant settlement decision compares against.
-  batch_anchor_seq_ = sim_.queue().scheduled_count();
+  batch_anchor_seq_ = sim_.queue().next_seq();
   batch_event_ = sim_.at(TimePoint(batch_finish_ns_[n - 1]), [this] { batch_finish(); },
                          obs::EventTag::kLinkBatch);
   // The first packet starts serializing right now — dequeue it, exactly as
@@ -175,7 +185,9 @@ bool Link::try_start_batch() {
   // With no pending arrival there is no delivery chain to ride on; arm one
   // for the burst's first packet that will actually arrive (Gilbert drops
   // never enter the flight, so arming on one would fire into thin air).
-  if (!arrive_event_.pending()) {
+  // Boundary links have no local flight at all — propagation replays on the
+  // destination shard — so they never arm arrivals.
+  if (boundary_ == nullptr && !arrive_event_.pending()) {
     if (!flight_.empty()) {
       arrive_event_ = sim_.at(TimePoint(flight_.front().arrive_ns),
                               [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
@@ -279,6 +291,15 @@ void Link::resolve_batch_head(std::int64_t fin_ns, std::uint8_t v) {
     ++fault_->counters.duplicated;
     duplicated = true;
   }
+  if (boundary_ != nullptr) {
+    // Cross-shard exit: hand off at the settled finish time; the
+    // destination shard replays propagation (see finish_tx).
+    const Packet& p = pool_[head];
+    boundary_->handoff(p, pool_.options_of(p), fin_ns);
+    if (duplicated) boundary_->handoff(p, pool_.options_of(p), fin_ns);
+    pool_.release(head);
+    return;
+  }
   flight_.push_back(InFlight{head, arrive_ns});
   if (duplicated) {
     const Packet& p = pool_[head];
@@ -311,11 +332,10 @@ void Link::batch_finish() {
     busy_ = false;  // resumed by the up / unstall edge
     return;
   }
-  if (!queue_->empty()) {
-    service();
-  } else {
-    busy_ = false;
-  }
+  // The line goes idle before the queue check: service() (and enqueue's
+  // idle fast path) may assume !busy_ on entry.
+  busy_ = false;
+  if (!queue_->empty()) service();
 }
 
 void Link::start_tx() {
@@ -363,29 +383,39 @@ void Link::finish_tx() {
     }
   }
   if (!lost) {
-    flight_.push_back(InFlight{head, arrive_ns});
-    if (duplicated) {
+    if (boundary_ != nullptr) {
+      // Cross-shard exit (DESIGN.md §12): the packet leaves this shard at
+      // serialization end; the destination shard replays propagation and
+      // delivery. Gilbert/corrupt/duplicate verdicts were resolved above,
+      // on this side of the cut, so the fault RNG streams advance exactly
+      // as in the serial run.
       const Packet& p = pool_[head];
-      flight_.push_back(InFlight{pool_.materialize(p, pool_.options_of(p)), arrive_ns});
-    }
-    if (fault_ != nullptr && fault_->down) {
-      // DownPolicy::kPark: hold in the frozen flight; fault_set_down(false)
-      // replays the backlog.
-      fault_->counters.parked += duplicated ? 2u : 1u;
-    } else if (!arrive_event_.pending()) {
-      arrive_event_ =
-          sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
+      const std::int64_t finish_ns = sim_.now().ns();
+      boundary_->handoff(p, pool_.options_of(p), finish_ns);
+      if (duplicated) boundary_->handoff(p, pool_.options_of(p), finish_ns);
+      pool_.release(head);
+    } else {
+      flight_.push_back(InFlight{head, arrive_ns});
+      if (duplicated) {
+        const Packet& p = pool_[head];
+        flight_.push_back(InFlight{pool_.materialize(p, pool_.options_of(p)), arrive_ns});
+      }
+      if (fault_ != nullptr && fault_->down) {
+        // DownPolicy::kPark: hold in the frozen flight; fault_set_down(false)
+        // replays the backlog.
+        fault_->counters.parked += duplicated ? 2u : 1u;
+      } else if (!arrive_event_.pending()) {
+        arrive_event_ = sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); },
+                                obs::EventTag::kLinkArrive);
+      }
     }
   }
   if (fault_ != nullptr && fault_->gates_tx()) {
     busy_ = false;  // resumed by the up / unstall edge
     return;
   }
-  if (!queue_->empty()) {
-    service();
-  } else {
-    busy_ = false;
-  }
+  busy_ = false;  // idle before the queue check: service() asserts !busy_
+  if (!queue_->empty()) service();
 }
 
 void Link::on_arrival() {
@@ -466,27 +496,32 @@ void Link::finish_aborted(std::uint8_t v) {
     }
   }
   if (!lost) {
-    flight_.push_back(InFlight{head, arrive_ns});
-    if (duplicated) {
+    if (boundary_ != nullptr) {
       const Packet& p = pool_[head];
-      flight_.push_back(InFlight{pool_.materialize(p, pool_.options_of(p)), arrive_ns});
-    }
-    if (fault_ != nullptr && fault_->down) {
-      fault_->counters.parked += duplicated ? 2u : 1u;
-    } else if (!arrive_event_.pending()) {
-      arrive_event_ =
-          sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); }, obs::EventTag::kLinkArrive);
+      const std::int64_t finish_ns = sim_.now().ns();
+      boundary_->handoff(p, pool_.options_of(p), finish_ns);
+      if (duplicated) boundary_->handoff(p, pool_.options_of(p), finish_ns);
+      pool_.release(head);
+    } else {
+      flight_.push_back(InFlight{head, arrive_ns});
+      if (duplicated) {
+        const Packet& p = pool_[head];
+        flight_.push_back(InFlight{pool_.materialize(p, pool_.options_of(p)), arrive_ns});
+      }
+      if (fault_ != nullptr && fault_->down) {
+        fault_->counters.parked += duplicated ? 2u : 1u;
+      } else if (!arrive_event_.pending()) {
+        arrive_event_ = sim_.at(TimePoint(arrive_ns), [this] { on_arrival(); },
+                                obs::EventTag::kLinkArrive);
+      }
     }
   }
   if (fault_ != nullptr && fault_->gates_tx()) {
     busy_ = false;  // resumed by the up / unstall edge
     return;
   }
-  if (!queue_->empty()) {
-    service();
-  } else {
-    busy_ = false;
-  }
+  busy_ = false;  // idle before the queue check: service() asserts !busy_
+  if (!queue_->empty()) service();
 }
 
 void Link::fault_set_down(bool down) {

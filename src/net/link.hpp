@@ -33,6 +33,21 @@
 
 namespace lossburst::net {
 
+/// Far end of a link whose receiver lives in another shard (DESIGN.md §12).
+/// When attached, the link's serializer hands every surviving packet to
+/// handoff() at the end of its serialization slot — in place of the local
+/// flight/arrival path — and the destination shard replays propagation and
+/// delivery on its side of the cut. Implemented by net::ShardedNetwork.
+class BoundaryHop {
+ public:
+  virtual ~BoundaryHop() = default;
+  /// `finish_ns` is the serialization end — the instant the serial engine
+  /// would have scheduled the arrival at (the wedge key); arrival is
+  /// finish + delay, computed by the destination. Duplicates call twice.
+  virtual void handoff(const Packet& pkt, const PacketOptions* opt,
+                       std::int64_t finish_ns) = 0;
+};
+
 class Link {
  public:
   /// `rate_bps` is the line rate in bits/second; `delay` the one-way
@@ -87,6 +102,14 @@ class Link {
   void set_processing_jitter(std::function<Duration()> fn) {
     processing_jitter_ = std::move(fn);
   }
+
+  /// Mark this link as crossing a shard boundary (DESIGN.md §12): packets
+  /// leave through `b->handoff()` at serialization end instead of entering
+  /// the local flight. Set once at topology wiring; flap/stall fault specs
+  /// are rejected on boundary links (their in-flight kill/park semantics
+  /// cannot be replayed race-free across the cut).
+  void set_boundary(BoundaryHop* b) { boundary_ = b; }
+  [[nodiscard]] bool is_boundary() const { return boundary_ != nullptr; }
 
   /// Attach (or with nullptr detach) fault-injection state (DESIGN.md §10).
   /// The state is owned by the fault::FaultInjector and must outlive the
@@ -160,6 +183,7 @@ class Link {
   sim::EventHandle arrive_event_;  ///< pending head-of-flight arrival
   sim::EventHandle batch_event_;   ///< pending kLinkBatch (cancellable on abort)
   fault::LinkFaultState* fault_ = nullptr;  ///< owned by the FaultInjector
+  BoundaryHop* boundary_ = nullptr;         ///< owned by the ShardedNetwork
   bool busy_ = false;
 
   // Active burst (DESIGN.md §11). Packet k of the batch is dequeued at its

@@ -13,6 +13,7 @@
 // in debug builds and is detectably invalid via valid() everywhere.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -52,6 +53,12 @@ class PacketPool {
       if (count_ % kChunkSlots == 0) {
         // lossburst-lint: allow(datapath-alloc): slab growth; stops at the high-water mark
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+        // The free list can never hold more than count_ indices; reserving
+        // at chunk growth makes release() allocation-free unconditionally,
+        // not just once occupancy stops dipping to new minimums. bit_ceil
+        // keeps the growth geometric (an exact-size reserve per chunk would
+        // realloc-and-copy on every chunk).
+        free_.reserve(std::bit_ceil(count_ + kChunkSlots));
       }
       idx = count_++;
     }
@@ -115,6 +122,7 @@ class PacketPool {
         if (opt_count_ % kChunkSlots == 0) {
           // lossburst-lint: allow(datapath-alloc): side-table growth; stops at the high-water mark
           opt_chunks_.push_back(std::make_unique<PacketOptions[]>(kChunkSlots));
+          opt_free_.reserve(std::bit_ceil(opt_count_ + kChunkSlots));  // mirrors free_ above
         }
         pkt.opt = opt_count_++;
       }

@@ -1,0 +1,229 @@
+// Sharded topology container for the conservative parallel engine
+// (DESIGN.md §12).
+//
+// A ShardedNetwork owns K shards — each a (Simulator, Network) pair with its
+// own event queue, clock, and PacketPool — plus everything that crosses the
+// cuts: globally-interned routes, per-(src,dst) mailboxes, and the
+// BoundaryHop adapters that intercept packets at a boundary link's
+// serialization end. Cross-shard semantics:
+//
+//  - A boundary link lives entirely in its source shard: queueing,
+//    serialization, and every fault verdict (Gilbert / corrupt / duplicate)
+//    resolve there, so the fault RNG streams advance exactly as in a serial
+//    run. Only propagation and delivery replay on the destination side.
+//  - Handoffs carry (finish_ns, link creation index, per-link sequence) so
+//    the destination can sort one epoch's arrivals into a deterministic
+//    total order and wedge them into serial dispatch rank
+//    (EventQueue::schedule_wedged): arrival time finish + delay, virtual
+//    schedule instant finish — the instant the serial engine's finish_tx
+//    would have armed the arrival.
+//  - Corrupted packets carry the *global index* of the injecting link across
+//    the cut; the destination rewrites Packet::corrupted_by to a shard-local
+//    proxy state whose tracer routes the eventual checksum drop back to the
+//    injecting link's shard as a DropReport, applied (sorted) at the next
+//    barrier. The replayed drop report carries queue length 0 — the
+//    delivering queue's occupancy is not observable across the cut.
+//  - Flap and stall specs are rejected on boundary links (their in-flight
+//    kill/park semantics cannot be replayed race-free across the cut); the
+//    FaultInjector refuses such plans at construction.
+//
+// Threading discipline: a mailbox indexed [dst][src] is written only by
+// shard src during the run phase and read/cleared only by shard dst during
+// the drain phase; the coordinator's barriers provide the happens-before, so
+// the mailboxes need no atomics (see shard_mailbox.hpp).
+//
+// Determinism caveat (DESIGN.md §12): a cross-shard arrival that lands at
+// the exact instant the destination shard makes a *local* schedule call at
+// that same instant is ranked after that call; the serial engine would
+// compare raw insertion sequences. The outcome is deterministic and
+// shard-count-independent for K >= 2; K == 1 bypasses the machinery
+// entirely and is the serial engine, so exact finish-time collisions of
+// unrelated events are the one place a K>1 run may diverge from K=1. Real
+// topologies (heterogeneous latencies, ns-resolution clocks) do not produce
+// such collisions; the byte-identity test in tests/test_shard.cpp holds
+// K in {1,2,4,8} to the same digest.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/shard_coordinator.hpp"
+#include "sim/shard_mailbox.hpp"
+
+namespace lossburst::net {
+
+class ShardedNetwork {
+ public:
+  /// `seed` feeds each shard's Simulator root RNG via SplitMix64. Component
+  /// streams that must be shard-count-independent (sources, fault plans)
+  /// must NOT derive from these — derive them from (campaign seed, global
+  /// component id) instead; the per-shard sim RNGs exist only for
+  /// shard-local conveniences that never touch results.
+  explicit ShardedNetwork(std::size_t shards, std::uint64_t seed = 1);
+  ~ShardedNetwork();
+
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  [[nodiscard]] std::size_t shards() const { return ctxs_.size(); }
+  [[nodiscard]] sim::Simulator& sim(std::size_t shard);
+  [[nodiscard]] Network& network(std::size_t shard);
+
+  /// Create a link inside `shard`. Creation order across the whole topology
+  /// is the link's global index — the deterministic tie-break key for
+  /// cross-shard arrival ordering — so topology builders must create links
+  /// in a partition-independent order.
+  Link* add_link(std::size_t shard, std::string name, std::uint64_t rate_bps,
+                 Duration delay, std::unique_ptr<Queue> queue);
+
+  /// Declare that `link`'s receiver side lives in `dst_shard`: attaches the
+  /// BoundaryHop adapter. The link's propagation delay must be positive (it
+  /// bounds the lookahead) and must be marked before any route through it is
+  /// added. No-op when src == dst (the link is simply shard-local).
+  void mark_boundary(Link* link, std::size_t dst_shard);
+
+  /// Intern a route; hops may span shards. Validates that every cut in the
+  /// route happens at a marked boundary link into the right shard.
+  const Route* add_route(Route hops);
+
+  /// Link lookup by name across all shards (nullptr when absent). The fault
+  /// layer resolves plan names per shard instead; this is for tests/tools.
+  [[nodiscard]] Link* find_link(std::string_view name) const;
+
+  [[nodiscard]] std::size_t shard_of(const Link* link) const;
+  [[nodiscard]] std::uint32_t index_of(const Link* link) const;
+  [[nodiscard]] Link* link_at(std::uint32_t index) const;
+
+  /// Smallest boundary-link propagation delay — the conservative lookahead.
+  /// With no boundary links the shards are independent and the lookahead is
+  /// effectively unbounded.
+  [[nodiscard]] Duration lookahead() const;
+
+  /// Index fault states for cross-shard corruption routing and build the
+  /// coordinator. Implicit on the first run_until(); call explicitly after
+  /// attaching FaultInjectors when the first run happens elsewhere.
+  void finalize();
+
+  /// Advance every shard to `until` (K == 1: exactly the serial engine).
+  std::uint64_t run_until(TimePoint until);
+
+  /// Valid after finalize()/the first run.
+  [[nodiscard]] sim::ShardCoordinator& coordinator();
+
+  /// Sum of events executed across shards.
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+ private:
+  struct ShardCtx;
+
+  /// One packet crossing a cut: everything the destination needs to replay
+  /// propagation + delivery without touching source-shard state.
+  struct HandoffRecord {
+    std::int64_t finish_ns = 0;   ///< serialization end (the wedge key)
+    std::uint32_t link = 0;       ///< global index of the boundary link
+    std::uint32_t corrupt_link = 0;  ///< 1 + injecting link's index; 0 = clean
+    std::uint64_t link_seq = 0;   ///< per-link handoff counter (dup ordering)
+    Packet pkt;                   ///< by value; trivially copyable
+    PacketOptions opt{};          ///< valid when has_opt
+    bool has_opt = false;
+  };
+
+  /// A checksum drop of a remotely-corrupted packet, routed back to the
+  /// injecting link's shard and applied at the next barrier.
+  struct DropReport {
+    std::int64_t at_ns = 0;
+    std::uint32_t link = 0;  ///< global index of the injecting link
+    Packet pkt;
+  };
+
+  /// Destination-side stand-in for an injecting link's fault state: carries
+  /// a tracer that emits DropReports instead of touching the remote shard.
+  struct RemoteCorrupt final : QueueTracer {
+    fault::LinkFaultState state;
+    ShardedNetwork* owner = nullptr;
+    std::size_t home_shard = 0;    ///< the shard this proxy lives in
+    std::uint32_t origin_link = 0;
+    void on_drop(TimePoint t, const Packet& pkt, std::size_t qlen) override;
+  };
+
+  /// Source-side half of a boundary link: queues one HandoffRecord per
+  /// surviving packet into the destination's mailbox.
+  struct BoundaryAdapter final : BoundaryHop {
+    ShardedNetwork* owner = nullptr;
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    std::uint32_t link = 0;
+    std::uint64_t seq = 0;
+    void handoff(const Packet& pkt, const PacketOptions* opt,
+                 std::int64_t finish_ns) override;
+  };
+
+  /// A staged cross-shard arrival: the wedged event captures only
+  /// {ctx, slot}; the payload waits here until the event fires.
+  struct Staged {
+    Packet pkt;
+    PacketOptions opt{};
+    std::uint32_t link = 0;
+    std::uint32_t corrupt_link = 0;
+    bool has_opt = false;
+  };
+
+  struct ShardCtx final : sim::ShardAgent {
+    ShardedNetwork* owner = nullptr;
+    std::size_t id = 0;
+    std::unique_ptr<sim::Simulator> sim;
+    std::unique_ptr<Network> net;
+    /// Inbound mailboxes indexed by source shard: in_pkts[src] is written
+    /// only by shard src (run phase) and drained only by this shard (drain
+    /// phase) — one producer, one consumer, phases separated by barriers.
+    std::vector<sim::ShardMailbox<HandoffRecord>> in_pkts;
+    std::vector<sim::ShardMailbox<DropReport>> in_drops;
+    std::vector<Staged> staged;                  ///< slab for pending arrivals
+    std::vector<std::uint32_t> staged_free;
+    std::vector<HandoffRecord> scratch;          ///< one drain's sorted records
+    std::vector<DropReport> drop_scratch;
+    /// Lazily-created proxies for remotely-injected corruption, keyed by the
+    /// injecting link's global index. Touched only by this shard's thread.
+    std::unordered_map<std::uint32_t, std::unique_ptr<RemoteCorrupt>> proxies;
+    /// Reverse map: proxy state -> injecting link (re-handoff lookup).
+    std::unordered_map<const fault::LinkFaultState*, std::uint32_t> proxy_origin;
+
+    explicit ShardCtx(ShardedNetwork* o, std::size_t i, std::uint64_t sim_seed);
+    void drain_inbound() override;
+    void fire(std::uint32_t slot);
+    [[nodiscard]] RemoteCorrupt* proxy_for(std::uint32_t origin_link);
+  };
+
+  [[nodiscard]] std::uint32_t corrupt_index(const ShardCtx& src,
+                                            const fault::LinkFaultState* state) const;
+  void index_fault_states();
+
+  std::vector<std::unique_ptr<ShardCtx>> ctxs_;
+  std::vector<std::unique_ptr<BoundaryAdapter>> adapters_;
+  std::vector<std::unique_ptr<Route>> routes_;  ///< global: hops span shards
+
+  struct LinkInfo {
+    Link* link = nullptr;
+    std::uint32_t shard = 0;
+    std::int64_t delay_ns = 0;
+    BoundaryAdapter* boundary = nullptr;  ///< nullptr = shard-local
+  };
+  std::vector<LinkInfo> links_;  ///< by global creation index
+  std::unordered_map<const Link*, std::uint32_t> link_index_;
+
+  /// Real fault states -> injecting link's global index; built at finalize
+  /// (after injectors attach), immutable during runs.
+  std::unordered_map<const fault::LinkFaultState*, std::uint32_t> fault_origin_;
+
+  std::int64_t min_boundary_delay_ns_ = std::numeric_limits<std::int64_t>::max();
+  std::unique_ptr<sim::ShardCoordinator> coordinator_;
+  bool finalized_ = false;
+};
+
+}  // namespace lossburst::net

@@ -80,6 +80,14 @@ TimePoint EventQueue::pop_and_run() {
   assert(live_ > 0);
   ladder_.ensure_front();
   const detail::TimerEntry e = ladder_.front();
+  if (record_instants_ && e.at_ns > now_ns_) {
+    // Shard mode: remember where the sequence counter stood when the clock
+    // first reached this instant — every local schedule call at earlier
+    // instants carries a smaller sequence, which is what lets
+    // schedule_wedged() splice cross-shard arrivals into serial order.
+    // lossburst-lint: allow(datapath-alloc): pruned every epoch barrier; growth stops at one epoch's instants
+    marks_.push_back(Watermark{e.at_ns, next_seq_});
+  }
   now_ns_ = e.at_ns;
   cur_sched_ns_ = slot_scheduled_at(e.slot);
   cur_seq_ = e.seq;

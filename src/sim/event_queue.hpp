@@ -33,6 +33,8 @@
 // reference to the Simulator owning the queue, so the queue outlives it.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -131,8 +133,18 @@ class SlotPool {
     if (count_ % kChunkSlots == 0) {
       // lossburst-lint: allow(datapath-alloc): slab growth; stops at the high-water mark
       chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      // Size the sidecars for the whole chunk now: the free list can never
+      // hold more than count_ indices, so reserving here makes release()
+      // allocation-free unconditionally — not just once usage stops dipping
+      // to new minimums (which can drift for millions of events). Round up
+      // to a power of two so growth stays geometric: an exact-size reserve
+      // per chunk would realloc-and-copy on every chunk, O(n^2) bytes over
+      // a deep pool.
+      // lossburst-lint: allow(datapath-alloc): sidecar growth; stops at the high-water mark
+      const std::size_t want = std::bit_ceil(count_ + kChunkSlots);
+      meta_.reserve(want);
+      free_.reserve(want);
     }
-    // lossburst-lint: allow(datapath-alloc): sidecar growth; stops at the high-water mark
     meta_.push_back(SlotMeta{});
     return count_++;
   }
@@ -222,6 +234,14 @@ class EventQueue {
   /// a Packet by value, ~160 bytes). Revisit if Packet grows.
   static constexpr std::size_t kLargeCallable = 176;
 
+  /// Insertion sequences advance by this stride, leaving a gap below every
+  /// locally-scheduled event into which schedule_wedged() can splice a
+  /// cross-shard arrival at the exact rank a serial run's schedule call at
+  /// the same instant would have occupied (DESIGN.md §12). A stride of 2^20
+  /// leaves ~2^44 locally-schedulable events per run and bounds same-band
+  /// wedges at ~10^6 per epoch, both far beyond anything a real run reaches.
+  static constexpr std::uint64_t kSeqStride = 1ULL << 20;
+
   EventQueue();
 
   // Handles store a pointer back to the queue, so it must stay put.
@@ -262,9 +282,82 @@ class EventQueue {
       gen = large_.arm(idx, std::is_trivially_destructible_v<D>, now_ns_);
       id = idx | kLargePoolBit;
     }
-    ladder_.push(detail::TimerEntry{at.ns(), next_seq_++, id, gen});
+    ladder_.push(detail::TimerEntry{at.ns(), next_seq_, id, gen});
+    next_seq_ += kSeqStride;
     ++live_;
     return EventHandle(this, id, gen);
+  }
+
+  /// Schedule a cross-shard arrival so it dispatches exactly where a serial
+  /// run's schedule call at instant `virtual_sched_ns` would have placed it
+  /// (DESIGN.md §12). Only meaningful in shard mode: the insertion sequence
+  /// is spliced into the stride gap of the first local dispatch instant
+  /// after `virtual_sched_ns` — after every local call at instants <= it,
+  /// before every call at later instants. Callers must present wedges in
+  /// ascending (virtual_sched_ns, tie-break) order; equal-band wedges are
+  /// ranked by call order.
+  template <typename F>
+  EventHandle schedule_wedged(TimePoint at, std::int64_t virtual_sched_ns, F&& fn,
+                              obs::EventTag tag = obs::EventTag::kGeneric) {
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= kSmallCallable,
+                  "wedged callbacks stage their payload out of line; keep the "
+                  "capture within the small slot");
+    static_assert(alignof(D) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<D>);
+    LOSSBURST_INVARIANT(at.ns() >= virtual_sched_ns,
+                        "a wedged arrival cannot precede its virtual schedule instant");
+
+    // Band: the sequence counter at the first local dispatch instant after
+    // the virtual schedule point; next_seq_ when the shard has not yet
+    // dispatched past it (then every future local call is at a later
+    // instant, because the shard's epoch ran dry before the horizon).
+    std::uint64_t band = next_seq_;
+    const auto begin = marks_.begin() + static_cast<std::ptrdiff_t>(marks_begin_);
+    const auto it = std::upper_bound(
+        begin, marks_.end(), virtual_sched_ns,
+        [](std::int64_t v, const Watermark& w) { return v < w.instant_ns; });
+    if (it != marks_.end()) band = it->seq;
+    if (band != wedge_band_) {
+      wedge_band_ = band;
+      wedge_tie_ = 0;
+    }
+    LOSSBURST_INVARIANT(wedge_tie_ + 2 < kSeqStride,
+                        "cross-shard wedge band exhausted: more same-instant "
+                        "arrivals than the sequence stride can rank");
+    const std::uint64_t seq = band - kSeqStride + 1 + wedge_tie_++;
+
+    const std::uint32_t idx = small_.acquire();
+    auto& s = small_.slot(idx);
+    ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
+    s.ops = &detail::kCallableOps<D>;
+    s.tag = tag;
+    const std::uint32_t gen =
+        small_.arm(idx, std::is_trivially_destructible_v<D>, virtual_sched_ns);
+    ladder_.push(detail::TimerEntry{at.ns(), seq, idx, gen});
+    ++live_;
+    ++wedged_;
+    return EventHandle(this, idx, gen);
+  }
+
+  /// Shard mode (DESIGN.md §12): record a watermark — the sequence counter —
+  /// at every dispatch instant advance, so schedule_wedged() can splice
+  /// cross-shard arrivals into serial dispatch order. Off (the default) the
+  /// dispatch path pays one predicted-false branch.
+  void set_shard_mode(bool on) { record_instants_ = on; }
+
+  /// Drop watermarks at instants <= `upto_ns`; the shard coordinator calls
+  /// this at each epoch barrier (no arrival can wedge at or before the
+  /// epoch's global minimum), so the list stays bounded by one epoch's
+  /// distinct dispatch instants.
+  void prune_instants(std::int64_t upto_ns) {
+    std::size_t b = marks_begin_;
+    while (b < marks_.size() && marks_[b].instant_ns <= upto_ns) ++b;
+    marks_begin_ = b;
+    if (marks_begin_ > 64 && marks_begin_ * 2 > marks_.size()) {
+      marks_.erase(marks_.begin(), marks_.begin() + static_cast<std::ptrdiff_t>(marks_begin_));
+      marks_begin_ = 0;
+    }
   }
 
   /// True when no live (non-cancelled, unfired) events remain.
@@ -281,7 +374,13 @@ class EventQueue {
   TimePoint pop_and_run();
 
   /// Total events ever scheduled (for micro-benchmark accounting).
-  [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t scheduled_count() const {
+    return next_seq_ / kSeqStride - 1 + wedged_;
+  }
+
+  /// Raw insertion sequence the next schedule() will carry. The batched link
+  /// service captures it as its same-instant anchor (DESIGN.md §11).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
   /// Engine telemetry (DESIGN.md §8): lifetime fired/cancelled counts and
   /// the most entries (all tiers, stale included) the run ever held at once.
@@ -360,8 +459,23 @@ class EventQueue {
   // The ladder is mutable because observers (next_time) shed stale heads
   // and sweep tiers forward; neither changes the set of live events.
   mutable detail::LadderQueue ladder_;
-  std::uint64_t next_seq_ = 0;
+  // Sequences start one stride up so the very first wedge band (a shard
+  // whose first event ever is a remote arrival) still has a gap below it.
+  std::uint64_t next_seq_ = kSeqStride;
   std::size_t live_ = 0;
+  std::uint64_t wedged_ = 0;  ///< schedule_wedged() calls (shard mode only)
+  // Shard-mode watermark list: (dispatch instant, sequence counter) at every
+  // strict clock advance, pruned per epoch. marks_begin_ is a lazy head so
+  // pruning is pointer motion, not reallocation.
+  struct Watermark {
+    std::int64_t instant_ns;
+    std::uint64_t seq;
+  };
+  std::vector<Watermark> marks_;
+  std::size_t marks_begin_ = 0;
+  std::uint64_t wedge_band_ = 0;  ///< band of the last wedge (tie continuation)
+  std::uint32_t wedge_tie_ = 0;
+  bool record_instants_ = false;
   // Dispatch clock and current-event key (see the accessors above). now_ns_
   // advances as events fire; schedule() stamps it into each new entry so
   // same-instant ordering decisions can be replayed later.

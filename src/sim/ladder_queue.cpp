@@ -1,6 +1,7 @@
 #include "sim/ladder_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 // For the inline LadderQueue::stale() definition (the owning EventQueue's
@@ -140,16 +141,22 @@ void LadderQueue::reseed_from_overflow() {
   // accumulate until the owner's compaction trigger (total > 4x live), and
   // the width rounding above can concentrate that total into as few as half
   // the rungs (span >> shift lands anywhere in [kRungCount/2, kRungCount)),
-  // so the per-bucket peak is up to 4 * live / (kRungCount / 2). Capacities
-  // persist across reseeds (clear()/erase() never shrink), so each floor
-  // allocates at most once per population high-water — warm-up cost, not
-  // steady-state cost.
-  const std::size_t bucket_floor = live * 12 / kRungCount + 64;
+  // so the per-bucket peak is up to 4 * live / (kRungCount / 2). The floor
+  // ratchets monotonically in power-of-two steps: a live population that
+  // drifts up and down across reseeds (the sharded epoch workloads do this
+  // every epoch) must not re-derive a slightly different floor each time, or
+  // steady state reallocates forever. Capacities persist across reseeds
+  // (clear()/erase() never shrink), so each ratchet step allocates at most
+  // once per population high-water — warm-up cost, not steady-state cost.
+  const std::size_t bucket_need = live * 12 / kRungCount + 64;
+  if (bucket_need > bucket_floor_) bucket_floor_ = std::bit_ceil(bucket_need);
   for (auto& bucket : rungs_) {
-    if (bucket.capacity() < bucket_floor) bucket.reserve(bucket_floor);
+    if (bucket.capacity() < bucket_floor_) bucket.reserve(bucket_floor_);
   }
-  if (heap_.capacity() < 2 * bucket_floor) heap_.reserve(2 * bucket_floor);
-  if (overflow_.capacity() < 4 * live + 64) overflow_.reserve(4 * live + 64);
+  if (heap_.capacity() < 2 * bucket_floor_) heap_.reserve(2 * bucket_floor_);
+  const std::size_t overflow_need = 4 * live + 64;
+  if (overflow_need > overflow_floor_) overflow_floor_ = std::bit_ceil(overflow_need);
+  if (overflow_.capacity() < overflow_floor_) overflow_.reserve(overflow_floor_);
 
   // Partition the survivors into the fresh rungs, in place. When rung_end
   // saturated, the window covers everything by construction ((max-base) >>

@@ -184,6 +184,12 @@ class LadderQueue {
   std::size_t cursor_ = 0;        ///< next rung to sweep
   int shift_ = kMinShift;         ///< log2 of the rung width
 
+  // Monotone capacity-floor ratchets (see reseed_from_overflow): derived
+  // floors round up to powers of two and never decrease, so a fluctuating
+  // live population cannot make reserve() reallocate on every reseed.
+  std::size_t bucket_floor_ = kBucketReserve;
+  std::size_t overflow_floor_ = kOverflowReserve;
+
   std::size_t high_water_ = 0;
 };
 

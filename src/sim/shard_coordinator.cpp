@@ -1,0 +1,173 @@
+#include "sim/shard_coordinator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/invariant.hpp"
+
+namespace lossburst::sim {
+
+ShardCoordinator::ShardCoordinator(std::vector<Simulator*> sims,
+                                   std::vector<ShardAgent*> agents, Duration lookahead)
+    : sims_(std::move(sims)), agents_(std::move(agents)), lookahead_ns_(lookahead.ns()) {
+  if (sims_.empty() || sims_.size() != agents_.size()) {
+    throw std::invalid_argument("ShardCoordinator: one simulator and one agent per shard");
+  }
+  if (sims_.size() > 1 && lookahead_ns_ <= 0) {
+    throw std::invalid_argument(
+        "ShardCoordinator: lookahead must be positive — a zero-delay boundary "
+        "link breaks conservative synchronization; keep such links shard-local");
+  }
+  errors_.resize(sims_.size());
+  // Shard mode switches on watermark recording so cross-shard arrivals can
+  // be wedged into serial dispatch order. K == 1 never wedges; leave the
+  // serial engine untouched.
+  if (sims_.size() > 1) {
+    for (Simulator* s : sims_) s->set_shard_mode(true);
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  if (!threads_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+void ShardCoordinator::start_workers() {
+  const auto k = static_cast<std::ptrdiff_t>(sims_.size());
+  // lossburst-lint: allow(datapath-alloc): one-time worker/barrier setup at the first run
+  barrier_run_ = std::make_unique<std::barrier<>>(k);
+  // lossburst-lint: allow(datapath-alloc): one-time worker/barrier setup at the first run
+  barrier_drain_ = std::make_unique<std::barrier<DrainCompletion>>(k, DrainCompletion{this});
+  threads_.reserve(sims_.size());
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+std::uint64_t ShardCoordinator::run_until(TimePoint until) {
+  if (sims_.size() == 1) return sims_[0]->run_until(until);
+
+  std::uint64_t before = 0;
+  for (const Simulator* s : sims_) before += s->events_executed();
+
+  until_ns_ = until.ns();
+  until_is_max_ = until == TimePoint::max();
+  done_ = false;
+  abort_.store(false, std::memory_order_relaxed);
+  std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+
+  if (threads_.empty()) start_workers();
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    parked_ = 0;
+    ++run_gen_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_main_.wait(lk, [this] { return parked_ == sims_.size(); });
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+  // Land every clock on the horizon, mirroring run_until's tail (a later
+  // slice schedules relative to a consistent now across shards).
+  if (!until_is_max_) {
+    for (Simulator* s : sims_) s->advance_to(until);
+  }
+  std::uint64_t after = 0;
+  for (const Simulator* s : sims_) after += s->events_executed();
+  return after - before;
+}
+
+void ShardCoordinator::worker(std::size_t shard) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] { return shutdown_ || run_gen_ > seen_gen; });
+      if (shutdown_) return;
+      seen_gen = run_gen_;
+    }
+    epoch_loop(shard);
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      if (++parked_ == sims_.size()) cv_main_.notify_all();
+    }
+  }
+}
+
+// One run_until's worth of epochs, executed in lockstep with every other
+// shard. Two barriers per epoch: barrier_run_ fences the epoch's mailbox
+// writes from the drain reads; barrier_drain_'s completion computes the next
+// horizon from post-drain queue states.
+void ShardCoordinator::epoch_loop(std::size_t shard) {
+  Simulator* sim = sims_[shard];
+  ShardAgent* agent = agents_[shard];
+  bool failed = false;
+  const auto guard = [&](auto&& fn) {
+    if (failed) return;
+    try {
+      fn();
+    } catch (...) {
+      errors_[shard] = std::current_exception();
+      failed = true;
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  // A previous slice may have left undrained arrivals impossible: every
+  // barrier drains before the done check. Still run one initial drain so the
+  // first horizon sees anything scheduled between runs, then enter lockstep.
+  guard([&] { agent->drain_inbound(); });
+  barrier_drain_->arrive_and_wait();
+  while (!done_) {
+    guard([&] {
+      sim->prune_instants(prune_upto_ns_);
+      sim->run_before(TimePoint(horizon_ns_));
+    });
+    barrier_run_->arrive_and_wait();
+    guard([&] { agent->drain_inbound(); });
+    barrier_drain_->arrive_and_wait();
+  }
+}
+
+// Runs on exactly one worker while the rest are blocked in barrier_drain_:
+// the only writer of the epoch state, sequenced against every reader by the
+// barrier itself.
+void ShardCoordinator::on_drain_complete() noexcept {
+  if (abort_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  std::int64_t gmin = kMax;
+  for (const Simulator* s : sims_) {
+    const std::int64_t t = s->next_event_time().ns();
+    if (t < gmin) gmin = t;
+  }
+  if (gmin == kMax || (!until_is_max_ && gmin > until_ns_)) {
+    done_ = true;
+    return;
+  }
+  // Arrivals drained at the *next* barrier left a boundary serializer at
+  // finish >= gmin, so no wedge can target an instant <= gmin: watermarks at
+  // or before it are dead.
+  prune_upto_ns_ = gmin;
+  std::int64_t h = gmin > kMax - lookahead_ns_ ? kMax : gmin + lookahead_ns_;
+  if (!until_is_max_ && h > until_ns_) {
+    h = until_ns_ == kMax ? kMax : until_ns_ + 1;  // include events at `until`
+  }
+  horizon_ns_ = h;
+  done_ = false;
+  ++epochs_;
+}
+
+}  // namespace lossburst::sim

@@ -1,0 +1,123 @@
+// Conservative parallel DES coordinator (DESIGN.md §12).
+//
+// One topology is partitioned into K shards, each owning a Simulator (its
+// own ladder EventQueue, clock, PacketPool and RNG streams). Shards advance
+// in lockstep epochs bounded by lookahead L — the minimum propagation delay
+// of any cross-shard link:
+//
+//   gmin = min over shards of next-event time        (at the barrier)
+//   H    = min(gmin + L, until + 1)                  (epoch horizon)
+//
+// Every shard then runs events strictly before H. Any cross-shard message a
+// shard emits during the epoch leaves a boundary link's serializer at some
+// finish >= gmin and arrives finish + d >= gmin + L >= H, so arrivals
+// drained at the next barrier are never in any shard's past — the classic
+// conservative-lookahead argument (Chandy-Misra via barriers rather than
+// null messages).
+//
+// Determinism: the coordinator only orchestrates time; cross-shard packet
+// semantics (mailboxes, wedged insertion in serial dispatch order) live in
+// the net layer behind the ShardAgent interface. Nothing here consults an
+// RNG, thread identity, or wall clock, so the epoch sequence — and with the
+// net layer's wedged ordering, the entire run — is byte-identical across
+// shard counts and thread schedules.
+//
+// Threads: K workers are spawned lazily at the first run_until() and parked
+// on a condition variable between runs, so repeated run_until() slices (the
+// benchmark pattern) pay two futex wakes per slice, not K thread spawns.
+// K == 1 bypasses everything and is the serial engine, exactly.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+#include <atomic>
+#include <condition_variable>
+
+namespace lossburst::sim {
+
+/// Per-shard hooks the net layer implements. drain_inbound() runs on the
+/// shard's own worker thread during the drain phase (all producers are
+/// blocked at the epoch barrier) and must schedule every newly received
+/// cross-shard arrival into the shard's queue.
+class ShardAgent {
+ public:
+  virtual ~ShardAgent() = default;
+  virtual void drain_inbound() = 0;
+};
+
+class ShardCoordinator {
+ public:
+  /// `lookahead` must be positive and no larger than the smallest
+  /// cross-shard link propagation delay. `sims` and `agents` are parallel
+  /// arrays (one per shard) and must outlive the coordinator.
+  ShardCoordinator(std::vector<Simulator*> sims, std::vector<ShardAgent*> agents,
+                   Duration lookahead);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Advance every shard to `until` (events at exactly `until` run; clocks
+  /// land on `until`, mirroring Simulator::run_until). Returns events
+  /// executed across all shards. Callable repeatedly for sliced runs.
+  std::uint64_t run_until(TimePoint until);
+
+  [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] Duration lookahead() const { return Duration(lookahead_ns_); }
+
+ private:
+  struct DrainCompletion {
+    ShardCoordinator* c;
+    void operator()() noexcept { c->on_drain_complete(); }
+  };
+
+  void start_workers();
+  void worker(std::size_t shard);
+  void epoch_loop(std::size_t shard);
+  void on_drain_complete() noexcept;
+
+  std::vector<Simulator*> sims_;
+  std::vector<ShardAgent*> agents_;
+  std::int64_t lookahead_ns_;
+
+  // Worker lifecycle. run_gen_ ticks per run_until; workers park between.
+  // lossburst-lint: allow(datapath-alloc): worker threads spawn once, at the first run
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_main_;
+  std::uint64_t run_gen_ = 0;
+  std::size_t parked_ = 0;
+  bool shutdown_ = false;
+
+  // Epoch state: written only by the drain barrier's completion function
+  // (all other workers are blocked inside the barrier at that point); read
+  // by workers after release. The barrier provides the happens-before.
+  std::int64_t until_ns_ = 0;
+  bool until_is_max_ = false;
+  std::int64_t horizon_ns_ = 0;
+  std::int64_t prune_upto_ns_ = 0;
+  bool done_ = false;
+  std::uint64_t epochs_ = 0;
+
+  // A worker whose callback threw keeps hitting barriers in no-op mode (so
+  // phases stay aligned) until the completion function sees abort_ and ends
+  // the run; run_until rethrows the first captured exception.
+  std::atomic<bool> abort_{false};
+  std::vector<std::exception_ptr> errors_;
+
+  std::unique_ptr<std::barrier<>> barrier_run_;
+  std::unique_ptr<std::barrier<DrainCompletion>> barrier_drain_;
+};
+
+}  // namespace lossburst::sim

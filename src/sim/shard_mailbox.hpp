@@ -1,0 +1,64 @@
+// Phase-exchanged SPSC mailbox for cross-shard handoff (DESIGN.md §12).
+//
+// One mailbox exists per ordered (source shard, destination shard) pair.
+// Access follows the epoch protocol, which is what makes the unguarded
+// storage safe:
+//   - the producer (the source shard's thread) appends records while its
+//     epoch slice runs;
+//   - the consumer (the destination shard's thread) reads and clears the
+//     mailbox only in the drain phase, after every producer has arrived at
+//     the coordinator's epoch barrier.
+// The barrier is the synchronization point: arrive_and_wait() establishes a
+// happens-before edge from every producer write to every consumer read (and
+// from the consumer's clear back to the next epoch's writes), so the mailbox
+// itself needs no atomics — it is single-producer single-consumer by phase
+// discipline, not by lock-free indices. TSan agrees (CI runs a sharded
+// campaign under it).
+//
+// Capacity is reserved up front and grows only to a new high-water mark, so
+// the steady-state handoff path performs zero allocations (the bench-smoke
+// gate holds BM_ShardedCampaign to allocs_per_op = 0).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lossburst::sim {
+
+template <typename T>
+class ShardMailbox {
+ public:
+  explicit ShardMailbox(std::size_t capacity = 0) {
+    // lossburst-lint: allow(datapath-alloc): one-time pre-size at wiring
+    buf_.reserve(capacity);
+  }
+
+  /// Producer side, epoch phase only.
+  void push(const T& v) {
+    // lossburst-lint: allow(datapath-alloc): grows only past the pre-sized high-water mark
+    buf_.push_back(v);
+  }
+  void push(T&& v) {
+    // lossburst-lint: allow(datapath-alloc): grows only past the pre-sized high-water mark
+    buf_.push_back(std::move(v));
+  }
+
+  /// Consumer side, drain phase only.
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return buf_[i]; }
+  void clear() {
+    if (buf_.size() > high_water_) high_water_ = buf_.size();
+    buf_.clear();  // destroys nothing of note: T is trivially copyable in practice
+  }
+
+  /// Most records held across any one epoch (sizing diagnostics).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace lossburst::sim

@@ -26,6 +26,59 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   return ran;
 }
 
+// Epoch slice for the shard coordinator: strictly-before horizon, no
+// end-of-slice clock advance. Same structure as run_until so the serial and
+// sharded hot loops stay line-for-line comparable.
+std::uint64_t Simulator::run_before(TimePoint horizon) {
+  if (telemetry_ != nullptr) return run_before_observed(horizon);
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t >= horizon) break;
+    LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
+    now_ = t;
+    queue_.pop_and_run();
+    ++ran;
+    ++executed_;
+    if (stop_requested_) break;
+  }
+  return ran;
+}
+
+std::uint64_t Simulator::run_before_observed(TimePoint horizon) {
+  // lossburst-lint: allow(wall-clock): loop profiler measures host time per event; results see only simulated time
+  using Clock = std::chrono::steady_clock;
+  obs::LoopProfiler* prof = telemetry_->profiler();
+  obs::FlightRecorder* rec =
+      obs::trace_recorder(telemetry_, obs::RecordKind::kEventDispatch);
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t >= horizon) break;
+    LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
+    now_ = t;
+    if (prof != nullptr) {
+      const Clock::time_point start = Clock::now();
+      queue_.pop_and_run();
+      const auto wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+      prof->record(queue_.last_dispatch_tag(), wall_ns);
+    } else {
+      queue_.pop_and_run();
+    }
+    if (rec != nullptr) {
+      rec->record(obs::RecordKind::kEventDispatch, t.ns(), 0,
+                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()), 0);
+    }
+    ++ran;
+    ++executed_;
+    if (stop_requested_) break;
+  }
+  return ran;
+}
+
 // Same loop with the telemetry hooks. Kept separate so the detached path —
 // the one micro-benchmarks and parallel sweeps run — carries no per-event
 // branches at all. The profiler/recorder gates are resolved once per call;

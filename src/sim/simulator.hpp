@@ -49,6 +49,39 @@ class Simulator {
   /// Run until the queue drains.
   std::uint64_t run() { return run_until(TimePoint::max()); }
 
+  /// Epoch slice (DESIGN.md §12): run events strictly before `horizon`,
+  /// leaving the clock at the last executed event (never advanced to the
+  /// horizon — the shard coordinator owns end-of-run clock placement).
+  /// Events at exactly `horizon` belong to the next epoch.
+  std::uint64_t run_before(TimePoint horizon);
+
+  /// Time of the earliest pending event; TimePoint::max() when drained.
+  [[nodiscard]] TimePoint next_event_time() const { return queue_.next_time(); }
+
+  /// Move the clock forward to `t` without running anything (coordinator
+  /// end-of-run placement; mirrors run_until's horizon advance). Backwards
+  /// moves are ignored.
+  void advance_to(TimePoint t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Schedule a cross-shard arrival in serial dispatch order — see
+  /// EventQueue::schedule_wedged. `virtual_sched_ns` is the instant the
+  /// serial engine would have made the schedule call (the boundary link's
+  /// finish_tx time).
+  template <typename F>
+  EventHandle wedge_at(TimePoint t, std::int64_t virtual_sched_ns, F&& fn,
+                       obs::EventTag tag = obs::EventTag::kGeneric) {
+    if (t < now_) {
+      throw std::logic_error("Simulator::wedge_at: scheduling into the past");
+    }
+    return queue_.schedule_wedged(t, virtual_sched_ns, std::forward<F>(fn), tag);
+  }
+
+  /// Shard-mode switches, forwarded to the queue (DESIGN.md §12).
+  void set_shard_mode(bool on) { queue_.set_shard_mode(on); }
+  void prune_instants(std::int64_t upto_ns) { queue_.prune_instants(upto_ns); }
+
   /// Request that the current run_until return after the in-flight event.
   void stop() { stop_requested_ = true; }
 
@@ -64,6 +97,7 @@ class Simulator {
 
  private:
   std::uint64_t run_until_observed(TimePoint until);
+  std::uint64_t run_before_observed(TimePoint horizon);
 
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();

@@ -87,6 +87,14 @@ class ProbeSink final : public net::Endpoint {
   /// only needs send times).
   void attach_clock(sim::Simulator* sim) { arrived_clock_ = sim; }
 
+  /// Pre-size the arrival log (expected probe count) so steady-state
+  /// receipt never allocates — the sharded campaign's zero-alloc gate
+  /// depends on it.
+  void reserve(std::size_t n) {
+    // lossburst-lint: allow(datapath-alloc): one-time pre-size at wiring
+    arrivals_.reserve(n);
+  }
+
   [[nodiscard]] const std::vector<Arrival>& arrivals() const { return arrivals_; }
   [[nodiscard]] std::uint64_t count() const { return arrivals_.size(); }
 

@@ -2,14 +2,18 @@
 """Compare a fresh micro_engine run against the committed Release baseline.
 
 Usage: tools/bench_gate.py CURRENT.json [--baseline BENCH_engine.json]
-       [--tolerance 0.10]
+       [--tolerance 0.10] [--require-all]
 
 For every benchmark present in both files that reports an ``items_per_second``
 rate (events/sec or packets/sec), the current rate must be within
 ``tolerance`` of the baseline rate on the slow side; speedups always pass.
-Benchmarks missing from either side are reported but only *baseline*
-benchmarks missing from the current run fail the gate — new benchmarks are
-expected to appear before their baseline is re-recorded.
+Benchmarks present on only one side are reported with the side they are
+missing from but do not fail the gate: a run filtered with
+``--benchmark_filter`` legitimately carries a subset of the baseline, and new
+benchmarks are expected to appear before their baseline is re-recorded. Pass
+``--require-all`` (CI does, on full-suite runs) to turn a baseline benchmark
+missing from the run back into a failure — that is how CI catches a
+benchmark that silently stopped being built or registered.
 
 The committed baseline is recorded by ``bench/run_engine_bench.sh`` with
 ``--benchmark_repetitions=3 --benchmark_report_aggregates_only=true``; this
@@ -64,6 +68,12 @@ def main() -> int:
         default=0.10,
         help="allowed fractional slowdown vs baseline (default 0.10 = 10%%)",
     )
+    ap.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when a baseline benchmark is missing from the run "
+        "(full-suite CI mode; default tolerates filtered partial runs)",
+    )
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -90,10 +100,19 @@ def main() -> int:
         return 2
 
     failures: list[str] = []
+    compared = 0
+    skipped: list[str] = []
     for name in sorted(base):
         if name not in cur:
-            failures.append(f"{name}: present in baseline but missing from run")
+            msg = f"{name}: in baseline, missing from run"
+            if args.require_all:
+                print(f"MISS {msg}")
+                failures.append(msg)
+            else:
+                print(f"skip {msg} (partial run tolerated; --require-all to fail)")
+                skipped.append(name)
             continue
+        compared += 1
         ratio = cur[name] / base[name]
         status = "OK  " if ratio >= 1.0 - args.tolerance else "FAIL"
         print(
@@ -106,14 +125,24 @@ def main() -> int:
                 f"(floor {1.0 - args.tolerance:.0%})"
             )
     for name in sorted(set(cur) - set(base)):
-        print(f"new  {name}: {cur[name]:.3e} items/s (no baseline yet)")
+        print(f"new  {name}: {cur[name]:.3e} items/s (in run, missing from baseline)")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) below the gate:", file=sys.stderr)
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(base)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    if compared == 0:
+        print(
+            "error: no benchmark present in both baseline and run — "
+            "check the --benchmark_filter expression",
+            file=sys.stderr,
+        )
+        return 2
+    tail = f" ({len(skipped)} baseline benchmark(s) not in this run)" if skipped else ""
+    print(
+        f"\nOK: {compared} benchmark(s) within {args.tolerance:.0%} of baseline{tail}"
+    )
     return 0
 
 

@@ -80,6 +80,12 @@ DATAPATH_FILES = (
     # The fault layer's steady state (BM_FaultLinkForward) is gated too:
     # all fault state is allocated at injector construction, never per packet.
     "src/fault/channel.hpp",
+    # The sharded engine's per-epoch machinery (BM_ShardedCampaign): mailbox
+    # pushes, staged-arrival slots, and coordinator barriers are all on the
+    # cross-shard datapath and must reach a fixed-capacity steady state.
+    "src/sim/shard_mailbox.hpp",
+    "src/sim/shard_coordinator.hpp",
+    "src/sim/shard_coordinator.cpp",
 )
 
 RULES = (

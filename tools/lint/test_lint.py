@@ -210,6 +210,19 @@ def main() -> int:
             "std::shared_ptr<int> rung() { return std::make_shared<int>(1); }\n",
             "datapath-alloc",
         )
+        expect_finding(
+            "datapath-alloc: shard mailbox header is a datapath file",
+            tmp, "src/sim/shard_mailbox.hpp",
+            "int* per_handoff() { return new int; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: shard coordinator impl is a datapath file",
+            tmp, "src/sim/shard_coordinator.cpp",
+            "#include <functional>\n"
+            "void park(std::function<void()> f) { f(); }\n",
+            "datapath-alloc",
+        )
 
         # ------------------------------------------------ untagged-event
         expect_finding(
