@@ -1,0 +1,132 @@
+// lossburst_serve: run a faulted dumbbell while serving live telemetry and
+// runtime control over NDJSON/TCP (DESIGN.md §13). Connect with
+// tools/obs_client.py, or any line-oriented TCP client:
+//
+//   ./lossburst_serve --port 7787 --duration-s 60 &
+//   python3 tools/obs_client.py --port 7787 watch
+//
+// With --wait-run the simulation is built but does not start until a client
+// sends {"cmd":"run"} — the window in which control commands (inject-plan,
+// add-flow, ...) land at the t = 0 boundary, making the run byte-identical
+// to one configured cold with the same settings.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "analysis/gilbert.hpp"
+#include "fault/plan.hpp"
+#include "obs/live/publisher.hpp"
+#include "serve/scenario.hpp"
+#include "serve/server.hpp"
+
+using namespace lossburst;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N         listen port (default 0 = ephemeral, printed)\n"
+      "  --seed N         simulation seed (default 1)\n"
+      "  --flows N        persistent TCP flows (default 4)\n"
+      "  --slots N        dynamic add-flow slots (default 4)\n"
+      "  --duration-s N   simulated horizon in seconds (default 30)\n"
+      "  --interval-ms N  publish/sample interval (default 100)\n"
+      "  --fault-plan F   cold fault plan file applied at construction\n"
+      "  --obs-dir D      also export CSV/trace artifacts to D\n"
+      "  --wait-run       hold the simulation until a client sends run\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  serve::ServeScenarioConfig cfg;
+  bool wait_run = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--flows") {
+      cfg.tcp_flows = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--slots") {
+      cfg.dynamic_slots = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--duration-s") {
+      cfg.duration = util::Duration::seconds(std::atoll(next()));
+    } else if (a == "--interval-ms") {
+      cfg.obs.interval = util::Duration::millis(std::atoll(next()));
+    } else if (a == "--fault-plan") {
+      const fault::PlanParseResult parsed = fault::parse_plan_file(next());
+      if (!parsed.ok) {
+        std::fprintf(stderr, "fault plan: %s\n", parsed.error.c_str());
+        return 2;
+      }
+      cfg.fault = parsed.plan;
+    } else if (a == "--obs-dir") {
+      cfg.obs.dir = next();
+      cfg.obs.prefix = "serve_";
+    } else if (a == "--wait-run") {
+      wait_run = true;
+    } else {
+      usage(argv[0]);
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  obs::live::LivePublisher pub;
+  serve::ControlQueue control;
+  cfg.obs.live = &pub;
+
+  serve::ServeScenario scenario(cfg, &control);
+  serve::TelemetryServer server(pub, control, {.port = port});
+  server.start();
+  std::printf("lossburst_serve: listening on 127.0.0.1:%u (seed=%llu, %.0fs)\n",
+              server.port(), static_cast<unsigned long long>(cfg.seed),
+              cfg.duration.seconds());
+  std::fflush(stdout);
+
+  if (wait_run) {
+    std::puts("waiting for {\"cmd\":\"run\"} ...");
+    std::fflush(stdout);
+    while (!server.run_requested() && !server.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  if (!server.stop_requested()) scenario.run(server.stop_flag());
+
+  std::printf("published %llu ring records over %llu intervals (%zu columns)\n",
+              static_cast<unsigned long long>(pub.ring().published()),
+              static_cast<unsigned long long>(pub.intervals_published()),
+              pub.schema().size());
+  const std::vector<bool> lost = scenario.probe_loss_indicator();
+  std::size_t losses = 0;
+  for (const bool b : lost) losses += b ? 1 : 0;
+  std::printf("done: simulated %.1fs, probe %llu pkts (%zu lost), "
+              "%llu control commands, %zu clients\n",
+              scenario.sim().now().seconds(),
+              static_cast<unsigned long long>(scenario.probe_packets_sent()),
+              losses,
+              static_cast<unsigned long long>(scenario.control_commands_applied()),
+              server.clients_served());
+  if (losses > 0) {
+    const analysis::GilbertFit fit = analysis::fit_gilbert(lost);
+    std::printf("probe gilbert fit: p=%.6f q=%.6f loss=%.6f\n",
+                fit.p_good_to_bad, fit.p_bad_to_good, fit.loss_rate);
+  }
+  server.stop();
+  return 0;
+}

@@ -3,6 +3,7 @@
 //
 //   shard_campaign [--shards N] [--sites N] [--flows N] [--regions N]
 //                  [--duration-s S] [--seed N] [--fault]
+//                  [--obs-dir DIR] [--obs-interval MS]
 //
 // The topology — regional 10G backbones plus per-site access links — is
 // partitioned across N shards along the highest-latency backbone cuts; each
@@ -59,10 +60,16 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(parse_ll(a, next()));
     } else if (std::strcmp(a, "--fault") == 0) {
       cfg.fault_backbone = true;
+    } else if (std::strcmp(a, "--obs-dir") == 0) {
+      cfg.obs.dir = next();
+      cfg.obs.prefix = "campaign_";
+    } else if (std::strcmp(a, "--obs-interval") == 0) {
+      cfg.obs.interval = util::Duration::millis(parse_ll(a, next()));
     } else if (std::strcmp(a, "--help") == 0) {
       std::puts(
           "usage: shard_campaign [--shards N] [--sites N] [--flows N]\n"
-          "                      [--regions N] [--duration-s S] [--seed N] [--fault]");
+          "                      [--regions N] [--duration-s S] [--seed N] [--fault]\n"
+          "                      [--obs-dir DIR] [--obs-interval MS]");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
@@ -102,6 +109,11 @@ int main(int argc, char** argv) {
                         static_cast<double>(res.probes_sent));
   std::printf("digest          : %016llx  (byte-identical for any --shards)\n",
               static_cast<unsigned long long>(res.digest));
+  if (!cfg.obs.dir.empty()) {
+    std::printf("telemetry       : %s/campaign_s<k>_intervals.csv (per shard) "
+                "+ campaign_trace.json (one pid per shard)\n",
+                cfg.obs.dir.c_str());
+  }
 
   if (cfg.fault_backbone) {
     std::vector<bool> pooled;

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "obs/export.hpp"
+#include "obs/live/publisher.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
@@ -27,6 +28,7 @@ class ObsSession {
     telemetry_->recorder().configure(cfg_.trace_capacity, cfg_.trace_kinds);
     if (cfg_.profile) telemetry_->enable_profiler();
     sim_.set_telemetry(telemetry_.get());
+    if (cfg_.live != nullptr) cfg_.live->attach(*telemetry_);
   }
 
   ~ObsSession() {
@@ -44,8 +46,11 @@ class ObsSession {
     series_ = std::make_unique<obs::IntervalSeries>(telemetry_->registry());
     const std::int64_t period_ns = std::max<std::int64_t>(1, cfg_.interval.ns());
     series_->reserve(static_cast<std::size_t>(horizon.ns() / period_ns) + 2);
-    sampler_ = std::make_unique<sim::PeriodicProcess>(
-        sim_, cfg_.interval, [this] { series_->sample(sim_.now()); });
+    if (cfg_.live != nullptr) cfg_.live->freeze(sim_.now().ns(), period_ns);
+    sampler_ = std::make_unique<sim::PeriodicProcess>(sim_, cfg_.interval, [this] {
+      series_->sample(sim_.now());
+      if (cfg_.live != nullptr) cfg_.live->publish(sim_.now().ns());
+    });
     sampler_->start(cfg_.interval);
   }
 
@@ -56,7 +61,7 @@ class ObsSession {
     if (!telemetry_ || !series_) return;
     sampler_->stop();
     if (series_->last_time() != sim_.now()) series_->sample(sim_.now());
-    obs::export_artifacts(cfg_, *telemetry_, *series_);
+    if (cfg_.writes_artifacts()) obs::export_artifacts(cfg_, *telemetry_, *series_);
   }
 
   [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/noise.hpp"
+#include "core/obs_session.hpp"
 #include "fault/injector.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
@@ -172,6 +173,7 @@ struct RobustState {
 
 ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) {
   sim::Simulator sim(cfg.seed);
+  ObsSession obs_session(sim, cfg.obs);
   net::Network network(sim);
   util::Rng rng = sim.rng().split(0x9a);
 
@@ -255,7 +257,9 @@ ParallelTransferResult run_parallel_transfer(const ParallelTransferConfig& cfg) 
     injector = std::make_unique<fault::FaultInjector>(network, cfg.fault);
   }
 
+  obs_session.start_sampling(cfg.timeout);
   sim.run_until(TimePoint::zero() + cfg.timeout);
+  obs_session.finish();
 
   ParallelTransferResult result;
   // Lower bound: wire bytes (payload + headers) at line rate; matches the

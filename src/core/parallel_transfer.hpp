@@ -10,6 +10,7 @@
 
 #include "fault/plan.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "tcp/sender.hpp"
 #include "util/time.hpp"
 
@@ -47,6 +48,10 @@ struct ParallelTransferConfig {
   /// Fault plan (DESIGN.md §10): impairments keyed by link name; empty =
   /// no fault layer attached.
   fault::FaultPlan fault{};
+
+  /// Telemetry (DESIGN.md §8): set obs.dir to export interval CSV + trace
+  /// artifacts for this run, obs.live to stream. Default-off = zero overhead.
+  obs::ObsConfig obs{};
 
   // --- Robust (chaos-tolerant) application layer --------------------------
   // A plain parallel transfer stalls under link flaps: a stripe whose RTO

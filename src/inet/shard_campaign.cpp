@@ -1,5 +1,8 @@
 #include "inet/shard_campaign.hpp"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -8,6 +11,9 @@
 #include "inet/shard_partition.hpp"
 #include "inet/sites.hpp"
 #include "net/sharded_network.hpp"
+#include "obs/export.hpp"
+#include "obs/live/publisher.hpp"
+#include "sim/process.hpp"
 #include "tcp/cbr.hpp"
 #include "tcp/onoff.hpp"
 #include "util/rng.hpp"
@@ -91,7 +97,25 @@ ShardCampaignResult run_shard_campaign(const ShardCampaignConfig& cfg) {
   const std::vector<std::size_t> shard_of =
       partition_regions(R, std::move(edges), cfg.shards);
 
+  // Telemetry: one bundle per shard, attached before any link is created so
+  // every component registers its metrics/tracks with its shard's bundle.
+  // Declared before the network: links deregister their metrics in their
+  // destructors, so the registries must outlive them.
+  std::vector<std::unique_ptr<obs::Telemetry>> tel;
+
   net::ShardedNetwork snet(cfg.shards, cfg.seed);
+
+  if (cfg.obs.enabled()) {
+    tel.resize(cfg.shards);
+    for (std::size_t k = 0; k < cfg.shards; ++k) {
+      tel[k] = std::make_unique<obs::Telemetry>();
+      tel[k]->recorder().configure(cfg.obs.trace_capacity, cfg.obs.trace_kinds);
+      snet.sim(k).set_telemetry(tel[k].get());
+      if (cfg.obs.live != nullptr) {
+        cfg.obs.live->attach(*tel[k], "s" + std::to_string(k) + ".");
+      }
+    }
+  }
 
   // Links in fixed global creation order — backbone pairs ascending, then
   // per-site access links — so cross-shard tie-break indices are identical
@@ -221,7 +245,77 @@ ShardCampaignResult run_shard_campaign(const ShardCampaignConfig& cfg) {
 
   snet.finalize();  // after fault attach: corruption routing needs the index
   const Duration tail = Duration::seconds(2);  // drain in-flight probes
-  snet.run_until(TimePoint::zero() + cfg.duration + tail);
+  const TimePoint end = TimePoint::zero() + cfg.duration + tail;
+
+  // Sampling pump: per-shard interval series plus the optional live
+  // publisher, advanced in lockstep over the global interval grid. For
+  // K == 1 a PeriodicProcess drives it (exact sampling, the serial engine
+  // bypasses the coordinator); for K > 1 the coordinator's epoch hook calls
+  // catch_up(gmin) — the barrier's single-threaded point — so every closed
+  // interval at or before gmin is sampled barrier-consistently without ever
+  // racing a worker. Telemetry reads registries and rings only; the event
+  // outcomes, and therefore the digest, are identical with obs on or off.
+  struct Pump {
+    std::vector<std::unique_ptr<obs::IntervalSeries>> series;
+    obs::live::LivePublisher* live = nullptr;
+    std::int64_t interval_ns = 0;
+    std::int64_t next_ns = 0;
+    void catch_up(std::int64_t upto_ns) {
+      while (next_ns <= upto_ns) {
+        for (auto& s : series) s->sample(TimePoint(next_ns));
+        if (live != nullptr) live->publish(next_ns);
+        next_ns += interval_ns;
+      }
+    }
+  };
+  Pump pump;
+  std::unique_ptr<sim::PeriodicProcess> sampler;
+  if (cfg.obs.enabled()) {
+    pump.live = cfg.obs.live;
+    pump.interval_ns = std::max<std::int64_t>(1, cfg.obs.interval.ns());
+    pump.next_ns = pump.interval_ns;
+    const auto rows =
+        static_cast<std::size_t>(end.ns() / pump.interval_ns) + 2;
+    pump.series.reserve(cfg.shards);
+    for (std::size_t k = 0; k < cfg.shards; ++k) {
+      pump.series.push_back(
+          std::make_unique<obs::IntervalSeries>(tel[k]->registry()));
+      pump.series.back()->reserve(rows);
+    }
+    if (cfg.obs.live != nullptr) cfg.obs.live->freeze(0, pump.interval_ns);
+    if (cfg.shards > 1) {
+      snet.coordinator().set_epoch_hook(
+          [&pump](TimePoint gmin) { pump.catch_up(gmin.ns()); });
+    } else {
+      sampler = std::make_unique<sim::PeriodicProcess>(
+          snet.sim(0), Duration(pump.interval_ns),
+          [&pump, &snet] { pump.catch_up(snet.sim(0).now().ns()); });
+      sampler->start(Duration(pump.interval_ns));
+    }
+  }
+
+  snet.run_until(end);
+
+  if (cfg.obs.enabled()) {
+    if (sampler) sampler->stop();
+    snet.coordinator().set_epoch_hook(nullptr);  // pump dies with this scope
+    pump.catch_up(end.ns());
+    if (cfg.obs.writes_artifacts()) {
+      namespace fs = std::filesystem;
+      fs::create_directories(cfg.obs.dir);
+      for (std::size_t k = 0; k < cfg.shards; ++k) {
+        std::ofstream csv(fs::path(cfg.obs.dir) /
+                          (cfg.obs.prefix + "s" + std::to_string(k) +
+                           "_intervals.csv"));
+        pump.series[k]->write_csv(csv);
+      }
+      std::vector<const obs::FlightRecorder*> recs;
+      recs.reserve(cfg.shards);
+      for (const auto& t : tel) recs.push_back(&t->recorder());
+      std::ofstream trace(fs::path(cfg.obs.dir) / (cfg.obs.prefix + "trace.json"));
+      obs::write_chrome_trace(trace, recs);
+    }
+  }
 
   ShardCampaignResult result;
   result.shards = cfg.shards;

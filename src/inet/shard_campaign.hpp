@@ -26,6 +26,7 @@
 
 #include "fault/channel.hpp"
 #include "net/packet.hpp"
+#include "obs/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace lossburst::inet {
@@ -48,6 +49,18 @@ struct ShardCampaignConfig {
   bool fault_backbone = false;
   double gilbert_p = 0.01;  ///< P(Good -> Bad) per packet
   double gilbert_q = 0.30;  ///< P(Bad -> Good) per packet
+
+  /// Telemetry (DESIGN.md §8/§13): one bundle per shard. With obs.dir set,
+  /// the run writes per-shard interval CSVs plus ONE merged Chrome trace
+  /// with a trace_event process (pid) per shard. With obs.live set, every
+  /// shard attaches to the publisher (columns prefixed "s<k>.") and
+  /// publication happens at epoch boundaries — the coordinator's only
+  /// single-threaded points — so streaming never races the workers.
+  /// Sampling reads registries at those boundaries; the sampled values are
+  /// exact for K == 1 and barrier-consistent (deterministic per K) for
+  /// K > 1. Telemetry never alters event outcomes: the digest for a given
+  /// (seed, K) is identical with obs on or off.
+  obs::ObsConfig obs{};
 };
 
 struct ShardFlowReport {

@@ -125,7 +125,10 @@ void Link::service() {
   // only these two tests on top of the classic path. Processing jitter also
   // forces scalar — its samples must stay interleaved exactly as the scalar
   // path draws them.
-  if (processing_jitter_ || queue_->len_packets() < 2 || !try_start_batch()) start_tx();
+  if (!batch_enabled_ || processing_jitter_ || queue_->len_packets() < 2 ||
+      !try_start_batch()) {
+    start_tx();
+  }
 }
 
 // Size and launch a burst of the >= 2 queued packets service() saw. Falls
@@ -238,6 +241,7 @@ bool Link::unit_precedes_current(std::uint32_t j) const {
 // finish_tx's resolve-then-start. Each side effect is stamped with the
 // burst's own timestamps, not the caller's now.
 void Link::settle_one_unit() {
+  sim_.count_link_unit();  // one packet's service completes here
   const std::uint32_t j = batch_resolved_;
   const std::int64_t fin = batch_finish_ns_[j];
   const std::uint8_t v = batch_verdicts_[j];
@@ -352,6 +356,7 @@ void Link::start_tx() {
 }
 
 void Link::finish_tx() {
+  sim_.count_link_unit();  // one packet's service completes here
   // Propagation: the head packet arrives at the far end after `delay_`.
   // Serialization completes in start order and the delay is constant, so
   // arrivals are FIFO — one pending arrival event (for the flight's head)
@@ -471,6 +476,7 @@ void Link::abort_batch() {
 // finish_tx, except the fault verdict was drawn at batch start — re-rolling
 // here would advance the RNG streams twice for one packet.
 void Link::finish_aborted(std::uint8_t v) {
+  sim_.count_link_unit();  // one packet's service completes here
   const PacketHandle head = tx_head_;
   tx_head_ = PacketHandle{};
   const std::int64_t arrive_ns = (sim_.now() + delay_).ns();

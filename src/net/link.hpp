@@ -89,6 +89,12 @@ class Link {
   /// Longest back-to-back burst one kLinkBatch event may carry.
   static constexpr std::uint32_t kMaxBatch = 64;
 
+  /// Force the scalar serialization path (one kLinkTx event per packet).
+  /// Results are byte-identical either way (DESIGN.md §11); profiling tests
+  /// use this to compare scalar and batched dispatch on the same workload.
+  void set_batch_enabled(bool on) { batch_enabled_ = on; }
+  [[nodiscard]] bool batch_enabled() const { return batch_enabled_; }
+
   /// Debug conservation support (DESIGN.md §9): append every handle the
   /// link currently owns — queued, serializing, and in flight — in
   /// deterministic order. Used by the Network teardown leak check.
@@ -185,6 +191,7 @@ class Link {
   fault::LinkFaultState* fault_ = nullptr;  ///< owned by the FaultInjector
   BoundaryHop* boundary_ = nullptr;         ///< owned by the ShardedNetwork
   bool busy_ = false;
+  bool batch_enabled_ = true;  ///< false forces the scalar path (see setter)
 
   // Active burst (DESIGN.md §11). Packet k of the batch is dequeued at its
   // serialization start (batch_start for k = 0, else batch_finish_ns_[k-1])

@@ -74,6 +74,13 @@ class Queue {
 
   [[nodiscard]] const QueueCounters& counters() const { return counters_; }
 
+  /// Runtime retune (serve-layer control plane, DESIGN.md §13): change the
+  /// capacity in packets, applied at a deterministic event boundary by the
+  /// caller. Already-queued packets are never evicted — a shrunken buffer
+  /// drains down to the new limit. Returns false for disciplines that have
+  /// no packet-count capacity knob.
+  virtual bool set_capacity_pkts(std::size_t /*capacity*/) { return false; }
+
   void set_tracer(QueueTracer* tracer) { tracer_ = tracer; }
   /// The owning link wires in the simulator (for exact drop timestamps) and
   /// the packet pool the stored handles resolve against.
@@ -167,6 +174,10 @@ class DropTailQueue final : public Queue {
   [[nodiscard]] std::size_t len_packets() const override { return q_.size(); }
   [[nodiscard]] std::size_t len_bytes() const override { return bytes_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  bool set_capacity_pkts(std::size_t capacity) override {
+    capacity_ = capacity;
+    return true;
+  }
   void debug_append_handles(std::vector<PacketHandle>& out) const override {
     append_ring(q_, out);
   }

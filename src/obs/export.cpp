@@ -90,20 +90,29 @@ void IntervalSeries::write_csv(std::ostream& out) const {
   }
 }
 
-void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
-  out << "[\n";
-  bool first = true;
+namespace {
+
+// One recorder's events under one trace_event pid. `first` and `next_id`
+// are shared across shards so the comma framing and span ids stay globally
+// unique in the multi-recorder output.
+void write_trace_process(std::ostream& out, const FlightRecorder& rec, int pid,
+                         const std::string& process_name, bool& first,
+                         std::uint64_t& next_id) {
   auto sep = [&] {
     if (!first) out << ",\n";
     first = false;
   };
 
   sep();
-  out << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"lossburst"}})";
+  out << R"({"name":"process_name","ph":"M","pid":)" << pid
+      << R"(,"tid":0,"args":{"name":)";
+  put_json_string(out, process_name);
+  out << "}}";
   const std::vector<std::string>& tracks = rec.track_names();
   for (std::size_t i = 0; i < tracks.size(); ++i) {
     sep();
-    out << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << i << R"(,"args":{"name":)";
+    out << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)" << i
+        << R"(,"args":{"name":)";
     put_json_string(out, tracks[i]);
     out << "}}";
   }
@@ -112,7 +121,6 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
   // end-of-trace close pass iterates in a deterministic order.
   std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint64_t> open;
   std::map<std::pair<std::uint16_t, std::uint64_t>, std::int64_t> open_t;
-  std::uint64_t next_id = 1;
   std::int64_t last_ns = 0;
 
   auto span_name = [](std::uint64_t a) {
@@ -124,7 +132,8 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
                        std::int64_t ns) {
     sep();
     out << R"({"cat":"q","name":")" << span_name(a) << R"(","ph":")" << ph
-        << R"(","id":)" << id << R"(,"pid":1,"tid":)" << track << R"(,"ts":)";
+        << R"(","id":)" << id << R"(,"pid":)" << pid << R"(,"tid":)" << track
+        << R"(,"ts":)";
     put_ts(out, ns);
     out << '}';
   };
@@ -133,7 +142,8 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
     sep();
     out << R"({"cat":"pkt","name":")" << name;
     if (!arg_name.empty()) out << ' ' << arg_name;
-    out << R"(","ph":"i","s":"t","pid":1,"tid":)" << track << R"(,"ts":)";
+    out << R"(","ph":"i","s":"t","pid":)" << pid << R"(,"tid":)" << track
+        << R"(,"ts":)";
     put_ts(out, ns);
     out << '}';
   };
@@ -172,7 +182,8 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
         static_assert(sizeof(v) == sizeof(r.a));
         std::memcpy(&v, &r.a, sizeof(v));
         sep();
-        out << R"({"cat":"cwnd","name":")" << tracks[r.track] << R"( cwnd","ph":"C","pid":1,"ts":)";
+        out << R"({"cat":"cwnd","name":")" << tracks[r.track] << R"( cwnd","ph":"C","pid":)"
+            << pid << R"(,"ts":)";
         put_ts(out, r.t_ns);
         out << R"(,"args":{"cwnd":)" << fmt_value(v) << "}}";
         break;
@@ -197,7 +208,27 @@ void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
     const std::int64_t ns = last_ns > open_t[key] ? last_ns : open_t[key];
     put_async('e', key.first, key.second, id, ns);
   }
+}
 
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const FlightRecorder& rec) {
+  out << "[\n";
+  bool first = true;
+  std::uint64_t next_id = 1;
+  write_trace_process(out, rec, 1, "lossburst", first, next_id);
+  out << "\n]\n";
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<const FlightRecorder*>& shards) {
+  out << "[\n";
+  bool first = true;
+  std::uint64_t next_id = 1;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    write_trace_process(out, *shards[k], static_cast<int>(k) + 1,
+                        "shard " + std::to_string(k), first, next_id);
+  }
   out << "\n]\n";
 }
 

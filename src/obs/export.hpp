@@ -53,6 +53,13 @@ class IntervalSeries {
 /// microseconds printed with fixed precision — deterministic byte-for-byte.
 void write_chrome_trace(std::ostream& out, const FlightRecorder& rec);
 
+/// Multi-recorder variant for sharded runs: one trace_event process (pid)
+/// per recorder, named "shard <k>", with each shard's tracks as that
+/// process's threads. Passing a single recorder emits byte-identical output
+/// to the single-recorder overload (pid 1, process "lossburst").
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<const FlightRecorder*>& shards);
+
 /// Write every artifact the config asks for into cfg.dir (created if
 /// missing): <prefix>intervals.csv, <prefix>trace.json and, when profiling,
 /// <prefix>profile.txt. No-op when cfg.enabled() is false.

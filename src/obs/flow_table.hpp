@@ -1,0 +1,65 @@
+// Per-flow accounting registry for the top-flows aggregator (DESIGN.md §13).
+//
+// Mirrors obs::Registry's contract: the hot path never touches this —
+// senders and sources keep the counters they already maintain, and register
+// a {flow id, reader fn, context} triple once at construction (when a
+// Telemetry instance is attached to their simulator). The top-flows
+// aggregator walks the table at *sample* time only. Registration order is
+// construction order, hence deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::obs {
+
+/// Cumulative per-flow counters, as the flow's owner accounts them.
+struct FlowSample {
+  std::uint64_t bytes = 0;        ///< payload bytes handed to the network
+  std::uint64_t retransmits = 0;  ///< segments sent again (0 for open-loop)
+  std::uint64_t losses = 0;       ///< congestion/loss events the flow saw
+};
+
+class FlowTable {
+ public:
+  using ReadFn = FlowSample (*)(const void* ctx);
+
+  FlowTable() = default;
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// Register flow `id`, read through `fn(ctx)`. `owner` groups entries for
+  /// release(); by convention the registering component (`this`).
+  void add(std::uint32_t id, ReadFn fn, const void* ctx, const void* owner) {
+    entries_.push_back(Entry{fn, ctx, owner, id});
+  }
+
+  /// Drop every entry registered under `owner` (flow destructors call this
+  /// so the table never holds dangling reader contexts).
+  void release(const void* owner) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < entries_.size(); ++r) {
+      if (entries_[r].owner != owner) entries_[w++] = entries_[r];
+    }
+    entries_.resize(w);
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint32_t id(std::size_t i) const { return entries_[i].id; }
+  [[nodiscard]] FlowSample read(std::size_t i) const {
+    const Entry& e = entries_[i];
+    return e.fn(e.ctx);
+  }
+
+ private:
+  struct Entry {
+    ReadFn fn;
+    const void* ctx;
+    const void* owner;
+    std::uint32_t id;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lossburst::obs

@@ -1,0 +1,105 @@
+// Decimation chain (DESIGN.md §13, after jittertrap's intervals machinery):
+// raw per-interval metric samples fold into concurrent roll-up resolutions.
+//
+// With the default 100 ms base interval the levels are 100 ms -> 1 s ->
+// 10 s -> 60 s (folds 10, 10, 6). Each level is computed from the level
+// below — level 2 folds ten completed level-1 samples, not six hundred raw
+// ones — so per-interval cost is O(metrics * levels-completing-now), and a
+// level completes only every fold-th tick of the level below. The chain is
+// sized once at configure(); feeding and folding never allocate.
+//
+// Folding semantics per metric: min of mins, max of maxes, sum of sums,
+// last of lasts. Gauges read mean = sum / count (count = product of folds,
+// i.e. base intervals covered); counters feed per-interval *deltas*, so
+// their folded sum is the total delta over the span and min/max bound the
+// per-base-interval rate.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::obs::live {
+
+class Decimator {
+ public:
+  static constexpr std::size_t kLevels = 4;  ///< level 0 = raw intervals
+  /// kFold[l]: completed level-l samples per level-(l+1) sample.
+  static constexpr std::array<std::uint32_t, kLevels - 1> kFold = {10, 10, 6};
+
+  /// A completed folded sample at some level.
+  struct Sample {
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double last = 0.0;
+    std::uint64_t count = 0;  ///< base (level-0) intervals covered
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  /// Size the chain for `metrics` columns. Allocates everything up front.
+  void configure(std::size_t metrics);
+
+  [[nodiscard]] std::size_t metrics() const { return metrics_; }
+
+  /// Feed metric `m`'s raw value for the interval being closed. Call for
+  /// every metric, then end_interval() exactly once. Inline: this sits in
+  /// the per-metric publish loop, and an out-of-line call per metric costs
+  /// more than the accumulator update itself.
+  void feed(std::size_t m, double v) {
+    Acc& a = acc_[0][m];
+    if (!a.any) {
+      a.min = v;
+      a.max = v;
+      a.sum = v;
+      a.any = true;
+    } else {
+      if (v < a.min) a.min = v;
+      if (v > a.max) a.max = v;
+      a.sum += v;
+    }
+    a.last = v;
+  }
+
+  /// Close the interval. Returns a bitmask of roll-up levels (bit l set for
+  /// l in [1, kLevels)) that completed a folded sample this tick; read them
+  /// via sample(l, m) before the next fold of that level.
+  std::uint32_t end_interval();
+
+  /// Last completed folded sample of metric m at level l (1-based levels).
+  [[nodiscard]] const Sample& sample(std::size_t l, std::size_t m) const {
+    return out_[l - 1][m];
+  }
+
+  /// Base intervals covered by one sample at level l (1, 10, 100, 600...).
+  [[nodiscard]] static std::uint64_t span_intervals(std::size_t l) {
+    std::uint64_t n = 1;
+    for (std::size_t i = 0; i < l; ++i) n *= kFold[i];
+    return n;
+  }
+
+ private:
+  struct Acc {
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double last = 0.0;
+    bool any = false;
+  };
+
+  /// Fold one completed sample (level l) into level l+1's accumulator.
+  std::uint32_t cascade(std::size_t l);
+
+  std::size_t metrics_ = 0;
+  /// acc_[l][m]: accumulator building the next level-(l+1) sample.
+  std::array<std::vector<Acc>, kLevels - 1> acc_;
+  /// out_[l][m]: last completed level-(l+1) sample.
+  std::array<std::vector<Sample>, kLevels - 1> out_;
+  /// counts_[l]: completed level-l samples folded into acc_[l] so far.
+  std::array<std::uint32_t, kLevels - 1> counts_{};
+};
+
+}  // namespace lossburst::obs::live

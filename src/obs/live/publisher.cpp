@@ -1,0 +1,141 @@
+#include "obs/live/publisher.hpp"
+
+#include "obs/telemetry.hpp"
+
+namespace lossburst::obs::live {
+
+void LivePublisher::attach(Telemetry& t, std::string prefix) {
+  sources_.push_back(Source{&t, std::move(prefix), RecorderCursor{}});
+}
+
+void LivePublisher::freeze(std::int64_t start_ns, std::int64_t interval_ns) {
+  start_ns_ = start_ns;
+  interval_ns_ = interval_ns;
+  schema_.clear();
+  metrics_.clear();
+  std::vector<const FlowTable*> tables;
+  for (Source& s : sources_) {
+    const Registry& reg = s.telemetry->registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      schema_.push_back(Column{s.prefix + reg.name(i), reg.kind(i)});
+      // Counters difference against the value at freeze, so the first
+      // interval's delta covers exactly [start, start + interval).
+      metrics_.push_back(MetricRef{
+          reg.read_fn(i), reg.read_ctx(i),
+          reg.kind(i) == MetricKind::kCounter ? reg.read(i) : 0.0,
+          reg.kind(i)});
+    }
+    tables.push_back(&s.telemetry->flows());
+    s.cursor.reset(&s.telemetry->recorder());
+  }
+  dec_.configure(metrics_.size());
+  top_.freeze(tables);
+  ring_.configure(opt_.ring_capacity);
+  kind_counts_.fill(0);
+  intervals_.store(0, std::memory_order_relaxed);
+  frozen_.store(true, std::memory_order_release);
+}
+
+void LivePublisher::publish(std::int64_t t_ns) {
+  const double interval_s = static_cast<double>(interval_ns_) * 1e-9;
+
+  // Raw (level-0) metric samples; counters become per-interval deltas.
+  // This loop is the dominant per-interval cost (one reader call, one ring
+  // slot, one accumulator update per metric), so it runs off the compact
+  // MetricRef rows with the invariant SnapshotRec fields hoisted.
+  {
+    SnapshotRec rec;
+    rec.t_ns = t_ns;
+    rec.kind = static_cast<std::uint32_t>(SnapKind::kMetric);
+    rec.aux = 0;
+    const std::size_t n_metrics = metrics_.size();
+    for (std::size_t m = 0; m < n_metrics; ++m) {
+      MetricRef& ref = metrics_[m];
+      double v = ref.fn(ref.ctx);
+      if (ref.kind == MetricKind::kCounter) {
+        const double delta = v - ref.prev;
+        ref.prev = v;
+        v = delta;
+      }
+      rec.id = static_cast<std::uint32_t>(m);
+      rec.v0 = v;
+      rec.v1 = v;
+      rec.v2 = v;
+      rec.v3 = v;
+      ring_.publish(rec);
+      dec_.feed(m, v);
+    }
+  }
+
+  // Roll-up levels that completed a folded sample on this tick.
+  const std::uint32_t mask = dec_.end_interval();
+  for (std::size_t l = 1; l < Decimator::kLevels; ++l) {
+    if ((mask & (1u << l)) == 0) continue;
+    for (std::size_t m = 0; m < metrics_.size(); ++m) {
+      const Decimator::Sample& s = dec_.sample(l, m);
+      SnapshotRec rec;
+      rec.t_ns = t_ns;
+      rec.kind = static_cast<std::uint32_t>(SnapKind::kMetric);
+      rec.id = static_cast<std::uint32_t>(m);
+      rec.aux = static_cast<std::uint64_t>(l);
+      // Counters: v0 = total delta over the span; gauges: v0 = min.
+      rec.v0 = metrics_[m].kind == MetricKind::kCounter ? s.sum : s.min;
+      rec.v1 = s.mean();
+      rec.v2 = s.max;
+      rec.v3 = s.last;
+      ring_.publish(rec);
+    }
+  }
+
+  // Top flows over the sliding window.
+  top_.tick();
+  const double window_s =
+      static_cast<double>(TopFlows::kWindow) * interval_s;
+  for (std::size_t r = 0; r < top_.top_count(); ++r) {
+    const TopFlows::Entry& e = top_.top(r);
+    SnapshotRec rec;
+    rec.t_ns = t_ns;
+    rec.kind = static_cast<std::uint32_t>(SnapKind::kTopFlow);
+    rec.id = static_cast<std::uint32_t>(r);
+    rec.aux = e.flow;
+    rec.v0 = static_cast<double>(e.window.bytes);
+    rec.v1 = static_cast<double>(e.window.retransmits);
+    rec.v2 = static_cast<double>(e.window.losses);
+    rec.v3 = window_s > 0.0 ? static_cast<double>(e.window.bytes) / window_s : 0.0;
+    ring_.publish(rec);
+  }
+
+  // Flight-recorder activity this interval (across all sources).
+  kind_counts_.fill(0);
+  std::uint64_t lost = 0;
+  for (Source& s : sources_) lost += s.cursor.harvest(kind_counts_);
+  for (std::size_t k = 0; k < kRecordKinds; ++k) {
+    if (kind_counts_[k] == 0) continue;
+    SnapshotRec rec;
+    rec.t_ns = t_ns;
+    rec.kind = static_cast<std::uint32_t>(SnapKind::kTraceKinds);
+    rec.id = static_cast<std::uint32_t>(k);
+    rec.v0 = static_cast<double>(kind_counts_[k]);
+    ring_.publish(rec);
+  }
+  if (lost > 0) {
+    SnapshotRec rec;
+    rec.t_ns = t_ns;
+    rec.kind = static_cast<std::uint32_t>(SnapKind::kTraceDrops);
+    rec.v0 = static_cast<double>(lost);
+    ring_.publish(rec);
+  }
+
+  // Interval marker last: a client that has seen the mark has seen the
+  // whole batch for this interval.
+  const std::uint64_t idx = intervals_.load(std::memory_order_relaxed);
+  SnapshotRec mark;
+  mark.t_ns = t_ns;
+  mark.kind = static_cast<std::uint32_t>(SnapKind::kMark);
+  mark.aux = idx;
+  mark.v0 = interval_s;
+  ring_.publish(mark);
+  intervals_.store(idx + 1, std::memory_order_release);
+}
+
+}  // namespace lossburst::obs::live

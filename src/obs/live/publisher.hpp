@@ -1,0 +1,113 @@
+// LivePublisher: the sim-side end of the telemetry streaming service
+// (DESIGN.md §13).
+//
+// One publisher serves any number of Telemetry bundles (one per shard in a
+// sharded run) and any number of clients. The lifecycle is strict:
+//
+//   attach(telemetry, prefix)...   — name the sources (any thread, pre-run)
+//   freeze(start_ns, interval_ns)  — pin the schema, allocate everything
+//   publish(t_ns) per interval     — sim thread / epoch barrier; zero-alloc
+//
+// publish() walks the frozen metric schema, differences counters, feeds the
+// decimation chain, ticks the top-flows aggregator, harvests flight-recorder
+// activity, and pushes the resulting SnapshotRec batch into the broadcast
+// ring — a bounded, constant amount of work per interval regardless of how
+// many clients (including zero) are attached. Client threads read only the
+// ring and the immutable post-freeze schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/live/decimator.hpp"
+#include "obs/live/recorder_cursor.hpp"
+#include "obs/live/spsc_ring.hpp"
+#include "obs/live/topflows.hpp"
+#include "obs/metrics.hpp"
+
+namespace lossburst::obs {
+class Telemetry;
+}
+
+namespace lossburst::obs::live {
+
+class LivePublisher {
+ public:
+  struct Options {
+    /// Ring capacity in SnapshotRecs; sized so a client scheduled out for
+    /// many intervals still sees a contiguous recent window.
+    std::size_t ring_capacity = 1u << 16;
+  };
+
+  LivePublisher() = default;
+  explicit LivePublisher(Options opt) : opt_(opt) {}
+  LivePublisher(const LivePublisher&) = delete;
+  LivePublisher& operator=(const LivePublisher&) = delete;
+
+  /// Add a source; its registry/flow-table/recorder contents are read at
+  /// freeze() time. `prefix` disambiguates columns across shards ("s0.").
+  void attach(Telemetry& t, std::string prefix = "");
+
+  /// Pin the schema and allocate every buffer. Call after all components
+  /// have registered their metrics and flows, before the run starts.
+  void freeze(std::int64_t start_ns, std::int64_t interval_ns);
+
+  [[nodiscard]] bool frozen() const {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
+  /// Close the interval ending at simulated time `t_ns`. Producer thread
+  /// only; zero allocations, cost independent of attached client count.
+  void publish(std::int64_t t_ns);
+
+  // ---- reader side (client threads; valid once frozen() is true) ----
+
+  struct Column {
+    std::string name;
+    MetricKind kind;
+  };
+
+  [[nodiscard]] const std::vector<Column>& schema() const { return schema_; }
+  [[nodiscard]] const SnapshotRing& ring() const { return ring_; }
+  [[nodiscard]] SnapshotRing::Cursor make_cursor() const {
+    return ring_.make_cursor();
+  }
+  [[nodiscard]] std::int64_t interval_ns() const { return interval_ns_; }
+  [[nodiscard]] std::uint64_t intervals_published() const {
+    return intervals_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Source {
+    Telemetry* telemetry;
+    std::string prefix;
+    RecorderCursor cursor;
+  };
+  // One 32-byte row per metric, snapshotted from the registry at freeze().
+  // publish() walks only this array — never the registry's 64-byte Entry
+  // records — so the per-interval schema scan touches half the cache lines
+  // and skips one pointer hop per metric.
+  struct MetricRef {
+    Registry::ReadFn fn;
+    const void* ctx;
+    double prev;  ///< last cumulative value (counters only)
+    MetricKind kind;
+  };
+
+  Options opt_{};
+  std::vector<Source> sources_;
+  std::vector<MetricRef> metrics_;
+  std::vector<Column> schema_;
+  Decimator dec_;
+  TopFlows top_;
+  SnapshotRing ring_;
+  std::array<std::uint64_t, kRecordKinds> kind_counts_{};
+  std::int64_t start_ns_ = 0;
+  std::int64_t interval_ns_ = 0;
+  std::atomic<std::uint64_t> intervals_{0};
+  std::atomic<bool> frozen_{false};
+};
+
+}  // namespace lossburst::obs::live

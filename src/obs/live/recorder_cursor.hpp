@@ -1,0 +1,60 @@
+// Flight-recorder harvest cursor (DESIGN.md §13): per-interval per-kind
+// activity counts from a FlightRecorder the publisher does not own.
+//
+// The recorder maintains monotone per-kind write totals, so a harvest is a
+// fixed handful of subtractions — O(kinds), never O(records written this
+// interval) — and the counts stay exact even across ring wraps. What *is*
+// lost on wrap is the records themselves: harvest() separately reports how
+// many fresh records were overwritten before it ran, i.e. the part of the
+// interval the post-mortem ring no longer covers. Sim-thread only (the
+// recorder is not thread-safe); the publisher turns the counts into
+// SnapshotRecs that *are* safe to stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "obs/trace_ring.hpp"
+
+namespace lossburst::obs::live {
+
+inline constexpr std::size_t kRecordKinds =
+    static_cast<std::size_t>(RecordKind::kKindCount);
+
+class RecorderCursor {
+ public:
+  /// Point at `rec` and skip everything already written (harvests are
+  /// per-interval deltas from here on). Pass nullptr to detach.
+  void reset(const FlightRecorder* rec) {
+    rec_ = rec;
+    last_total_ = rec != nullptr ? rec->total_records() : 0;
+    last_kind_ = rec != nullptr
+                     ? rec->kind_totals()
+                     : std::array<std::uint64_t, kRecordKinds>{};
+  }
+
+  /// Accumulate per-kind counts of records written since the last harvest
+  /// into `counts` (exact — differenced from the recorder's monotone
+  /// per-kind totals); returns how many fresh records were overwritten in
+  /// the ring before this harvest ran. Never allocates.
+  std::uint64_t harvest(std::array<std::uint64_t, kRecordKinds>& counts) {
+    if (rec_ == nullptr) return 0;
+    const std::uint64_t total = rec_->total_records();
+    const std::uint64_t fresh = total - last_total_;
+    last_total_ = total;
+    const auto& totals = rec_->kind_totals();
+    for (std::size_t k = 0; k < kRecordKinds; ++k) {
+      counts[k] += totals[k] - last_kind_[k];
+      last_kind_[k] = totals[k];
+    }
+    const std::size_t held = rec_->size();
+    return fresh > held ? fresh - held : 0;
+  }
+
+ private:
+  const FlightRecorder* rec_ = nullptr;
+  std::uint64_t last_total_ = 0;
+  std::array<std::uint64_t, kRecordKinds> last_kind_{};
+};
+
+}  // namespace lossburst::obs::live

@@ -1,0 +1,57 @@
+// Live snapshot records: the fixed-size unit of telemetry streaming
+// (DESIGN.md §13).
+//
+// The sim thread publishes a bounded batch of these per sampling interval
+// into a broadcast ring (spsc_ring.hpp); per-client export threads drain
+// and serialize them. Records are exactly 64 bytes — eight machine words —
+// so the ring can copy them word-by-word through atomics (TSan-clean
+// seqlock validation) and a full interval's batch stays cache-resident.
+// Everything is stamped with *simulated* time: clients observe the run,
+// they never perturb it.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace lossburst::obs::live {
+
+/// What a SnapshotRec carries. The `id` and `aux` fields are kind-specific.
+enum class SnapKind : std::uint32_t {
+  /// End-of-interval marker, one per published interval: id = 0,
+  /// aux = interval index, v0 = interval length in seconds.
+  kMark = 0,
+  /// One metric at one roll-up level: id = metric index in the frozen
+  /// schema, aux = decimation level (0 = raw), v0..v3 = min/mean/max/last
+  /// over the folded span (level 0: all four equal the raw sample; counters
+  /// carry per-interval deltas, with v0 the *sum* of deltas over the span).
+  kMetric,
+  /// One top-flows ranking entry: id = rank (0 = biggest), aux = flow id,
+  /// v0 = bytes, v1 = retransmits, v2 = losses over the sliding window,
+  /// v3 = bytes/second over the window.
+  kTopFlow,
+  /// Flight-recorder activity this interval: id = obs::RecordKind,
+  /// v0 = records of that kind written this interval. Kinds masked off by
+  /// per-kind gating are never written, so they never appear here.
+  kTraceKinds,
+  /// Flight-recorder records overwritten by ring wrap this interval —
+  /// the per-kind counts stay exact (monotone totals), but this much of
+  /// the interval is no longer in the post-mortem ring: id = 0,
+  /// v0 = overwritten records.
+  kTraceDrops,
+};
+
+struct SnapshotRec {
+  std::int64_t t_ns = 0;   ///< interval end, simulated time
+  std::uint32_t kind = 0;  ///< SnapKind
+  std::uint32_t id = 0;    ///< kind-specific (metric index, rank, ...)
+  std::uint64_t aux = 0;   ///< kind-specific (level, flow id, interval index)
+  double v0 = 0.0;
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double v3 = 0.0;
+  std::uint64_t pad = 0;   ///< reserved; keeps the record at 8 words
+};
+static_assert(sizeof(SnapshotRec) == 64, "ring copies records as 8 words");
+static_assert(std::is_trivially_copyable_v<SnapshotRec>);
+
+}  // namespace lossburst::obs::live

@@ -1,0 +1,137 @@
+// Broadcast snapshot ring: single producer, N independent readers
+// (DESIGN.md §13).
+//
+// The sim thread is the only writer; every attached client holds its own
+// Cursor and drains at its own pace from its own thread. The producer never
+// waits — it overwrites the oldest publication when the ring laps — so a
+// slow or dead client can only lose *its own* samples (counted in its
+// cursor's `dropped`), never backpressure the simulation. Publication cost
+// is a fixed eight relaxed word-stores plus three sequence stores,
+// independent of how many readers are attached (including zero).
+//
+// Concurrency scheme: per-slot seqlock with word-granular atomic payload.
+// The writer marks the slot odd, stores the eight payload words, then marks
+// it even (2*index + 2); a reader validates the even sequence before and
+// after its copy, with the canonical release/acquire fence pairing, so a
+// torn read is always detected and retried as a lap. Every access is an
+// atomic operation — no byte of the ring is touched non-atomically — which
+// keeps the scheme exact under the C++ memory model and silent under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "obs/live/snapshot.hpp"
+
+namespace lossburst::obs::live {
+
+class SnapshotRing {
+ public:
+  static constexpr std::size_t kWords = sizeof(SnapshotRec) / sizeof(std::uint64_t);
+
+  SnapshotRing() = default;
+  SnapshotRing(const SnapshotRing&) = delete;
+  SnapshotRing& operator=(const SnapshotRing&) = delete;
+
+  /// Allocate the slots (once, before the run). `capacity` is rounded up to
+  /// a power of two; it should hold several intervals' worth of records so a
+  /// client scheduled out for one interval does not lose data.
+  void configure(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    // lossburst-lint: allow(datapath-alloc): slots are allocated once at configure; publish/poll never allocate
+    slots_ = std::make_unique<Slot[]>(cap);
+    mask_ = cap - 1;
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Publications completed so far (readable from any thread).
+  [[nodiscard]] std::uint64_t published() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Producer only (the sim thread / the epoch-barrier completion).
+  void publish(const SnapshotRec& rec) {
+    std::uint64_t words[kWords];
+    std::memcpy(words, &rec, sizeof(rec));
+    const std::uint64_t n = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[n & mask_];
+    s.seq.store(2 * n + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < kWords; ++i) {
+      s.words[i].store(words[i], std::memory_order_relaxed);
+    }
+    s.seq.store(2 * n + 2, std::memory_order_release);  // even: published
+    head_.store(n + 1, std::memory_order_release);
+  }
+
+  /// One reader's position. `next` is the publication index it will read;
+  /// `dropped` counts publications it lost to overwrite (its problem alone).
+  struct Cursor {
+    std::uint64_t next = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Cursor starting at the oldest publication still guaranteed readable.
+  [[nodiscard]] Cursor make_cursor() const {
+    const std::uint64_t head = published();
+    const std::size_t cap = capacity();
+    Cursor c;
+    c.next = head > cap ? head - cap + 1 : 0;
+    return c;
+  }
+
+  enum class Poll : std::uint8_t { kOk, kEmpty };
+
+  /// Copy the next unread publication into `out`. Lapped publications are
+  /// skipped (counted into `c.dropped`) and the read retried, so kOk always
+  /// delivers records in publication order with gaps only where the reader
+  /// fell behind. Safe from any thread; each cursor belongs to one reader.
+  Poll poll(Cursor& c, SnapshotRec& out) const {
+    for (;;) {
+      const std::uint64_t head = head_.load(std::memory_order_acquire);
+      if (c.next >= head) return Poll::kEmpty;
+      const Slot& s = slots_[c.next & mask_];
+      const std::uint64_t want = 2 * c.next + 2;
+      const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 == want) {
+        std::uint64_t words[kWords];
+        for (std::size_t i = 0; i < kWords; ++i) {
+          words[i] = s.words[i].load(std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) == want) {
+          std::memcpy(&out, words, sizeof(out));
+          ++c.next;
+          return Poll::kOk;
+        }
+      }
+      // The slot moved on: this publication was overwritten under us. Skip
+      // to the oldest one still guaranteed stable and charge the gap to
+      // this cursor. (head was re-read above, so the skip target advances
+      // monotonically and the loop terminates.)
+      const std::size_t cap = mask_ + 1;
+      std::uint64_t resume = head > cap ? head - cap + 1 : 0;
+      if (resume <= c.next) resume = c.next + 1;
+      c.dropped += resume - c.next;
+      c.next = resume;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kWords]{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace lossburst::obs::live

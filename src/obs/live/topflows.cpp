@@ -1,0 +1,78 @@
+#include "obs/live/topflows.hpp"
+
+#include <algorithm>
+
+namespace lossburst::obs::live {
+
+void TopFlows::freeze(const std::vector<const FlowTable*>& tables) {
+  flows_.clear();
+  for (const FlowTable* t : tables) {
+    for (std::size_t r = 0; r < t->size(); ++r) {
+      PerFlow f;
+      f.table = t;
+      f.row = r;
+      f.id = t->id(r);
+      f.prev = t->read(r);  // flows alive before freeze start from zero deltas
+      flows_.push_back(f);
+    }
+  }
+  order_.resize(flows_.size());
+  top_.assign(std::min(kTopK, flows_.size()), Entry{});
+  top_count_ = 0;
+  pos_ = 0;
+}
+
+namespace {
+
+inline void accumulate(FlowSample& acc, const FlowSample& d, bool add) {
+  if (add) {
+    acc.bytes += d.bytes;
+    acc.retransmits += d.retransmits;
+    acc.losses += d.losses;
+  } else {
+    acc.bytes -= d.bytes;
+    acc.retransmits -= d.retransmits;
+    acc.losses -= d.losses;
+  }
+}
+
+}  // namespace
+
+void TopFlows::tick() {
+  for (PerFlow& f : flows_) {
+    const FlowSample cur = f.table->read(f.row);
+    FlowSample delta;
+    delta.bytes = cur.bytes - f.prev.bytes;
+    delta.retransmits = cur.retransmits - f.prev.retransmits;
+    delta.losses = cur.losses - f.prev.losses;
+    f.prev = cur;
+    accumulate(f.window, f.ring[pos_], false);  // expire the oldest interval
+    f.ring[pos_] = delta;
+    accumulate(f.window, delta, true);
+  }
+  pos_ = pos_ + 1 == kWindow ? 0 : pos_ + 1;
+
+  const std::size_t n = flows_.size();
+  const std::size_t k = std::min(kTopK, n);
+  if (k == 0) {
+    top_count_ = 0;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<std::uint32_t>(i);
+  const auto heavier = [this](std::uint32_t a, std::uint32_t b) {
+    const PerFlow& fa = flows_[a];
+    const PerFlow& fb = flows_[b];
+    if (fa.window.bytes != fb.window.bytes) return fa.window.bytes > fb.window.bytes;
+    return fa.id < fb.id;  // deterministic tie-break
+  };
+  std::partial_sort(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(k),
+                    order_.end(), heavier);
+  for (std::size_t i = 0; i < k; ++i) {
+    const PerFlow& f = flows_[order_[i]];
+    top_[i].flow = f.id;
+    top_[i].window = f.window;
+  }
+  top_count_ = k;
+}
+
+}  // namespace lossburst::obs::live

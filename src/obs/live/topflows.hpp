@@ -1,0 +1,60 @@
+// Top-flows aggregator (DESIGN.md §13, after jittertrap's toptalk view):
+// rank flows by bytes moved over a sliding window of sampling intervals.
+//
+// freeze() pins the flow set (the FlowTable rows registered so far) and
+// allocates every buffer; tick() — called once per published interval on
+// the sim thread — reads each flow's cumulative counters, differences them
+// against the previous tick, slides the window, and partial-sorts the top K
+// by window bytes (ties broken by flow id, so the ranking is deterministic).
+// Steady-state cost is O(flows + flows log K) with zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/flow_table.hpp"
+
+namespace lossburst::obs::live {
+
+class TopFlows {
+ public:
+  static constexpr std::size_t kTopK = 8;
+  static constexpr std::size_t kWindow = 10;  ///< sliding window, in intervals
+
+  struct Entry {
+    std::uint32_t flow = 0;
+    FlowSample window{};  ///< deltas summed over the window
+  };
+
+  /// Pin the flow set and allocate. `tables` may name several FlowTables
+  /// (one per shard); rows are concatenated in table order.
+  void freeze(const std::vector<const FlowTable*>& tables);
+
+  [[nodiscard]] std::size_t flows() const { return flows_.size(); }
+
+  /// Advance one interval: difference cumulative counters, slide the
+  /// window, recompute the ranking. Sim-thread only; never allocates.
+  void tick();
+
+  [[nodiscard]] std::size_t top_count() const { return top_count_; }
+  [[nodiscard]] const Entry& top(std::size_t rank) const { return top_[rank]; }
+
+ private:
+  struct PerFlow {
+    const FlowTable* table = nullptr;
+    std::size_t row = 0;
+    std::uint32_t id = 0;
+    FlowSample prev{};
+    FlowSample ring[kWindow]{};
+    FlowSample window{};  ///< running sum of ring
+  };
+
+  std::vector<PerFlow> flows_;
+  std::vector<std::uint32_t> order_;  ///< scratch index buffer for ranking
+  std::vector<Entry> top_;
+  std::size_t top_count_ = 0;
+  std::size_t pos_ = 0;  ///< ring slot the next tick overwrites
+};
+
+}  // namespace lossburst::obs::live

@@ -63,6 +63,11 @@ class Registry {
     const Entry& e = entries_[i];
     return e.fn(e.ctx);
   }
+  // Raw reader access, for callers that snapshot {fn, ctx} pairs into a
+  // compact hot array at freeze time (LivePublisher) instead of walking
+  // 64-byte Entry records (name header included) on every interval.
+  [[nodiscard]] ReadFn read_fn(std::size_t i) const { return entries_[i].fn; }
+  [[nodiscard]] const void* read_ctx(std::size_t i) const { return entries_[i].ctx; }
 
  private:
   struct Entry {

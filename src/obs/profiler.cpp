@@ -23,7 +23,8 @@ void LoopProfiler::report(std::ostream& out) const {
   out << "event-loop profile (wall-clock; not deterministic)\n";
   out << std::left << std::setw(12) << "tag" << std::right << std::setw(12) << "count"
       << std::setw(12) << "total_ms" << std::setw(9) << "share" << std::setw(12)
-      << "mean_ns" << std::setw(10) << "max_ns" << '\n';
+      << "mean_ns" << std::setw(10) << "max_ns" << std::setw(12) << "units"
+      << std::setw(12) << "ns_per_unit" << std::setw(8) << "burst" << '\n';
   for (std::size_t i = 0; i < kEventTagCount; ++i) {
     const PerTag& p = tags_[i];
     if (p.count == 0) continue;
@@ -34,7 +35,13 @@ void LoopProfiler::report(std::ostream& out) const {
         << static_cast<double>(p.total_ns) * 1e-6 << std::setw(8) << std::setprecision(1)
         << share * 100.0 << '%' << std::setw(12) << std::setprecision(1)
         << static_cast<double>(p.total_ns) / static_cast<double>(p.count) << std::setw(10)
-        << p.max_ns << '\n';
+        << p.max_ns;
+    if (p.units > 0) {
+      out << std::setw(12) << p.units << std::setw(12) << std::setprecision(1)
+          << static_cast<double>(p.total_ns) / static_cast<double>(p.units)
+          << std::setw(8) << p.max_units;
+    }
+    out << '\n';
   }
   out << std::left << std::setw(12) << "total" << std::right << std::setw(12)
       << total_count() << std::setw(12) << std::fixed << std::setprecision(3)

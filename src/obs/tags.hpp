@@ -24,6 +24,7 @@ enum class EventTag : std::uint8_t {
   kPeriodic,      ///< sim::PeriodicProcess ticks (meters, samplers)
   kAppStart,      ///< flow start events
   kFault,         ///< fault-injection transitions (flap/stall edges, watchdogs)
+  kControl,       ///< runtime control-plane application points (serve layer)
   kTagCount,
 };
 
@@ -44,6 +45,7 @@ constexpr std::string_view tag_name(EventTag tag) {
     case EventTag::kPeriodic: return "periodic";
     case EventTag::kAppStart: return "app.start";
     case EventTag::kFault: return "fault";
+    case EventTag::kControl: return "control";
     case EventTag::kTagCount: break;
   }
   return "?";

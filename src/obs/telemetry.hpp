@@ -9,12 +9,17 @@
 #include <memory>
 #include <string>
 
+#include "obs/flow_table.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_ring.hpp"
 #include "util/time.hpp"
 
 namespace lossburst::obs {
+
+namespace live {
+class LivePublisher;
+}
 
 /// How an experiment run wants its telemetry: where to write artifacts and
 /// how fine-grained to sample/trace. Default-constructed means "off".
@@ -30,8 +35,14 @@ struct ObsConfig {
   std::size_t trace_capacity = 1u << 14;
   std::uint32_t trace_kinds = kDefaultKinds;
   bool profile = false;          ///< also run the wall-clock loop profiler
+  /// Optional live telemetry sink (not owned). When set, the run attaches
+  /// its Telemetry bundles to the publisher and calls publish() once per
+  /// sampling interval — with or without an output dir.
+  live::LivePublisher* live = nullptr;
 
-  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+  [[nodiscard]] bool enabled() const { return !dir.empty() || live != nullptr; }
+  /// True when file artifacts should be written at the end of the run.
+  [[nodiscard]] bool writes_artifacts() const { return !dir.empty(); }
 };
 
 class Telemetry {
@@ -44,6 +55,8 @@ class Telemetry {
   [[nodiscard]] const Registry& registry() const { return registry_; }
   [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
   [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+  [[nodiscard]] FlowTable& flows() { return flows_; }
+  [[nodiscard]] const FlowTable& flows() const { return flows_; }
 
   LoopProfiler& enable_profiler() {
     if (!profiler_) profiler_ = std::make_unique<LoopProfiler>();
@@ -55,6 +68,7 @@ class Telemetry {
  private:
   Registry registry_;
   FlightRecorder recorder_;
+  FlowTable flows_;
   std::unique_ptr<LoopProfiler> profiler_;
 };
 

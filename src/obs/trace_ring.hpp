@@ -15,6 +15,7 @@
 //    costs the hot path one null/flag check.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -88,6 +89,7 @@ class FlightRecorder {
     enabled_ = capacity > 0;
     pos_ = 0;
     total_ = 0;
+    kind_totals_.fill(0);
   }
 
   void set_enabled(bool on) { enabled_ = on && !ring_.empty(); }
@@ -111,6 +113,7 @@ class FlightRecorder {
     r.kind = static_cast<std::uint8_t>(k);
     pos_ = pos_ + 1 == ring_.size() ? 0 : pos_ + 1;
     ++total_;
+    ++kind_totals_[static_cast<std::size_t>(k)];
   }
 
   /// Name a component's timeline track; returns its id. Registration order
@@ -127,6 +130,14 @@ class FlightRecorder {
   }
   /// Records ever written; size() fewer than this were overwritten.
   [[nodiscard]] std::uint64_t total_records() const { return total_; }
+  /// Records ever written, by kind — maintained in record() so consumers
+  /// that only need activity counts (the live publisher's per-interval
+  /// harvest) are O(kinds), never O(records), and stay exact across wraps.
+  [[nodiscard]] const std::array<std::uint64_t,
+                                 static_cast<std::size_t>(RecordKind::kKindCount)>&
+  kind_totals() const {
+    return kind_totals_;
+  }
   [[nodiscard]] std::uint64_t dropped_records() const {
     return total_ - static_cast<std::uint64_t>(size());
   }
@@ -146,6 +157,8 @@ class FlightRecorder {
  private:
   std::vector<TraceRecord> ring_;
   std::vector<std::string> track_names_;
+  std::array<std::uint64_t, static_cast<std::size_t>(RecordKind::kKindCount)>
+      kind_totals_{};
   std::size_t pos_ = 0;
   std::uint64_t total_ = 0;
   std::uint32_t mask_ = kDefaultKinds;

@@ -1,0 +1,51 @@
+// Runtime control plane (DESIGN.md §13): commands posted by server threads,
+// applied by the simulation thread at deterministic event boundaries.
+//
+// The mailbox is the only writer/reader handshake between the socket side
+// and the simulation: client threads post() commands at any time; the sim
+// drains them only from a kControl-tagged event (or the pre-run boundary),
+// never mid-dispatch, so every mutation lands between events exactly as a
+// scripted fault plan's transitions do. Replies travel the other way,
+// addressed by client id.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lossburst::serve {
+
+struct ControlCommand {
+  enum class Verb : std::uint8_t {
+    kInjectPlan,  ///< arg = fault-plan text (fault::parse_plan grammar)
+    kClearFault,  ///< detach the runtime-injected fault layer
+    kAddFlow,     ///< value = dynamic flow slot to start
+    kRemoveFlow,  ///< value = dynamic flow slot to stop
+    kSetQueue,    ///< arg = link name, value = new capacity in packets
+  };
+
+  Verb verb = Verb::kInjectPlan;
+  std::string arg;
+  std::uint64_t value = 0;
+  std::uint64_t client = 0;  ///< reply address
+};
+
+class ControlQueue {
+ public:
+  void post(ControlCommand cmd);
+  /// Move all pending commands into `out` (appended). Returns how many.
+  std::size_t drain(std::vector<ControlCommand>& out);
+
+  void post_result(std::uint64_t client, std::string line);
+  /// Move results addressed to `client` into `out` (appended).
+  std::size_t drain_results(std::uint64_t client, std::vector<std::string>& out);
+
+ private:
+  std::mutex mu_;
+  std::vector<ControlCommand> pending_;
+  std::vector<std::pair<std::uint64_t, std::string>> results_;
+};
+
+}  // namespace lossburst::serve

@@ -1,0 +1,196 @@
+#include "serve/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lossburst::serve {
+
+using util::Duration;
+using util::TimePoint;
+
+namespace {
+constexpr std::uint32_t kDynamicPacketBytes = 500;
+constexpr net::FlowId kProbeFlowId = 9000;
+constexpr net::FlowId kDynamicFlowBase = 100;
+}  // namespace
+
+ServeScenario::ServeScenario(const ServeScenarioConfig& cfg, ControlQueue* control)
+    : cfg_(cfg), control_(control), sim_(cfg.seed), obs_session_(sim_, cfg.obs) {
+  network_ = std::make_unique<net::Network>(sim_);
+  net::DumbbellConfig dc;
+  dc.bottleneck_bps = cfg_.bottleneck_bps;
+  dc.flow_count = cfg_.tcp_flows + cfg_.dynamic_slots + 1;  // +1: the probe
+  bell_ = net::build_dumbbell(*network_, dc);
+  bell_.bottleneck_fwd->queue().set_tracer(&trace_);
+
+  // Cold fault plan (the reference runs the parity tests compare against).
+  if (!cfg_.fault.empty()) {
+    cold_injector_ = std::make_unique<fault::FaultInjector>(*network_, cfg_.fault);
+    cold_injector_->set_drop_tracer(&trace_);
+  }
+
+  util::Rng rng = sim_.rng().split(0x5e7);
+
+  // Persistent TCP load, staggered within the first second.
+  for (std::size_t i = 0; i < cfg_.tcp_flows; ++i) {
+    auto flow = std::make_unique<tcp::TcpFlow>(sim_, static_cast<net::FlowId>(i + 1),
+                                               bell_.fwd_routes[i], bell_.rev_routes[i]);
+    flow->sender().start(TimePoint::zero() +
+                         rng.uniform_duration(Duration::zero(), Duration::seconds(1)));
+    flows_.push_back(std::move(flow));
+  }
+
+  // Dynamic slots: built (and registered) now, idle until add-flow.
+  dyn_sink_ = std::make_unique<tcp::NullSink>();
+  dynamic_active_.assign(cfg_.dynamic_slots, false);
+  for (std::size_t s = 0; s < cfg_.dynamic_slots; ++s) {
+    tcp::ExpOnOffSource::Params sp;
+    sp.peak_bps = static_cast<double>(cfg_.bottleneck_bps) * 0.25;
+    sp.packet_bytes = kDynamicPacketBytes;
+    auto src = std::make_unique<tcp::ExpOnOffSource>(
+        sim_, static_cast<net::FlowId>(kDynamicFlowBase + s), sp,
+        rng.split(0xd10 + s));
+    src->connect(bell_.fwd_routes[cfg_.tcp_flows + s], dyn_sink_.get());
+    if (obs::Telemetry* t = sim_.telemetry()) {
+      t->flows().add(
+          static_cast<std::uint32_t>(kDynamicFlowBase + s),
+          [](const void* c) {
+            const auto* p = static_cast<const tcp::ExpOnOffSource*>(c);
+            obs::FlowSample f;
+            f.bytes = p->packets_sent() * kDynamicPacketBytes;
+            return f;
+          },
+          src.get(), this);
+    }
+    dynamic_.push_back(std::move(src));
+  }
+
+  // The CBR probe: deterministic send schedule, losses identified by gap.
+  tcp::CbrSource::Params pp;
+  pp.duration = cfg_.duration;
+  probe_src_ = std::make_unique<tcp::CbrSource>(sim_, kProbeFlowId, pp);
+  probe_sink_ = std::make_unique<tcp::ProbeSink>();
+  probe_sink_->attach_clock(&sim_);
+  probe_src_->connect(bell_.fwd_routes[dc.flow_count - 1], probe_sink_.get());
+  probe_src_->start(TimePoint::zero());
+}
+
+ServeScenario::~ServeScenario() {
+  if (obs::Telemetry* t = sim_.telemetry()) t->flows().release(this);
+}
+
+void ServeScenario::run(const volatile bool* stop_flag) {
+  apply_pending();  // the t = 0 boundary: commands posted pre-run land here
+  const Duration interval = cfg_.obs.interval;
+  obs_session_.start_sampling(cfg_.duration);
+  control_event_ = sim_.in(interval, [this] { control_tick(); },
+                           obs::EventTag::kControl);
+  const TimePoint end = TimePoint::zero() + cfg_.duration;
+  while (sim_.now() < end) {
+    if (stop_flag != nullptr && *stop_flag) break;
+    TimePoint next = sim_.now() + interval;
+    if (end < next) next = end;
+    sim_.run_until(next);
+  }
+  control_event_.cancel();
+  obs_session_.finish();
+}
+
+void ServeScenario::control_tick() {
+  apply_pending();
+  control_event_ = sim_.in(cfg_.obs.interval, [this] { control_tick(); },
+                           obs::EventTag::kControl);
+}
+
+void ServeScenario::reply(std::uint64_t client, bool ok, const std::string& msg) {
+  if (control_ != nullptr) {
+    control_->post_result(client, (ok ? "ok: " : "error: ") + msg);
+  }
+}
+
+void ServeScenario::apply_pending() {
+  if (control_ == nullptr) return;
+  scratch_.clear();
+  if (control_->drain(scratch_) == 0) return;
+  for (const ControlCommand& c : scratch_) {
+    ++control_applied_;
+    switch (c.verb) {
+      case ControlCommand::Verb::kInjectPlan: {
+        std::istringstream in(c.arg);
+        const fault::PlanParseResult parsed = fault::parse_plan(in);
+        if (!parsed.ok) {
+          reply(c.client, false, parsed.error);
+          break;
+        }
+        try {
+          live_injector_.reset();  // one live layer at a time
+          live_injector_ =
+              std::make_unique<fault::FaultInjector>(*network_, parsed.plan);
+          live_injector_->set_drop_tracer(&trace_);
+          reply(c.client, true, "plan injected");
+        } catch (const std::exception& e) {
+          live_injector_.reset();
+          reply(c.client, false, e.what());
+        }
+        break;
+      }
+      case ControlCommand::Verb::kClearFault:
+        live_injector_.reset();
+        reply(c.client, true, "fault layer cleared");
+        break;
+      case ControlCommand::Verb::kAddFlow: {
+        const std::size_t s = c.value;
+        if (s >= dynamic_.size()) {
+          reply(c.client, false, "no such flow slot");
+        } else if (dynamic_active_[s]) {
+          reply(c.client, false, "flow slot already active");
+        } else {
+          dynamic_[s]->start(sim_.now());
+          dynamic_active_[s] = true;
+          reply(c.client, true, "flow started");
+        }
+        break;
+      }
+      case ControlCommand::Verb::kRemoveFlow: {
+        const std::size_t s = c.value;
+        if (s >= dynamic_.size() || !dynamic_active_[s]) {
+          reply(c.client, false, "flow slot not active");
+        } else {
+          dynamic_[s]->stop();
+          dynamic_active_[s] = false;
+          reply(c.client, true, "flow stopped");
+        }
+        break;
+      }
+      case ControlCommand::Verb::kSetQueue: {
+        net::Link* link = nullptr;
+        for (const auto& l : network_->links()) {
+          if (l->name() == c.arg) {
+            link = l.get();
+            break;
+          }
+        }
+        if (link == nullptr) {
+          reply(c.client, false, "no such link: " + c.arg);
+        } else if (!link->queue().set_capacity_pkts(
+                       static_cast<std::size_t>(c.value))) {
+          reply(c.client, false, "queue discipline has no capacity knob");
+        } else {
+          reply(c.client, true, "queue capacity set");
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::vector<bool> ServeScenario::probe_loss_indicator() const {
+  const auto sent = static_cast<std::size_t>(probe_src_->packets_sent());
+  std::vector<bool> lost(sent, false);
+  for (net::SeqNum seq : probe_sink_->missing(static_cast<net::SeqNum>(sent))) {
+    lost[seq] = true;
+  }
+  return lost;
+}
+
+}  // namespace lossburst::serve

@@ -1,0 +1,99 @@
+// The served simulation (DESIGN.md §13): a faulted dumbbell whose load,
+// fault layer, and queue tuning can be steered at runtime through a
+// ControlQueue, while a LivePublisher streams its telemetry.
+//
+// Workload:
+//  - `tcp_flows` persistent TCP flows (the congestion load),
+//  - `dynamic_slots` pre-built on-off sources, idle until an add-flow
+//    command starts them (pre-building keeps the frozen metric schema and
+//    flow table complete — runtime "new" flows are pre-registered slots),
+//  - one CBR probe flow into a ProbeSink, so the probe's loss indicator —
+//    and the Gilbert p/q fitted from it — can be compared against a cold
+//    run with the same plan passed at construction.
+//
+// Control commands drain ONLY at kControl-tagged event boundaries (one per
+// publish interval) plus the pre-run boundary at t = 0; nothing external
+// ever mutates the simulation mid-dispatch, so two runs receiving the same
+// commands before their windows open are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/obs_session.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "net/trace.hpp"
+#include "serve/control.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cbr.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/onoff.hpp"
+
+namespace lossburst::serve {
+
+struct ServeScenarioConfig {
+  std::uint64_t seed = 1;
+  std::size_t tcp_flows = 4;      ///< persistent TCP load
+  std::size_t dynamic_slots = 4;  ///< add-flow/remove-flow pool
+  std::uint64_t bottleneck_bps = 10'000'000;
+  util::Duration duration = util::Duration::seconds(30);
+  obs::ObsConfig obs{};           ///< set obs.live to stream; obs.dir to export
+  fault::FaultPlan fault{};       ///< cold fault plan (reference runs)
+};
+
+class ServeScenario {
+ public:
+  ServeScenario(const ServeScenarioConfig& cfg, ControlQueue* control);
+  ~ServeScenario();
+
+  ServeScenario(const ServeScenario&) = delete;
+  ServeScenario& operator=(const ServeScenario&) = delete;
+
+  /// Run to the horizon in publish-interval slices, applying pending
+  /// control commands at each kControl boundary. `stop` (optional, polled
+  /// between slices from this thread) aborts early.
+  void run(const volatile bool* stop_flag = nullptr);
+
+  /// Per-probe-packet loss indicator (true = lost), in send order. Valid
+  /// after run(); the parity tests fit Gilbert p/q from this.
+  [[nodiscard]] std::vector<bool> probe_loss_indicator() const;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const net::LossTrace& trace() const { return trace_; }
+  [[nodiscard]] std::uint64_t probe_packets_sent() const {
+    return probe_src_->packets_sent();
+  }
+  [[nodiscard]] std::uint64_t control_commands_applied() const {
+    return control_applied_;
+  }
+
+ private:
+  void apply_pending();
+  void control_tick();
+  void reply(std::uint64_t client, bool ok, const std::string& msg);
+
+  ServeScenarioConfig cfg_;
+  ControlQueue* control_;
+  sim::Simulator sim_;
+  core::ObsSession obs_session_;
+  std::unique_ptr<net::Network> network_;
+  net::Dumbbell bell_;
+  net::LossTrace trace_;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+  std::vector<std::unique_ptr<tcp::ExpOnOffSource>> dynamic_;
+  std::vector<bool> dynamic_active_;
+  std::unique_ptr<tcp::NullSink> dyn_sink_;
+  std::unique_ptr<tcp::CbrSource> probe_src_;
+  std::unique_ptr<tcp::ProbeSink> probe_sink_;
+  std::unique_ptr<fault::FaultInjector> cold_injector_;
+  std::unique_ptr<fault::FaultInjector> live_injector_;
+  sim::EventHandle control_event_;
+  std::vector<ControlCommand> scratch_;
+  std::uint64_t control_applied_ = 0;
+};
+
+}  // namespace lossburst::serve

@@ -157,6 +157,18 @@ void ShardCoordinator::on_drain_complete() noexcept {
     done_ = true;
     return;
   }
+  if (epoch_hook_) {
+    // Single-threaded by construction (every other worker is blocked in
+    // barrier_drain_); a throwing hook aborts the run like a worker failure.
+    try {
+      epoch_hook_(TimePoint(gmin));
+    } catch (...) {
+      errors_[0] = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+      done_ = true;
+      return;
+    }
+  }
   // Arrivals drained at the *next* barrier left a boundary serializer at
   // finish >= gmin, so no wedge can target an instant <= gmin: watermarks at
   // or before it are dead.

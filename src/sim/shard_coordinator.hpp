@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -75,6 +76,20 @@ class ShardCoordinator {
   [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
   [[nodiscard]] Duration lookahead() const { return Duration(lookahead_ns_); }
 
+  /// Install a hook invoked once per epoch at the drain barrier's completion
+  /// — the run's only single-threaded point: every worker is parked inside
+  /// the barrier, no shard is dispatching, and all cross-shard arrivals for
+  /// the epoch are drained. The argument is gmin, the global minimum
+  /// next-event time; no shard has executed anything at or beyond it, which
+  /// makes the hook the safe place to observe (sample registries, publish
+  /// telemetry) a consistent pre-gmin world. The hook must not mutate any
+  /// shard's state and must not throw (a throw aborts the run). Set before
+  /// run_until; pass nullptr to clear.
+  // lossburst-lint: allow(datapath-alloc): set once before the run; invoked per epoch barrier, not per event
+  void set_epoch_hook(std::function<void(TimePoint gmin)> hook) {
+    epoch_hook_ = std::move(hook);
+  }
+
  private:
   struct DrainCompletion {
     ShardCoordinator* c;
@@ -109,6 +124,8 @@ class ShardCoordinator {
   std::int64_t prune_upto_ns_ = 0;
   bool done_ = false;
   std::uint64_t epochs_ = 0;
+  // lossburst-lint: allow(datapath-alloc): assigned once pre-run, called at the drain barrier only
+  std::function<void(TimePoint)> epoch_hook_;
 
   // A worker whose callback threw keeps hitting barriers in no-op mode (so
   // phases stay aligned) until the completion function sees abort_ and ends

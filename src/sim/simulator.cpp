@@ -59,18 +59,20 @@ std::uint64_t Simulator::run_before_observed(TimePoint horizon) {
     if (t >= horizon) break;
     LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
     now_ = t;
+    const std::uint64_t units_before = link_units_;
     if (prof != nullptr) {
       const Clock::time_point start = Clock::now();
       queue_.pop_and_run();
       const auto wall_ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
-      prof->record(queue_.last_dispatch_tag(), wall_ns);
+      prof->record(queue_.last_dispatch_tag(), wall_ns, link_units_ - units_before);
     } else {
       queue_.pop_and_run();
     }
     if (rec != nullptr) {
       rec->record(obs::RecordKind::kEventDispatch, t.ns(), 0,
-                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()), 0);
+                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()),
+                  static_cast<std::uint32_t>(link_units_ - units_before));
     }
     ++ran;
     ++executed_;
@@ -102,12 +104,13 @@ std::uint64_t Simulator::run_until_observed(TimePoint until) {
     if (t > until) break;
     LOSSBURST_INVARIANT(t >= now_, "simulated clock would move backwards");
     now_ = t;
+    const std::uint64_t units_before = link_units_;
     if (prof != nullptr) {
       const Clock::time_point start = Clock::now();
       queue_.pop_and_run();
       const auto wall_ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
-      prof->record(queue_.last_dispatch_tag(), wall_ns);
+      prof->record(queue_.last_dispatch_tag(), wall_ns, link_units_ - units_before);
     } else {
       queue_.pop_and_run();
     }
@@ -115,7 +118,8 @@ std::uint64_t Simulator::run_until_observed(TimePoint until) {
                         "profiler instrumentation must not advance the simulated clock");
     if (rec != nullptr) {
       rec->record(obs::RecordKind::kEventDispatch, t.ns(), 0,
-                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()), 0);
+                  static_cast<std::uint64_t>(queue_.last_dispatch_tag()),
+                  static_cast<std::uint32_t>(link_units_ - units_before));
     }
     ++ran;
     ++executed_;

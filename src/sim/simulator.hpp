@@ -95,6 +95,14 @@ class Simulator {
   void set_telemetry(obs::Telemetry* telemetry);
   [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Link-layer work-unit accounting (DESIGN.md §8/§11): links call this
+  /// once per packet whose service completes — whether the packet settled
+  /// via a scalar finish_tx or inside a kLinkBatch burst — so the profiler
+  /// can charge batched dispatch per packet instead of per event. One plain
+  /// increment; no telemetry gate needed.
+  void count_link_unit() { ++link_units_; }
+  [[nodiscard]] std::uint64_t link_units() const { return link_units_; }
+
  private:
   std::uint64_t run_until_observed(TimePoint until);
   std::uint64_t run_before_observed(TimePoint horizon);
@@ -103,6 +111,7 @@ class Simulator {
   TimePoint now_ = TimePoint::zero();
   util::Rng rng_;
   std::uint64_t executed_ = 0;
+  std::uint64_t link_units_ = 0;
   bool stop_requested_ = false;
   obs::Telemetry* telemetry_ = nullptr;
 };

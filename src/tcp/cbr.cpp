@@ -8,7 +8,26 @@
 namespace lossburst::tcp {
 
 CbrSource::CbrSource(sim::Simulator& sim, FlowId flow, Params params)
-    : sim_(sim), flow_(flow), params_(params) {}
+    : sim_(sim), flow_(flow), params_(params) {
+  if (obs::Telemetry* t = sim_.telemetry()) {
+    telemetry_ = t;
+    // Open-loop probe stream: bytes only; it never retransmits and does not
+    // observe its own losses.
+    t->flows().add(
+        flow_,
+        [](const void* c) {
+          const auto* s = static_cast<const CbrSource*>(c);
+          obs::FlowSample f;
+          f.bytes = s->next_seq_ * s->params_.packet_bytes;
+          return f;
+        },
+        this, this);
+  }
+}
+
+CbrSource::~CbrSource() {
+  if (telemetry_ != nullptr) telemetry_->flows().release(this);
+}
 
 void CbrSource::start(TimePoint at) {
   assert(route_ != nullptr && sink_ != nullptr);

@@ -34,6 +34,9 @@ class CbrSource {
 
   CbrSource(sim::Simulator& sim, FlowId flow) : CbrSource(sim, flow, Params{}) {}
   CbrSource(sim::Simulator& sim, FlowId flow, Params params);
+  ~CbrSource();
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
 
   void connect(const Route* route, net::Endpoint* sink) {
     route_ = route;
@@ -59,6 +62,7 @@ class CbrSource {
   sim::Simulator& sim_;
   FlowId flow_;
   Params params_;
+  obs::Telemetry* telemetry_ = nullptr;  ///< where our flow row was registered
   const Route* route_ = nullptr;
   net::Endpoint* sink_ = nullptr;
   SeqNum next_seq_ = 0;

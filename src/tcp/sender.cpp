@@ -48,7 +48,10 @@ TcpSender::TcpSender(sim::Simulator& sim, FlowId flow, Params params)
 }
 
 TcpSender::~TcpSender() {
-  if (telemetry_ != nullptr) telemetry_->registry().release(this);
+  if (telemetry_ != nullptr) {
+    telemetry_->registry().release(this);
+    telemetry_->flows().release(this);
+  }
 }
 
 // Construction-time only (DESIGN.md §8): every per-flow gauge reads a plain
@@ -78,6 +81,17 @@ void TcpSender::register_observability(obs::Telemetry& telemetry) {
   reg.add_counter(base + ".timeouts", &stats_.timeouts, this);
   reg.add_counter(base + ".congestion_events", &stats_.congestion_events, this);
   reg.add_counter(base + ".ecn_responses", &stats_.ecn_responses, this);
+  telemetry.flows().add(
+      flow_,
+      [](const void* c) {
+        const auto* s = static_cast<const TcpSender*>(c);
+        obs::FlowSample f;
+        f.bytes = s->stats_.segments_sent * s->params_.segment_bytes;
+        f.retransmits = s->stats_.retransmits;
+        f.losses = s->stats_.congestion_events;
+        return f;
+      },
+      this, this);
 }
 
 void TcpSender::obs_cwnd() {

@@ -86,6 +86,11 @@ DATAPATH_FILES = (
     "src/sim/shard_mailbox.hpp",
     "src/sim/shard_coordinator.hpp",
     "src/sim/shard_coordinator.cpp",
+    # The live telemetry publish path (BM_LivePublish): everything is
+    # allocated at freeze(); per-interval publish() and client-side poll()
+    # must stay allocation-free on the sim thread.
+    "src/obs/live/spsc_ring.hpp",
+    "src/obs/live/publisher.cpp",
 )
 
 RULES = (

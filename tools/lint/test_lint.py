@@ -223,6 +223,19 @@ def main() -> int:
             "void park(std::function<void()> f) { f(); }\n",
             "datapath-alloc",
         )
+        expect_finding(
+            "datapath-alloc: live snapshot ring header is a datapath file",
+            tmp, "src/obs/live/spsc_ring.hpp",
+            "int* per_publish() { return new int; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: live publisher impl is a datapath file",
+            tmp, "src/obs/live/publisher.cpp",
+            "#include <functional>\n"
+            "void defer(std::function<void()> f) { f(); }\n",
+            "datapath-alloc",
+        )
 
         # ------------------------------------------------ untagged-event
         expect_finding(

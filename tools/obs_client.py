@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""NDJSON client for the lossburst telemetry server (DESIGN.md sec. 13).
+
+Talks to examples/lossburst_serve over TCP, one JSON object per line in
+each direction. Standard library only.
+
+Usage:
+  obs_client.py [--host H] [--port P] watch [--level N] [--no-topflows]
+  obs_client.py [--host H] [--port P] schema
+  obs_client.py [--host H] [--port P] inject PLAN_FILE [--run]
+  obs_client.py [--host H] [--port P] ctl CMD [KEY=VALUE ...]
+  obs_client.py [--host H] [--port P] run | stop | stats
+
+Examples:
+  # stream 1s-resolution roll-ups, render top flows as they change
+  obs_client.py --port 7787 watch --level 1
+  # inject a fault plan into a --wait-run server, then release it
+  obs_client.py --port 7787 inject plans/burst.plan --run
+  # start dynamic flow slot 2
+  obs_client.py --port 7787 ctl add-flow slot=2
+"""
+import argparse
+import json
+import socket
+import sys
+
+
+class Client:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.rd = self.sock.makefile("r", encoding="utf-8")
+        hello = json.loads(self.rd.readline())
+        assert hello.get("type") == "hello", hello
+
+    def send(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+
+    def lines(self):
+        for line in self.rd:
+            if line.strip():
+                yield json.loads(line)
+
+    def expect(self, types):
+        """Read until a message whose type is in `types` arrives; return it."""
+        for msg in self.lines():
+            if msg["type"] in types:
+                return msg
+            if msg["type"] == "error":
+                sys.exit("server error: %s" % msg.get("msg", "?"))
+        sys.exit("connection closed while waiting for %s" % "/".join(types))
+
+
+def cmd_watch(cli, args):
+    cli.send({"cmd": "resolution", "level": args.level})
+    if args.no_topflows:
+        cli.send({"cmd": "topflows", "enabled": False})
+    cli.send({"cmd": "subscribe"})
+    shown = 0
+    try:
+        for msg in cli.lines():
+            t = msg["type"]
+            if t == "metric":
+                if args.grep and args.grep not in msg.get("name", ""):
+                    continue
+                print(
+                    "%8.2fs L%d %-40s min=%-10g mean=%-10g max=%-10g last=%g"
+                    % (msg["t"], msg["level"], msg.get("name", msg["id"]),
+                       msg["min"], msg["mean"], msg["max"], msg["last"]))
+                shown += 1
+            elif t == "topflow":
+                print("%8.2fs top#%d flow=%-6d %10.0f B %6.0f retx %6.0f loss %10.0f bps"
+                      % (msg["t"], msg["rank"], msg["flow"], msg["bytes"],
+                         msg["retx"], msg["losses"], msg["bps"]))
+            elif t == "mark":
+                if msg["interval"] % args.mark_every == 0:
+                    print("-- interval %d (t=%.2fs, dropped=%d)"
+                          % (msg["interval"], msg["t"], msg["client_dropped"]))
+            elif t in ("control", "trace_drops"):
+                print("** %s: %s" % (t, json.dumps(msg)))
+            if args.max_lines and shown >= args.max_lines:
+                break
+    except KeyboardInterrupt:
+        pass
+
+
+def cmd_schema(cli, _args):
+    cli.send({"cmd": "schema"})
+    msg = cli.expect(["schema"])
+    print("interval: %g ns, %d columns" % (msg["interval_ns"], len(msg["columns"])))
+    for col in msg["columns"]:
+        print("%5d  %-7s %s" % (col["id"], col["kind"], col["name"]))
+
+
+def cmd_inject(cli, args):
+    with open(args.plan_file, encoding="utf-8") as f:
+        plan = f.read()
+    cli.send({"cmd": "inject-plan", "plan": plan})
+    cli.expect(["ok"])
+    if args.run:
+        cli.send({"cmd": "run"})
+    # The verdict comes back asynchronously once the sim thread applies it.
+    msg = cli.expect(["control"])
+    print(msg["msg"])
+    if msg["msg"].startswith("error"):
+        sys.exit(1)
+
+
+def cmd_ctl(cli, args):
+    msg = {"cmd": args.ctl_cmd}
+    for kv in args.kv:
+        key, _, value = kv.partition("=")
+        msg[key] = int(value) if value.isdigit() else value
+    cli.send(msg)
+    cli.expect(["ok"])
+    print(cli.expect(["control"])["msg"])
+
+
+def cmd_simple(cli, cmd, reply_types):
+    cli.send({"cmd": cmd})
+    print(json.dumps(cli.expect(reply_types)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    sub = ap.add_subparsers(dest="verb", required=True)
+
+    w = sub.add_parser("watch", help="subscribe and pretty-print the stream")
+    w.add_argument("--level", type=int, default=1,
+                   help="min roll-up level to stream (0=100ms raw .. 3=60s)")
+    w.add_argument("--no-topflows", action="store_true")
+    w.add_argument("--grep", default="", help="only metrics whose name contains this")
+    w.add_argument("--mark-every", type=int, default=10)
+    w.add_argument("--max-lines", type=int, default=0)
+
+    sub.add_parser("schema", help="print the frozen column set")
+
+    i = sub.add_parser("inject", help="inject a fault plan file")
+    i.add_argument("plan_file")
+    i.add_argument("--run", action="store_true",
+                   help="also release a --wait-run server")
+
+    c = sub.add_parser("ctl", help="send a raw control command")
+    c.add_argument("ctl_cmd", help="e.g. add-flow, remove-flow, set-queue, clear-fault")
+    c.add_argument("kv", nargs="*", help="fields, e.g. slot=2 or link=bottleneck.fwd")
+
+    sub.add_parser("run", help="release a --wait-run server")
+    sub.add_parser("stop", help="ask the simulation to end early")
+    sub.add_parser("stats", help="print this connection's counters")
+
+    args = ap.parse_args()
+    cli = Client(args.host, args.port)
+    if args.verb == "watch":
+        cmd_watch(cli, args)
+    elif args.verb == "schema":
+        cmd_schema(cli, args)
+    elif args.verb == "inject":
+        cmd_inject(cli, args)
+    elif args.verb == "ctl":
+        cmd_ctl(cli, args)
+    elif args.verb == "stats":
+        cmd_simple(cli, "stats", ["stats"])
+    else:  # run / stop
+        cmd_simple(cli, args.verb, ["ok"])
+
+
+if __name__ == "__main__":
+    main()
