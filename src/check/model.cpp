@@ -1,0 +1,1220 @@
+#include "check/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+// Implementation notes (the header carries the user-facing contract).
+//
+// Exactly one model thread runs at any instant; every other thread is parked
+// on its own condition variable. The running thread performs all scheduler
+// work itself: at each visible operation it records the op it is about to
+// perform, enumerates which threads could run instead (enabled, not
+// sleeping, affordable under the preemption bound), consults the persistent
+// DFS decision stack, and either continues or hands the baton to the chosen
+// thread. Handoffs are mutex+condvar grants, so the whole runtime is
+// sequentially consistent from the host's point of view (and TSan-silent).
+//
+// Exploration is stateless-model-checking replay: the decision stack
+// records (kind, chosen, num_options) per branch point; each execution
+// replays the prefix and extends it; backtracking pops exhausted suffixes
+// and bumps the deepest unexhausted choice. Bodies must therefore be
+// deterministic given the decisions — enforced by verifying replayed nodes
+// match what the execution re-derives.
+
+namespace lossburst::check::model {
+
+namespace {
+
+constexpr int kMaxThreads = 12;
+
+using VC = std::array<std::uint32_t, kMaxThreads>;
+
+void join_vc(VC& a, const VC& b) {
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (b[i] > a[i]) a[i] = b[i];
+  }
+}
+
+struct AbortExecution {};
+
+struct Op {
+  enum Kind : std::uint8_t {
+    kNone,
+    kResume,  // continue after a barrier wake / thread start; touches nothing
+    kLoad,
+    kStore,
+    kRmw,
+    kFence,
+    kPlainRead,
+    kPlainWrite,
+    kLock,
+    kUnlock,
+    kBarrier,
+    kSpawn,
+    kJoin,
+  };
+  Kind kind = kNone;
+  const void* obj = nullptr;  // location/mutex/barrier/plain identity (null: global)
+  std::uint32_t id = 0;       // table index for the obj, when applicable
+  int target = -1;            // kJoin: joined thread
+  std::memory_order mo = std::memory_order_seq_cst;
+};
+
+bool op_writes(const Op& o) {
+  return o.kind == Op::kStore || o.kind == Op::kRmw || o.kind == Op::kPlainWrite;
+}
+
+/// Dependency relation for sleep sets: may the two ops fail to commute?
+bool conflicts(const Op& a, const Op& b) {
+  if (a.obj == nullptr || b.obj == nullptr) return false;
+  if (a.obj != b.obj) return false;
+  const bool lockish_a = a.kind == Op::kLock || a.kind == Op::kUnlock;
+  const bool lockish_b = b.kind == Op::kLock || b.kind == Op::kUnlock;
+  if (lockish_a || lockish_b) return true;  // acquisition order is visible
+  if (a.kind == Op::kBarrier && b.kind == Op::kBarrier) return false;  // arrivals commute
+  if (a.kind == Op::kJoin || b.kind == Op::kJoin) return false;  // pure vc absorption
+  return op_writes(a) || op_writes(b);
+}
+
+struct Store {
+  std::uint64_t value = 0;
+  VC msg{};  // synchronizes-with payload (empty for naked relaxed stores)
+  int tid = 0;
+  std::uint32_t clk = 0;
+};
+
+struct Location {
+  const void* addr = nullptr;
+  std::vector<Store> history;
+};
+
+struct MutexRec {
+  const void* addr = nullptr;
+  int held_by = -1;
+  VC msg{};
+};
+
+struct BarrierRec {
+  const void* addr = nullptr;
+  std::ptrdiff_t count = 0;
+  std::vector<int> arrived;
+};
+
+struct PlainRec {
+  int w_tid = -1;
+  std::uint32_t w_clk = 0;
+  std::array<std::uint32_t, kMaxThreads> r_clk{};
+};
+
+struct LogRec {
+  int tid;
+  Op op;
+  std::uint64_t value;
+  int read_tid;   // kLoad/kRmw: writer of the store read
+  std::uint32_t read_idx;  // kLoad: history index read
+};
+
+const char* mo_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "cns";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "ar";
+    default: return "sc";
+  }
+}
+
+bool mo_acquires(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+bool mo_releases(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+struct ThreadRec {
+  int id = 0;
+  enum State : std::uint8_t { kIdle, kRunnable, kBlockedBarrier, kFinished };
+  State state = kIdle;
+  std::uint32_t clk = 0;
+  VC vc{};
+  VC fence_rel{};
+  bool has_fence_rel = false;
+  VC acq_pending{};
+  std::vector<std::uint32_t> read_view;  // per-location own-coherence floor
+  Op pending{};
+  bool pending_valid = false;
+  std::function<void()> closure;
+
+  // Baton handshake; each thread parks on its own cv.
+  std::mutex m;
+  std::condition_variable cv;
+  bool granted = false;
+};
+
+struct Node {
+  enum Kind : std::uint8_t { kSched, kLoadChoice };
+  Kind kind;
+  int chosen;
+  int num_options;
+  std::vector<int> sched_options;  // thread ids (kSched only)
+};
+
+class Runtime;
+thread_local Runtime* tls_rt = nullptr;
+thread_local int tls_tid = -1;
+
+class Runtime {
+ public:
+  explicit Runtime(const Options& opt) : opt_(opt) {
+    if (!opt_.replay.empty()) parse_replay();
+  }
+
+  ~Runtime() {
+    shutdown_.store(true);
+    for (auto& w : workers_) {
+      grant(threads_[w.tid]);
+      w.os.join();
+    }
+  }
+
+  Result run(const std::function<void()>& body) {
+    tls_rt = this;
+    tls_tid = 0;
+    for (;;) {
+      begin_execution();
+      bool aborted = false;
+      try {
+        body();
+      } catch (AbortExecution&) {
+        aborted = true;
+      }
+      // An abort raised at an unlock scheduling point is swallowed there
+      // (noexcept frame); if the unlock was the body's last op, the body
+      // returns normally with the abort already in flight.
+      if (aborting_.load()) aborted = true;
+      if (!aborted) {
+        // Body returned normally: T0 holds the baton, every worker is
+        // parked, thread states are stable. A thread still runnable or
+        // blocked here was never joined — diagnose, then unwind it.
+        // (A kFinished worker may not have signalled quiescence yet; the
+        // wait below covers that without treating it as a leak.)
+        bool leaked = false;
+        for (int i = 1; i < nthreads_; ++i) {
+          const ThreadRec::State st = threads_[i].state;
+          if (st == ThreadRec::kRunnable || st == ThreadRec::kBlockedBarrier) leaked = true;
+        }
+        if (leaked) {
+          if (!exec_failed_) {
+            record_failure("body returned with live (unjoined) model threads");
+          }
+          aborting_.store(true);
+          for (int i = 1; i < nthreads_; ++i) {
+            ThreadRec& t = threads_[i];
+            if (t.state == ThreadRec::kRunnable || t.state == ThreadRec::kBlockedBarrier) {
+              grant(t);
+            }
+          }
+        }
+      }
+      // If the execution aborted, abort_all() already woke every parked
+      // live thread exactly once — granting again here would race with
+      // workers quiescing and could leak a stale grant into the next
+      // schedule. Either way, wait for all of them to count out.
+      {
+        std::unique_lock<std::mutex> lk(pool_m_);
+        quiesce_cv_.wait(lk, [this] { return live_.load() == 0; });
+      }
+      if (exec_failed_) {
+        res_.failed = true;
+        res_.failure = failure_msg_;
+        res_.trace = format_trace();
+        res_.history = format_history();
+        ++res_.schedules;
+        break;
+      }
+      if (sleep_pruned_) {
+        ++res_.sleep_prunes;
+      } else {
+        ++res_.schedules;
+      }
+      if (!opt_.replay.empty()) {
+        res_.history = format_history();
+        res_.complete = false;
+        break;
+      }
+      if (opt_.max_schedules != 0 && res_.schedules >= opt_.max_schedules) {
+        res_.complete = false;
+        break;
+      }
+      if (!advance_cursor()) {
+        res_.complete = true;
+        break;
+      }
+    }
+    tls_rt = nullptr;
+    tls_tid = -1;
+    return res_;
+  }
+
+  // ------------------------------------------------------------ primitives
+
+  std::uint32_t reg_location(const void* addr, std::uint64_t init_bits) {
+    ThreadRec& me = cur();
+    const auto id = static_cast<std::uint32_t>(locs_.size());
+    locs_.push_back(Location{addr, {}});
+    for (int i = 0; i < kMaxThreads; ++i) threads_[i].read_view.push_back(0);
+    tick(me);
+    locs_.back().history.push_back(Store{init_bits, me.vc, me.id, me.clk});
+    return id;
+  }
+
+  std::uint64_t do_load(std::uint32_t loc, std::memory_order mo) {
+    if (unwinding()) return locs_[loc].history.back().value;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kLoad, locs_[loc].addr, loc, -1, mo});
+    tick(me);
+    if (mo == std::memory_order_seq_cst) join_vc(me.vc, sc_vc_);
+    Location& L = locs_[loc];
+    const std::size_t last = L.history.size() - 1;
+    std::size_t base = me.read_view[loc];
+    for (std::size_t j = last + 1; j-- > base;) {
+      const Store& s = L.history[j];
+      if (me.vc[s.tid] >= s.clk) {  // happens-before me: older stores are dead
+        if (j > base) base = j;
+        break;
+      }
+      if (j == 0) break;
+    }
+    std::size_t idx = last;
+    if (last > base) {
+      const int n = static_cast<int>(last - base + 1);
+      idx = last - static_cast<std::size_t>(decide_load(n));
+    }
+    const Store& s = L.history[idx];
+    me.read_view[loc] = static_cast<std::uint32_t>(idx);
+    if (mo_acquires(mo)) {
+      join_vc(me.vc, s.msg);
+    } else {
+      join_vc(me.acq_pending, s.msg);
+    }
+    if (mo == std::memory_order_seq_cst) join_vc(sc_vc_, me.vc);
+    log_.push_back(LogRec{me.id, Op{Op::kLoad, L.addr, loc, -1, mo}, s.value, s.tid,
+                          static_cast<std::uint32_t>(idx)});
+    return s.value;
+  }
+
+  void do_store(std::uint32_t loc, std::uint64_t bits, std::memory_order mo) {
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kStore, locs_[loc].addr, loc, -1, mo});
+    tick(me);
+    if (mo == std::memory_order_seq_cst) join_vc(me.vc, sc_vc_);
+    Store s;
+    s.value = bits;
+    s.tid = me.id;
+    s.clk = me.clk;
+    if (mo_releases(mo)) {
+      s.msg = me.vc;
+    } else if (me.has_fence_rel) {
+      s.msg = me.fence_rel;
+    }
+    Location& L = locs_[loc];
+    L.history.push_back(s);
+    me.read_view[loc] = static_cast<std::uint32_t>(L.history.size() - 1);
+    if (mo == std::memory_order_seq_cst) join_vc(sc_vc_, me.vc);
+    log_.push_back(LogRec{me.id, Op{Op::kStore, L.addr, loc, -1, mo}, bits, -1, 0});
+  }
+
+  std::uint64_t do_rmw(std::uint32_t loc, std::memory_order mo,
+                       std::uint64_t (*fn)(std::uint64_t, void*), void* ctx) {
+    if (unwinding()) return locs_[loc].history.back().value;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kRmw, locs_[loc].addr, loc, -1, mo});
+    tick(me);
+    if (mo == std::memory_order_seq_cst) join_vc(me.vc, sc_vc_);
+    Location& L = locs_[loc];
+    const Store& prev = L.history.back();  // RMWs read the newest store
+    const std::uint64_t old = prev.value;
+    if (mo_acquires(mo)) join_vc(me.vc, prev.msg);
+    Store s;
+    s.value = fn(old, ctx);
+    s.tid = me.id;
+    s.clk = me.clk;
+    s.msg = prev.msg;  // release-sequence continuation
+    if (mo_releases(mo)) {
+      join_vc(s.msg, me.vc);
+    } else if (me.has_fence_rel) {
+      join_vc(s.msg, me.fence_rel);
+    }
+    L.history.push_back(s);
+    me.read_view[loc] = static_cast<std::uint32_t>(L.history.size() - 1);
+    if (mo == std::memory_order_seq_cst) join_vc(sc_vc_, me.vc);
+    log_.push_back(LogRec{me.id, Op{Op::kRmw, L.addr, loc, -1, mo}, s.value, prev.tid, 0});
+    return old;
+  }
+
+  bool do_cas(std::uint32_t loc, std::uint64_t& expected, std::uint64_t desired,
+              std::memory_order mo) {
+    if (unwinding()) {
+      expected = locs_[loc].history.back().value;
+      return false;
+    }
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kRmw, locs_[loc].addr, loc, -1, mo});
+    tick(me);
+    if (mo == std::memory_order_seq_cst) join_vc(me.vc, sc_vc_);
+    Location& L = locs_[loc];
+    const Store prev = L.history.back();
+    if (mo_acquires(mo)) join_vc(me.vc, prev.msg);
+    bool ok = prev.value == expected;
+    if (ok) {
+      Store s;
+      s.value = desired;
+      s.tid = me.id;
+      s.clk = me.clk;
+      s.msg = prev.msg;
+      if (mo_releases(mo)) {
+        join_vc(s.msg, me.vc);
+      } else if (me.has_fence_rel) {
+        join_vc(s.msg, me.fence_rel);
+      }
+      L.history.push_back(s);
+    } else {
+      expected = prev.value;
+    }
+    me.read_view[loc] = static_cast<std::uint32_t>(L.history.size() - 1);
+    if (mo == std::memory_order_seq_cst) join_vc(sc_vc_, me.vc);
+    log_.push_back(
+        LogRec{me.id, Op{Op::kRmw, L.addr, loc, -1, mo}, ok ? desired : prev.value, prev.tid, 0});
+    return ok;
+  }
+
+  void do_fence(std::memory_order mo) {
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kFence, nullptr, 0, -1, mo});
+    tick(me);
+    if (mo_acquires(mo)) join_vc(me.vc, me.acq_pending);
+    if (mo == std::memory_order_seq_cst) join_vc(me.vc, sc_vc_);
+    if (mo_releases(mo)) {
+      me.fence_rel = me.vc;
+      me.has_fence_rel = true;
+    }
+    if (mo == std::memory_order_seq_cst) join_vc(sc_vc_, me.vc);
+    log_.push_back(LogRec{me.id, Op{Op::kFence, nullptr, 0, -1, mo}, 0, -1, 0});
+  }
+
+  void do_plain(const void* obj, bool is_write) {
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    schedule_point(Op{is_write ? Op::kPlainWrite : Op::kPlainRead, obj, 0, -1,
+                      std::memory_order_relaxed});
+    tick(me);
+    PlainRec& p = plains_[obj];
+    if (p.w_tid >= 0 && me.vc[p.w_tid] < p.w_clk) {
+      std::ostringstream os;
+      os << "data race on plain object " << obj_name(obj) << ": "
+         << (is_write ? "write" : "read") << " by T" << me.id
+         << " concurrent with write by T" << p.w_tid
+         << " (no happens-before edge orders them)";
+      raise_failure(os.str());
+      return;  // only reached when the throw was deferred (inside a completion)
+    }
+    if (is_write) {
+      for (int i = 0; i < kMaxThreads; ++i) {
+        if (p.r_clk[i] != 0 && me.vc[i] < p.r_clk[i]) {
+          std::ostringstream os;
+          os << "data race on plain object " << obj_name(obj) << ": write by T" << me.id
+             << " concurrent with read by T" << i << " (no happens-before edge orders them)";
+          raise_failure(os.str());
+          return;
+        }
+      }
+      p.w_tid = me.id;
+      p.w_clk = me.clk;
+      p.r_clk.fill(0);
+    } else {
+      p.r_clk[me.id] = me.clk;
+    }
+    log_.push_back(LogRec{
+        me.id, Op{is_write ? Op::kPlainWrite : Op::kPlainRead, obj, 0, -1,
+                  std::memory_order_relaxed},
+        0, -1, 0});
+  }
+
+  std::uint32_t reg_mutex(const void* addr) {
+    const auto id = static_cast<std::uint32_t>(mutexes_.size());
+    mutexes_.push_back(MutexRec{addr, -1, {}});
+    return id;
+  }
+
+  void do_lock(std::uint32_t id) {
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    // Enabledness (mutex free) is enforced by the scheduler: a thread whose
+    // pending op is a lock on a held mutex is simply never chosen.
+    schedule_point(Op{Op::kLock, mutexes_[id].addr, id, -1, std::memory_order_acquire});
+    tick(me);
+    MutexRec& mx = mutexes_[id];
+    if (mx.held_by >= 0) internal_error("lock granted while mutex held");
+    mx.held_by = me.id;
+    join_vc(me.vc, mx.msg);
+    log_.push_back(
+        LogRec{me.id, Op{Op::kLock, mx.addr, id, -1, std::memory_order_acquire}, 0, -1, 0});
+  }
+
+  void do_unlock(std::uint32_t id) {
+    // The common case of an op on an unwinding stack: a lock_guard
+    // releasing while AbortExecution (prune or failure) flies past it.
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    // unlock is almost always reached from a noexcept frame (~lock_guard,
+    // ~unique_lock; std::mutex::unlock itself is noexcept), so an
+    // abort/prune raised at this scheduling point must not propagate from
+    // here. Swallow it and return normally: the execution is aborting, its
+    // state is moot, and this thread's next schedule point (or the worker
+    // exit path) re-checks aborting_ from a throwable frame and unwinds.
+    try {
+      schedule_point(Op{Op::kUnlock, mutexes_[id].addr, id, -1, std::memory_order_release});
+    } catch (AbortExecution&) {
+      return;
+    }
+    tick(me);
+    MutexRec& mx = mutexes_[id];
+    if (mx.held_by != me.id) {
+      raise_failure("unlock of a mutex not held by the unlocking thread");
+      return;
+    }
+    mx.msg = me.vc;
+    mx.held_by = -1;
+    log_.push_back(
+        LogRec{me.id, Op{Op::kUnlock, mx.addr, id, -1, std::memory_order_release}, 0, -1, 0});
+  }
+
+  std::uint32_t reg_barrier(const void* addr, std::ptrdiff_t count) {
+    const auto id = static_cast<std::uint32_t>(barriers_.size());
+    barriers_.push_back(BarrierRec{addr, count, {}});
+    return id;
+  }
+
+  void do_barrier_arrive(std::uint32_t id, void (*completion)(void*), void* ctx) {
+    if (unwinding()) return;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kBarrier, barriers_[id].addr, id, -1, std::memory_order_acq_rel});
+    tick(me);
+    BarrierRec& b = barriers_[id];
+    b.arrived.push_back(me.id);
+    log_.push_back(LogRec{
+        me.id, Op{Op::kBarrier, b.addr, id, -1, std::memory_order_acq_rel},
+        static_cast<std::uint64_t>(b.arrived.size()), -1, 0});
+    if (static_cast<std::ptrdiff_t>(b.arrived.size()) < b.count) {
+      me.state = ThreadRec::kBlockedBarrier;
+      me.pending = Op{Op::kResume};
+      me.pending_valid = true;
+      handoff_from_blocked(me);
+      return;  // released by the last arriver; vc already joined
+    }
+    // Last arriver: join every participant, run the completion on this
+    // thread (all others are parked inside the barrier), then release.
+    for (int tid : b.arrived) {
+      if (tid != me.id) join_vc(me.vc, threads_[tid].vc);
+    }
+    std::vector<int> released = b.arrived;
+    b.arrived.clear();
+    if (completion != nullptr) {
+      // Reaching here means no failure yet (any earlier one threw), so a
+      // set exec_failed_ afterwards can only be a failure deferred from
+      // inside the noexcept completion — abort now, from a throwable frame,
+      // before releasing the other participants.
+      in_completion_ = true;
+      completion(ctx);
+      in_completion_ = false;
+      if (exec_failed_) {
+        abort_all();
+        throw AbortExecution{};
+      }
+    }
+    for (int tid : released) {
+      if (tid == me.id) continue;
+      ThreadRec& t = threads_[tid];
+      t.vc = me.vc;  // everything before the release (incl. completion) is visible
+      t.state = ThreadRec::kRunnable;
+    }
+  }
+
+  int do_spawn(std::function<void()> fn) {
+    if (unwinding()) return -1;  // dead thread handle; join/dtor ignore it
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kSpawn, &spawn_order_token_, 0, -1, std::memory_order_seq_cst});
+    tick(me);
+    if (nthreads_ >= kMaxThreads) {
+      record_failure("too many model threads (kMaxThreads)");
+      abort_all();
+      throw AbortExecution{};
+    }
+    const int tid = nthreads_++;
+    ThreadRec& c = threads_[tid];
+    c.id = tid;
+    c.state = ThreadRec::kRunnable;
+    c.vc = me.vc;
+    c.clk = c.vc[tid];
+    c.pending = Op{Op::kResume};
+    c.pending_valid = true;
+    c.closure = std::move(fn);
+    ensure_worker(tid);
+    live_.fetch_add(1);
+    log_.push_back(LogRec{me.id, Op{Op::kSpawn, nullptr, 0, tid, std::memory_order_seq_cst},
+                          static_cast<std::uint64_t>(tid), -1, 0});
+    return tid;
+  }
+
+  void do_join(int tid) {
+    if (tid < 0 || unwinding()) return;
+    ThreadRec& me = cur();
+    schedule_point(Op{Op::kJoin, &threads_[tid], 0, tid, std::memory_order_acquire});
+    tick(me);
+    join_vc(me.vc, threads_[tid].vc);
+    log_.push_back(LogRec{me.id, Op{Op::kJoin, &threads_[tid], 0, tid, std::memory_order_acquire},
+                          0, -1, 0});
+  }
+
+  /// Not [[noreturn]]: inside a barrier completion (or mid-unwinding) the
+  /// failure is recorded and the abort deferred instead of thrown.
+  void user_fail(const char* msg) {
+    raise_failure(std::string("expectation failed: ") + msg);
+  }
+
+  void note_unjoined() {
+    // Ignore dtors running during abort/prune stack unwinding.
+    if (!exec_failed_ && !aborting_.load()) {
+      record_failure("model::thread destroyed while joinable (join it before scope exit)");
+    }
+  }
+
+  void set_name(const void* obj, const std::string& label) { names_[obj] = label; }
+
+  // ---------------------------------------------------------- worker pool
+
+  void worker_main(int tid) {
+    tls_rt = this;
+    tls_tid = tid;
+    ThreadRec& me = threads_[tid];
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(me.m);
+        me.cv.wait(lk, [&] { return me.granted || shutdown_.load(); });
+        if (shutdown_.load()) return;
+        me.granted = false;
+      }
+      if (aborting_.load()) {
+        quiesce(me);
+        continue;
+      }
+      bool aborted = false;
+      try {
+        me.closure();
+      } catch (AbortExecution&) {
+        aborted = true;
+      }
+      me.closure = nullptr;
+      // aborting_ covers an abort swallowed at an unlock scheduling point
+      // when that unlock was the closure's final op (see do_unlock).
+      if (aborted || aborting_.load()) {
+        quiesce(me);
+        continue;
+      }
+      me.state = ThreadRec::kFinished;
+      me.pending_valid = false;
+      try {
+        exit_handoff(me);
+      } catch (AbortExecution&) {
+        // Failure or prune during the handoff; nothing left to unwind here.
+      }
+      // Count ourselves out only now: signalling before the handoff would
+      // let run() see live_ == 0 and start resetting state for the next
+      // schedule while this worker is still inside exit_handoff/abort_all.
+      signal_quiesced();
+    }
+  }
+
+ private:
+  ThreadRec& cur() { return threads_[tls_tid]; }
+
+  void tick(ThreadRec& t) {
+    ++t.clk;
+    t.vc[t.id] = t.clk;
+  }
+
+  void internal_error(const char* msg) { throw std::logic_error(std::string("model: ") + msg); }
+
+  // ------------------------------------------------------------ scheduling
+
+  bool enabled(const ThreadRec& t) const {
+    if (t.state != ThreadRec::kRunnable || !t.pending_valid) return false;
+    switch (t.pending.kind) {
+      case Op::kLock:
+        return mutexes_[t.pending.id].held_by < 0;
+      case Op::kJoin:
+        return threads_[t.pending.target].state == ThreadRec::kFinished;
+      default:
+        return true;
+    }
+  }
+
+  bool sleeping(int tid) const { return sleep_[tid].kind != Op::kNone; }
+
+  void wake_conflicting(const Op& op) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (sleep_[i].kind != Op::kNone && conflicts(sleep_[i], op)) {
+        sleep_[i] = Op{};
+      }
+    }
+  }
+
+  /// The universal pre-op decision point. On return the calling thread has
+  /// been (re-)granted the baton and should execute `op`.
+  void schedule_point(const Op& op) {
+    if (in_completion_) {
+      // The completion executes atomically with the final barrier arrival
+      // (every participant is parked inside the barrier, and its noexcept
+      // body cannot absorb a scheduling throw). Conflicts with its ops are
+      // still caught — the vector-clock checks are order-independent — but
+      // sleeping threads must still be woken by them for sound pruning.
+      wake_conflicting(op);
+      return;
+    }
+    if (aborting_.load()) throw AbortExecution{};
+    ThreadRec& me = cur();
+    if (++ops_ > opt_.max_ops_per_schedule) {
+      record_failure("per-schedule op budget exceeded (livelock or unbounded retry loop)");
+      abort_all();
+      throw AbortExecution{};
+    }
+    me.pending = op;
+    me.pending_valid = true;
+    pick_and_switch(me, /*include_self=*/true);
+    wake_conflicting(me.pending);
+  }
+
+  void pick_and_switch(ThreadRec& me, bool include_self) {
+    std::vector<int> cands;
+    const bool self_enabled = include_self && enabled(me);
+    if (self_enabled) cands.push_back(me.id);
+    bool others_exist = false;
+    const bool affordable = !self_enabled || preemptions_ < opt_.max_preemptions;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (i == me.id) continue;
+      const ThreadRec& t = threads_[i];
+      if (!enabled(t) || sleeping(i)) continue;
+      others_exist = true;
+      if (affordable) cands.push_back(i);
+    }
+    if (self_enabled && others_exist && !affordable) ++res_.preempt_limited;
+    if (cands.empty()) {
+      // Either everything runnable is asleep (a redundant interleaving:
+      // prune) or nothing can run at all (deadlock).
+      bool any_raw = self_enabled;
+      for (int i = 0; i < nthreads_ && !any_raw; ++i) {
+        if (i != me.id && enabled(threads_[i])) any_raw = true;
+      }
+      if (any_raw) {
+        sleep_pruned_ = true;
+        abort_all();
+        throw AbortExecution{};
+      }
+      std::ostringstream os;
+      os << "deadlock: no enabled thread (";
+      for (int i = 0; i < nthreads_; ++i) {
+        if (threads_[i].state == ThreadRec::kFinished) continue;
+        os << "T" << i << (threads_[i].state == ThreadRec::kBlockedBarrier
+                               ? " in barrier; "
+                               : " waiting; ");
+      }
+      os << ")";
+      record_failure(os.str());
+      abort_all();
+      throw AbortExecution{};
+    }
+    int chosen = cands[0];
+    if (cands.size() > 1) chosen = decide_sched(cands);
+    if (chosen != me.id) {
+      if (self_enabled) ++preemptions_;
+      grant(threads_[chosen]);
+      park(me);
+    }
+  }
+
+  /// Handoff for a thread that cannot continue (blocked in a barrier): pick
+  /// any other enabled thread, grant it, park. No preemption charge.
+  void handoff_from_blocked(ThreadRec& me) {
+    std::vector<int> cands;
+    bool any_raw = false;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (i == me.id) continue;
+      if (!enabled(threads_[i])) continue;
+      any_raw = true;
+      if (!sleeping(i)) cands.push_back(i);
+    }
+    if (cands.empty()) {
+      if (any_raw) {
+        sleep_pruned_ = true;
+      } else {
+        record_failure("deadlock: all threads blocked (barrier waiting for a thread that "
+                       "cannot arrive?)");
+      }
+      abort_all();
+      throw AbortExecution{};
+    }
+    const int chosen = cands.size() > 1 ? decide_sched(cands) : cands[0];
+    grant(threads_[chosen]);
+    park(me);
+  }
+
+  /// Handoff from a finishing thread (it will not run again): grant the
+  /// next enabled thread and return (the worker parks at its loop top).
+  void exit_handoff(ThreadRec& me) {
+    std::vector<int> cands;
+    bool any_raw = false;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (i == me.id) continue;
+      if (!enabled(threads_[i])) continue;
+      any_raw = true;
+      if (!sleeping(i)) cands.push_back(i);
+    }
+    if (cands.empty()) {
+      if (any_raw) {
+        sleep_pruned_ = true;
+      } else {
+        record_failure("deadlock after thread exit: nothing runnable");
+      }
+      abort_all();
+      throw AbortExecution{};
+    }
+    const int chosen = cands.size() > 1 ? decide_sched(cands) : cands[0];
+    grant(threads_[chosen]);
+  }
+
+  int decide_sched(const std::vector<int>& cands) {
+    Node& n = advance_node(Node::kSched, static_cast<int>(cands.size()), &cands);
+    // Sleep-set bookkeeping: siblings explored earlier at this node go to
+    // sleep for this subtree (their pending op is what they would have run).
+    for (int i = 0; i < n.chosen; ++i) {
+      const int tid = n.sched_options[static_cast<std::size_t>(i)];
+      sleep_[tid] = threads_[tid].pending;
+    }
+    return n.sched_options[static_cast<std::size_t>(n.chosen)];
+  }
+
+  int decide_load(int n) {
+    Node& node = advance_node(Node::kLoadChoice, n, nullptr);
+    return node.chosen;
+  }
+
+  Node& advance_node(Node::Kind kind, int num_options, const std::vector<int>* sched_opts) {
+    if (!preset_.empty()) {
+      if (cursor_ >= preset_.size()) internal_error("replay trace shorter than execution");
+      const auto [letter, value] = preset_[cursor_];
+      if ((kind == Node::kSched) != (letter == 's')) {
+        internal_error("replay trace decision kind mismatch");
+      }
+      if (cursor_ >= path_.size()) {
+        Node n{kind, 0, num_options, sched_opts ? *sched_opts : std::vector<int>{}};
+        if (kind == Node::kSched) {
+          const auto it = std::find(n.sched_options.begin(), n.sched_options.end(), value);
+          if (it == n.sched_options.end()) internal_error("replay trace names a non-candidate");
+          n.chosen = static_cast<int>(it - n.sched_options.begin());
+        } else {
+          if (value < 0 || value >= num_options) internal_error("replay load index out of range");
+          n.chosen = value;
+        }
+        path_.push_back(std::move(n));
+      }
+      return path_[cursor_++];
+    }
+    if (cursor_ < path_.size()) {
+      Node& n = path_[cursor_];
+      if (n.kind != kind || n.num_options != num_options ||
+          (sched_opts != nullptr && n.sched_options != *sched_opts)) {
+        std::ostringstream os;
+        os << "nondeterministic body: replayed decision diverged at node " << cursor_
+           << ": recorded kind=" << static_cast<int>(n.kind) << " opts=" << n.num_options
+           << " cands=[";
+        for (int t : n.sched_options) os << t << ' ';
+        os << "], got kind=" << static_cast<int>(kind) << " opts=" << num_options
+           << " cands=[";
+        if (sched_opts) {
+          for (int t : *sched_opts) os << t << ' ';
+        }
+        os << "]";
+        internal_error(os.str().c_str());
+      }
+      ++cursor_;
+      return n;
+    }
+    if (kind == Node::kLoadChoice) ++res_.load_branches;
+    path_.push_back(Node{kind, 0, num_options, sched_opts ? *sched_opts : std::vector<int>{}});
+    if (path_.size() > res_.max_depth) res_.max_depth = path_.size();
+    ++cursor_;
+    return path_.back();
+  }
+
+  bool advance_cursor() {
+    while (!path_.empty() && path_.back().chosen + 1 >= path_.back().num_options) {
+      path_.pop_back();
+    }
+    if (path_.empty()) return false;
+    ++path_.back().chosen;
+    return true;
+  }
+
+  // ----------------------------------------------------- baton + lifecycle
+
+  void grant(ThreadRec& t) {
+    {
+      const std::lock_guard<std::mutex> lk(t.m);
+      t.granted = true;
+    }
+    t.cv.notify_one();
+  }
+
+  void park(ThreadRec& me) {
+    {
+      std::unique_lock<std::mutex> lk(me.m);
+      me.cv.wait(lk, [&] { return me.granted; });
+      me.granted = false;
+    }
+    if (aborting_.load()) throw AbortExecution{};
+  }
+
+  void ensure_worker(int tid) {
+    for (const auto& w : workers_) {
+      if (w.tid == tid) return;
+    }
+    workers_.push_back(Worker{tid, std::thread([this, tid] { worker_main(tid); })});
+  }
+
+  void quiesce(ThreadRec& me) {
+    me.state = ThreadRec::kFinished;
+    me.pending_valid = false;
+    signal_quiesced();
+  }
+
+  void signal_quiesced() {
+    {
+      const std::lock_guard<std::mutex> lk(pool_m_);
+      live_.fetch_sub(1);
+    }
+    quiesce_cv_.notify_all();
+  }
+
+  /// Wake every parked live thread so the execution unwinds; callable only
+  /// from the single running thread.
+  void abort_all() {
+    aborting_.store(true);
+    for (int i = 0; i < nthreads_; ++i) {
+      if (i == tls_tid) continue;
+      ThreadRec& t = threads_[i];
+      if (t.state == ThreadRec::kRunnable || t.state == ThreadRec::kBlockedBarrier) {
+        grant(t);  // parked threads wake, see aborting_, and unwind
+      }
+    }
+  }
+
+  void begin_execution() {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      ThreadRec& t = threads_[i];
+      t.id = i;
+      t.state = i == 0 ? ThreadRec::kRunnable : ThreadRec::kIdle;
+      t.clk = 0;
+      t.vc.fill(0);
+      t.fence_rel.fill(0);
+      t.has_fence_rel = false;
+      t.acq_pending.fill(0);
+      t.read_view.clear();
+      t.pending = Op{};
+      t.pending_valid = false;
+    }
+    nthreads_ = 1;
+    live_.store(0);
+    locs_.clear();
+    mutexes_.clear();
+    barriers_.clear();
+    plains_.clear();
+    names_.clear();
+    sleep_.fill(Op{});
+    sc_vc_.fill(0);
+    log_.clear();
+    cursor_ = 0;
+    ops_ = 0;
+    preemptions_ = 0;
+    aborting_.store(false);
+    exec_failed_ = false;
+    sleep_pruned_ = false;
+    in_completion_ = false;
+  }
+
+  void record_failure(std::string msg) {
+    if (exec_failed_) return;
+    exec_failed_ = true;
+    failure_msg_ = std::move(msg);
+  }
+
+  /// A model op is running on a stack that is already unwinding an exception
+  /// (RAII guards — lock_guard unlocking, dtors — fired by an AbortExecution
+  /// in flight). Throwing again would be std::terminate; every op entry
+  /// treats this as a benign no-op instead, since the execution's state is
+  /// about to be discarded anyway.
+  static bool unwinding() { return std::uncaught_exceptions() > 0; }
+
+  /// Record a failure and unwind the execution — unless throwing here would
+  /// cross a noexcept boundary (a barrier completion) or collide with an
+  /// exception already in flight (stack unwinding). In those cases the
+  /// failure is recorded and the abort is deferred to the next safe point:
+  /// do_barrier_arrive re-checks after the completion returns, and an
+  /// unwinding thread is already on its way out.
+  void raise_failure(std::string msg) {
+    record_failure(std::move(msg));
+    if (in_completion_ || unwinding()) return;
+    abort_all();
+    throw AbortExecution{};
+  }
+
+  // -------------------------------------------------------------- traces
+
+  void parse_replay() {
+    std::size_t i = 0;
+    const std::string& s = opt_.replay;
+    while (i < s.size()) {
+      const char letter = s[i++];
+      if (letter != 's' && letter != 'r') {
+        throw std::invalid_argument("model replay trace: expected 's' or 'r'");
+      }
+      int v = 0;
+      bool any = false;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i++] - '0');
+        any = true;
+      }
+      if (!any) throw std::invalid_argument("model replay trace: missing number");
+      if (i < s.size() && s[i] == '.') ++i;
+      preset_.emplace_back(letter, v);
+    }
+  }
+
+  std::string format_trace() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cursor_ && i < path_.size(); ++i) {
+      const Node& n = path_[i];
+      if (i != 0) os << '.';
+      if (n.kind == Node::kSched) {
+        os << 's' << n.sched_options[static_cast<std::size_t>(n.chosen)];
+      } else {
+        os << 'r' << n.chosen;
+      }
+    }
+    return os.str();
+  }
+
+  std::string obj_name(const void* obj) const {
+    const auto it = names_.find(obj);
+    if (it != names_.end()) return it->second;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%p", obj);
+    return buf;
+  }
+
+  std::string format_history() const {
+    std::ostringstream os;
+    for (const LogRec& r : log_) {
+      os << "  T" << r.tid << ' ';
+      switch (r.op.kind) {
+        case Op::kLoad:
+          os << "load  " << obj_name(r.op.obj) << " [" << mo_name(r.op.mo) << "] -> " << r.value
+             << " (store #" << r.read_idx << " by T" << r.read_tid << ")";
+          break;
+        case Op::kStore:
+          os << "store " << obj_name(r.op.obj) << " [" << mo_name(r.op.mo) << "] <- " << r.value;
+          break;
+        case Op::kRmw:
+          os << "rmw   " << obj_name(r.op.obj) << " [" << mo_name(r.op.mo) << "] -> " << r.value;
+          break;
+        case Op::kFence:
+          os << "fence [" << mo_name(r.op.mo) << "]";
+          break;
+        case Op::kPlainRead:
+          os << "read  " << obj_name(r.op.obj) << " (plain)";
+          break;
+        case Op::kPlainWrite:
+          os << "write " << obj_name(r.op.obj) << " (plain)";
+          break;
+        case Op::kLock:
+          os << "lock  " << obj_name(r.op.obj);
+          break;
+        case Op::kUnlock:
+          os << "unlock " << obj_name(r.op.obj);
+          break;
+        case Op::kBarrier:
+          os << "barrier arrive " << obj_name(r.op.obj) << " (#" << r.value << ")";
+          break;
+        case Op::kSpawn:
+          os << "spawn T" << r.value;
+          break;
+        case Op::kJoin:
+          os << "join  T" << r.op.target;
+          break;
+        default:
+          os << "?";
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  // ---------------------------------------------------------------- state
+
+  Options opt_;
+  Result res_;
+
+  std::vector<Node> path_;
+  std::vector<std::pair<char, int>> preset_;
+  std::size_t cursor_ = 0;
+
+  std::array<ThreadRec, kMaxThreads> threads_;
+  int nthreads_ = 1;
+  std::array<Op, kMaxThreads> sleep_{};
+
+  std::vector<Location> locs_;
+  std::vector<MutexRec> mutexes_;
+  std::vector<BarrierRec> barriers_;
+  std::map<const void*, PlainRec> plains_;
+  std::map<const void*, std::string> names_;
+  VC sc_vc_{};
+  std::vector<LogRec> log_;
+
+  std::uint64_t ops_ = 0;
+  int preemptions_ = 0;
+  std::atomic<bool> aborting_{false};
+  bool exec_failed_ = false;
+  bool sleep_pruned_ = false;
+  // A barrier completion is running: it executes atomically with the final
+  // arrival (no scheduling inside — see do_barrier_arrive) and failures
+  // raised from it are deferred past its noexcept boundary.
+  bool in_completion_ = false;
+  std::string failure_msg_;
+
+  struct Worker {
+    int tid;
+    std::thread os;
+  };
+  std::vector<Worker> workers_;
+  std::mutex pool_m_;
+  std::condition_variable quiesce_cv_;
+  std::atomic<int> live_{0};
+  // Read by workers' cv predicates without pool_m_ held, hence atomic. The
+  // dtor stores it before granting each worker, so the per-thread mutex in
+  // grant() orders the store before the wakeup in any case.
+  std::atomic<bool> shutdown_{false};
+
+  char spawn_order_token_ = 0;  // spawns conflict: tid assignment is order-sensitive
+};
+
+Runtime* require_rt() {
+  if (tls_rt == nullptr) {
+    throw std::logic_error("model primitive used outside model::explore()");
+  }
+  return tls_rt;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- public API
+
+std::string Result::summary() const {
+  std::ostringstream os;
+  os << "explored " << schedules << " schedules ("
+     << (complete ? "exhausted within bounds" : "capped") << "; " << sleep_prunes
+     << " sleep-set prunes, " << preempt_limited << " preempt-limited points, "
+     << load_branches << " load branches, depth " << max_depth << ")";
+  if (failed) os << " FAILED: " << failure;
+  return os.str();
+}
+
+Result explore(const Options& opt, const std::function<void()>& body) {
+  if (tls_rt != nullptr) throw std::logic_error("model::explore() does not nest");
+  Runtime rt(opt);
+  return rt.run(body);
+}
+
+Result explore(const std::function<void()>& body) { return explore(Options{}, body); }
+
+void expect(bool cond, const char* msg) {
+  if (!cond) require_rt()->user_fail(msg);
+}
+
+void fail(const char* msg) {
+  require_rt()->user_fail(msg);
+  // user_fail only returns when the abort was deferred (inside a barrier
+  // completion or during unwinding); fail() is [[noreturn]], so unwind
+  // anyway — a noexcept completion calling fail() terminates, by contract
+  // (use expect() there instead).
+  throw AbortExecution{};
+}
+
+void name(const void* obj, const std::string& label) { require_rt()->set_name(obj, label); }
+
+thread::~thread() {
+  if (tid_ >= 0 && tls_rt != nullptr) tls_rt->note_unjoined();
+}
+
+namespace detail {
+
+std::uint32_t reg_location(const void* addr, std::uint64_t init_bits) {
+  return require_rt()->reg_location(addr, init_bits);
+}
+std::uint64_t do_load(std::uint32_t loc, std::memory_order mo) {
+  return require_rt()->do_load(loc, mo);
+}
+void do_store(std::uint32_t loc, std::uint64_t bits, std::memory_order mo) {
+  require_rt()->do_store(loc, bits, mo);
+}
+std::uint64_t do_rmw(std::uint32_t loc, std::memory_order mo,
+                     std::uint64_t (*fn)(std::uint64_t, void*), void* ctx) {
+  return require_rt()->do_rmw(loc, mo, fn, ctx);
+}
+bool do_cas(std::uint32_t loc, std::uint64_t& expected, std::uint64_t desired,
+            std::memory_order mo) {
+  return require_rt()->do_cas(loc, expected, desired, mo);
+}
+void do_fence(std::memory_order mo) { require_rt()->do_fence(mo); }
+void do_plain(const void* obj, bool is_write) { require_rt()->do_plain(obj, is_write); }
+
+std::uint32_t reg_mutex(const void* addr) { return require_rt()->reg_mutex(addr); }
+void do_lock(std::uint32_t id) { require_rt()->do_lock(id); }
+void do_unlock(std::uint32_t id) { require_rt()->do_unlock(id); }
+
+std::uint32_t reg_barrier(const void* addr, std::ptrdiff_t count) {
+  return require_rt()->reg_barrier(addr, count);
+}
+void do_barrier_arrive(std::uint32_t id, void (*completion)(void*), void* ctx) {
+  require_rt()->do_barrier_arrive(id, completion, ctx);
+}
+
+int do_spawn(std::function<void()> fn) { return require_rt()->do_spawn(std::move(fn)); }
+void do_join(int tid) { require_rt()->do_join(tid); }
+
+}  // namespace detail
+
+}  // namespace lossburst::check::model

@@ -1,0 +1,293 @@
+// Deterministic concurrency model checker (DESIGN.md §14).
+//
+// A loom/relacy-style checker, self-contained (no external deps): the
+// model-check suites run a small closed concurrent program (the "body")
+// thousands of times under a cooperative scheduler that owns every
+// interleaving decision. Exploration is a DFS over a persistent decision
+// stack — each execution replays the recorded prefix and takes the next
+// unexplored branch — so the state space is walked exhaustively up to the
+// configured bounds:
+//
+//   * scheduling choices branch at every visible operation (atomic access,
+//     fence, lock, barrier arrival, annotated plain access), pruned by a
+//     CHESS-style preemption bound and Godefroid sleep sets (both orders of
+//     independent operations are never explored twice);
+//   * load-value choices branch over the per-location store history: a
+//     relaxed load may return any store not yet overwritten in the loading
+//     thread's happens-before view, which is how a missing release/acquire
+//     edge becomes a concrete stale read rather than a lucky pass.
+//
+// The memory model is the operational C11 release/acquire fragment:
+// per-thread vector clocks, per-location modification-order store
+// histories carrying "message" clocks (release stores and release-fence
+// shadowed relaxed stores publish them; acquire loads and acquire fences
+// join them), read-own-write and read-read coherence via per-location read
+// views, release sequences through RMWs, and seq_cst approximated as
+// acq_rel plus a global SC clock (every seq_cst op joins it both ways,
+// which totally orders seq_cst ops along the execution — strong enough for
+// the suites here; see DESIGN.md §14 for the exact caveats). Annotated
+// plain accesses (Sync::plain_read / plain_write) feed a FastTrack-style
+// race detector, so barrier-phase protocols (the shard mailboxes, the
+// epoch handshake) are checked for real data races, not just outcomes.
+//
+// A failing property — model::expect, a detected race, a deadlock, a
+// livelock (op budget) — aborts the execution and explore() returns the
+// failing schedule as a replayable decision trace plus a formatted op
+// history. Feed the trace back via Options::replay to re-run exactly that
+// schedule with full logging.
+//
+// This header is only compiled into the model-check suites
+// (-DLOSSBURST_MODEL_CHECK=ON); production code sees check::StdSync from
+// check/sync.hpp and never includes this file.
+#pragma once
+
+#include <atomic>  // std::memory_order vocabulary only
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+namespace lossburst::check::model {
+
+struct Options {
+  /// CHESS-style bound: how many times the scheduler may switch away from a
+  /// thread that could have kept running. Context switches at blocking
+  /// points (mutex unavailable, barrier wait, join) are free.
+  int max_preemptions = 2;
+  /// Stop after this many completed schedules (0 = unlimited). The per-CI
+  /// caps that keep suite wall time bounded live here.
+  std::uint64_t max_schedules = 200000;
+  /// Per-schedule op budget; exceeding it is reported as a livelock.
+  std::uint64_t max_ops_per_schedule = 50000;
+  /// When non-empty, run exactly this decision trace once (the replay
+  /// workflow for a failing schedule) and return its full op history.
+  std::string replay;
+};
+
+struct Result {
+  std::uint64_t schedules = 0;        ///< completed schedules explored
+  std::uint64_t sleep_prunes = 0;     ///< executions cut by the sleep set
+  std::uint64_t preempt_limited = 0;  ///< decision points truncated by the bound
+  std::uint64_t load_branches = 0;    ///< load-value choice points seen
+  std::uint64_t max_depth = 0;        ///< deepest decision stack
+  bool complete = false;  ///< tree exhausted within the preemption bound
+  bool failed = false;
+  std::string failure;  ///< human-readable diagnosis of the first failure
+  std::string trace;    ///< replayable decision string of the failing schedule
+  std::string history;  ///< formatted op log of the failing schedule
+
+  /// One-line "explored N schedules (M pruned, ...)" summary for suite logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Explore every schedule of `body` (up to the Options bounds). The body
+/// runs once per schedule on the calling thread as model thread T0; it may
+/// construct model atomics/mutexes/barriers, spawn model::thread workers,
+/// and must join them all before returning. Bodies must be deterministic
+/// given the checker's decisions (no wall clock, no host RNG).
+Result explore(const Options& opt, const std::function<void()>& body);
+Result explore(const std::function<void()>& body);
+
+/// In-body property check: on failure the current schedule aborts and
+/// explore() reports it (message + decision trace + op history).
+void expect(bool cond, const char* msg);
+[[noreturn]] void fail(const char* msg);
+
+/// Attach a display name to a model atomic / mutex / barrier / plain-access
+/// object for op-history readability ("seq[0]" instead of "loc#3").
+void name(const void* obj, const std::string& label);
+
+// ------------------------------------------------------------------ detail
+namespace detail {
+
+std::uint32_t reg_location(const void* addr, std::uint64_t init_bits);
+std::uint64_t do_load(std::uint32_t loc, std::memory_order mo);
+void do_store(std::uint32_t loc, std::uint64_t bits, std::memory_order mo);
+/// RMW: reads the newest store, applies fn, writes the result. Returns the
+/// value read.
+std::uint64_t do_rmw(std::uint32_t loc, std::memory_order mo,
+                     std::uint64_t (*fn)(std::uint64_t, void*), void* ctx);
+/// CAS: reads the newest store; on match writes `desired` and returns true.
+bool do_cas(std::uint32_t loc, std::uint64_t& expected, std::uint64_t desired,
+            std::memory_order mo);
+void do_fence(std::memory_order mo);
+void do_plain(const void* obj, bool is_write);
+
+std::uint32_t reg_mutex(const void* addr);
+void do_lock(std::uint32_t id);
+void do_unlock(std::uint32_t id);
+
+std::uint32_t reg_barrier(const void* addr, std::ptrdiff_t count);
+void do_barrier_arrive(std::uint32_t id, void (*completion)(void*), void* ctx);
+
+int do_spawn(std::function<void()> fn);
+void do_join(int tid);
+
+template <class T>
+std::uint64_t to_bits(T v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "model atomics hold trivially-copyable types of at most 8 bytes");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(v));
+  return bits;
+}
+
+template <class T>
+T from_bits(std::uint64_t bits) {
+  T v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------------- atomics
+
+template <class T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+  explicit atomic(T v) : id_(detail::reg_location(this, detail::to_bits(v))) {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    return detail::from_bits<T>(detail::do_load(id_, mo));
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::do_store(id_, detail::to_bits(v), mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Ctx c{detail::to_bits(v)};
+    return detail::from_bits<T>(detail::do_rmw(
+        id_, mo, [](std::uint64_t, void* p) { return static_cast<Ctx*>(p)->arg; },
+        &c));
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst) {
+    std::uint64_t e = detail::to_bits(expected);
+    const bool ok = detail::do_cas(id_, e, detail::to_bits(desired), mo);
+    expected = detail::from_bits<T>(e);
+    return ok;
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Ctx c{detail::to_bits(v)};
+    return detail::from_bits<T>(detail::do_rmw(
+        id_, mo,
+        [](std::uint64_t old, void* p) {
+          return detail::to_bits(static_cast<T>(detail::from_bits<T>(old) +
+                                                detail::from_bits<T>(static_cast<Ctx*>(p)->arg)));
+        },
+        &c));
+  }
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    return fetch_add(static_cast<T>(T{} - v), mo);
+  }
+
+  void set_name(const std::string& label) { name(this, label); }
+
+ private:
+  struct Ctx {
+    std::uint64_t arg;
+  };
+  std::uint32_t id_;
+};
+
+inline void fence(std::memory_order mo) { detail::do_fence(mo); }
+
+// ------------------------------------------------------------------ thread
+
+class thread {
+ public:
+  thread() = default;
+  template <class F>
+  explicit thread(F&& fn) : tid_(detail::do_spawn(std::function<void()>(std::forward<F>(fn)))) {}
+  thread(thread&& o) noexcept : tid_(o.tid_) { o.tid_ = -1; }
+  thread& operator=(thread&& o) noexcept {
+    tid_ = o.tid_;
+    o.tid_ = -1;
+    return *this;
+  }
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+  ~thread();  // fails the schedule if joinable (std::thread would terminate)
+
+  [[nodiscard]] bool joinable() const { return tid_ >= 0; }
+  void join() {
+    detail::do_join(tid_);
+    tid_ = -1;
+  }
+
+ private:
+  int tid_ = -1;
+};
+
+// ------------------------------------------------------------------- mutex
+
+class mutex {
+ public:
+  mutex() : id_(detail::reg_mutex(this)) {}
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+  void lock() { detail::do_lock(id_); }
+  void unlock() { detail::do_unlock(id_); }
+
+ private:
+  std::uint32_t id_;
+};
+
+// ----------------------------------------------------------------- barrier
+
+struct NoCompletion {
+  void operator()() const noexcept {}
+};
+
+template <class Completion = NoCompletion>
+class barrier {
+ public:
+  explicit barrier(std::ptrdiff_t count, Completion completion = Completion())
+      : id_(detail::reg_barrier(this, count)), completion_(std::move(completion)) {}
+  barrier(const barrier&) = delete;
+  barrier& operator=(const barrier&) = delete;
+
+  void arrive_and_wait() {
+    detail::do_barrier_arrive(
+        id_, [](void* p) { (*static_cast<Completion*>(p))(); }, &completion_);
+  }
+
+ private:
+  std::uint32_t id_;
+  Completion completion_;
+};
+
+// ---------------------------------------------------------------- ModelSync
+
+/// Sync policy instantiating the shim-converted templates under the model
+/// checker (the counterpart of check::StdSync in check/sync.hpp).
+struct ModelSync {
+  template <class T>
+  using atomic = model::atomic<T>;
+  using mutex = model::mutex;
+  using thread = model::thread;
+  template <class... Completion>
+  using barrier = model::barrier<Completion...>;
+
+  static void fence(std::memory_order mo) { model::fence(mo); }
+  static void plain_read(const void* obj) { detail::do_plain(obj, false); }
+  static void plain_write(const void* obj) { detail::do_plain(obj, true); }
+};
+
+}  // namespace lossburst::check::model
+
+namespace lossburst::check {
+using ModelSync = model::ModelSync;
+}  // namespace lossburst::check

@@ -1,0 +1,86 @@
+// Synchronization shim layer (DESIGN.md §14).
+//
+// Every lock-free or barrier-sequenced component in the tree (the seqlock
+// snapshot ring, the shard mailboxes, the epoch handshake, the control
+// queue, the publisher freeze latch) is templated over a *sync policy*
+// instead of naming std:: primitives directly:
+//
+//   template <class Sync = check::StdSync> class BasicSnapshotRing { ...
+//     typename Sync::template atomic<std::uint64_t> head_;
+//
+// In normal builds the default policy below aliases the std:: types
+// one-for-one and the plain-access hooks are empty inline functions, so the
+// shim compiles away completely — codegen is identical to writing
+// std::atomic by hand, which the existing alloc/bench CI gates verify.
+//
+// Under -DLOSSBURST_MODEL_CHECK=ON the model-check suites instantiate the
+// same templates with check::ModelSync (src/check/model.hpp), routing every
+// atomic access, fence, mutex, barrier and annotated plain access through a
+// cooperative scheduler that exhaustively explores thread interleavings and
+// models acquire/release visibility with per-location store histories — a
+// missing memory_order fence becomes a concrete failing schedule instead of
+// a once-in-a-blue-moon TSan hit.
+//
+// The bare check::atomic / check::thread / check::barrier aliases exist for
+// non-templated call sites; they are the std:: types unless the including
+// TU is compiled with LOSSBURST_MODEL_CHECK (only the model-check suites
+// are). The lint's `raw-sync` rule keeps shim-converted files honest: raw
+// std::atomic / std::thread / std::barrier in them is a finding.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <mutex>
+#include <thread>
+
+namespace lossburst::check {
+
+/// Production sync policy: std:: primitives, zero-cost pass-through.
+struct StdSync {
+  template <class T>
+  using atomic = std::atomic<T>;
+  using mutex = std::mutex;
+  using thread = std::thread;
+  template <class... Completion>
+  using barrier = std::barrier<Completion...>;
+
+  static void fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
+
+  /// Plain-access annotations: shim-converted components mark reads and
+  /// writes of *non-atomic* shared state (mailbox buffers, epoch state,
+  /// frozen schema) whose safety rests on happens-before edges from the
+  /// barriers/latches around them. Free in production; under the model
+  /// checker these feed a FastTrack-style race detector, so a missing
+  /// barrier manifests as a reported data race, not silent corruption.
+  static void plain_read(const void* /*obj*/) {}
+  static void plain_write(const void* /*obj*/) {}
+};
+
+}  // namespace lossburst::check
+
+#if defined(LOSSBURST_MODEL_CHECK) && LOSSBURST_MODEL_CHECK
+#include "check/model.hpp"  // defines lossburst::check::ModelSync
+
+namespace lossburst::check {
+template <class T>
+using atomic = model::atomic<T>;
+using mutex = model::mutex;
+using thread = model::thread;
+template <class... Completion>
+using barrier = model::barrier<Completion...>;
+inline void fence(std::memory_order mo) { model::fence(mo); }
+}  // namespace lossburst::check
+
+#else
+
+namespace lossburst::check {
+template <class T>
+using atomic = std::atomic<T>;
+using mutex = std::mutex;
+using thread = std::thread;
+template <class... Completion>
+using barrier = std::barrier<Completion...>;
+inline void fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
+}  // namespace lossburst::check
+
+#endif  // LOSSBURST_MODEL_CHECK

@@ -2,54 +2,9 @@
 
 namespace lossburst::obs::live {
 
-void Decimator::configure(std::size_t metrics) {
-  metrics_ = metrics;
-  for (auto& v : acc_) v.assign(metrics, Acc{});
-  for (auto& v : out_) v.assign(metrics, Sample{});
-  counts_.fill(0);
-}
-
-std::uint32_t Decimator::end_interval() {
-  if (++counts_[0] < kFold[0]) return 0;
-  return cascade(0);
-}
-
-// acc_[l] just reached kFold[l] completed level-l samples: finalize the
-// level-(l+1) samples, then fold them one level further — at most one fold
-// per level per tick, which is the O(levels) bound the chain exists for.
-std::uint32_t Decimator::cascade(std::size_t l) {
-  const std::uint64_t span = span_intervals(l + 1);
-  for (std::size_t m = 0; m < metrics_; ++m) {
-    Acc& a = acc_[l][m];
-    Sample& s = out_[l][m];
-    s.min = a.min;
-    s.max = a.max;
-    s.sum = a.sum;
-    s.last = a.last;
-    s.count = span;
-    a = Acc{};
-  }
-  counts_[l] = 0;
-  std::uint32_t mask = 1u << (l + 1);
-  if (l + 1 < kLevels - 1) {
-    for (std::size_t m = 0; m < metrics_; ++m) {
-      const Sample& s = out_[l][m];
-      Acc& a = acc_[l + 1][m];
-      if (!a.any) {
-        a.min = s.min;
-        a.max = s.max;
-        a.sum = s.sum;
-        a.any = true;
-      } else {
-        if (s.min < a.min) a.min = s.min;
-        if (s.max > a.max) a.max = s.max;
-        a.sum += s.sum;
-      }
-      a.last = s.last;
-    }
-    if (++counts_[l + 1] == kFold[l + 1]) mask |= cascade(l + 1);
-  }
-  return mask;
-}
+// The chain is a sync-policy template now (DESIGN.md §14); the production
+// instantiation is compiled here once so every other TU links against it
+// instead of re-instantiating.
+template class BasicDecimator<check::StdSync>;
 
 }  // namespace lossburst::obs::live

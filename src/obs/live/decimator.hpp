@@ -13,6 +13,13 @@
 // i.e. base intervals covered); counters feed per-interval *deltas*, so
 // their folded sum is the total delta over the span and min/max bound the
 // per-base-interval rate.
+//
+// The chain is sim-thread-only by contract: feed/end_interval run on the
+// simulation thread, sample() is read by the publisher on the same thread.
+// That contract is encoded as Sync plain-access annotations (DESIGN.md §14)
+// — free in production, a race check under the model checker, so a client
+// thread reaching into the chain shows up as a reported data race in the
+// mc_publisher suite rather than a heisenbug.
 #pragma once
 
 #include <array>
@@ -20,9 +27,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/sync.hpp"
+
 namespace lossburst::obs::live {
 
-class Decimator {
+template <class Sync = check::StdSync>
+class BasicDecimator {
  public:
   static constexpr std::size_t kLevels = 4;  ///< level 0 = raw intervals
   /// kFold[l]: completed level-l samples per level-(l+1) sample.
@@ -41,7 +51,13 @@ class Decimator {
   };
 
   /// Size the chain for `metrics` columns. Allocates everything up front.
-  void configure(std::size_t metrics);
+  void configure(std::size_t metrics) {
+    Sync::plain_write(this);
+    metrics_ = metrics;
+    for (auto& v : acc_) v.assign(metrics, Acc{});
+    for (auto& v : out_) v.assign(metrics, Sample{});
+    counts_.fill(0);
+  }
 
   [[nodiscard]] std::size_t metrics() const { return metrics_; }
 
@@ -50,6 +66,7 @@ class Decimator {
   /// the per-metric publish loop, and an out-of-line call per metric costs
   /// more than the accumulator update itself.
   void feed(std::size_t m, double v) {
+    Sync::plain_write(this);
     Acc& a = acc_[0][m];
     if (!a.any) {
       a.min = v;
@@ -67,10 +84,15 @@ class Decimator {
   /// Close the interval. Returns a bitmask of roll-up levels (bit l set for
   /// l in [1, kLevels)) that completed a folded sample this tick; read them
   /// via sample(l, m) before the next fold of that level.
-  std::uint32_t end_interval();
+  std::uint32_t end_interval() {
+    Sync::plain_write(this);
+    if (++counts_[0] < kFold[0]) return 0;
+    return cascade(0);
+  }
 
   /// Last completed folded sample of metric m at level l (1-based levels).
   [[nodiscard]] const Sample& sample(std::size_t l, std::size_t m) const {
+    Sync::plain_read(this);
     return out_[l - 1][m];
   }
 
@@ -91,7 +113,44 @@ class Decimator {
   };
 
   /// Fold one completed sample (level l) into level l+1's accumulator.
-  std::uint32_t cascade(std::size_t l);
+  /// acc_[l] just reached kFold[l] completed level-l samples: finalize the
+  /// level-(l+1) samples, then fold them one level further — at most one
+  /// fold per level per tick, which is the O(levels) bound the chain
+  /// exists for.
+  std::uint32_t cascade(std::size_t l) {
+    const std::uint64_t span = span_intervals(l + 1);
+    for (std::size_t m = 0; m < metrics_; ++m) {
+      Acc& a = acc_[l][m];
+      Sample& s = out_[l][m];
+      s.min = a.min;
+      s.max = a.max;
+      s.sum = a.sum;
+      s.last = a.last;
+      s.count = span;
+      a = Acc{};
+    }
+    counts_[l] = 0;
+    std::uint32_t mask = 1u << (l + 1);
+    if (l + 1 < kLevels - 1) {
+      for (std::size_t m = 0; m < metrics_; ++m) {
+        const Sample& s = out_[l][m];
+        Acc& a = acc_[l + 1][m];
+        if (!a.any) {
+          a.min = s.min;
+          a.max = s.max;
+          a.sum = s.sum;
+          a.any = true;
+        } else {
+          if (s.min < a.min) a.min = s.min;
+          if (s.max > a.max) a.max = s.max;
+          a.sum += s.sum;
+        }
+        a.last = s.last;
+      }
+      if (++counts_[l + 1] == kFold[l + 1]) mask |= cascade(l + 1);
+    }
+    return mask;
+  }
 
   std::size_t metrics_ = 0;
   /// acc_[l][m]: accumulator building the next level-(l+1) sample.
@@ -101,5 +160,9 @@ class Decimator {
   /// counts_[l]: completed level-l samples folded into acc_[l] so far.
   std::array<std::uint32_t, kLevels - 1> counts_{};
 };
+
+/// Production instantiation (compiled once in decimator.cpp).
+using Decimator = BasicDecimator<>;
+extern template class BasicDecimator<check::StdSync>;
 
 }  // namespace lossburst::obs::live

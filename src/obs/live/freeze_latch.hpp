@@ -1,0 +1,75 @@
+// Freeze latch: the publisher's schema/interval lifecycle handshake
+// (DESIGN.md §13, §14).
+//
+// The LivePublisher's contract with client threads is a two-stage
+// publication protocol:
+//
+//   1. freeze(): the producer finishes building the schema and every
+//      buffer, then flips `frozen` with a release store. A client that
+//      observes frozen()==true (acquire) may read the schema, the ring, and
+//      the decimation chain's layout without locks — they are immutable
+//      from that point on.
+//   2. complete_interval(): after pushing an interval's whole batch
+//      (metrics, roll-ups, top-flows, marks) into the ring, the producer
+//      bumps the interval count with a release store. A client that reads
+//      intervals()==k (acquire) is guaranteed to find all k complete
+//      batches in the ring (or charged drops).
+//
+// Extracted into its own shim-converted class so the mc_publisher suite can
+// exhaustively verify the protocol: a reader attaching concurrently with
+// freeze() either sees frozen()==false and backs off, or sees true and gets
+// a race-free view of the schema — on every interleaving, not just the ones
+// TSan happens to visit.
+#pragma once
+
+#include <atomic>  // lossburst-lint: allow(raw-sync): std::memory_order vocabulary only
+#include <cstdint>
+
+#include "check/sync.hpp"
+
+namespace lossburst::obs::live {
+
+template <class Sync = check::StdSync>
+class FreezeLatch {
+ public:
+  FreezeLatch() = default;
+  FreezeLatch(const FreezeLatch&) = delete;
+  FreezeLatch& operator=(const FreezeLatch&) = delete;
+
+  /// Producer: publish the frozen schema. Everything written before this
+  /// call is visible to any reader that subsequently observes frozen().
+  void freeze() {
+    intervals_.store(0, std::memory_order_relaxed);
+    frozen_.store(true, std::memory_order_release);
+  }
+
+  /// Reader: true once the schema is immutable and safe to read.
+  [[nodiscard]] bool frozen() const {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
+  /// Producer only: index of the interval currently being published.
+  [[nodiscard]] std::uint64_t interval_index() const {
+    return intervals_.load(std::memory_order_relaxed);
+  }
+
+  /// Producer: the current interval's batch is fully in the ring.
+  void complete_interval() {
+    intervals_.store(intervals_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  }
+
+  /// Reader: completed intervals; all their batches are ring-visible.
+  [[nodiscard]] std::uint64_t intervals() const {
+    return intervals_.load(std::memory_order_acquire);
+  }
+
+ private:
+  template <class T>
+  using Atomic = typename Sync::template atomic<T>;
+
+  Atomic<std::uint64_t> intervals_{0};
+  Atomic<bool> frozen_{false};
+};
+
+}  // namespace lossburst::obs::live

@@ -32,8 +32,7 @@ void LivePublisher::freeze(std::int64_t start_ns, std::int64_t interval_ns) {
   top_.freeze(tables);
   ring_.configure(opt_.ring_capacity);
   kind_counts_.fill(0);
-  intervals_.store(0, std::memory_order_relaxed);
-  frozen_.store(true, std::memory_order_release);
+  latch_.freeze();
 }
 
 void LivePublisher::publish(std::int64_t t_ns) {
@@ -128,14 +127,14 @@ void LivePublisher::publish(std::int64_t t_ns) {
 
   // Interval marker last: a client that has seen the mark has seen the
   // whole batch for this interval.
-  const std::uint64_t idx = intervals_.load(std::memory_order_relaxed);
+  const std::uint64_t idx = latch_.interval_index();
   SnapshotRec mark;
   mark.t_ns = t_ns;
   mark.kind = static_cast<std::uint32_t>(SnapKind::kMark);
   mark.aux = idx;
   mark.v0 = interval_s;
   ring_.publish(mark);
-  intervals_.store(idx + 1, std::memory_order_release);
+  latch_.complete_interval();
 }
 
 }  // namespace lossburst::obs::live

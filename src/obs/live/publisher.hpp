@@ -16,12 +16,12 @@
 // ring and the immutable post-freeze schema.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "obs/live/decimator.hpp"
+#include "obs/live/freeze_latch.hpp"
 #include "obs/live/recorder_cursor.hpp"
 #include "obs/live/spsc_ring.hpp"
 #include "obs/live/topflows.hpp"
@@ -54,9 +54,7 @@ class LivePublisher {
   /// have registered their metrics and flows, before the run starts.
   void freeze(std::int64_t start_ns, std::int64_t interval_ns);
 
-  [[nodiscard]] bool frozen() const {
-    return frozen_.load(std::memory_order_acquire);
-  }
+  [[nodiscard]] bool frozen() const { return latch_.frozen(); }
 
   /// Close the interval ending at simulated time `t_ns`. Producer thread
   /// only; zero allocations, cost independent of attached client count.
@@ -76,7 +74,7 @@ class LivePublisher {
   }
   [[nodiscard]] std::int64_t interval_ns() const { return interval_ns_; }
   [[nodiscard]] std::uint64_t intervals_published() const {
-    return intervals_.load(std::memory_order_acquire);
+    return latch_.intervals();
   }
 
  private:
@@ -106,8 +104,9 @@ class LivePublisher {
   std::array<std::uint64_t, kRecordKinds> kind_counts_{};
   std::int64_t start_ns_ = 0;
   std::int64_t interval_ns_ = 0;
-  std::atomic<std::uint64_t> intervals_{0};
-  std::atomic<bool> frozen_{false};
+  /// Schema freeze + interval completion handshake (model-checked;
+  /// DESIGN.md §14).
+  FreezeLatch<> latch_;
 };
 
 }  // namespace lossburst::obs::live

@@ -16,25 +16,55 @@
 // torn read is always detected and retried as a lap. Every access is an
 // atomic operation — no byte of the ring is touched non-atomically — which
 // keeps the scheme exact under the C++ memory model and silent under TSan.
+//
+// The class is templated over a sync policy (DESIGN.md §14): production
+// builds use check::StdSync (std:: primitives, zero-cost), the model-check
+// suites instantiate check::ModelSync and exhaustively verify the seqlock —
+// no torn reads on any interleaving, drop accounting exact under
+// overwrite-oldest races. The SeqlockSeed parameter exists solely for the
+// checker's seeded-bug tests: it deliberately weakens one fence so the
+// suite can prove the checker catches the resulting torn read.
 #pragma once
 
-#include <atomic>
+#include <atomic>  // lossburst-lint: allow(raw-sync): std::memory_order vocabulary only
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 
+#include "check/sync.hpp"
 #include "obs/live/snapshot.hpp"
 
 namespace lossburst::obs::live {
 
-class SnapshotRing {
- public:
-  static constexpr std::size_t kWords = sizeof(SnapshotRec) / sizeof(std::uint64_t);
+/// Deliberate ordering weakenings for model-check seeded-bug tests. kNone
+/// is the shipped protocol; each kPublishStoresRelaxed / kNoWriterFence /
+/// kNoReaderFence removes one load-bearing ordering edge and must be caught
+/// by the mc_snapshot_ring suite as a concrete failing schedule.
+/// kEvenStoreRelaxed removes a provably *redundant* edge — the head_
+/// release store independently orders every publication for a reader that
+/// polls below an acquired head — and the suite proves exactly that: the
+/// checker separates a load-bearing edge from a redundant one rather than
+/// pattern-matching "relaxed is suspicious".
+enum class SeqlockSeed : std::uint8_t {
+  kNone,                  ///< correct protocol (production)
+  kPublishStoresRelaxed,  ///< even seq AND head stores demoted release -> relaxed
+  kNoWriterFence,         ///< writer's pre-payload release fence removed
+  kNoReaderFence,         ///< reader's post-copy acquire fence removed
+  kEvenStoreRelaxed,      ///< only the even seq store demoted (redundant edge)
+};
 
-  SnapshotRing() = default;
-  SnapshotRing(const SnapshotRing&) = delete;
-  SnapshotRing& operator=(const SnapshotRing&) = delete;
+template <class Sync = check::StdSync, class Rec = SnapshotRec,
+          SeqlockSeed Seed = SeqlockSeed::kNone>
+class BasicSnapshotRing {
+ public:
+  static_assert(sizeof(Rec) % sizeof(std::uint64_t) == 0,
+                "ring payload must be a whole number of 64-bit words");
+  static constexpr std::size_t kWords = sizeof(Rec) / sizeof(std::uint64_t);
+
+  BasicSnapshotRing() = default;
+  BasicSnapshotRing(const BasicSnapshotRing&) = delete;
+  BasicSnapshotRing& operator=(const BasicSnapshotRing&) = delete;
 
   /// Allocate the slots (once, before the run). `capacity` is rounded up to
   /// a power of two; it should hold several intervals' worth of records so a
@@ -56,18 +86,27 @@ class SnapshotRing {
   }
 
   /// Producer only (the sim thread / the epoch-barrier completion).
-  void publish(const SnapshotRec& rec) {
+  void publish(const Rec& rec) {
     std::uint64_t words[kWords];
     std::memcpy(words, &rec, sizeof(rec));
     const std::uint64_t n = head_.load(std::memory_order_relaxed);
     Slot& s = slots_[n & mask_];
     s.seq.store(2 * n + 1, std::memory_order_relaxed);  // odd: write in progress
-    std::atomic_thread_fence(std::memory_order_release);
+    if constexpr (Seed != SeqlockSeed::kNoWriterFence) {
+      Sync::fence(std::memory_order_release);
+    }
     for (std::size_t i = 0; i < kWords; ++i) {
       s.words[i].store(words[i], std::memory_order_relaxed);
     }
-    s.seq.store(2 * n + 2, std::memory_order_release);  // even: published
-    head_.store(n + 1, std::memory_order_release);
+    constexpr std::memory_order kPublishOrder =
+        Seed == SeqlockSeed::kPublishStoresRelaxed || Seed == SeqlockSeed::kEvenStoreRelaxed
+            ? std::memory_order_relaxed
+            : std::memory_order_release;
+    s.seq.store(2 * n + 2, kPublishOrder);  // even: published
+    constexpr std::memory_order kHeadOrder = Seed == SeqlockSeed::kPublishStoresRelaxed
+                                                 ? std::memory_order_relaxed
+                                                 : std::memory_order_release;
+    head_.store(n + 1, kHeadOrder);
   }
 
   /// One reader's position. `next` is the publication index it will read;
@@ -92,7 +131,7 @@ class SnapshotRing {
   /// skipped (counted into `c.dropped`) and the read retried, so kOk always
   /// delivers records in publication order with gaps only where the reader
   /// fell behind. Safe from any thread; each cursor belongs to one reader.
-  Poll poll(Cursor& c, SnapshotRec& out) const {
+  Poll poll(Cursor& c, Rec& out) const {
     for (;;) {
       const std::uint64_t head = head_.load(std::memory_order_acquire);
       if (c.next >= head) return Poll::kEmpty;
@@ -104,7 +143,9 @@ class SnapshotRing {
         for (std::size_t i = 0; i < kWords; ++i) {
           words[i] = s.words[i].load(std::memory_order_relaxed);
         }
-        std::atomic_thread_fence(std::memory_order_acquire);
+        if constexpr (Seed != SeqlockSeed::kNoReaderFence) {
+          Sync::fence(std::memory_order_acquire);
+        }
         if (s.seq.load(std::memory_order_relaxed) == want) {
           std::memcpy(&out, words, sizeof(out));
           ++c.next;
@@ -124,14 +165,20 @@ class SnapshotRing {
   }
 
  private:
+  template <class T>
+  using Atomic = typename Sync::template atomic<T>;
+
   struct Slot {
-    std::atomic<std::uint64_t> seq{0};
-    std::atomic<std::uint64_t> words[kWords]{};
+    Atomic<std::uint64_t> seq{0};
+    Atomic<std::uint64_t> words[kWords]{};
   };
 
   std::unique_ptr<Slot[]> slots_;
   std::size_t mask_ = 0;
-  std::atomic<std::uint64_t> head_{0};
+  Atomic<std::uint64_t> head_{0};
 };
+
+/// Production instantiation: std:: primitives, the full SnapshotRec payload.
+using SnapshotRing = BasicSnapshotRing<>;
 
 }  // namespace lossburst::obs::live

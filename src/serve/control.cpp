@@ -2,40 +2,9 @@
 
 namespace lossburst::serve {
 
-void ControlQueue::post(ControlCommand cmd) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  pending_.push_back(std::move(cmd));
-}
-
-std::size_t ControlQueue::drain(std::vector<ControlCommand>& out) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t n = pending_.size();
-  for (ControlCommand& c : pending_) out.push_back(std::move(c));
-  pending_.clear();
-  return n;
-}
-
-void ControlQueue::post_result(std::uint64_t client, std::string line) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  results_.emplace_back(client, std::move(line));
-}
-
-std::size_t ControlQueue::drain_results(std::uint64_t client,
-                                        std::vector<std::string>& out) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::size_t n = 0;
-  std::size_t w = 0;
-  for (std::size_t r = 0; r < results_.size(); ++r) {
-    if (results_[r].first == client) {
-      out.push_back(std::move(results_[r].second));
-      ++n;
-    } else {
-      if (w != r) results_[w] = std::move(results_[r]);
-      ++w;
-    }
-  }
-  results_.resize(w);
-  return n;
-}
+// The queue is a sync-policy template now (DESIGN.md §14); the production
+// instantiation is compiled here once so every other TU links against it
+// instead of re-instantiating.
+template class BasicControlQueue<lossburst::check::StdSync>;
 
 }  // namespace lossburst::serve

@@ -7,13 +7,21 @@
 // never mid-dispatch, so every mutation lands between events exactly as a
 // scripted fault plan's transitions do. Replies travel the other way,
 // addressed by client id.
+//
+// Templated over the sync policy (DESIGN.md §14): production uses
+// check::StdSync (a plain std::mutex); the mc_control_queue suite
+// instantiates check::ModelSync and verifies that no schedule lets the sim
+// observe a command outside a drain boundary — the plain-access annotations
+// make any unlocked touch of the vectors a reported race.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include <mutex>  // lossburst-lint: allow(raw-sync): std::lock_guard over the policy mutex
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "check/sync.hpp"
 
 namespace lossburst::serve {
 
@@ -32,20 +40,58 @@ struct ControlCommand {
   std::uint64_t client = 0;  ///< reply address
 };
 
-class ControlQueue {
+template <class Sync = lossburst::check::StdSync>
+class BasicControlQueue {
  public:
-  void post(ControlCommand cmd);
-  /// Move all pending commands into `out` (appended). Returns how many.
-  std::size_t drain(std::vector<ControlCommand>& out);
+  void post(ControlCommand cmd) {
+    const std::lock_guard<typename Sync::mutex> lock(mu_);
+    Sync::plain_write(this);
+    pending_.push_back(std::move(cmd));
+  }
 
-  void post_result(std::uint64_t client, std::string line);
+  /// Move all pending commands into `out` (appended). Returns how many.
+  std::size_t drain(std::vector<ControlCommand>& out) {
+    const std::lock_guard<typename Sync::mutex> lock(mu_);
+    Sync::plain_write(this);
+    const std::size_t n = pending_.size();
+    for (ControlCommand& c : pending_) out.push_back(std::move(c));
+    pending_.clear();
+    return n;
+  }
+
+  void post_result(std::uint64_t client, std::string line) {
+    const std::lock_guard<typename Sync::mutex> lock(mu_);
+    Sync::plain_write(this);
+    results_.emplace_back(client, std::move(line));
+  }
+
   /// Move results addressed to `client` into `out` (appended).
-  std::size_t drain_results(std::uint64_t client, std::vector<std::string>& out);
+  std::size_t drain_results(std::uint64_t client, std::vector<std::string>& out) {
+    const std::lock_guard<typename Sync::mutex> lock(mu_);
+    Sync::plain_write(this);
+    std::size_t n = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < results_.size(); ++r) {
+      if (results_[r].first == client) {
+        out.push_back(std::move(results_[r].second));
+        ++n;
+      } else {
+        if (w != r) results_[w] = std::move(results_[r]);
+        ++w;
+      }
+    }
+    results_.resize(w);
+    return n;
+  }
 
  private:
-  std::mutex mu_;
+  typename Sync::mutex mu_;
   std::vector<ControlCommand> pending_;
   std::vector<std::pair<std::uint64_t, std::string>> results_;
 };
+
+/// Production instantiation (compiled once in control.cpp).
+using ControlQueue = BasicControlQueue<>;
+extern template class BasicControlQueue<lossburst::check::StdSync>;
 
 }  // namespace lossburst::serve

@@ -1,0 +1,102 @@
+// Epoch barrier handshake for the sharded coordinator (DESIGN.md §12, §14).
+//
+// The conservative-lookahead engine advances K shard workers in lockstep
+// epochs with two barriers per epoch:
+//
+//   run phase    — every shard executes events strictly before the horizon,
+//                  appending cross-shard messages to mailboxes;
+//   arrive_run() — fences the epoch's mailbox writes from the drain reads;
+//   drain phase  — every shard schedules its inbound arrivals;
+//   arrive_drain() — its completion runs on exactly one worker while the
+//                  rest are parked inside the barrier: the single writer of
+//                  the shared epoch State (horizon, prune watermark, done
+//                  flag, epoch count). The barrier release is what makes
+//                  the State readable by every worker afterwards.
+//
+// This class owns exactly that protocol, templated over the sync policy so
+// the mc_handshake suite can instantiate it with check::ModelSync and prove
+// the two claims the sharded engine's determinism rests on: the completion
+// is genuinely single-threaded (no schedule lets a worker read State while
+// it is being written — the plain-access annotations turn any such
+// interleaving into a reported race), and no phase exchange loses or
+// reorders a mailbox handoff. Production instantiates check::StdSync and
+// compiles to bare std::barrier uses.
+//
+// Contract: `on_drain` must not throw (it runs inside the barrier's
+// noexcept completion; the coordinator wraps its callback in a catch-all
+// that records the error and flags done instead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "check/sync.hpp"
+
+namespace lossburst::sim {
+
+template <class Sync = check::StdSync>
+class EpochHandshake {
+ public:
+  /// Shared epoch state. Written only by the drain completion; read by
+  /// workers after the drain barrier releases them.
+  struct State {
+    std::int64_t horizon_ns = 0;     ///< run events strictly before this
+    std::int64_t prune_upto_ns = 0;  ///< watermarks at or before are dead
+    bool done = false;               ///< run_until finished (or aborted)
+    std::uint64_t epochs = 0;        ///< completed epochs, cumulative
+  };
+
+  /// `on_drain` is invoked once per epoch, single-threaded, with every
+  /// participant parked in the drain barrier. It computes the next horizon
+  /// (or sets done) in place.
+  // lossburst-lint: allow(datapath-alloc): constructed once at worker start, not per epoch
+  EpochHandshake(std::ptrdiff_t participants, std::function<void(State&)> on_drain)
+      : on_drain_(std::move(on_drain)),
+        run_(participants),
+        drain_(participants, Completion{this}) {}
+
+  EpochHandshake(const EpochHandshake&) = delete;
+  EpochHandshake& operator=(const EpochHandshake&) = delete;
+
+  /// Main thread, between runs (all workers parked outside the barriers):
+  /// arm the next run_until slice.
+  void begin_run() {
+    Sync::plain_write(&state_);
+    state_.done = false;
+  }
+
+  /// End of the run phase: fences this epoch's mailbox writes from the
+  /// drain phase's reads.
+  void arrive_run() { run_.arrive_and_wait(); }
+
+  /// End of the drain phase. The last arriver runs the completion; the
+  /// returned State is stable until this worker's next arrive_drain().
+  const State& arrive_drain() {
+    drain_.arrive_and_wait();
+    Sync::plain_read(&state_);
+    return state_;
+  }
+
+  /// Main thread, between runs only (workers parked).
+  [[nodiscard]] const State& state() const {
+    Sync::plain_read(&state_);
+    return state_;
+  }
+
+ private:
+  struct Completion {
+    EpochHandshake* h;
+    void operator()() noexcept {
+      Sync::plain_write(&h->state_);
+      h->on_drain_(h->state_);
+    }
+  };
+
+  State state_;
+  std::function<void(State&)> on_drain_;
+  typename Sync::template barrier<> run_;
+  typename Sync::template barrier<Completion> drain_;
+};
+
+}  // namespace lossburst::sim

@@ -42,9 +42,8 @@ ShardCoordinator::~ShardCoordinator() {
 void ShardCoordinator::start_workers() {
   const auto k = static_cast<std::ptrdiff_t>(sims_.size());
   // lossburst-lint: allow(datapath-alloc): one-time worker/barrier setup at the first run
-  barrier_run_ = std::make_unique<std::barrier<>>(k);
-  // lossburst-lint: allow(datapath-alloc): one-time worker/barrier setup at the first run
-  barrier_drain_ = std::make_unique<std::barrier<DrainCompletion>>(k, DrainCompletion{this});
+  handshake_ = std::make_unique<Handshake>(
+      k, [this](Handshake::State& st) noexcept { on_drain_complete(st); });
   threads_.reserve(sims_.size());
   for (std::size_t i = 0; i < sims_.size(); ++i) {
     threads_.emplace_back([this, i] { worker(i); });
@@ -59,11 +58,11 @@ std::uint64_t ShardCoordinator::run_until(TimePoint until) {
 
   until_ns_ = until.ns();
   until_is_max_ = until == TimePoint::max();
-  done_ = false;
   abort_.store(false, std::memory_order_relaxed);
   std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
 
   if (threads_.empty()) start_workers();
+  handshake_->begin_run();
   {
     const std::lock_guard<std::mutex> lk(m_);
     parked_ = 0;
@@ -105,9 +104,9 @@ void ShardCoordinator::worker(std::size_t shard) {
 }
 
 // One run_until's worth of epochs, executed in lockstep with every other
-// shard. Two barriers per epoch: barrier_run_ fences the epoch's mailbox
-// writes from the drain reads; barrier_drain_'s completion computes the next
-// horizon from post-drain queue states.
+// shard. Two barriers per epoch (owned by the EpochHandshake): arrive_run
+// fences the epoch's mailbox writes from the drain reads; arrive_drain's
+// completion computes the next horizon from post-drain queue states.
 void ShardCoordinator::epoch_loop(std::size_t shard) {
   Simulator* sim = sims_[shard];
   ShardAgent* agent = agents_[shard];
@@ -127,24 +126,24 @@ void ShardCoordinator::epoch_loop(std::size_t shard) {
   // barrier drains before the done check. Still run one initial drain so the
   // first horizon sees anything scheduled between runs, then enter lockstep.
   guard([&] { agent->drain_inbound(); });
-  barrier_drain_->arrive_and_wait();
-  while (!done_) {
+  const Handshake::State* st = &handshake_->arrive_drain();
+  while (!st->done) {
     guard([&] {
-      sim->prune_instants(prune_upto_ns_);
-      sim->run_before(TimePoint(horizon_ns_));
+      sim->prune_instants(st->prune_upto_ns);
+      sim->run_before(TimePoint(st->horizon_ns));
     });
-    barrier_run_->arrive_and_wait();
+    handshake_->arrive_run();
     guard([&] { agent->drain_inbound(); });
-    barrier_drain_->arrive_and_wait();
+    st = &handshake_->arrive_drain();
   }
 }
 
-// Runs on exactly one worker while the rest are blocked in barrier_drain_:
-// the only writer of the epoch state, sequenced against every reader by the
-// barrier itself.
-void ShardCoordinator::on_drain_complete() noexcept {
+// Runs on exactly one worker while the rest are blocked in the drain
+// barrier: the only writer of the epoch state, sequenced against every
+// reader by the barrier itself (proved by the mc_handshake suite).
+void ShardCoordinator::on_drain_complete(Handshake::State& st) noexcept {
   if (abort_.load(std::memory_order_relaxed)) {
-    done_ = true;
+    st.done = true;
     return;
   }
   constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
@@ -154,32 +153,33 @@ void ShardCoordinator::on_drain_complete() noexcept {
     if (t < gmin) gmin = t;
   }
   if (gmin == kMax || (!until_is_max_ && gmin > until_ns_)) {
-    done_ = true;
+    st.done = true;
     return;
   }
   if (epoch_hook_) {
     // Single-threaded by construction (every other worker is blocked in
-    // barrier_drain_); a throwing hook aborts the run like a worker failure.
+    // the drain barrier); a throwing hook aborts the run like a worker
+    // failure.
     try {
       epoch_hook_(TimePoint(gmin));
     } catch (...) {
       errors_[0] = std::current_exception();
       abort_.store(true, std::memory_order_relaxed);
-      done_ = true;
+      st.done = true;
       return;
     }
   }
   // Arrivals drained at the *next* barrier left a boundary serializer at
   // finish >= gmin, so no wedge can target an instant <= gmin: watermarks at
   // or before it are dead.
-  prune_upto_ns_ = gmin;
+  st.prune_upto_ns = gmin;
   std::int64_t h = gmin > kMax - lookahead_ns_ ? kMax : gmin + lookahead_ns_;
   if (!until_is_max_ && h > until_ns_) {
     h = until_ns_ == kMax ? kMax : until_ns_ + 1;  // include events at `until`
   }
-  horizon_ns_ = h;
-  done_ = false;
-  ++epochs_;
+  st.horizon_ns = h;
+  st.done = false;
+  ++st.epochs;
 }
 
 }  // namespace lossburst::sim

@@ -28,7 +28,6 @@
 // K == 1 bypasses everything and is the serial engine, exactly.
 #pragma once
 
-#include <barrier>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -38,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/epoch_handshake.hpp"
 #include "sim/simulator.hpp"
 
 #include <atomic>
@@ -73,7 +73,9 @@ class ShardCoordinator {
   std::uint64_t run_until(TimePoint until);
 
   [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
-  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t epochs() const {
+    return handshake_ ? handshake_->state().epochs : 0;
+  }
   [[nodiscard]] Duration lookahead() const { return Duration(lookahead_ns_); }
 
   /// Install a hook invoked once per epoch at the drain barrier's completion
@@ -91,15 +93,12 @@ class ShardCoordinator {
   }
 
  private:
-  struct DrainCompletion {
-    ShardCoordinator* c;
-    void operator()() noexcept { c->on_drain_complete(); }
-  };
+  using Handshake = EpochHandshake<>;
 
   void start_workers();
   void worker(std::size_t shard);
   void epoch_loop(std::size_t shard);
-  void on_drain_complete() noexcept;
+  void on_drain_complete(Handshake::State& st) noexcept;
 
   std::vector<Simulator*> sims_;
   std::vector<ShardAgent*> agents_;
@@ -115,15 +114,11 @@ class ShardCoordinator {
   std::size_t parked_ = 0;
   bool shutdown_ = false;
 
-  // Epoch state: written only by the drain barrier's completion function
-  // (all other workers are blocked inside the barrier at that point); read
-  // by workers after release. The barrier provides the happens-before.
+  // Per-run bounds: written by the main thread between runs (workers
+  // parked), read by the drain completion. The park/unpark mutex provides
+  // the happens-before.
   std::int64_t until_ns_ = 0;
   bool until_is_max_ = false;
-  std::int64_t horizon_ns_ = 0;
-  std::int64_t prune_upto_ns_ = 0;
-  bool done_ = false;
-  std::uint64_t epochs_ = 0;
   // lossburst-lint: allow(datapath-alloc): assigned once pre-run, called at the drain barrier only
   std::function<void(TimePoint)> epoch_hook_;
 
@@ -133,8 +128,10 @@ class ShardCoordinator {
   std::atomic<bool> abort_{false};
   std::vector<std::exception_ptr> errors_;
 
-  std::unique_ptr<std::barrier<>> barrier_run_;
-  std::unique_ptr<std::barrier<DrainCompletion>> barrier_drain_;
+  // The two-barrier epoch protocol and its shared State (horizon, prune
+  // watermark, done flag, epoch count) — extracted and model-checked
+  // (src/sim/epoch_handshake.hpp, DESIGN.md §14).
+  std::unique_ptr<Handshake> handshake_;
 };
 
 }  // namespace lossburst::sim

@@ -13,7 +13,12 @@
 // from the consumer's clear back to the next epoch's writes), so the mailbox
 // itself needs no atomics — it is single-producer single-consumer by phase
 // discipline, not by lock-free indices. TSan agrees (CI runs a sharded
-// campaign under it).
+// campaign under it), and the claim is *proved* by the mc_mailbox model-check
+// suite (DESIGN.md §14): every access below carries a Sync::plain_read /
+// plain_write annotation — free in production (check::StdSync inlines them
+// to nothing), a FastTrack-style race check under the model checker, so an
+// access outside its phase is a reported data race on some schedule, not a
+// latent corruption.
 //
 // Capacity is reserved up front and grows only to a new high-water mark, so
 // the steady-state handoff path performs zero allocations (the bench-smoke
@@ -24,9 +29,11 @@
 #include <utility>
 #include <vector>
 
+#include "check/sync.hpp"
+
 namespace lossburst::sim {
 
-template <typename T>
+template <typename T, class Sync = check::StdSync>
 class ShardMailbox {
  public:
   explicit ShardMailbox(std::size_t capacity = 0) {
@@ -36,25 +43,40 @@ class ShardMailbox {
 
   /// Producer side, epoch phase only.
   void push(const T& v) {
+    Sync::plain_write(this);
     // lossburst-lint: allow(datapath-alloc): grows only past the pre-sized high-water mark
     buf_.push_back(v);
   }
   void push(T&& v) {
+    Sync::plain_write(this);
     // lossburst-lint: allow(datapath-alloc): grows only past the pre-sized high-water mark
     buf_.push_back(std::move(v));
   }
 
   /// Consumer side, drain phase only.
-  [[nodiscard]] bool empty() const { return buf_.empty(); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] const T& operator[](std::size_t i) const { return buf_[i]; }
+  [[nodiscard]] bool empty() const {
+    Sync::plain_read(this);
+    return buf_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    Sync::plain_read(this);
+    return buf_.size();
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    Sync::plain_read(this);
+    return buf_[i];
+  }
   void clear() {
+    Sync::plain_write(this);
     if (buf_.size() > high_water_) high_water_ = buf_.size();
     buf_.clear();  // destroys nothing of note: T is trivially copyable in practice
   }
 
   /// Most records held across any one epoch (sizing diagnostics).
-  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t high_water() const {
+    Sync::plain_read(this);
+    return high_water_;
+  }
 
  private:
   std::vector<T> buf_;

@@ -1,0 +1,203 @@
+// Model-check suite for the epoch barrier handshake (DESIGN.md §12, §14).
+//
+// EpochHandshake is the protocol the sharded engine's determinism rests on:
+// two barriers per epoch, with the drain barrier's completion as the single
+// writer of the shared epoch State. The workers below mimic
+// ShardCoordinator::epoch_loop exactly — initial arrive_drain, then
+// {run-phase mailbox push, arrive_run, drain-phase mailbox read,
+// arrive_drain} until done — and the suite proves on every interleaving:
+//
+//   * the completion is genuinely single-threaded: no schedule lets a
+//     worker (or the main thread) touch State while it is being written —
+//     the plain-access annotations turn any such overlap into a race;
+//   * no epoch's mailbox handoff is lost or reordered: the run barrier
+//     fences the writes, the drain barrier fences the clears;
+//   * every worker observes the same epoch count and done flag.
+//
+// The negative test breaks the coordinator's "between runs only" contract
+// on state() and must be reported as a race on some schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+
+#include "check/sync.hpp"
+#include "sim/epoch_handshake.hpp"
+#include "sim/shard_mailbox.hpp"
+
+namespace model = lossburst::check::model;
+using lossburst::check::ModelSync;
+using lossburst::sim::EpochHandshake;
+using lossburst::sim::ShardMailbox;
+
+namespace {
+
+void log_summary(const char* suite, const model::Result& res) {
+  std::printf("[mc] %s: %s\n", suite, res.summary().c_str());
+}
+
+using Handshake = EpochHandshake<ModelSync>;
+using Mailbox = ShardMailbox<std::uint64_t, ModelSync>;
+
+constexpr std::uint64_t kEpochs = 2;
+constexpr std::int64_t kHorizonStep = 100;
+
+// The coordinator's on_drain_complete, reduced to its shape: advance the
+// horizon each epoch, flag done after kEpochs run epochs. The initial
+// arrive_drain consumes one completion (it computes epoch 1's horizon), so
+// done fires at completion kEpochs + 1.
+void advance_epoch(Handshake::State& st) {
+  ++st.epochs;
+  st.horizon_ns += kHorizonStep;
+  if (st.epochs > kEpochs) st.done = true;
+}
+
+// One shard worker: the epoch_loop pattern verbatim. Pushes
+// epoch-stamped records into the peer's inbox during the run phase, checks
+// its own inbox in the drain phase.
+void epoch_loop(Handshake& hs, Mailbox& out, Mailbox& in, std::uint64_t base) {
+  const Handshake::State* st = &hs.arrive_drain();  // initial: compute epoch 1
+  std::uint64_t epoch = 0;
+  while (!st->done) {
+    // Run phase: events strictly before st->horizon_ns append cross-shard
+    // messages. Horizon must have advanced for this epoch.
+    model::expect(st->horizon_ns == static_cast<std::int64_t>(st->epochs) * kHorizonStep,
+                  "epoch horizon out of step with the epoch count");
+    out.push(base + epoch);
+    hs.arrive_run();
+    // Drain phase: the peer's run-phase push must be here, exactly once.
+    model::expect(in.size() == 1, "epoch handoff lost or duplicated a record");
+    const std::uint64_t peer_base = base == 0 ? 1000 : 0;
+    model::expect(in[0] == peer_base + epoch, "epoch handoff delivered a stale record");
+    in.clear();
+    ++epoch;
+    st = &hs.arrive_drain();
+  }
+  model::expect(epoch == kEpochs, "worker ran the wrong number of epochs");
+  model::expect(st->epochs == kEpochs + 1, "done-epoch count disagrees across workers");
+}
+
+// --------------------------------------------------------------------------
+// The full protocol, exhaustively: single-threaded completion, exact
+// handoffs, consistent termination.
+
+TEST(McHandshake, EpochLoopCompletionSingleThreadedAndHandoffsExact) {
+  model::Options opt;
+  opt.max_preemptions = 3;  // deepen interleavings around the two barriers
+  const model::Result res = model::explore(opt, [] {
+    Handshake hs(2, advance_epoch);
+    Mailbox to_b(2);
+    Mailbox to_a(2);
+    hs.begin_run();
+    model::thread a([&] { epoch_loop(hs, to_b, to_a, 0); });
+    model::thread b([&] { epoch_loop(hs, to_a, to_b, 1000); });
+    a.join();
+    b.join();
+    // Between runs (workers joined) the main thread may read State freely.
+    model::expect(hs.state().done, "handshake did not finish done");
+    model::expect(hs.state().epochs == kEpochs + 1, "final epoch count wrong");
+  });
+  log_summary("handshake/epoch-loop", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  // Exhaustive, and the count is tiny by design: barrier arrivals commute
+  // and the completion is the only writer of State, so sleep-set pruning
+  // collapses the space to its one equivalence class. That collapse IS the
+  // verification result — the suite's deep-interleaving workout lives in
+  // EpochBeacon below, where the completion's stores and the observer's
+  // loads genuinely conflict.
+  EXPECT_TRUE(res.complete);
+}
+
+// --------------------------------------------------------------------------
+// Progress observation from outside the barriers: the drain completion
+// publishes the epoch count to an atomic beacon (release) — the pattern the
+// coordinator uses to expose progress to the telemetry layer, which never
+// joins the epoch barriers. Two concurrent observers (two telemetry
+// clients) sample the beacon; coherence requires each client's reads to be
+// monotonically nondecreasing and bounded by the true completion count.
+// The completion's stores execute atomically with the final barrier
+// arrival, so the coverage here is load-value branching: every placement
+// of every sample against the store history, independently per client —
+// this is the suite's deep pass.
+
+TEST(McHandshake, EpochBeaconMonotonicUnderConcurrentObserver) {
+  model::Options opt;
+  opt.max_preemptions = 3;
+  const model::Result res = model::explore(opt, [] {
+    model::atomic<std::uint64_t> beacon(0);
+    Handshake hs(2, [&beacon](Handshake::State& st) {
+      advance_epoch(st);
+      beacon.store(st.epochs, std::memory_order_release);
+    });
+    hs.begin_run();
+    model::thread a([&hs] {
+      const Handshake::State* st = &hs.arrive_drain();
+      while (!st->done) {
+        hs.arrive_run();
+        st = &hs.arrive_drain();
+      }
+    });
+    model::thread b([&hs] {
+      const Handshake::State* st = &hs.arrive_drain();
+      while (!st->done) {
+        hs.arrive_run();
+        st = &hs.arrive_drain();
+      }
+    });
+    const auto observe = [&beacon](int samples) {
+      std::uint64_t prev = 0;
+      for (int i = 0; i < samples; ++i) {
+        const std::uint64_t seen = beacon.load(std::memory_order_acquire);
+        model::expect(seen >= prev, "epoch beacon went backwards");
+        model::expect(seen <= kEpochs + 1, "epoch beacon overshot the completion count");
+        prev = seen;
+      }
+    };
+    model::thread obs1([&observe] { observe(7); });
+    model::thread obs2([&observe] { observe(6); });
+    a.join();
+    b.join();
+    obs1.join();
+    obs2.join();
+    model::expect(beacon.load(std::memory_order_relaxed) == kEpochs + 1,
+                  "final beacon value does not match the completion count");
+  });
+  log_summary("handshake/epoch-beacon", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  EXPECT_GE(res.schedules, 10000u);
+}
+
+// --------------------------------------------------------------------------
+// state() is documented "main thread, between runs only (workers parked)".
+// Reading it mid-run races the drain completion's State write on some
+// schedule, and the checker must say so.
+
+TEST(McHandshake, StateReadMidRunIsARace) {
+  const model::Result res = model::explore([] {
+    Handshake hs(2, advance_epoch);
+    hs.begin_run();
+    model::thread a([&hs] {
+      const Handshake::State* st = &hs.arrive_drain();
+      while (!st->done) {
+        hs.arrive_run();
+        st = &hs.arrive_drain();
+      }
+    });
+    model::thread b([&hs] {
+      const Handshake::State* st = &hs.arrive_drain();
+      while (!st->done) {
+        hs.arrive_run();
+        st = &hs.arrive_drain();
+      }
+    });
+    (void)hs.state();  // BUG: mid-run read while completions are writing
+    a.join();
+    b.join();
+  });
+  log_summary("handshake/state-mid-run", res);
+  ASSERT_TRUE(res.failed) << "mid-run state() read was not reported";
+  EXPECT_NE(res.failure.find("race"), std::string::npos) << res.failure;
+  ASSERT_FALSE(res.trace.empty());
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Model-check suite for the publisher's freeze/publish lifecycle
+// (DESIGN.md §13, §14).
+//
+// The LivePublisher's contract with client threads is carried entirely by
+// the FreezeLatch: the producer builds the schema, freeze()s it, then
+// publishes per-interval batches capped by complete_interval(); a client
+// gates every plain read behind frozen() / intervals() acquire loads. The
+// scenario below reproduces that lifecycle with plain-annotated payload
+// writes standing in for the schema and batch buffers, and proves:
+//
+//   * a reader attaching concurrently with freeze() either backs off
+//     (frozen()==false) or gets a race-free, fully-built view of the
+//     schema — on every interleaving;
+//   * interval publication is monotonic and gapless: a reader that
+//     observes intervals()==k finds all k batches complete;
+//   * the gates are load-bearing: a plain read NOT behind the acquire gate
+//     is a reported data race with a replayable schedule, not a latent
+//     corruption.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+
+#include "check/sync.hpp"
+#include "obs/live/freeze_latch.hpp"
+
+namespace model = lossburst::check::model;
+using lossburst::check::ModelSync;
+using lossburst::obs::live::FreezeLatch;
+
+namespace {
+
+void log_summary(const char* suite, const model::Result& res) {
+  std::printf("[mc] %s: %s\n", suite, res.summary().c_str());
+}
+
+using Latch = FreezeLatch<ModelSync>;
+
+constexpr std::uint64_t kIntervals = 2;
+
+// Stand-in for the publisher's frozen schema + per-interval batch buffers:
+// ordinary (non-atomic) state, every access plain-annotated exactly as the
+// production buffers' accessors are.
+struct Payload {
+  std::uint64_t schema = 0;
+  std::uint64_t batch[kIntervals] = {0, 0};
+};
+
+// The producer half of LivePublisher::publish(): build schema, freeze, then
+// per interval fill the batch and complete it.
+void producer(Latch& latch, Payload& p) {
+  ModelSync::plain_write(&p.schema);
+  p.schema = 42;
+  latch.freeze();
+  for (std::uint64_t i = 0; i < kIntervals; ++i) {
+    model::expect(latch.interval_index() == i, "interval index not monotonic");
+    ModelSync::plain_write(&p.batch[i]);
+    p.batch[i] = 1000 + i;
+    latch.complete_interval();
+  }
+}
+
+// The client half: gate on frozen(), then read everything intervals()
+// promises. Returns how many intervals were observed complete.
+std::uint64_t gated_reader(const Latch& latch, const Payload& p) {
+  if (!latch.frozen()) return 0;  // back off: schema still being built
+  ModelSync::plain_read(&p.schema);
+  model::expect(p.schema == 42, "reader saw a half-built schema after frozen()");
+  const std::uint64_t k = latch.intervals();
+  for (std::uint64_t i = 0; i < k; ++i) {
+    ModelSync::plain_read(&p.batch[i]);
+    model::expect(p.batch[i] == 1000 + i,
+                  "intervals()==k promised batch i<k complete, but it was not");
+  }
+  return k;
+}
+
+// A polling client, as the live clients actually behave: between frames it
+// re-samples the latch, and every sample must be self-consistent — once
+// frozen, always frozen; intervals() never goes backwards; and everything
+// intervals() promises is complete. Each acquire load branches over the
+// producer's store history, so the samples are taken at every reachable
+// point of the lifecycle.
+void sampling_reader(const Latch& latch, const Payload& p, int samples) {
+  std::uint64_t prev = 0;
+  bool was_frozen = false;
+  for (int s = 0; s < samples; ++s) {
+    if (!latch.frozen()) {
+      model::expect(!was_frozen, "frozen() went backwards");
+      continue;
+    }
+    was_frozen = true;
+    ModelSync::plain_read(&p.schema);
+    model::expect(p.schema == 42, "reader saw a half-built schema after frozen()");
+    const std::uint64_t k = latch.intervals();
+    model::expect(k >= prev, "intervals() went backwards");
+    model::expect(k <= kIntervals, "intervals() overshot the producer");
+    for (std::uint64_t i = 0; i < k; ++i) {
+      ModelSync::plain_read(&p.batch[i]);
+      model::expect(p.batch[i] == 1000 + i,
+                    "intervals()==k promised batch i<k complete, but it was not");
+    }
+    prev = k;
+  }
+}
+
+// --------------------------------------------------------------------------
+// The shipped protocol: race-free and gapless on every interleaving. Two
+// polling readers attach concurrently with the freeze and the interval
+// stream — every combination of sample point × lifecycle stage is explored
+// — and T0 re-reads after the joins, when everything must be visible.
+
+TEST(McPublisher, FreezeAndIntervalGatesRaceFreeExhaustive) {
+  model::Options opt;
+  opt.max_preemptions = 3;
+  const model::Result res = model::explore(opt, [] {
+    Latch latch;
+    Payload p;
+    model::thread w([&] { producer(latch, p); });
+    model::thread r1([&] { sampling_reader(latch, p, 4); });
+    model::thread r2([&] { sampling_reader(latch, p, 3); });
+    w.join();
+    r1.join();
+    r2.join();
+    model::expect(gated_reader(latch, p) == kIntervals,
+                  "completed intervals not all visible after producer finished");
+  });
+  log_summary("publisher/freeze-lifecycle", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  EXPECT_GE(res.schedules, 10000u);
+}
+
+// --------------------------------------------------------------------------
+// Negative: skipping the frozen() gate races the schema write on some
+// schedule, and the racing schedule replays to the identical diagnosis.
+
+TEST(McPublisher, UngatedSchemaReadIsARace) {
+  const auto body = [] {
+    Latch latch;
+    Payload p;
+    model::name(&p.schema, "schema");
+    model::thread w([&] { producer(latch, p); });
+    model::thread r([&] {
+      ModelSync::plain_read(&p.schema);  // BUG: no frozen() gate
+      (void)p.schema;
+    });
+    w.join();
+    r.join();
+  };
+  const model::Result res = model::explore(body);
+  log_summary("publisher/ungated-schema-read", res);
+  ASSERT_TRUE(res.failed) << "ungated schema read was not reported";
+  EXPECT_NE(res.failure.find("race"), std::string::npos) << res.failure;
+  ASSERT_FALSE(res.trace.empty());
+
+  model::Options replay;
+  replay.replay = res.trace;
+  const model::Result rep = model::explore(replay, body);
+  ASSERT_TRUE(rep.failed);
+  EXPECT_EQ(rep.failure, res.failure);
+}
+
+// Negative: reading a batch slot beyond what intervals() promised races the
+// producer's in-flight batch write.
+
+TEST(McPublisher, BatchReadBeyondIntervalsIsARace) {
+  const model::Result res = model::explore([] {
+    Latch latch;
+    Payload p;
+    model::thread w([&] { producer(latch, p); });
+    model::thread r([&] {
+      if (!latch.frozen()) return;
+      // BUG: reads slot 0 unconditionally instead of gating on intervals().
+      ModelSync::plain_read(&p.batch[0]);
+      (void)p.batch[0];
+    });
+    w.join();
+    r.join();
+  });
+  log_summary("publisher/batch-beyond-intervals", res);
+  ASSERT_TRUE(res.failed) << "over-eager batch read was not reported";
+  EXPECT_NE(res.failure.find("race"), std::string::npos) << res.failure;
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Litmus tests for the model checker itself (DESIGN.md §14): before trusting
+// the checker on the production primitives, prove that it (a) finds the
+// classic weak-memory outcomes that relaxed orderings permit, (b) does NOT
+// report them once the correct release/acquire edges are present, and
+// (c) diagnoses races, deadlocks, and property failures with replayable
+// traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "check/sync.hpp"
+
+namespace model = lossburst::check::model;
+using lossburst::check::ModelSync;
+
+namespace {
+
+void log_summary(const char* suite, const model::Result& res) {
+  std::printf("[mc] %s: %s\n", suite, res.summary().c_str());
+}
+
+// --------------------------------------------------------------------------
+// Store buffering (Dekker): relaxed permits r0 == r1 == 0; seq_cst forbids it.
+
+TEST(McSelftest, StoreBufferRelaxedAllowsBothZero) {
+  std::set<std::pair<int, int>> outcomes;
+  const model::Result res = model::explore([&] {
+    model::atomic<int> x(0);
+    model::atomic<int> y(0);
+    int r0 = -1;
+    int r1 = -1;
+    model::thread t1([&] {
+      x.store(1, std::memory_order_relaxed);
+      r0 = y.load(std::memory_order_relaxed);
+    });
+    model::thread t2([&] {
+      y.store(1, std::memory_order_relaxed);
+      r1 = x.load(std::memory_order_relaxed);
+    });
+    t1.join();
+    t2.join();
+    outcomes.insert({r0, r1});
+  });
+  log_summary("sb-relaxed", res);
+  ASSERT_FALSE(res.failed) << res.failure;
+  EXPECT_TRUE(res.complete);
+  EXPECT_TRUE(outcomes.count({0, 0})) << "relaxed store buffering must expose (0,0)";
+  EXPECT_TRUE(outcomes.count({1, 1}));
+}
+
+TEST(McSelftest, StoreBufferSeqCstForbidsBothZero) {
+  const model::Result res = model::explore([&] {
+    model::atomic<int> x(0);
+    model::atomic<int> y(0);
+    int r0 = -1;
+    int r1 = -1;
+    model::thread t1([&] {
+      x.store(1, std::memory_order_seq_cst);
+      r0 = y.load(std::memory_order_seq_cst);
+    });
+    model::thread t2([&] {
+      y.store(1, std::memory_order_seq_cst);
+      r1 = x.load(std::memory_order_seq_cst);
+    });
+    t1.join();
+    t2.join();
+    model::expect(!(r0 == 0 && r1 == 0), "seq_cst store buffering leaked (0,0)");
+  });
+  log_summary("sb-seqcst", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+// --------------------------------------------------------------------------
+// Message passing: relaxed flag leaks a stale payload; release/acquire (or
+// the fence formulation) forbids it.
+
+TEST(McSelftest, MessagePassingRelaxedLeaksStaleRead) {
+  const model::Result res = model::explore([&] {
+    model::atomic<int> data(0);
+    model::atomic<int> flag(0);
+    model::thread t1([&] {
+      data.store(42, std::memory_order_relaxed);
+      flag.store(1, std::memory_order_relaxed);
+    });
+    if (flag.load(std::memory_order_relaxed) == 1) {
+      model::expect(data.load(std::memory_order_relaxed) == 42,
+                    "stale data behind relaxed flag");
+    }
+    t1.join();
+  });
+  log_summary("mp-relaxed", res);
+  ASSERT_TRUE(res.failed) << "checker missed the classic relaxed MP stale read";
+  EXPECT_NE(res.failure.find("stale data"), std::string::npos) << res.failure;
+  EXPECT_FALSE(res.trace.empty());
+}
+
+TEST(McSelftest, MessagePassingReleaseAcquireIsExact) {
+  const model::Result res = model::explore([&] {
+    model::atomic<int> data(0);
+    model::atomic<int> flag(0);
+    model::thread t1([&] {
+      data.store(42, std::memory_order_relaxed);
+      flag.store(1, std::memory_order_release);
+    });
+    if (flag.load(std::memory_order_acquire) == 1) {
+      model::expect(data.load(std::memory_order_relaxed) == 42,
+                    "stale data behind release/acquire flag");
+    }
+    t1.join();
+  });
+  log_summary("mp-relacq", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(McSelftest, MessagePassingFencesAreExact) {
+  const model::Result res = model::explore([&] {
+    model::atomic<int> data(0);
+    model::atomic<int> flag(0);
+    model::thread t1([&] {
+      data.store(42, std::memory_order_relaxed);
+      model::fence(std::memory_order_release);
+      flag.store(1, std::memory_order_relaxed);
+    });
+    if (flag.load(std::memory_order_relaxed) == 1) {
+      model::fence(std::memory_order_acquire);
+      model::expect(data.load(std::memory_order_relaxed) == 42,
+                    "stale data across fence pair");
+    }
+    t1.join();
+  });
+  log_summary("mp-fence", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+// --------------------------------------------------------------------------
+// Plain-access race detector.
+
+TEST(McSelftest, PlainWriteWriteRaceDetected) {
+  const model::Result res = model::explore([&] {
+    int g = 0;
+    model::name(&g, "g");
+    model::thread t1([&] {
+      ModelSync::plain_write(&g);
+      g = 1;
+    });
+    ModelSync::plain_write(&g);
+    g = 2;
+    t1.join();
+  });
+  log_summary("race-ww", res);
+  ASSERT_TRUE(res.failed) << "checker missed an unsynchronized write/write race";
+  EXPECT_NE(res.failure.find("data race"), std::string::npos) << res.failure;
+}
+
+TEST(McSelftest, MutexOrdersPlainAccesses) {
+  const model::Result res = model::explore([&] {
+    int g = 0;
+    model::mutex mu;
+    model::thread t1([&] {
+      mu.lock();
+      ModelSync::plain_write(&g);
+      g += 1;
+      mu.unlock();
+    });
+    mu.lock();
+    ModelSync::plain_write(&g);
+    g += 1;
+    mu.unlock();
+    t1.join();
+    model::expect(g == 2, "mutex-protected increments lost an update");
+  });
+  log_summary("race-mutex", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(McSelftest, BarrierOrdersPlainAccesses) {
+  const model::Result res = model::explore([&] {
+    int data = 0;
+    lossburst::check::barrier<> gate(2);
+    model::thread t1([&] {
+      ModelSync::plain_write(&data);
+      data = 7;
+      gate.arrive_and_wait();
+    });
+    gate.arrive_and_wait();
+    ModelSync::plain_read(&data);
+    model::expect(data == 7, "barrier did not publish the pre-arrival write");
+    t1.join();
+  });
+  log_summary("barrier", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+// --------------------------------------------------------------------------
+// Deadlock, livelock, lifecycle diagnostics.
+
+TEST(McSelftest, AbbaDeadlockDetected) {
+  const model::Result res = model::explore([&] {
+    model::mutex a;
+    model::mutex b;
+    model::thread t1([&] {
+      a.lock();
+      b.lock();
+      b.unlock();
+      a.unlock();
+    });
+    b.lock();
+    a.lock();
+    a.unlock();
+    b.unlock();
+    t1.join();
+  });
+  log_summary("deadlock", res);
+  ASSERT_TRUE(res.failed) << "checker missed the ABBA deadlock";
+  EXPECT_NE(res.failure.find("deadlock"), std::string::npos) << res.failure;
+}
+
+TEST(McSelftest, UnjoinedThreadDiagnosed) {
+  const model::Result res = model::explore([&] {
+    model::thread t1([] {});
+    // t1 destroyed while joinable.
+  });
+  log_summary("unjoined", res);
+  ASSERT_TRUE(res.failed);
+}
+
+// --------------------------------------------------------------------------
+// RMW atomicity: concurrent fetch_add never loses an update.
+
+TEST(McSelftest, FetchAddNeverLosesUpdates) {
+  const model::Result res = model::explore([&] {
+    model::atomic<int> n(0);
+    model::thread t1([&] { n.fetch_add(1, std::memory_order_relaxed); });
+    model::thread t2([&] { n.fetch_add(1, std::memory_order_relaxed); });
+    t1.join();
+    t2.join();
+    model::expect(n.load(std::memory_order_relaxed) == 2, "lost fetch_add update");
+  });
+  log_summary("rmw", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\ntrace: " << res.trace << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+// --------------------------------------------------------------------------
+// Failure traces replay deterministically.
+
+TEST(McSelftest, FailingScheduleReplays) {
+  const auto make_body = [] {
+    return [] {
+      model::atomic<int> x(0);
+      model::thread t1([&] { x.store(1, std::memory_order_relaxed); });
+      const int r = x.load(std::memory_order_relaxed);
+      t1.join();
+      model::expect(r == 0, "saw the store (intentional failure branch)");
+    };
+  };
+  const model::Result res = model::explore(make_body());
+  log_summary("replay-find", res);
+  ASSERT_TRUE(res.failed);
+  ASSERT_FALSE(res.trace.empty());
+
+  model::Options opt;
+  opt.replay = res.trace;
+  const model::Result replayed = model::explore(opt, make_body());
+  log_summary("replay-run", replayed);
+  EXPECT_TRUE(replayed.failed) << "replaying the failing trace must reproduce the failure";
+  EXPECT_EQ(replayed.failure, res.failure);
+  EXPECT_FALSE(replayed.history.empty());
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Model-check suite for the broadcast snapshot ring (DESIGN.md §13, §14).
+//
+// Instantiates BasicSnapshotRing with check::ModelSync and explores every
+// interleaving (up to the configured bounds) of a writer racing one or two
+// independent readers on a deliberately tiny ring, so every publication is
+// an overwrite-oldest race:
+//
+//   * the shipped seqlock protocol never delivers a torn or stale payload —
+//     a validated read always returns exactly the record published at the
+//     cursor's index;
+//   * per-cursor drop accounting is exact: across any schedule, every
+//     publication is either delivered to a cursor or counted in that
+//     cursor's `dropped`, never both, never neither;
+//   * a reader attaching mid-stream (make_cursor racing publish) starts on
+//     a stable slot and still accounts for every later publication.
+//
+// The seeded-bug tests close the loop on the checker itself: each
+// SeqlockSeed weakening removes one ordering edge, and the suite proves the
+// checker catches the resulting torn read as a concrete failing schedule
+// whose decision trace replays to the identical failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+#include "check/sync.hpp"
+#include "obs/live/spsc_ring.hpp"
+
+namespace model = lossburst::check::model;
+using lossburst::check::ModelSync;
+using lossburst::obs::live::BasicSnapshotRing;
+using lossburst::obs::live::SeqlockSeed;
+
+namespace {
+
+void log_summary(const char* suite, const model::Result& res) {
+  std::printf("[mc] %s: %s\n", suite, res.summary().c_str());
+}
+
+// Two-word payload: a torn read shows up as the halves disagreeing; a stale
+// one as a value that fails to match the validated index.
+struct PairRec {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+template <SeqlockSeed Seed>
+using Ring = BasicSnapshotRing<ModelSync, PairRec, Seed>;
+
+constexpr std::uint64_t kBase = 100;
+
+// Drain `c` until empty, checking every delivered record against the seqlock
+// contract. Returns the number of records delivered into this cursor.
+template <SeqlockSeed Seed>
+std::uint64_t drain_checked(const Ring<Seed>& ring, typename Ring<Seed>::Cursor& c) {
+  std::uint64_t delivered = 0;
+  PairRec out;
+  while (ring.poll(c, out) == Ring<Seed>::Poll::kOk) {
+    const std::uint64_t idx = c.next - 1;  // poll() just consumed this index
+    model::expect(out.a == out.b, "seqlock torn read: payload halves disagree");
+    model::expect(out.a == kBase + idx,
+                  "seqlock torn read: stale payload for a validated sequence");
+    ++delivered;
+  }
+  return delivered;
+}
+
+// The shared scenario: a writer thread publishes `pubs` records into a
+// capacity-1 ring (every publication overwrites) while a reader thread
+// drains concurrently; T0 parks in join (context switches between the two
+// racing threads at a blocked join are free, so the interesting
+// writer/reader interleavings fit inside the preemption bound). After the
+// joins T0 drains the rest, and the cursor must account for every
+// publication exactly once.
+template <SeqlockSeed Seed>
+void overwrite_race_scenario(int pubs) {
+  Ring<Seed> ring;
+  ring.configure(1);
+  typename Ring<Seed>::Cursor c = ring.make_cursor();
+  std::uint64_t delivered = 0;
+  model::thread w([&ring, pubs] {
+    for (int n = 0; n < pubs; ++n) {
+      const std::uint64_t v = kBase + static_cast<std::uint64_t>(n);
+      ring.publish(PairRec{v, v});
+    }
+  });
+  model::thread r([&ring, &c, &delivered] { delivered = drain_checked<Seed>(ring, c); });
+  w.join();
+  r.join();
+  delivered += drain_checked<Seed>(ring, c);
+  model::expect(delivered + c.dropped == static_cast<std::uint64_t>(pubs),
+                "drop accounting: delivered + dropped != published");
+  model::expect(c.next == static_cast<std::uint64_t>(pubs),
+                "cursor did not land on head after a full drain");
+}
+
+// --------------------------------------------------------------------------
+// Correct protocol: exhaustive absence of torn reads + exact accounting.
+
+TEST(McSnapshotRing, SeqlockNoTornReadsExhaustive) {
+  model::Options opt;
+  opt.max_schedules = 150000;  // CI wall-time cap; logged below
+  const model::Result res =
+      model::explore(opt, [] { overwrite_race_scenario<SeqlockSeed::kNone>(3); });
+  log_summary("snapshot-ring/no-torn-reads", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  EXPECT_GE(res.schedules, 10000u) << "scenario too small to be meaningful";
+}
+
+// Two independent cursors racing the same writer: drops are charged to the
+// lagging cursor alone, and both account for every publication.
+TEST(McSnapshotRing, TwoCursorsIndependentDropAccounting) {
+  model::Options opt;
+  opt.max_schedules = 20000;  // state space is larger; bounded-coverage pass
+  const model::Result res = model::explore(opt, [] {
+    using R = Ring<SeqlockSeed::kNone>;
+    R ring;
+    ring.configure(1);
+    constexpr int kPubs = 3;
+    R::Cursor c1 = ring.make_cursor();
+    std::uint64_t d1 = 0;
+    model::thread w([&ring] {
+      for (int n = 0; n < kPubs; ++n) {
+        const std::uint64_t v = kBase + static_cast<std::uint64_t>(n);
+        ring.publish(PairRec{v, v});
+      }
+    });
+    model::thread r([&ring, &c1, &d1] { d1 = drain_checked<SeqlockSeed::kNone>(ring, c1); });
+    R::Cursor c0 = ring.make_cursor();
+    std::uint64_t d0 = drain_checked<SeqlockSeed::kNone>(ring, c0);
+    w.join();
+    r.join();
+    d0 += drain_checked<SeqlockSeed::kNone>(ring, c0);
+    d1 += drain_checked<SeqlockSeed::kNone>(ring, c1);
+    const std::uint64_t start0 = c0.next - d0 - c0.dropped;  // where make_cursor began
+    model::expect(d0 + c0.dropped + start0 == kPubs,
+                  "mid-stream cursor lost or double-counted a publication");
+    model::expect(d1 + c1.dropped == kPubs,
+                  "racing cursor lost or double-counted a publication");
+  });
+  log_summary("snapshot-ring/two-cursors", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  EXPECT_GE(res.schedules, 10000u);
+}
+
+// A reader attaching mid-wrap: make_cursor races publish, then the cursor
+// must still see a consistent suffix of the stream.
+TEST(McSnapshotRing, AttachMidWrapStartsStable) {
+  const model::Result res = model::explore([] {
+    using R = Ring<SeqlockSeed::kNone>;
+    R ring;
+    ring.configure(1);
+    constexpr int kPubs = 3;
+    model::thread w([&ring] {
+      for (int n = 0; n < kPubs; ++n) {
+        const std::uint64_t v = kBase + static_cast<std::uint64_t>(n);
+        ring.publish(PairRec{v, v});
+      }
+    });
+    R::Cursor c = ring.make_cursor();  // racing the writer mid-wrap
+    const std::uint64_t start = c.next;
+    model::expect(start <= kPubs, "attach cursor beyond the published stream");
+    std::uint64_t delivered = drain_checked<SeqlockSeed::kNone>(ring, c);
+    w.join();
+    delivered += drain_checked<SeqlockSeed::kNone>(ring, c);
+    model::expect(start + delivered + c.dropped == kPubs,
+                  "mid-wrap attach lost or double-counted a publication");
+  });
+  log_summary("snapshot-ring/attach-mid-wrap", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+}
+
+// --------------------------------------------------------------------------
+// Seeded bugs: each weakening must be caught as a torn read with a
+// replayable trace, proving the checker actually guards the protocol.
+
+template <SeqlockSeed Seed>
+void expect_seed_caught(const char* label) {
+  const std::function<void()> body = [] { overwrite_race_scenario<Seed>(2); };
+  const model::Result res = model::explore(body);
+  log_summary(label, res);
+  ASSERT_TRUE(res.failed) << "weakened seqlock passed every schedule";
+  EXPECT_NE(res.failure.find("seqlock torn read"), std::string::npos) << res.failure;
+  ASSERT_FALSE(res.trace.empty());
+
+  // The decision trace replays to the identical failure, with history.
+  model::Options replay;
+  replay.replay = res.trace;
+  const model::Result rep = model::explore(replay, body);
+  ASSERT_TRUE(rep.failed) << "failing schedule did not replay";
+  EXPECT_EQ(rep.failure, res.failure);
+  EXPECT_FALSE(rep.history.empty());
+}
+
+TEST(McSnapshotRing, SeedPublishStoresRelaxedCaught) {
+  expect_seed_caught<SeqlockSeed::kPublishStoresRelaxed>(
+      "snapshot-ring/seed-publish-relaxed");
+}
+
+TEST(McSnapshotRing, SeedNoWriterFenceCaught) {
+  expect_seed_caught<SeqlockSeed::kNoWriterFence>("snapshot-ring/seed-no-writer-fence");
+}
+
+TEST(McSnapshotRing, SeedNoReaderFenceCaught) {
+  expect_seed_caught<SeqlockSeed::kNoReaderFence>("snapshot-ring/seed-no-reader-fence");
+}
+
+// The flip side of the seeded bugs: demoting ONLY the even seq store is
+// provably safe — a reader polls slot n only below an acquired head, and
+// the head release store is sequenced after the payload stores, so the
+// publication edge it would provide is redundant. The checker proves the
+// redundancy exhaustively instead of flagging "relaxed" on pattern.
+TEST(McSnapshotRing, SeedEvenStoreRelaxedIsProvablyRedundant) {
+  const model::Result res = model::explore(
+      [] { overwrite_race_scenario<SeqlockSeed::kEvenStoreRelaxed>(2); });
+  log_summary("snapshot-ring/seed-even-store-relaxed", res);
+  ASSERT_FALSE(res.failed) << res.failure << "\n" << res.history;
+  EXPECT_TRUE(res.complete);
+}
+
+}  // namespace

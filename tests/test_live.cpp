@@ -97,6 +97,75 @@ TEST(SnapshotRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(ring.capacity(), 8u);
 }
 
+TEST(SnapshotRingTest, CursorAttachedMidWrapStartsAtOldestGuaranteed) {
+  SnapshotRing ring;
+  ring.configure(4);
+  // Writer is mid-way through its second lap: head = 6, slots hold 2..5.
+  for (std::int64_t i = 0; i < 6; ++i) ring.publish(rec_at(i));
+
+  // Publication head - capacity = 2 is still physically intact, but the
+  // writer's next publish lands on its slot; make_cursor starts one past it
+  // so an attach racing the writer can never charge itself phantom drops.
+  SnapshotRing::Cursor c = ring.make_cursor();
+  SnapshotRec out;
+  ASSERT_EQ(ring.poll(c, out), SnapshotRing::Poll::kOk);
+  EXPECT_EQ(out.t_ns, 3);
+  ASSERT_EQ(ring.poll(c, out), SnapshotRing::Poll::kOk);
+  EXPECT_EQ(out.t_ns, 4);
+  ASSERT_EQ(ring.poll(c, out), SnapshotRing::Poll::kOk);
+  EXPECT_EQ(out.t_ns, 5);
+  EXPECT_EQ(ring.poll(c, out), SnapshotRing::Poll::kEmpty);
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST(SnapshotRingTest, ReaderExactlyOneLapBehindStillReadsTheSlot) {
+  SnapshotRing ring;
+  ring.configure(4);
+  ring.publish(rec_at(0));
+  SnapshotRing::Cursor c;  // at publication 0
+
+  // Fill the remaining slots and stop with head - c.next == capacity: slot 0
+  // has not been overwritten yet (the writer's NEXT publish would), so the
+  // boundary lag delivers rather than drops.
+  for (std::int64_t i = 1; i < 4; ++i) ring.publish(rec_at(i));
+  SnapshotRec out;
+  ASSERT_EQ(ring.poll(c, out), SnapshotRing::Poll::kOk);
+  EXPECT_EQ(out.t_ns, 0);
+  EXPECT_EQ(c.dropped, 0u);
+
+  // One more publication reuses slot 0; a cursor still parked there now
+  // skips exactly the overwritten prefix.
+  SnapshotRing::Cursor late;  // at publication 0, one past the boundary
+  ring.publish(rec_at(4));
+  ASSERT_EQ(ring.poll(late, out), SnapshotRing::Poll::kOk);
+  EXPECT_EQ(out.t_ns, 2);  // oldest guaranteed = head - capacity + 1
+  EXPECT_EQ(late.dropped, 2u);
+}
+
+TEST(SnapshotRingTest, LappedTwiceChargesEveryMissedPublicationExactly) {
+  SnapshotRing ring;
+  ring.configure(4);
+  SnapshotRing::Cursor c = ring.make_cursor();
+
+  // First lapping: nine publications overwrite the reader's whole window.
+  for (std::int64_t i = 0; i < 9; ++i) ring.publish(rec_at(i));
+  SnapshotRec out;
+  std::uint64_t delivered = 0;
+  while (ring.poll(c, out) == SnapshotRing::Poll::kOk) ++delivered;
+  EXPECT_EQ(delivered, 3u);  // 6, 7, 8
+  EXPECT_EQ(c.dropped, 6u);
+
+  // Second lapping of the same cursor: the new gap is charged on top, and
+  // nothing already charged is counted again.
+  for (std::int64_t i = 9; i < 18; ++i) ring.publish(rec_at(i));
+  while (ring.poll(c, out) == SnapshotRing::Poll::kOk) ++delivered;
+  EXPECT_EQ(delivered, 6u);  // + 15, 16, 17
+  EXPECT_EQ(c.dropped, 12u);
+
+  // Conservation: every publication was either delivered or charged.
+  EXPECT_EQ(delivered + c.dropped, ring.published());
+}
+
 // ---------------------------------------------------------------------------
 // Decimation chain
 

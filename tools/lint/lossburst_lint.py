@@ -26,6 +26,19 @@ datapath honest (DESIGN.md §9):
   raw-stream       Library code (src/) logs through LOSSBURST_LOG* /
                    util::Logger, never raw std::cerr / std::cout / printf.
                    Exporters that write *files* are unaffected.
+  raw-sync         No raw std::atomic / std::thread / std::barrier /
+                   std::mutex / std::atomic_thread_fence in shim-converted
+                   files (SHIM_FILES): those components are templated over
+                   the check:: sync policy (check/sync.hpp, DESIGN.md §14)
+                   so the model checker can instantiate them; a raw std::
+                   primitive silently escapes every model-check suite.
+                   std::memory_order and std::lock_guard are fine — they are
+                   vocabulary, not primitives.
+  seq-cst          load()/store() with a defaulted (seq_cst) memory order in
+                   datapath files needs an explicit order or an
+                   allow(seq-cst) justification: accidental seq_cst is a
+                   fence on every access on ARM, and the deliberate cases
+                   are rare enough to document.
 
 Allowlist annotation (same line or the line directly above the finding):
 
@@ -93,12 +106,27 @@ DATAPATH_FILES = (
     "src/obs/live/publisher.cpp",
 )
 
+# Files templated over the check:: sync policy (check/sync.hpp): raw std::
+# synchronization primitives here would bypass the model checker. The shim
+# layer itself (src/check/) is exempt — it *defines* the aliases.
+SHIM_FILES = (
+    "src/obs/live/spsc_ring.hpp",
+    "src/obs/live/freeze_latch.hpp",
+    "src/obs/live/publisher.hpp",
+    "src/obs/live/decimator.hpp",
+    "src/sim/shard_mailbox.hpp",
+    "src/sim/epoch_handshake.hpp",
+    "src/serve/control.hpp",
+)
+
 RULES = (
     "wall-clock",
     "hash-iteration",
     "datapath-alloc",
     "untagged-event",
     "raw-stream",
+    "raw-sync",
+    "seq-cst",
 )
 
 WALL_CLOCK_RE = re.compile(
@@ -130,6 +158,40 @@ UNORDERED_DECL_RE = re.compile(
 SCHEDULE_CALL_RE = re.compile(
     r"(?<![\w.])(?:(\w+)(?:\.|->)(?:schedule|at|in)|sim_?\.(?:at|in))\s*\($"
 )
+
+# std::memory_order / std::lock_guard / std::unique_lock are deliberately NOT
+# matched: they are vocabulary types that the shim-converted code still
+# spells out (the policy only swaps the primitives).
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*(?:"
+    r"atomic\b|atomic_thread_fence\b|atomic_signal_fence\b|atomic_flag\b"
+    r"|thread\b|jthread\b|barrier\b|latch\b"
+    r"|mutex\b|shared_mutex\b|recursive_mutex\b|timed_mutex\b"
+    r"|condition_variable\b|condition_variable_any\b"
+    r")"
+)
+
+# A load() with no arguments, or a store() with a single argument, defaults
+# to seq_cst. The order itself may be a named constexpr (kPublishOrder), so
+# presence of an argument in the order position — a top-level comma for
+# store, any argument for load — is what counts, not the literal token
+# "memory_order". Single-line matching is deliberate: the datapath files
+# keep atomic accesses on one line.
+SEQ_CST_RE = re.compile(r"\.\s*(load|store)\s*\(((?:[^()]|\([^()]*\))*)\)")
+
+
+def _seq_cst_defaulted(method: str, args: str) -> bool:
+    if method == "load":
+        return not args.strip()
+    depth = 0
+    for ch in args:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return False
+    return True
 
 
 class Finding(NamedTuple):
@@ -374,6 +436,35 @@ class FileScanner:
                     "(use obs::EventTag::kGeneric deliberately if needed)",
                 )
 
+    def check_raw_sync(self) -> None:
+        if self.path not in SHIM_FILES:
+            return
+        for idx, code in enumerate(self.code_lines, start=1):
+            if RAW_SYNC_RE.search(code):
+                self.report(
+                    idx,
+                    "raw-sync",
+                    "raw std:: synchronization primitive in a shim-converted "
+                    "file; use the check:: aliases or the Sync policy "
+                    "(check/sync.hpp) so the model-check suites cover this "
+                    "code path",
+                )
+
+    def check_seq_cst(self) -> None:
+        if self.path not in DATAPATH_FILES:
+            return
+        for idx, code in enumerate(self.code_lines, start=1):
+            for m in SEQ_CST_RE.finditer(code):
+                if _seq_cst_defaulted(m.group(1), m.group(2)):
+                    self.report(
+                        idx,
+                        "seq-cst",
+                        "atomic load()/store() with a defaulted (seq_cst) "
+                        "memory order on the datapath; spell the order "
+                        "explicitly, or annotate why sequential consistency "
+                        "is required here",
+                    )
+
     def check_raw_stream(self) -> None:
         if not self.path.startswith("src/"):
             return
@@ -393,6 +484,8 @@ class FileScanner:
         self.check_hash_iteration()
         self.check_datapath_alloc()
         self.check_untagged_event()
+        self.check_raw_sync()
+        self.check_seq_cst()
         self.check_raw_stream()
         return self.findings
 

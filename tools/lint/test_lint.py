@@ -285,6 +285,110 @@ def main() -> int:
             "void report() { std::cout << \"ok\\n\"; }\n",
         )
 
+        # ------------------------------------------------ raw-sync
+        expect_finding(
+            "raw-sync: std::atomic in a shim-converted file trips",
+            tmp, "src/obs/live/freeze_latch.hpp",
+            "#include <atomic>\n"
+            "struct L { std::atomic<bool> frozen{false}; };\n",
+            "raw-sync",
+        )
+        expect_finding(
+            "raw-sync: std::mutex in a shim-converted file trips",
+            tmp, "src/serve/control.hpp",
+            "#include <mutex>\n"
+            "struct Q { std::mutex mu; };\n",
+            "raw-sync",
+        )
+        expect_finding(
+            "raw-sync: std::atomic_thread_fence in a shim-converted file trips",
+            tmp, "src/sim/epoch_handshake.hpp",
+            "#include <atomic>\n"
+            "void pub() { std::atomic_thread_fence(std::memory_order_release); }\n",
+            "raw-sync",
+        )
+        expect_clean(
+            "raw-sync: Sync policy aliases and memory_order vocabulary pass",
+            tmp, "src/sim/shard_mailbox.hpp",
+            "#include <atomic>\n"
+            "#include <mutex>\n"
+            "template <class Sync> struct M {\n"
+            "  typename Sync::template atomic<int> n{0};\n"
+            "  typename Sync::mutex mu;\n"
+            "  int peek() {\n"
+            "    const std::lock_guard<typename Sync::mutex> lk(mu);\n"
+            "    return n.load(std::memory_order_acquire);\n"
+            "  }\n"
+            "};\n",
+        )
+        expect_clean(
+            "raw-sync: same primitives outside shim files pass",
+            tmp, "src/sim/shard_coordinator.hpp",
+            "#include <atomic>\n"
+            "#include <thread>\n"
+            "struct C { std::atomic<bool> abort{false}; std::thread t; };\n",
+        )
+        expect_clean(
+            "raw-sync: annotated escape hatch passes",
+            tmp, "src/obs/live/decimator.hpp",
+            "#include <thread>\n"
+            "// lossburst-lint: allow(raw-sync): hardware_concurrency is a "
+            "query, not a primitive\n"
+            "unsigned cores() { return std::thread::hardware_concurrency(); }\n",
+        )
+
+        # ------------------------------------------------ seq-cst
+        expect_finding(
+            "seq-cst: defaulted load() in a datapath file trips",
+            tmp, "src/util/ring_buffer.hpp",
+            "#include <atomic>\n"
+            "struct R { std::atomic<long> head{0}; };\n"
+            "long peek(const R& r) { return r.head.load(); }\n",
+            "seq-cst",
+        )
+        expect_finding(
+            "seq-cst: single-argument store() in a datapath file trips",
+            tmp, "src/sim/event_queue.hpp",
+            "#include <atomic>\n"
+            "struct Q { std::atomic<long> n{0}; };\n"
+            "void reset(Q& q) { q.n.store(0); }\n",
+            "seq-cst",
+        )
+        expect_clean(
+            "seq-cst: explicit order passes",
+            tmp, "src/net/queue.hpp",
+            "#include <atomic>\n"
+            "struct Q { std::atomic<long> n{0}; };\n"
+            "long depth(const Q& q) { return q.n.load(std::memory_order_relaxed); }\n"
+            "void reset(Q& q) { q.n.store(0, std::memory_order_release); }\n",
+        )
+        expect_clean(
+            "seq-cst: named constexpr order counts as explicit",
+            tmp, "src/net/link.hpp",
+            "#include <atomic>\n"
+            "constexpr auto kOrder = std::memory_order_release;\n"
+            "struct L { std::atomic<long> busy{0}; };\n"
+            "void publish(L& l, long v) { l.busy.store(v + f(1, 2), kOrder); }\n",
+        )
+        expect_clean(
+            "seq-cst: defaulted order outside datapath files passes",
+            tmp, "src/obs/fix_seqcst_ok.cpp",
+            "#include <atomic>\n"
+            "struct G { std::atomic<long> n{0}; };\n"
+            "long peek(const G& g) { return g.n.load(); }\n",
+        )
+        expect_clean(
+            "seq-cst: annotated deliberate seq_cst passes",
+            tmp, "src/net/channel.hpp",
+            "#include <atomic>\n"
+            "struct C { std::atomic<long> gate{0}; };\n"
+            "long fence_read(const C& c) {\n"
+            "  // lossburst-lint: allow(seq-cst): total order against the "
+            "writer's flag anchors the Dekker handshake\n"
+            "  return c.gate.load();\n"
+            "}\n",
+        )
+
         # ------------------------------------------------ annotation hygiene
         expect_finding(
             "annotation: missing justification is itself a finding",

@@ -80,7 +80,13 @@ def cmd_watch(cli, args):
             if args.max_lines and shown >= args.max_lines:
                 break
     except KeyboardInterrupt:
-        pass
+        pass  # Ctrl-C ends the watch, not the shell's patience
+    except socket.timeout:  # TimeoutError on 3.10+, socket-specific before
+        # The socket carries a 30s timeout; a server that stopped publishing
+        # (simulation finished, or --wait-run never released) surfaces here.
+        print("watch: server idle for 30s, closing", file=sys.stderr)
+    except (ConnectionResetError, BrokenPipeError):
+        print("watch: server closed the connection", file=sys.stderr)
 
 
 def cmd_schema(cli, _args):
