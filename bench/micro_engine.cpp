@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "fault/injector.hpp"
+#include "fec/codec.hpp"
 #include "obs/live/publisher.hpp"
 #include "net/network.hpp"
 #include "net/sharded_network.hpp"
@@ -983,6 +984,100 @@ void BM_ShardedCampaign(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_ShardedCampaign)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FecEncodeWindow(benchmark::State& state) {
+  // Streaming-FEC encode (DESIGN.md §15): combine a window of `Arg` source
+  // symbols into one repair symbol — seed-expanded coefficients plus one
+  // gf_addmul pass per window symbol. This is the sender's per-repair cost
+  // at full line rate; everything is preallocated, so `allocs_per_op` must
+  // be 0.00.
+  const auto window = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t kSymBytes = 1000;
+  util::Rng rng(5);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(window) * kSymBytes);
+  for (auto& v : data) v = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> coeffs(window);
+  std::vector<std::uint8_t> out(kSymBytes);
+  std::uint64_t seed = 0x5eed;
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    fec::encode_window(data.data(), kSymBytes, window, seed++, coeffs.data(),
+                       out.data(), kSymBytes);
+    benchmark::DoNotOptimize(out.data());
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      ops * static_cast<std::uint64_t>(window) * kSymBytes));
+}
+BENCHMARK(BM_FecEncodeWindow)->Arg(16)->Arg(64);
+
+void BM_FecDecodeBurst(benchmark::State& state) {
+  // Streaming-FEC decode under steady burst loss: each op advances the
+  // decoder one frame — kFrame systematic symbols with the last kBurst
+  // erased, then coded repairs over the trailing window until the release
+  // frontier crosses the burst (Gauss-Jordan elimination + window slide +
+  // released-payload history writes). The decoder's side-table is pooled at
+  // construction; `allocs_per_op` must be 0.00.
+  constexpr std::uint32_t kSymBytes = 1000;
+  constexpr std::uint32_t kCap = 64;
+  constexpr std::uint32_t kFrame = 16;
+  constexpr std::uint32_t kBurst = 4;
+  constexpr std::uint32_t kWin = 32;
+  fec::WindowDecoder dec(kCap, kSymBytes);
+  util::Rng rng(9);
+  // Window payload scratch: content is irrelevant to the elimination work,
+  // only the byte count is (the decoder never validates payloads).
+  std::vector<std::uint8_t> win_data(static_cast<std::size_t>(kWin) * kSymBytes);
+  for (auto& v : win_data) v = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> coeffs(kWin);
+  std::vector<std::uint8_t> coded(kSymBytes);
+  std::uint64_t seq = 0;
+  std::uint64_t seed = 0x900d;
+  const auto frame = [&] {
+    for (std::uint32_t i = 0; i < kFrame; ++i, ++seq) {
+      if (i >= kFrame - kBurst) continue;  // erased
+      (void)dec.add_systematic(seq, win_data.data());
+    }
+    // Repairs until the frontier crosses the burst (kBurst innovative
+    // combinations, occasionally one more when a draw lands in the span).
+    for (int r = 0; r < 32 && dec.base() < seq; ++r) {
+      const std::uint64_t lo = seq - kWin;
+      fec::encode_window(win_data.data(), kSymBytes, kWin, ++seed,
+                         coeffs.data(), coded.data(), kSymBytes);
+      (void)dec.add_coded(lo, kWin, seed, coded.data());
+      (void)dec.take_released();
+    }
+  };
+  // Warm to the steady state (full window occupancy) before counting.
+  for (std::uint32_t s = 0; s < kWin; ++s, ++seq) {
+    (void)dec.add_systematic(seq, win_data.data());
+  }
+  (void)dec.take_released();
+  for (int i = 0; i < 8; ++i) frame();
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    frame();
+    ++ops;
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops == 0 ? 1 : ops);
+  state.counters["allocs_total"] = static_cast<double>(allocs);
+  state.counters["released_per_op"] =
+      static_cast<double>(dec.stats().released) / static_cast<double>(seq == 0 ? 1 : seq) *
+      static_cast<double>(kFrame);
+  if (dec.base() + kCap < seq) {
+    state.SkipWithError("decoder frontier stalled: burst never recovered");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops * kFrame));
+}
+BENCHMARK(BM_FecDecodeBurst);
 
 }  // namespace
 

@@ -20,6 +20,7 @@ double GilbertFit::burstiness_vs_bernoulli() const {
 
 GilbertFit fit_gilbert(const std::vector<bool>& lost) {
   GilbertFit out;
+  out.low_confidence = true;
   if (lost.size() < 2) return out;
 
   std::size_t losses = 0;
@@ -37,6 +38,8 @@ GilbertFit fit_gilbert(const std::vector<bool>& lost) {
   out.loss_rate = static_cast<double>(losses) / static_cast<double>(lost.size());
   if (gb + gg > 0) out.p_good_to_bad = static_cast<double>(gb) / static_cast<double>(gb + gg);
   if (bg + bb > 0) out.p_bad_to_good = static_cast<double>(bg) / static_cast<double>(bg + bb);
+  out.state_changes = gb + bg;
+  out.low_confidence = out.state_changes < 2;
   return out;
 }
 

@@ -13,6 +13,16 @@ struct GilbertFit {
   double p_good_to_bad = 0.0;  ///< P(loss_{i+1} | delivered_i)
   double p_bad_to_good = 0.0;  ///< P(delivered_{i+1} | loss_i)
   double loss_rate = 0.0;      ///< overall fraction lost
+  /// Good<->Bad state changes observed (gb + bg transition counts). Both
+  /// probabilities are ratios of these counts, so with fewer than 2 the fit
+  /// is degenerate: a record that never leaves one state pins one side to
+  /// zero and leaves the other unconstrained.
+  std::size_t state_changes = 0;
+  /// True when the record is too short or too uniform to constrain p and q
+  /// (state_changes < 2). Online consumers — the burst-adaptive FEC
+  /// controller — must hold their previous estimate instead of retuning to
+  /// these degenerate values.
+  bool low_confidence = false;
 
   /// Stationary probability of the Bad state: p_gb / (p_gb + p_bg).
   [[nodiscard]] double stationary_bad() const;

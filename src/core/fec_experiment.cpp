@@ -1,0 +1,116 @@
+#include "core/fec_experiment.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/obs_session.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lossburst::core {
+
+using util::TimePoint;
+
+namespace {
+
+constexpr net::FlowId kFecFlowId = 7100;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+FecRunResult run_fec_stream(const FecRunConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  ObsSession obs(sim, cfg.obs);
+  net::Network net(sim);
+
+  net::Link* fwd = net.add_link(
+      "path.fwd", cfg.link_bps, cfg.fwd_delay,
+      net::make_queue(net::QueueKind::kDropTail, cfg.queue_pkts,
+                      sim.rng().split(0xfec0)));
+  net::Link* rev = net.add_link(
+      "path.rev", cfg.link_bps, cfg.rev_delay,
+      net::make_queue(net::QueueKind::kDropTail, cfg.queue_pkts,
+                      sim.rng().split(0xfec1)));
+  const net::Route* fwd_route = net.add_route({fwd});
+  const net::Route* rev_route = net.add_route({rev});
+
+  fec::FecSource src(sim, kFecFlowId, cfg.fec);
+  fec::FecSink sink(sim, kFecFlowId, cfg.fec);
+  src.connect(fwd_route, &sink);
+  sink.connect(rev_route, &src);
+
+  std::optional<fault::FaultInjector> injector;
+  if (!cfg.plan.empty()) injector.emplace(net, cfg.plan);
+
+  const TimePoint t0 = TimePoint::zero() + util::Duration::millis(5);
+  src.start(t0);
+  // First feedback after one interval: the fitter has symbols to report on.
+  sink.start(t0 + cfg.fec.feedback_interval);
+
+  obs.start_sampling(cfg.horizon);
+  sim.run_until(TimePoint::zero() + cfg.horizon);
+  obs.finish();
+
+  FecRunResult r;
+  r.symbols = cfg.fec.symbols;
+  r.delivered = sink.delivered();
+  r.decoded = sink.decoded();
+  r.completed = sink.complete();
+  r.source_sent = src.source_sent();
+  r.repairs_sent = src.repairs_sent();
+  r.retx_sent = src.retx_sent();
+  r.feedback_received = src.feedback_received();
+  r.overhead = src.overhead();
+  r.receiver_fit = sink.fitter().current();
+  r.fit_held = sink.fitter().held();
+  r.degraded = src.controller().degraded();
+
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  r.delays_ms.reserve(static_cast<std::size_t>(cfg.fec.symbols));
+  for (std::uint64_t s = 0; s < cfg.fec.symbols; ++s) {
+    const TimePoint at = sink.delivered_at(s);
+    if (at == TimePoint::max()) {
+      digest = fnv1a(digest, ~0ULL);
+      continue;
+    }
+    digest = fnv1a(digest, static_cast<std::uint64_t>(at.ns()));
+    r.delays_ms.push_back((at - src.send_time_of(s)).millis());
+  }
+  digest = fnv1a(digest, r.delivered);
+  digest = fnv1a(digest, r.decoded);
+  digest = fnv1a(digest, r.repairs_sent);
+  digest = fnv1a(digest, r.retx_sent);
+  r.digest = digest;
+
+  if (!r.delays_ms.empty()) {
+    std::vector<double> sorted = r.delays_ms;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double d : sorted) sum += d;
+    r.mean_delay_ms = sum / static_cast<double>(sorted.size());
+    r.p50_delay_ms = percentile(sorted, 0.50);
+    r.p95_delay_ms = percentile(sorted, 0.95);
+    r.p99_delay_ms = percentile(sorted, 0.99);
+    r.max_delay_ms = sorted.back();
+  }
+  return r;
+}
+
+}  // namespace lossburst::core

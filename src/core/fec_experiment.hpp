@@ -1,0 +1,68 @@
+// Streaming-FEC repair-strategy experiment (DESIGN.md §15, EXPERIMENTS.md
+// FIG9): one CBR-paced symbol stream over a long-delay faulted path, with
+// the repair discipline — plain ARQ, fixed block FEC, or burst-adaptive
+// sliding-window RLC — selected by FecParams. The figure of merit is
+// in-order delivery delay against the deterministic send schedule: exactly
+// the metric the paper's "implications for distributed applications"
+// section argues burst-oblivious repair gets wrong.
+//
+// Topology: a single forward link (where the fault plan injects loss) and a
+// clean reverse link for feedback. No cross traffic: with the channel
+// injected deterministically, the only variable across runs is the repair
+// strategy, so differences in the delay CDF are attributable end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/gilbert.hpp"
+#include "fault/plan.hpp"
+#include "fec/endpoint.hpp"
+#include "obs/telemetry.hpp"
+#include "util/time.hpp"
+
+namespace lossburst::core {
+
+using util::Duration;
+
+struct FecRunConfig {
+  std::uint64_t seed = 21;
+  fec::FecParams fec{};
+  /// Applied to the forward link, named "path.fwd" (reverse: "path.rev").
+  fault::FaultPlan plan{};
+  Duration horizon = Duration::seconds(120);
+  std::uint64_t link_bps = 10'000'000;
+  Duration fwd_delay = Duration::millis(100);  ///< long path: RTT 200 ms
+  Duration rev_delay = Duration::millis(100);
+  std::size_t queue_pkts = 256;
+  obs::ObsConfig obs{};
+};
+
+struct FecRunResult {
+  bool completed = false;      ///< every symbol released in order
+  std::uint64_t symbols = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t decoded = 0;   ///< released without a systematic copy
+  std::uint64_t source_sent = 0;
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t retx_sent = 0;
+  std::uint64_t feedback_received = 0;
+  double overhead = 0.0;       ///< (repairs + retx) / source packets
+  // In-order delivery delay vs the deterministic send schedule, over the
+  // symbols that were delivered (completed == false means a tail is
+  // missing and these understate the truth — report both).
+  double mean_delay_ms = 0.0;
+  double p50_delay_ms = 0.0;
+  double p95_delay_ms = 0.0;
+  double p99_delay_ms = 0.0;
+  double max_delay_ms = 0.0;
+  std::vector<double> delays_ms;  ///< per delivered symbol, seq order
+  analysis::GilbertFit receiver_fit;  ///< the sink's final channel estimate
+  bool fit_held = false;
+  bool degraded = false;       ///< controller in ARQ-degraded state at end
+  std::uint64_t digest = 0;    ///< FNV-1a over delivery times + counters
+};
+
+FecRunResult run_fec_stream(const FecRunConfig& cfg);
+
+}  // namespace lossburst::core

@@ -1,0 +1,82 @@
+#include "fec/adapt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossburst::fec {
+
+AdaptiveFitter::AdaptiveFitter(std::size_t window) {
+  // lossburst-lint: allow(datapath-alloc): one-time ring/scratch pre-size
+  ring_.assign(window, 0);
+  scratch_.reserve(window);
+}
+
+void AdaptiveFitter::push(bool lost) {
+  ring_[head_] = lost ? 1 : 0;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (count_ < ring_.size()) ++count_;
+}
+
+const analysis::GilbertFit& AdaptiveFitter::refresh() {
+  scratch_.clear();
+  const std::size_t start = count_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::size_t idx = start + i;
+    if (idx >= ring_.size()) idx -= ring_.size();
+    scratch_.push_back(ring_[idx] != 0);
+  }
+  const analysis::GilbertFit candidate = analysis::fit_gilbert(scratch_);
+  if (candidate.low_confidence && have_fit_) {
+    // Hold the last trustworthy estimate; the degenerate candidate would
+    // slew p/q to 0 and whipsaw the controller.
+    held_ = true;
+    return fit_;
+  }
+  held_ = false;
+  fit_ = candidate;
+  if (!candidate.low_confidence) have_fit_ = true;
+  return fit_;
+}
+
+RepairController::RepairController(RepairPolicy policy, std::uint32_t window_cap,
+                                   double initial_rate, std::uint32_t initial_window)
+    : policy_(policy),
+      window_cap_(window_cap),
+      rate_(std::clamp(initial_rate, policy.min_rate, policy.budget)),
+      window_(std::clamp(initial_window, policy.min_window, window_cap)) {}
+
+void RepairController::update(const analysis::GilbertFit& fit, bool held) {
+  if (held || fit.low_confidence) {
+    // Degenerate record: hold every knob at its last trustworthy setting.
+    ++held_count_;
+    return;
+  }
+  ++applied_;
+  const double loss = fit.loss_rate;
+  if (degraded_) {
+    if (loss < policy_.recover_loss) degraded_ = false;
+  } else {
+    if (loss > policy_.degrade_loss) degraded_ = true;
+  }
+  const double burst = std::max(1.0, fit.mean_burst_length());
+  if (degraded_) {
+    // The code rate cannot cover this outage: stop spending the budget on
+    // repairs that cannot keep up and let NACK-driven retransmissions do
+    // the recovery.
+    rate_ = policy_.min_rate;
+    group_ = 1;
+  } else {
+    // Provision for the burst concentration of erasures, not the average:
+    // see the header comment. Reduces to margin x loss when burst == 1.
+    rate_ = std::clamp(policy_.margin * loss * burst, policy_.min_rate,
+                       policy_.budget);
+    const double g = std::ceil(policy_.burst_group_mult * burst);
+    group_ = static_cast<std::uint32_t>(
+        std::clamp(g, 1.0, static_cast<double>(policy_.max_group)));
+  }
+  const double w = policy_.window_burst_mult * burst;
+  window_ = static_cast<std::uint32_t>(std::clamp(
+      w, static_cast<double>(policy_.min_window), static_cast<double>(window_cap_)));
+}
+
+}  // namespace lossburst::fec

@@ -1,0 +1,218 @@
+#include "fec/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fec/gf256.hpp"
+#include "util/invariant.hpp"
+
+namespace lossburst::fec {
+
+void encode_window(const std::uint8_t* symbols, std::size_t stride,
+                   std::uint32_t count, std::uint64_t seed,
+                   std::uint8_t* coeff_scratch, std::uint8_t* out,
+                   std::uint32_t symbol_bytes) {
+  gf_coeffs_from_seed(seed, count, coeff_scratch);
+  std::memset(out, 0, symbol_bytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    gf_addmul(out, symbols + i * stride, symbol_bytes, coeff_scratch[i]);
+  }
+}
+
+WindowDecoder::WindowDecoder(std::uint32_t capacity, std::uint32_t symbol_bytes)
+    : cap_(capacity), sym_bytes_(symbol_bytes) {
+  // lossburst-lint: allow(datapath-alloc): one-time side-table pre-size
+  rows_.assign(static_cast<std::size_t>(cap_) * cap_, 0);
+  present_.assign(cap_, 0);
+  deg_.assign(cap_, 0);
+  scratch_.assign(cap_, 0);
+  coeffs_.assign(cap_, 0);
+  if (sym_bytes_ > 0) {
+    payloads_.assign(static_cast<std::size_t>(cap_) * sym_bytes_, 0);
+    history_.assign(static_cast<std::size_t>(cap_) * sym_bytes_, 0);
+    pscratch_.assign(sym_bytes_, 0);
+  }
+}
+
+AddResult WindowDecoder::add_systematic(std::uint64_t seq, const std::uint8_t* payload) {
+  if (seq < base_) {
+    ++stats_.stale;
+    return AddResult::kStale;
+  }
+  const std::uint64_t off = seq - base_;
+  if (off >= cap_) {
+    ++stats_.overflow;
+    return AddResult::kOverflow;
+  }
+  const auto col = static_cast<std::uint32_t>(off);
+  std::memset(scratch_.data(), 0, cap_);
+  scratch_[col] = 1;
+  if (sym_bytes_ > 0) {
+    if (payload != nullptr) {
+      std::memcpy(pscratch_.data(), payload, sym_bytes_);
+    } else {
+      std::memset(pscratch_.data(), 0, sym_bytes_);
+    }
+  }
+  return insert(col);
+}
+
+AddResult WindowDecoder::add_coded(std::uint64_t window_base, std::uint32_t len,
+                                   std::uint64_t seed, const std::uint8_t* payload) {
+  LOSSBURST_INVARIANT(len > 0 && len <= cap_, "fec: coded window length out of range");
+  LOSSBURST_INVARIANT(
+      generation_ == 0 ||
+          window_base / generation_ == (window_base + len - 1) / generation_,
+      "fec: block-FEC repair window crosses a generation boundary");
+  if (window_base + len <= base_) {
+    ++stats_.stale;
+    return AddResult::kStale;
+  }
+  if (window_base + len > base_ + cap_) {
+    ++stats_.overflow;
+    return AddResult::kOverflow;
+  }
+  gf_coeffs_from_seed(seed, len, coeffs_.data());
+  const auto end_col = static_cast<std::uint32_t>(window_base + len - base_);
+  std::memset(scratch_.data(), 0, cap_);
+  if (sym_bytes_ > 0) {
+    if (payload != nullptr) {
+      std::memcpy(pscratch_.data(), payload, sym_bytes_);
+    } else {
+      std::memset(pscratch_.data(), 0, sym_bytes_);
+    }
+  }
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const std::uint64_t seq = window_base + i;
+    if (seq >= base_) {
+      scratch_[static_cast<std::size_t>(seq - base_)] = coeffs_[i];
+    } else if (sym_bytes_ > 0) {
+      // Clip a released column: its symbol is a known constant, so subtract
+      // its contribution from the payload. The history ring always covers
+      // it: seq >= window end - cap > base - cap.
+      gf_addmul(pscratch_.data(), hist(seq), sym_bytes_, coeffs_[i]);
+    }
+  }
+  return insert(end_col - 1);
+}
+
+AddResult WindowDecoder::insert(std::uint32_t vec_deg) {
+  // Reduce the scratch vector against existing pivot rows, front to back.
+  // Eliminating with a pivot row can extend the vector's support up to that
+  // row's degree, so vec_deg is a moving bound. Once a pivot column is
+  // zeroed it stays zero: every pivot row is itself zero at all *other*
+  // pivot columns (full Jordan form), so later eliminations never
+  // resurrect earlier pivot columns.
+  std::uint32_t j = 0;
+  for (;;) {
+    while (j <= vec_deg && scratch_[j] == 0) ++j;
+    if (j > vec_deg) {
+      ++stats_.redundant;
+      return AddResult::kRedundant;
+    }
+    if (present_[j] == 0) break;  // found a free pivot slot
+    const std::uint8_t c = scratch_[j];
+    vec_deg = std::max(vec_deg, deg_[j]);
+    gf_addmul(scratch_.data(), row(j), deg_[j] + 1, c);
+    if (sym_bytes_ > 0) gf_addmul(pscratch_.data(), pay(j), sym_bytes_, c);
+    ++j;  // scratch_[j] is now zero: pivot rows are normalized to 1
+  }
+
+  // Keep reducing past the slot so the new row is zero at *every* other
+  // pivot column — required for the matrix to stay fully reduced.
+  for (std::uint32_t jj = j + 1; jj <= vec_deg; ++jj) {
+    if (present_[jj] == 0 || scratch_[jj] == 0) continue;
+    const std::uint8_t c = scratch_[jj];
+    vec_deg = std::max(vec_deg, deg_[jj]);
+    gf_addmul(scratch_.data(), row(jj), deg_[jj] + 1, c);
+    if (sym_bytes_ > 0) gf_addmul(pscratch_.data(), pay(jj), sym_bytes_, c);
+  }
+
+  // Normalize so the pivot coefficient is 1 (eliminations with rows whose
+  // support dips below their pivot can leave nonzeros before the slot, so
+  // scale the whole span).
+  const std::uint8_t inv = gf_inv(scratch_[j]);
+  gf_scale(scratch_.data(), vec_deg + 1, inv);
+  if (sym_bytes_ > 0) gf_scale(pscratch_.data(), sym_bytes_, inv);
+
+  // Jordan step: eliminate column j from every other row so the matrix
+  // stays fully reduced (that is what makes release a prefix scan).
+  for (std::uint32_t k = 0; k < width_; ++k) {
+    if (present_[k] == 0 || k == j) continue;
+    const std::uint8_t c = row(k)[j];
+    if (c == 0) continue;
+    gf_addmul(row(k), scratch_.data(), vec_deg + 1, c);
+    if (sym_bytes_ > 0) gf_addmul(pay(k), pscratch_.data(), sym_bytes_, c);
+    // The row's support may have shrunk at j or grown to vec_deg; rescan
+    // from the top. Pivot k itself is untouched (scratch_[k] == 0), so the
+    // row can never vanish and its degree stays >= k.
+    std::uint32_t d = std::max(deg_[k], vec_deg);
+    while (d > k && row(k)[d] == 0) --d;
+    deg_[k] = d;
+  }
+
+  std::memcpy(row(j), scratch_.data(), vec_deg + 1);
+  if (vec_deg + 1 < cap_) std::memset(row(j) + vec_deg + 1, 0, cap_ - vec_deg - 1);
+  if (sym_bytes_ > 0) std::memcpy(pay(j), pscratch_.data(), sym_bytes_);
+  std::uint32_t d = vec_deg;
+  while (d > j && row(j)[d] == 0) --d;
+  deg_[j] = d;
+  present_[j] = 1;
+  ++rank_;
+  width_ = std::max(width_, std::max(j, d) + 1);
+  LOSSBURST_INVARIANT(rank_ <= width_, "fec: decoder rank exceeds window width");
+  LOSSBURST_INVARIANT(width_ <= cap_, "fec: decoder width exceeds capacity");
+  ++stats_.innovative;
+  return AddResult::kInnovative;
+}
+
+std::uint32_t WindowDecoder::ready() const {
+  std::uint32_t m = 0;
+  std::uint32_t f = 0;
+  for (std::uint32_t j = 0; j < width_ && present_[j] != 0; ++j) {
+    m = std::max(m, deg_[j]);
+    if (m <= j) f = j + 1;
+  }
+  return f;
+}
+
+const std::uint8_t* WindowDecoder::ready_payload(std::uint32_t i) const {
+  if (sym_bytes_ == 0) return nullptr;
+  return payloads_.data() + static_cast<std::size_t>(i) * sym_bytes_;
+}
+
+std::uint32_t WindowDecoder::take_released() {
+  const std::uint32_t f = ready();
+  if (f == 0) return 0;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    // Released rows must be exactly identity rows — the release rule's
+    // whole claim. In-order release is implied: base_ only ever grows.
+    LOSSBURST_INVARIANT(present_[i] != 0 && deg_[i] == i && row(i)[i] == 1,
+                        "fec: released row is not a decoded unit vector");
+    if (sym_bytes_ > 0) std::memcpy(hist(base_ + i), pay(i), sym_bytes_);
+  }
+  // Slide the window: surviving rows have zeros in the released columns
+  // (they are pivot columns of other rows in a fully reduced matrix).
+  for (std::uint32_t k = f; k < width_; ++k) {
+    const std::uint32_t dst = k - f;
+    present_[dst] = present_[k];
+    if (present_[k] == 0) continue;
+    LOSSBURST_INVARIANT(deg_[k] >= f, "fec: surviving row supported on released columns");
+    deg_[dst] = deg_[k] - f;
+    std::memmove(row(dst), row(k) + f, deg_[dst] + 1);
+    std::memset(row(dst) + deg_[dst] + 1, 0, cap_ - deg_[dst] - 1);
+    if (sym_bytes_ > 0) std::memcpy(pay(dst), pay(k), sym_bytes_);
+  }
+  for (std::uint32_t k = width_ - f; k < width_; ++k) {
+    present_[k] = 0;
+    deg_[k] = 0;
+    std::memset(row(k), 0, cap_);
+  }
+  base_ += f;
+  width_ -= f;
+  rank_ -= f;
+  stats_.released += f;
+  return f;
+}
+
+}  // namespace lossburst::fec

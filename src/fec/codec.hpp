@@ -1,0 +1,133 @@
+// Sliding-window random-linear-code encoder/decoder over GF(256)
+// (DESIGN.md §15).
+//
+// The decoder is an on-the-fly Gauss-Jordan eliminator over a *pooled
+// coded-packet side-table*: all row storage (coefficient rows, optional
+// payload rows, released-payload history) is sized once at construction
+// from the window capacity, so steady-state decoding performs zero heap
+// allocations — the FEC analog of the PacketPool options side-table.
+//
+// Columns are source symbols relative to the in-order release frontier
+// `base`: column j stands for symbol base + j. Every accepted packet —
+// systematic (a unit vector) or coded (a seed-expanded random combination)
+// — is reduced against the existing pivot rows; if a nonzero leading column
+// j survives, the vector is normalized, column j is eliminated from every
+// other row (full Jordan form), and it becomes pivot row j. Because the
+// matrix is kept in reduced form, the in-order release rule is a single
+// prefix scan: the frontier f is the longest prefix of rows that are all
+// present with max row degree < f — such rows are exactly the identity, so
+// symbols base..base+f-1 are decoded and can be released in order. On
+// release the window slides: base += f, surviving rows shift left f columns
+// (their first f columns are provably zero), and the freed rows return to
+// the pool.
+//
+// Coded packets whose window reaches behind `base` are *clipped*: released
+// symbols are known constants, so their coefficients are dropped (and, when
+// payloads are carried, their contribution is subtracted back out of the
+// payload using the released-payload history ring). This is what lets the
+// encoder's window lag the decoder's frontier by a feedback delay without
+// any renegotiation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lossburst::fec {
+
+/// Combine `count` equal-length payload symbols (symbol i at
+/// `symbols + i * stride`) into `out` using the coefficient vector expanded
+/// from `seed` — the encoder's inner loop, also used by benches and tests
+/// to fabricate coded packets. `coeff_scratch` must hold `count` bytes.
+void encode_window(const std::uint8_t* symbols, std::size_t stride,
+                   std::uint32_t count, std::uint64_t seed,
+                   std::uint8_t* coeff_scratch, std::uint8_t* out,
+                   std::uint32_t symbol_bytes);
+
+/// Outcome of offering one packet to the decoder.
+enum class AddResult : std::uint8_t {
+  kInnovative,  ///< increased the matrix rank
+  kRedundant,   ///< reduced to zero: already spanned (still "received")
+  kStale,       ///< entirely behind the release frontier; already delivered
+  kOverflow,    ///< reaches beyond base + capacity; dropped, still missing
+};
+
+struct DecoderStats {
+  std::uint64_t innovative = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t released = 0;
+};
+
+class WindowDecoder {
+ public:
+  /// `capacity` bounds the active window (columns) and the row pool.
+  /// `symbol_bytes` > 0 additionally carries and recovers payload bytes per
+  /// symbol (benches/tests); the simulation endpoints run coefficient-only.
+  explicit WindowDecoder(std::uint32_t capacity, std::uint32_t symbol_bytes = 0);
+
+  /// Constrain coded windows to k-aligned generations (block-FEC mode);
+  /// violation is a LOSSBURST_INVARIANT failure, not a runtime branch.
+  void set_generation(std::uint32_t k) { generation_ = k; }
+
+  /// Systematic source symbol `seq` arrived (payload may be null).
+  AddResult add_systematic(std::uint64_t seq, const std::uint8_t* payload = nullptr);
+
+  /// Coded repair over window [window_base, window_base + len) with the
+  /// given coefficient seed arrived.
+  AddResult add_coded(std::uint64_t window_base, std::uint32_t len,
+                      std::uint64_t seed, const std::uint8_t* payload = nullptr);
+
+  /// Longest decoded in-order prefix currently releasable.
+  [[nodiscard]] std::uint32_t ready() const;
+
+  /// Payload of the i-th releasable symbol (i < ready()); valid until the
+  /// next mutating call. Null in coefficient-only mode.
+  [[nodiscard]] const std::uint8_t* ready_payload(std::uint32_t i) const;
+
+  /// Release the ready prefix: advances base, slides the window, returns
+  /// the number of symbols released (their seqs were base()..base()+n-1
+  /// prior to the call).
+  std::uint32_t take_released();
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] std::uint32_t capacity() const { return cap_; }
+  [[nodiscard]] bool has_pivot(std::uint64_t seq) const {
+    return seq >= base_ && seq - base_ < width_ &&
+           present_[static_cast<std::size_t>(seq - base_)] != 0;
+  }
+  [[nodiscard]] const DecoderStats& stats() const { return stats_; }
+
+ private:
+  AddResult insert(std::uint32_t vec_deg);
+  [[nodiscard]] std::uint8_t* row(std::uint32_t r) { return rows_.data() + static_cast<std::size_t>(r) * cap_; }
+  [[nodiscard]] const std::uint8_t* row(std::uint32_t r) const {
+    return rows_.data() + static_cast<std::size_t>(r) * cap_;
+  }
+  [[nodiscard]] std::uint8_t* pay(std::uint32_t r) {
+    return payloads_.data() + static_cast<std::size_t>(r) * sym_bytes_;
+  }
+  [[nodiscard]] std::uint8_t* hist(std::uint64_t seq) {
+    return history_.data() + static_cast<std::size_t>(seq % cap_) * sym_bytes_;
+  }
+
+  std::uint32_t cap_;
+  std::uint32_t sym_bytes_;
+  std::uint32_t generation_ = 0;
+  std::uint64_t base_ = 0;
+  std::uint32_t width_ = 0;
+  std::uint32_t rank_ = 0;
+  DecoderStats stats_;
+  std::vector<std::uint8_t> rows_;      ///< cap x cap coefficient side-table
+  std::vector<std::uint8_t> payloads_;  ///< cap x sym_bytes (payload mode)
+  std::vector<std::uint8_t> history_;   ///< released payload ring (payload mode)
+  std::vector<std::uint8_t> present_;   ///< pivot row occupied
+  std::vector<std::uint32_t> deg_;      ///< highest nonzero column per row
+  std::vector<std::uint8_t> scratch_;   ///< incoming vector under reduction
+  std::vector<std::uint8_t> pscratch_;  ///< incoming payload under reduction
+  std::vector<std::uint8_t> coeffs_;    ///< seed-expanded window coefficients
+};
+
+}  // namespace lossburst::fec

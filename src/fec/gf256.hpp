@@ -1,0 +1,144 @@
+// GF(256) arithmetic for the streaming-FEC codec (DESIGN.md §15).
+//
+// The field is GF(2^8) modulo the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice of
+// Reed-Solomon and RLNC implementations (streamc, ISA-L). Multiplication
+// goes through constexpr log/exp tables built at compile time, so the
+// tables live in .rodata and cost nothing at startup.
+//
+// The workhorse is gf_addmul (dst ^= c * src over a byte span) — the inner
+// loop of both encoding (combine window symbols into a repair symbol) and
+// Gaussian elimination (reduce a coefficient row). Two fast paths:
+//  - c == 1 degenerates to pure XOR and is sliced 64 bits at a time;
+//  - general c uses two 16-entry nibble product tables (built per call from
+//    the log/exp tables: 32 multiplies amortized over the span), turning
+//    the per-byte work into two indexed loads and a XOR — the scalar analog
+//    of the PSHUFB kernels SIMD codecs use.
+// Everything here is allocation-free and branch-predictable: this file is
+// on the datapath lint list.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace lossburst::fec {
+
+namespace detail {
+
+inline constexpr unsigned kGfPoly = 0x11d;  ///< x^8+x^4+x^3+x^2+1, primitive
+
+struct GfTables {
+  // exp_ is doubled so gf_mul can index log[a]+log[b] (< 510) without a
+  // modular reduction.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+};
+
+constexpr GfTables build_tables() {
+  GfTables t{};
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.exp[i + 255] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kGfPoly;
+  }
+  // exp[510], exp[511] are never indexed (log sums max out at 508).
+  t.log[0] = 0;  // log(0) is undefined; gf_mul guards the zero operands
+  return t;
+}
+
+inline constexpr GfTables kGf = build_tables();
+
+}  // namespace detail
+
+/// c = a * b in GF(256).
+[[nodiscard]] constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kGf.exp[static_cast<std::size_t>(detail::kGf.log[a]) +
+                         detail::kGf.log[b]];
+}
+
+/// Multiplicative inverse; a must be nonzero.
+[[nodiscard]] constexpr std::uint8_t gf_inv(std::uint8_t a) {
+  return detail::kGf.exp[255 - detail::kGf.log[a]];
+}
+
+/// a / b in GF(256); b must be nonzero.
+[[nodiscard]] constexpr std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return detail::kGf.exp[static_cast<std::size_t>(detail::kGf.log[a]) + 255 -
+                         detail::kGf.log[b]];
+}
+
+/// dst[i] ^= c * src[i] for i in [0, n). The elimination/encode inner loop.
+inline void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                      std::uint8_t c) {
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    // 64-bit-sliced XOR: memcpy in/out keeps it alias- and
+    // alignment-correct; compilers lower it to plain word loads/stores.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t d = 0, s = 0;
+      std::memcpy(&d, dst + i, 8);
+      std::memcpy(&s, src + i, 8);
+      d ^= s;
+      std::memcpy(dst + i, &d, 8);
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Nibble-sliced table multiply: c*v = c*(hi<<4) ^ c*lo.
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+  for (unsigned v = 0; v < 16; ++v) {
+    lo[v] = gf_mul(c, static_cast<std::uint8_t>(v));
+    hi[v] = gf_mul(c, static_cast<std::uint8_t>(v << 4));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] ^= static_cast<std::uint8_t>(lo[s & 0x0f] ^ hi[s >> 4]);
+  }
+}
+
+/// dst[i] = c * dst[i] for i in [0, n): row normalization.
+inline void gf_scale(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
+  if (c == 1) return;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = gf_mul(dst[i], c);
+}
+
+/// Deterministic coefficient expansion (SplitMix64 over the seed carried in
+/// the repair header). Encoder and decoder call this with the same (seed,
+/// len) and obtain the same vector, so repair packets never ship the
+/// coefficients themselves. Redraws an all-zero vector (possible only for
+/// tiny windows) so every expanded vector is a usable combination.
+inline void gf_coeffs_from_seed(std::uint64_t seed, std::uint32_t len,
+                                std::uint8_t* out) {
+  std::uint64_t s = seed;
+  for (;;) {
+    std::uint64_t word = 0;
+    unsigned have = 0;
+    std::uint8_t acc = 0;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      if (have == 0) {
+        // SplitMix64 step, inlined to keep this header free of util deps.
+        std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        word = z ^ (z >> 31);
+        have = 8;
+      }
+      out[i] = static_cast<std::uint8_t>(word);
+      acc |= out[i];
+      word >>= 8;
+      --have;
+    }
+    if (acc != 0 || len == 0) return;
+  }
+}
+
+}  // namespace lossburst::fec

@@ -61,12 +61,35 @@ struct TfrcInfo {
   double sender_rtt_s = 0.0;     ///< data: sender's current R estimate
 };
 
+/// Streaming-FEC header extension (DESIGN.md §15). Repair packets carry the
+/// encoding window and the coefficient-generator seed (receivers re-expand
+/// the random GF(256) coefficients deterministically instead of shipping the
+/// vector); feedback packets carry the receiver's in-order frontier plus its
+/// fitted Gilbert burstiness and up to kMaxNacks repair requests.
+struct FecInfo {
+  static constexpr std::size_t kMaxNacks = 16;
+
+  std::uint64_t window_base = 0;  ///< repair: first source symbol in the window
+  std::uint64_t coeff_seed = 0;   ///< repair: coefficient expansion seed
+  std::uint32_t window_len = 0;   ///< repair: symbols combined
+  /// fec::FecPacketKind (repair / feedback); source and retransmit packets
+  /// travel option-free like any other data packet.
+  std::uint8_t kind = 0;
+  std::uint8_t nack_count = 0;    ///< feedback: entries used in `nacks`
+  std::uint8_t fit_flags = 0;     ///< feedback: bit 0 = fit held (low confidence)
+  float fit_p = 0.0f;             ///< feedback: fitted P(Good -> Bad)
+  float fit_q = 0.0f;             ///< feedback: fitted P(Bad -> Good)
+  float fit_loss = 0.0f;          ///< feedback: measured loss rate
+  std::array<std::uint64_t, kMaxNacks> nacks{};  ///< feedback: missing seqs
+};
+
 /// Cold per-packet header options, stored in the pool's side table and
-/// attached only when a flow actually uses SACK or TFRC.
+/// attached only when a flow actually uses SACK, TFRC, or FEC.
 struct PacketOptions {
   std::array<SackBlock, 3> sack{};
   std::uint8_t sack_count = 0;
   TfrcInfo tfrc;
+  FecInfo fec;
 };
 
 /// Slot index sentinel: packet carries no options.

@@ -25,6 +25,8 @@ enum class EventTag : std::uint8_t {
   kAppStart,      ///< flow start events
   kFault,         ///< fault-injection transitions (flap/stall edges, watchdogs)
   kControl,       ///< runtime control-plane application points (serve layer)
+  kFecSource,     ///< FEC source ticks (source symbols + scheduled repairs)
+  kFecFeedback,   ///< FEC sink feedback timer (frontier/NACK/fit reports)
   kTagCount,
 };
 
@@ -46,6 +48,8 @@ constexpr std::string_view tag_name(EventTag tag) {
     case EventTag::kAppStart: return "app.start";
     case EventTag::kFault: return "fault";
     case EventTag::kControl: return "control";
+    case EventTag::kFecSource: return "fec.source";
+    case EventTag::kFecFeedback: return "fec.feedback";
     case EventTag::kTagCount: break;
   }
   return "?";

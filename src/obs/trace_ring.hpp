@@ -38,6 +38,8 @@ enum class RecordKind : std::uint8_t {
   kCwnd,               ///< sender congestion window changed (a = bit-cast double)
   kFaultDrop,          ///< fault layer dropped the packet (b = fault::FaultCause)
   kFaultEvent,         ///< fault control-plane transition (a = code, b = cause)
+  kFecRepair,          ///< FEC source emitted a repair/retransmit (b = window len)
+  kFecDecode,          ///< FEC decoder released a symbol by decoding (b = rank)
   kKindCount,
 };
 

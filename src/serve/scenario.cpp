@@ -11,6 +11,7 @@ using util::TimePoint;
 namespace {
 constexpr std::uint32_t kDynamicPacketBytes = 500;
 constexpr net::FlowId kProbeFlowId = 9000;
+constexpr net::FlowId kFecFlowId = 9100;
 constexpr net::FlowId kDynamicFlowBase = 100;
 }  // namespace
 
@@ -19,7 +20,8 @@ ServeScenario::ServeScenario(const ServeScenarioConfig& cfg, ControlQueue* contr
   network_ = std::make_unique<net::Network>(sim_);
   net::DumbbellConfig dc;
   dc.bottleneck_bps = cfg_.bottleneck_bps;
-  dc.flow_count = cfg_.tcp_flows + cfg_.dynamic_slots + 1;  // +1: the probe
+  // +1: the probe; +1 more: the streaming-FEC pair when enabled.
+  dc.flow_count = cfg_.tcp_flows + cfg_.dynamic_slots + 1 + (cfg_.fec_flow ? 1 : 0);
   bell_ = net::build_dumbbell(*network_, dc);
   bell_.bottleneck_fwd->queue().set_tracer(&trace_);
 
@@ -71,8 +73,24 @@ ServeScenario::ServeScenario(const ServeScenarioConfig& cfg, ControlQueue* contr
   probe_src_ = std::make_unique<tcp::CbrSource>(sim_, kProbeFlowId, pp);
   probe_sink_ = std::make_unique<tcp::ProbeSink>();
   probe_sink_->attach_clock(&sim_);
-  probe_src_->connect(bell_.fwd_routes[dc.flow_count - 1], probe_sink_.get());
+  const std::size_t probe_slot = cfg_.tcp_flows + cfg_.dynamic_slots;
+  probe_src_->connect(bell_.fwd_routes[probe_slot], probe_sink_.get());
   probe_src_->start(TimePoint::zero());
+
+  // The streaming-FEC pair: a paced symbol stream that lasts the whole run,
+  // adapting its repair schedule to whatever faults get injected.
+  if (cfg_.fec_flow) {
+    fec::FecParams fp;
+    fp.interval = Duration::millis(5);
+    fp.symbols = static_cast<std::uint64_t>(cfg_.duration.ns() / fp.interval.ns());
+    fp.seed = cfg_.seed ^ 0xfecf10ULL;
+    fec_src_ = std::make_unique<fec::FecSource>(sim_, kFecFlowId, fp);
+    fec_sink_ = std::make_unique<fec::FecSink>(sim_, kFecFlowId, fp);
+    fec_src_->connect(bell_.fwd_routes[probe_slot + 1], fec_sink_.get());
+    fec_sink_->connect(bell_.rev_routes[probe_slot + 1], fec_src_.get());
+    fec_src_->start(TimePoint::zero() + fp.interval);
+    fec_sink_->start(TimePoint::zero() + fp.interval + fp.feedback_interval);
+  }
 }
 
 ServeScenario::~ServeScenario() {

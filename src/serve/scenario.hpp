@@ -9,7 +9,10 @@
 //    flow table complete — runtime "new" flows are pre-registered slots),
 //  - one CBR probe flow into a ProbeSink, so the probe's loss indicator —
 //    and the Gilbert p/q fitted from it — can be compared against a cold
-//    run with the same plan passed at construction.
+//    run with the same plan passed at construction,
+//  - one burst-adaptive streaming-FEC pair (DESIGN.md §15), so the live
+//    stream carries repair health (fec.* counters and fitted-channel
+//    gauges) and injected plans show up as closed-loop adaptation.
 //
 // Control commands drain ONLY at kControl-tagged event boundaries (one per
 // publish interval) plus the pre-run boundary at t = 0; nothing external
@@ -24,6 +27,7 @@
 
 #include "core/obs_session.hpp"
 #include "fault/injector.hpp"
+#include "fec/endpoint.hpp"
 #include "net/network.hpp"
 #include "net/trace.hpp"
 #include "serve/control.hpp"
@@ -42,6 +46,7 @@ struct ServeScenarioConfig {
   util::Duration duration = util::Duration::seconds(30);
   obs::ObsConfig obs{};           ///< set obs.live to stream; obs.dir to export
   fault::FaultPlan fault{};       ///< cold fault plan (reference runs)
+  bool fec_flow = true;           ///< run the streaming-FEC pair (§15)
 };
 
 class ServeScenario {
@@ -70,6 +75,8 @@ class ServeScenario {
   [[nodiscard]] std::uint64_t control_commands_applied() const {
     return control_applied_;
   }
+  [[nodiscard]] const fec::FecSource* fec_source() const { return fec_src_.get(); }
+  [[nodiscard]] const fec::FecSink* fec_sink() const { return fec_sink_.get(); }
 
  private:
   void apply_pending();
@@ -89,6 +96,8 @@ class ServeScenario {
   std::unique_ptr<tcp::NullSink> dyn_sink_;
   std::unique_ptr<tcp::CbrSource> probe_src_;
   std::unique_ptr<tcp::ProbeSink> probe_sink_;
+  std::unique_ptr<fec::FecSource> fec_src_;
+  std::unique_ptr<fec::FecSink> fec_sink_;
   std::unique_ptr<fault::FaultInjector> cold_injector_;
   std::unique_ptr<fault::FaultInjector> live_injector_;
   sim::EventHandle control_event_;

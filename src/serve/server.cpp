@@ -362,6 +362,17 @@ void TelemetryServer::handle_line(Client& c, const std::string& line,
       out += schema[i].kind == obs::MetricKind::kCounter ? "counter" : "gauge";
       out += "\"}";
     }
+    out += "],\"fec\":[";
+    // Repair-health stanza: the column ids of the streaming-FEC endpoints
+    // (DESIGN.md §15), so clients can watch decode/repair health without
+    // string-matching the whole schema.
+    bool first_fec = true;
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i].name.rfind("fec.", 0) != 0) continue;
+      if (!first_fec) out += ',';
+      first_fec = false;
+      append_num(out, static_cast<double>(i));
+    }
     out += "]}\n";
   } else if (cmd == "inject-plan") {
     ControlCommand cc;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/gilbert.hpp"
 #include "util/rng.hpp"
 
@@ -48,6 +50,34 @@ TEST(GilbertFitTest, AllLosses) {
 TEST(GilbertFitTest, TooShort) {
   const auto fit = fit_gilbert({true});
   EXPECT_DOUBLE_EQ(fit.loss_rate, 0.0);
+}
+
+TEST(GilbertFitTest, LowConfidenceFlagsDegenerateRecords) {
+  // Records that never change state (or are too short to) pin one
+  // transition probability to zero and leave the other unconstrained; the
+  // flag is what lets online consumers (the FEC controller) hold their
+  // previous estimate instead of retuning to the degenerate fit.
+  EXPECT_TRUE(fit_gilbert({}).low_confidence);
+  EXPECT_TRUE(fit_gilbert({true}).low_confidence);
+  EXPECT_TRUE(fit_gilbert(std::vector<bool>(500, false)).low_confidence);
+  EXPECT_TRUE(fit_gilbert(std::vector<bool>(500, true)).low_confidence);
+  // A single state change still cannot constrain both p and q.
+  std::vector<bool> one_edge(100, false);
+  std::fill(one_edge.begin() + 50, one_edge.end(), true);
+  const auto fit = fit_gilbert(one_edge);
+  EXPECT_EQ(fit.state_changes, 1u);
+  EXPECT_TRUE(fit.low_confidence);
+}
+
+TEST(GilbertFitTest, TwoStateChangesAreConfident) {
+  // One complete loss burst inside a delivered record: a Good->Bad and a
+  // Bad->Good edge, the minimum that determines both probabilities.
+  std::vector<bool> record(100, false);
+  record[40] = record[41] = record[42] = true;
+  const auto fit = fit_gilbert(record);
+  EXPECT_EQ(fit.state_changes, 2u);
+  EXPECT_FALSE(fit.low_confidence);
+  EXPECT_NEAR(fit.mean_burst_length(), 3.0, 1e-9);
 }
 
 TEST(RunLengthTest, ExtractsMaximalRuns) {

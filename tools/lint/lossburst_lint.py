@@ -104,6 +104,14 @@ DATAPATH_FILES = (
     # must stay allocation-free on the sim thread.
     "src/obs/live/spsc_ring.hpp",
     "src/obs/live/publisher.cpp",
+    # The streaming-FEC codec and endpoints (BM_FecEncodeWindow /
+    # BM_FecDecodeBurst): GF(256) kernels, the pooled coded-packet
+    # side-table, and the per-packet encode/decode paths are all sized at
+    # construction — steady-state coding must never touch the heap.
+    "src/fec/gf256.hpp",
+    "src/fec/codec.hpp",
+    "src/fec/codec.cpp",
+    "src/fec/endpoint.cpp",
 )
 
 # Files templated over the check:: sync policy (check/sync.hpp): raw std::

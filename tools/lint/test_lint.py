@@ -236,6 +236,25 @@ def main() -> int:
             "void defer(std::function<void()> f) { f(); }\n",
             "datapath-alloc",
         )
+        expect_finding(
+            "datapath-alloc: fec codec impl is a datapath file",
+            tmp, "src/fec/codec.cpp",
+            "int* per_row() { return new int; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: fec gf256 header is a datapath file",
+            tmp, "src/fec/gf256.hpp",
+            "int* per_symbol() { return new int[4]; }\n",
+            "datapath-alloc",
+        )
+        expect_finding(
+            "datapath-alloc: fec endpoint impl is a datapath file",
+            tmp, "src/fec/endpoint.cpp",
+            "#include <functional>\n"
+            "void feedback(std::function<void()> f) { f(); }\n",
+            "datapath-alloc",
+        )
 
         # ------------------------------------------------ untagged-event
         expect_finding(

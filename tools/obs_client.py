@@ -50,17 +50,44 @@ class Client:
         sys.exit("connection closed while waiting for %s" % "/".join(types))
 
 
+def fec_health_line(fec_last):
+    """One-line repair-health summary from the latest fec.* metric values.
+
+    Keys are the metric name with the "fec.<flow>." prefix stripped, so one
+    line covers the single streaming-FEC pair the serve scenario runs.
+    """
+    def v(key):
+        return fec_last.get(key, 0)
+    held = " HELD" if v("rcv.fit_held") else ""
+    degraded = " DEGRADED" if v("src.degraded") else ""
+    return ("fec: frontier=%d delivered=%d decoded=%d repairs=%d retx=%d "
+            "rank=%d rate=%.3f fit p=%.4f q=%.3f%s%s"
+            % (v("src.frontier"), v("rcv.delivered"), v("rcv.decoded"),
+               v("src.repairs"), v("src.retx"), v("rcv.rank"),
+               v("src.repair_rate"), v("rcv.fit_p"), v("rcv.fit_q"),
+               held, degraded))
+
+
 def cmd_watch(cli, args):
     cli.send({"cmd": "resolution", "level": args.level})
     if args.no_topflows:
         cli.send({"cmd": "topflows", "enabled": False})
     cli.send({"cmd": "subscribe"})
     shown = 0
+    fec_last = {}
     try:
         for msg in cli.lines():
             t = msg["type"]
             if t == "metric":
-                if args.grep and args.grep not in msg.get("name", ""):
+                name = msg.get("name", "")
+                if name.startswith("fec."):
+                    # fec.<flow>.src.retx -> src.retx: folded into the health
+                    # summary printed at each mark. A matching --grep still
+                    # prints the raw line too.
+                    fec_last[name.split(".", 2)[-1]] = msg["last"]
+                    if not args.grep:
+                        continue
+                if args.grep and args.grep not in name:
                     continue
                 print(
                     "%8.2fs L%d %-40s min=%-10g mean=%-10g max=%-10g last=%g"
@@ -75,6 +102,8 @@ def cmd_watch(cli, args):
                 if msg["interval"] % args.mark_every == 0:
                     print("-- interval %d (t=%.2fs, dropped=%d)"
                           % (msg["interval"], msg["t"], msg["client_dropped"]))
+                    if fec_last:
+                        print("   " + fec_health_line(fec_last))
             elif t in ("control", "trace_drops"):
                 print("** %s: %s" % (t, json.dumps(msg)))
             if args.max_lines and shown >= args.max_lines:
@@ -93,8 +122,12 @@ def cmd_schema(cli, _args):
     cli.send({"cmd": "schema"})
     msg = cli.expect(["schema"])
     print("interval: %g ns, %d columns" % (msg["interval_ns"], len(msg["columns"])))
+    fec_ids = set(msg.get("fec", []))
     for col in msg["columns"]:
-        print("%5d  %-7s %s" % (col["id"], col["kind"], col["name"]))
+        mark = " [fec]" if col["id"] in fec_ids else ""
+        print("%5d  %-7s %s%s" % (col["id"], col["kind"], col["name"], mark))
+    if fec_ids:
+        print("fec repair-health stanza: %d columns" % len(fec_ids))
 
 
 def cmd_inject(cli, args):
